@@ -1,0 +1,1 @@
+bench/adoc_bench.ml: Bhelp Engine List Padico Personalities Printf Selector Simnet

@@ -1,0 +1,1 @@
+bench/arb_bench.ml: Array Bhelp Engine List Mw_corba Mw_mpi Netaccess Padico Printf Simnet

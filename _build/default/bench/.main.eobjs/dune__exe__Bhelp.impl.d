@@ -1,0 +1,1 @@
+bench/bhelp.ml: Scenario

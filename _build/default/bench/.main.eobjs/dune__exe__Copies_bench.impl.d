@@ -1,0 +1,1 @@
+bench/copies_bench.ml: Bhelp Calib Engine List Mw_corba Printf

@@ -1,0 +1,1 @@
+bench/fig3.ml: Bhelp List Mw_corba Printf Simnet

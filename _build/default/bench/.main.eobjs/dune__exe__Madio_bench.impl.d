@@ -1,0 +1,1 @@
+bench/madio_bench.ml: Bhelp Engine Madeleine Netaccess Option Padico Printf Simnet

@@ -1,0 +1,1 @@
+bench/main.ml: Adoc_bench Arb_bench Copies_bench Fig3 List Madio_bench Micro_bench Printexc Printf Sys Table1 Vrp_bench Wan_bench

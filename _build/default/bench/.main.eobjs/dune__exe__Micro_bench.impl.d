@@ -1,0 +1,1 @@
+bench/micro_bench.ml: Analyze Bechamel Benchmark Bhelp Engine Hashtbl Instance Measure Methods Mw_corba Mw_soap Printf Staged Test Time Toolkit

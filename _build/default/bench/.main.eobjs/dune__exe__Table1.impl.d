@@ -1,0 +1,1 @@
+bench/table1.ml: Array Bhelp Circuit Engine List Mw_corba Padico Personalities Printf

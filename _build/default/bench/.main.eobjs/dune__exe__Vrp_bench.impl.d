@@ -1,0 +1,1 @@
+bench/vrp_bench.ml: Bhelp Drivers Engine List Methods Option Padico Printf Selector Simnet

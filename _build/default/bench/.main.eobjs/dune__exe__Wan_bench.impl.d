@@ -1,0 +1,1 @@
+bench/wan_bench.ml: Bhelp List Mw_corba Printf Selector Simnet

@@ -1,0 +1,36 @@
+(* Experiment E8 — ablation behind Figure 3's ORB spread: marshalling copy
+   strategy. Synthetic ORB profiles with k extra copies (k per-byte cost at
+   the memcpy rate) show the bandwidth collapse Mico/ORBacus suffer. *)
+
+module Cdr = Mw_corba.Cdr
+
+let profile_with_copies k =
+  { Cdr.pname = Printf.sprintf "synthetic-%d-copies" k;
+    fixed_ns = Calib.corba_omniorb4_ns;
+    marshal_per_byte_ns = float_of_int k *. Calib.memcpy_per_byte_ns *. 6.0;
+    unmarshal_per_byte_ns = float_of_int k *. Calib.memcpy_per_byte_ns *. 4.0;
+    marshal_copies = k; unmarshal_copies = k;
+    zero_copy = (k = 0) }
+
+let bw profile =
+  let grid, a, b = Bhelp.myrinet_pair () in
+  Bhelp.corba_stream_bw ~profile grid ~a ~b ~port:3000 ~size:1_000_000
+    ~count:48
+
+let run () =
+  Bhelp.print_header
+    "E8 — ablation: ORB marshalling copies vs bandwidth (1 MB payloads, Myrinet)";
+  List.iter
+    (fun k ->
+       let p = profile_with_copies k in
+       Engine.Bytebuf.reset_copy_counter ();
+       let b = bw p in
+       Printf.printf "  %d extra cop%s   %s MB/s   (%d MB actually copied)\n" k
+         (if k = 1 then "y " else "ies")
+         (Bhelp.pp_mb b)
+         (Engine.Bytebuf.copies_performed () / 1_000_000);
+       flush stdout)
+    [ 0; 1; 2; 3 ];
+  print_endline
+    "expected shape: zero-copy saturates the SAN; each copy stage cuts";
+  print_endline "bandwidth further — the Mico (2 copies) / ORBacus (1) story."

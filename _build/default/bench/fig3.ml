@@ -1,0 +1,55 @@
+(* Experiment E1 — Figure 3: bandwidth of various middleware systems in
+   PadicoTM over Myrinet-2000, message sizes 32 B .. 1 MB, plus the
+   TCP/Ethernet-100 reference curve. *)
+
+module Cdr = Mw_corba.Cdr
+
+let sizes =
+  [ 32; 128; 512; 2_048; 8_192; 32_768; 131_072; 524_288; 1_048_576 ]
+
+let corba_point profile size =
+  let grid, a, b = Bhelp.myrinet_pair () in
+  Bhelp.corba_stream_bw ~profile grid ~a ~b ~port:3000 ~size
+    ~count:(Bhelp.count_for size)
+
+let mpi_point size =
+  let grid, a, b = Bhelp.myrinet_pair () in
+  let comms = Bhelp.mpi_pair grid a b in
+  Bhelp.mpi_stream_bw grid comms ~a ~b ~size ~count:(Bhelp.count_for size)
+
+let java_point size =
+  let grid, a, b = Bhelp.myrinet_pair () in
+  Bhelp.java_stream_bw grid ~a ~b ~port:7000 ~size
+    ~count:(Bhelp.count_for size)
+
+let tcp_eth_point size =
+  let grid, a, b = Bhelp.pair Simnet.Presets.ethernet100 () in
+  Bhelp.vio_stream_bw grid ~src:a ~dst:b ~port:5000
+    ~total:(size * Bhelp.count_for size) ~chunk:size
+
+let series : (string * (int -> float)) list =
+  [ ("omniORB-3.0.2/Myrinet", corba_point Cdr.omniorb3);
+    ("omniORB-4.0.0/Myrinet", corba_point Cdr.omniorb4);
+    ("Mico-2.3.7/Myrinet", corba_point Cdr.mico);
+    ("ORBacus-4.0.5/Myrinet", corba_point Cdr.orbacus);
+    ("MPICH/Myrinet", mpi_point);
+    ("Java socket/Myrinet", java_point);
+    ("TCP/Ethernet-100 (ref)", tcp_eth_point) ]
+
+let run () =
+  Bhelp.print_header
+    "E1 / Figure 3 — bandwidth (MB/s) over Myrinet-2000 vs message size";
+  Printf.printf "%-24s" "series \\ size";
+  List.iter (fun s -> Printf.printf "%9d" s) sizes;
+  print_newline ();
+  List.iter
+    (fun (name, point) ->
+       Printf.printf "%-24s" name;
+       List.iter (fun s -> Printf.printf "  %s" (Bhelp.pp_mb (point s))) sizes;
+       print_newline ();
+       flush stdout)
+    series;
+  print_newline ();
+  print_endline
+    "paper anchors: omniORB/MPICH/Java plateau ~238-240; Mico ~55; ORBacus ~63;";
+  print_endline "TCP/Ethernet-100 reference ~11.6 at large sizes."

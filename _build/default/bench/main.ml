@@ -1,0 +1,32 @@
+(* Benchmark harness: one experiment per table/figure of the paper (see
+   DESIGN.md section 4). Run all with no argument, or one by name. *)
+
+let experiments =
+  [ ("fig3", "Figure 3: bandwidth vs message size over Myrinet", Fig3.run);
+    ("table1", "Table 1: latency and max bandwidth", Table1.run);
+    ("madio", "E3: MadIO overhead over plain Madeleine", Madio_bench.run);
+    ("wan", "E4: VTHD WAN + parallel streams", Wan_bench.run);
+    ("vrp", "E5: lossy link, TCP vs VRP", Vrp_bench.run);
+    ("arbitration", "E6: middleware sharing a node", Arb_bench.run);
+    ("adoc", "E7: adaptive online compression", Adoc_bench.run);
+    ("copies", "E8: marshalling-copies ablation", Copies_bench.run);
+    ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [experiment]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr)
+    experiments;
+  print_endline "  all          run everything (default)"
+
+let () =
+  Printexc.record_backtrace true;
+  match Sys.argv with
+  | [| _ |] | [| _; "all" |] ->
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | [| _; name |] ->
+    (match List.find_opt (fun (n, _, _) -> n = name) experiments with
+     | Some (_, _, run) -> run ()
+     | None -> usage ())
+  | _ -> usage ()

@@ -1,0 +1,91 @@
+(* Wall-clock micro-benchmarks (Bechamel): the real CPU cost of the
+   framework's hot paths — marshalling, compression, ciphering, the event
+   queue. These are host-time measurements, complementary to the
+   virtual-time experiments. *)
+
+module Bb = Engine.Bytebuf
+module Cdr = Mw_corba.Cdr
+
+open Bechamel
+open Toolkit
+
+let payload_64k = Bb.create 65_536
+
+let () = Bb.fill_pattern payload_64k ~seed:3
+
+let compressible_64k =
+  let b = Bb.create 65_536 in
+  (* Mildly repetitive content. *)
+  for i = 0 to Bb.length b - 1 do
+    Bb.set_u8 b i (i mod 61)
+  done;
+  b
+
+let lz_packed = Methods.Lz.compress compressible_64k
+
+let crypto_key = Methods.Crypto.key_of_string "bench"
+
+let value_64k = Cdr.VOctets payload_64k
+
+let test_lz_compress =
+  Test.make ~name:"lz.compress 64KB"
+    (Staged.stage (fun () -> ignore (Methods.Lz.compress compressible_64k)))
+
+let test_lz_decompress =
+  Test.make ~name:"lz.decompress 64KB"
+    (Staged.stage (fun () -> ignore (Methods.Lz.decompress lz_packed)))
+
+let test_cdr_encode_zero_copy =
+  Test.make ~name:"cdr.encode omniORB4 64KB"
+    (Staged.stage (fun () -> ignore (Cdr.encode_iov Cdr.omniorb4 value_64k)))
+
+let test_cdr_encode_copying =
+  Test.make ~name:"cdr.encode Mico 64KB"
+    (Staged.stage (fun () -> ignore (Cdr.encode_iov Cdr.mico value_64k)))
+
+let test_crypto =
+  Test.make ~name:"crypto.encrypt 64KB"
+    (Staged.stage (fun () -> ignore (Methods.Crypto.encrypt crypto_key payload_64k)))
+
+let test_heap =
+  Test.make ~name:"heap push+pop x1000"
+    (Staged.stage (fun () ->
+         let h = Engine.Heap.create () in
+         for i = 0 to 999 do
+           Engine.Heap.push h ~prio:(i * 7919 mod 1000) i
+         done;
+         while not (Engine.Heap.is_empty h) do
+           ignore (Engine.Heap.pop h)
+         done))
+
+let test_base64 =
+  Test.make ~name:"soap.base64 64KB"
+    (Staged.stage (fun () ->
+         ignore (Mw_soap.Soap.base64_encode (Bb.to_string payload_64k))))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"padico"
+      [ test_lz_compress; test_lz_decompress; test_cdr_encode_zero_copy;
+        test_cdr_encode_copying; test_crypto; test_heap; test_base64 ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let run () =
+  Bhelp.print_header "Microbenchmarks (real wall-clock, Bechamel OLS)";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name ols ->
+       match Analyze.OLS.estimates ols with
+       | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
+       | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    results

@@ -1,0 +1,62 @@
+(* Experiment E4 — §5, VTHD WAN: every middleware gets roughly the same
+   ~9 MB/s (software overhead is negligible next to the network), and
+   Parallel Streams raise the bandwidth to ~12 MB/s, the access-link
+   maximum. *)
+
+module Cdr = Mw_corba.Cdr
+
+let total = 24_000_000
+
+let no_crypto =
+  { Selector.Prefs.default with Selector.Prefs.cipher_untrusted = false }
+
+let vthd_pair () = Bhelp.pair Simnet.Presets.vthd ~prefs:no_crypto ()
+
+let mpi_bw () =
+  let grid, a, b = vthd_pair () in
+  let comms = Bhelp.mpi_pair grid a b in
+  Bhelp.mpi_stream_bw grid comms ~a ~b ~size:100_000 ~count:(total / 100_000)
+
+let corba_bw () =
+  let grid, a, b = vthd_pair () in
+  Bhelp.corba_stream_bw ~profile:Cdr.omniorb4 grid ~a ~b ~port:3000
+    ~size:100_000 ~count:(total / 100_000)
+
+let java_bw () =
+  let grid, a, b = vthd_pair () in
+  Bhelp.java_stream_bw grid ~a ~b ~port:7000 ~size:100_000
+    ~count:(total / 100_000)
+
+let vio_bw () =
+  let grid, a, b = vthd_pair () in
+  Bhelp.vio_stream_bw grid ~src:a ~dst:b ~port:5000 ~total ~chunk:65_536
+
+let pstream_bw n () =
+  let prefs =
+    { no_crypto with Selector.Prefs.pstream_on_wan = n > 1;
+      pstream_streams = n }
+  in
+  let grid, a, b = Bhelp.pair Simnet.Presets.vthd ~prefs () in
+  Bhelp.vio_stream_bw grid ~src:a ~dst:b ~port:5100 ~total ~chunk:65_536
+
+let run () =
+  Bhelp.print_header "E4 — VTHD WAN (8 ms RTT): middleware bandwidth (MB/s)";
+  let rows =
+    [ ("MPI", mpi_bw); ("omniORB 4", corba_bw); ("Java sockets", java_bw);
+      ("VLink/VIO", vio_bw) ]
+  in
+  List.iter
+    (fun (name, f) ->
+       Printf.printf "%-16s %s\n" name (Bhelp.pp_mb (f ()));
+       flush stdout)
+    rows;
+  Printf.printf "paper: all middleware ~9 MB/s on VTHD\n\n";
+  Printf.printf "Parallel streams (single logical VLink striped over n sockets):\n";
+  List.iter
+    (fun n ->
+       Printf.printf "  n = %d streams   %s MB/s\n" n
+         (Bhelp.pp_mb (pstream_bw n ()));
+       flush stdout)
+    [ 1; 2; 4; 8 ];
+  Printf.printf
+    "paper: Parallel Streams raise ~9 -> ~12 MB/s (Ethernet-100 access limit)\n"

@@ -1,0 +1,156 @@
+(* padico-cli: explore the framework from the command line.
+
+     padico_cli registry
+     padico_cli selector  --net vthd [--pstream] [--adoc] [--vrp] [--no-cipher]
+     padico_cli ping      --net myrinet --middleware corba --iters 1000
+     padico_cli bandwidth --net vthd --middleware vio --mbytes 16 [--pstream N]
+
+   All measurements are virtual-time results from the simulator. *)
+
+open Cmdliner
+
+let nets =
+  [ ("myrinet", Simnet.Presets.myrinet2000); ("sci", Simnet.Presets.sci);
+    ("ethernet", Simnet.Presets.ethernet100);
+    ("gigabit", Simnet.Presets.gigabit_lan); ("vthd", Simnet.Presets.vthd);
+    ("lossy", Simnet.Presets.transcontinental);
+    ("modem", Simnet.Presets.modem) ]
+
+let net_conv =
+  Arg.enum (List.map (fun (n, m) -> (n, m)) nets)
+
+let net_arg =
+  Arg.(value & opt net_conv Simnet.Presets.myrinet2000
+       & info [ "net" ] ~docv:"NET"
+         ~doc:"Network between the two nodes: $(b,myrinet), $(b,sci), \
+               $(b,ethernet), $(b,gigabit), $(b,vthd), $(b,lossy), \
+               $(b,modem).")
+
+type mw = Vio_mw | Mpi_mw | Corba of Mw_corba.Cdr.profile | Java_mw
+
+let mw_conv =
+  Arg.enum
+    [ ("vio", Vio_mw); ("mpi", Mpi_mw);
+      ("omniorb4", Corba Mw_corba.Cdr.omniorb4);
+      ("omniorb3", Corba Mw_corba.Cdr.omniorb3);
+      ("mico", Corba Mw_corba.Cdr.mico);
+      ("orbacus", Corba Mw_corba.Cdr.orbacus); ("java", Java_mw) ]
+
+let mw_arg =
+  Arg.(value & opt mw_conv Vio_mw
+       & info [ "middleware"; "m" ] ~docv:"MW"
+         ~doc:"Middleware: $(b,vio), $(b,mpi), $(b,omniorb4), \
+               $(b,omniorb3), $(b,mico), $(b,orbacus), $(b,java).")
+
+let prefs_term =
+  let pstream =
+    Arg.(value & opt (some int) None
+         & info [ "pstream" ] ~docv:"N" ~doc:"Stripe WAN links over N sockets.")
+  in
+  let adoc =
+    Arg.(value & flag & info [ "adoc" ] ~doc:"Adaptive compression on slow links.")
+  in
+  let vrp =
+    Arg.(value & flag & info [ "vrp" ] ~doc:"Tunable-loss transport on lossy WANs.")
+  in
+  let no_cipher =
+    Arg.(value & flag & info [ "no-cipher" ] ~doc:"Never cipher, even untrusted links.")
+  in
+  let make pstream adoc vrp no_cipher =
+    let p = Selector.Prefs.default in
+    { p with
+      Selector.Prefs.pstream_on_wan = pstream <> None;
+      pstream_streams = Option.value ~default:p.Selector.Prefs.pstream_streams pstream;
+      adoc_on_slow = adoc;
+      adoc_threshold_bps = (if adoc then 15e6 else p.Selector.Prefs.adoc_threshold_bps);
+      vrp_on_lossy = vrp;
+      cipher_untrusted = not no_cipher }
+  in
+  Term.(const make $ pstream $ adoc $ vrp $ no_cipher)
+
+(* ---------- registry ---------- *)
+
+let registry_cmd =
+  let run () =
+    ignore (Padico.create ());
+    List.iter
+      (fun e -> Format.printf "%a@." Padico.Registry.pp_entry e)
+      (Padico.Registry.all ())
+  in
+  Cmd.v (Cmd.info "registry" ~doc:"List registered drivers/adapters/personalities.")
+    Term.(const run $ const ())
+
+(* ---------- selector ---------- *)
+
+let selector_cmd =
+  let run model prefs =
+    let grid = Padico.create ~prefs () in
+    let a = Padico.add_node grid "a" in
+    let b = Padico.add_node grid "b" in
+    ignore (Padico.add_segment grid model [ a; b ]);
+    let choice = Padico.connect_choice grid ~src:a ~dst:b in
+    Format.printf "link model : %a@." Simnet.Linkmodel.pp model;
+    Format.printf "selector   : %a@." Selector.pp_choice choice
+  in
+  Cmd.v (Cmd.info "selector" ~doc:"Show which adapter the selector would pick.")
+    Term.(const run $ net_arg $ prefs_term)
+
+(* ---------- ping ---------- *)
+
+let iters_arg =
+  Arg.(value & opt int 1000 & info [ "iters" ] ~docv:"N" ~doc:"Ping-pong rounds.")
+
+let ping_cmd =
+  let run model prefs mw iters =
+    let grid, a, b = Scenario.pair model ~prefs () in
+    let lat =
+      match mw with
+      | Vio_mw -> Scenario.vio_latency grid ~src:a ~dst:b ~port:4000 ~size:4 ~iters
+      | Mpi_mw ->
+        let comms = Scenario.mpi_pair grid a b in
+        Scenario.mpi_latency grid comms ~a ~b ~iters
+      | Corba profile -> Scenario.corba_latency ~profile grid ~a ~b ~port:3000 ~iters
+      | Java_mw -> Scenario.java_latency grid ~a ~b ~port:7000 ~iters
+    in
+    Printf.printf "one-way latency: %.2f us (%d iterations)\n" lat iters
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"One-way latency of a middleware over a network.")
+    Term.(const run $ net_arg $ prefs_term $ mw_arg $ iters_arg)
+
+(* ---------- bandwidth ---------- *)
+
+let mbytes_arg =
+  Arg.(value & opt int 32 & info [ "mbytes" ] ~docv:"MB" ~doc:"Payload volume.")
+
+let chunk_arg =
+  Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"BYTES" ~doc:"Write size.")
+
+let bandwidth_cmd =
+  let run model prefs mw mbytes chunk =
+    let grid, a, b = Scenario.pair model ~prefs () in
+    let total = mbytes * 1_000_000 in
+    let bw =
+      match mw with
+      | Vio_mw -> Scenario.vio_stream_bw grid ~src:a ~dst:b ~port:5000 ~total ~chunk
+      | Mpi_mw ->
+        let comms = Scenario.mpi_pair grid a b in
+        Scenario.mpi_stream_bw grid comms ~a ~b ~size:chunk ~count:(total / chunk)
+      | Corba profile ->
+        Scenario.corba_stream_bw ~profile grid ~a ~b ~port:3000 ~size:chunk
+          ~count:(total / chunk)
+      | Java_mw ->
+        Scenario.java_stream_bw grid ~a ~b ~port:7000 ~size:chunk
+          ~count:(total / chunk)
+    in
+    Printf.printf "bandwidth: %.2f MB/s (%d MB in %d-byte writes)\n" bw mbytes
+      chunk
+  in
+  Cmd.v (Cmd.info "bandwidth" ~doc:"Streaming bandwidth of a middleware over a network.")
+    Term.(const run $ net_arg $ prefs_term $ mw_arg $ mbytes_arg $ chunk_arg)
+
+let () =
+  let doc = "PadicoTM-style grid communication framework (simulated)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "padico_cli" ~doc)
+          [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd ]))

@@ -1,0 +1,267 @@
+(* Developer smoke/calibration harness for the raw substrates (GM, TCP,
+   and the Padico end-to-end path). Used to sanity-check the calibration
+   anchors quickly; the reproducible experiments live in bench/.
+
+     dune exec bin/smoke.exe
+     TCPDEBUG=1 dune exec bin/smoke.exe   # verbose TCP trace on VTHD *)
+
+module Bytebuf = Engine.Bytebuf
+
+let tcp_bulk model ~mbytes =
+  let net = Simnet.Net.create () in
+  let a = Simnet.Net.add_node net "a" in
+  let b = Simnet.Net.add_node net "b" in
+  let seg = Simnet.Net.add_segment net model [ a; b ] in
+  let sa = Drivers.Tcp.attach seg a in
+  let sb = Drivers.Tcp.attach seg b in
+  let seg_ref = seg in
+  let total = mbytes * 1_000_000 in
+  let received = ref 0 in
+  let done_at = ref 0 in
+  Drivers.Tcp.listen sb ~port:80 (fun conn ->
+      Drivers.Tcp.set_event_cb conn (fun ev ->
+          match ev with
+          | Drivers.Tcp.Readable ->
+            let rec drain () =
+              match Drivers.Tcp.read conn ~max:65536 with
+              | Some buf ->
+                received := !received + Bytebuf.length buf;
+                if !received >= total && !done_at = 0 then
+                  done_at := Engine.Sim.now (Simnet.Net.sim net);
+                drain ()
+              | None -> ()
+            in
+            drain ()
+          | _ -> ()));
+  let c = Drivers.Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let sent = ref 0 in
+  let payload = Bytebuf.create 65536 in
+  let rec pump () =
+    if !sent < total then begin
+      let want = min 65536 (total - !sent) in
+      let n = Drivers.Tcp.write c (Bytebuf.sub payload 0 want) in
+      sent := !sent + n;
+      if n > 0 then pump ()
+    end
+  in
+  Drivers.Tcp.set_event_cb c (fun ev ->
+      match ev with
+      | Drivers.Tcp.Established -> pump ()
+      | Drivers.Tcp.Writable -> pump ()
+      | _ -> ());
+  Simnet.Net.run net ~until:(Engine.Time.sec 600);
+  let t = !done_at in
+  if !received < total then
+    Printf.printf "  %-18s INCOMPLETE: %d/%d bytes (retx=%d)\n"
+      model.Simnet.Linkmodel.name !received total (Drivers.Tcp.retransmits c)
+  else
+    Printf.printf "  %-18s %8.3f MB/s  (%d retx, %d frames lost/%d sent, srtt=%.1fms)\n"
+      model.Simnet.Linkmodel.name
+      (Engine.Stats.bandwidth_mb_s ~bytes_transferred:total ~elapsed_ns:t)
+      (Drivers.Tcp.retransmits c)
+      (Simnet.Segment.frames_lost seg_ref) (Simnet.Segment.frames_sent seg_ref)
+      (float_of_int (Drivers.Tcp.srtt_ns c) /. 1e6);
+    let rto, fast, partial = Drivers.Tcp.retransmit_breakdown c in
+    Printf.printf "      breakdown: rto=%d fast=%d partial=%d\n" rto fast partial
+
+
+let tcp_latency model =
+  let net = Simnet.Net.create () in
+  let a = Simnet.Net.add_node net "a" in
+  let b = Simnet.Net.add_node net "b" in
+  let seg = Simnet.Net.add_segment net model [ a; b ] in
+  let sa = Drivers.Tcp.attach seg a in
+  let sb = Drivers.Tcp.attach seg b in
+  Drivers.Tcp.listen sb ~port:80 (fun conn ->
+      Drivers.Tcp.set_event_cb conn (fun ev ->
+          if ev = Drivers.Tcp.Readable then
+            match Drivers.Tcp.read conn ~max:64 with
+            | Some buf -> ignore (Drivers.Tcp.write conn buf)
+            | None -> ()));
+  let c = Drivers.Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let iters = 100 in
+  let count = ref 0 in
+  let t0 = ref 0 in
+  let t1 = ref 0 in
+  Drivers.Tcp.set_event_cb c (fun ev ->
+      match ev with
+      | Drivers.Tcp.Established ->
+        t0 := Engine.Sim.now (Simnet.Net.sim net);
+        ignore (Drivers.Tcp.write c (Bytebuf.create 4))
+      | Drivers.Tcp.Readable ->
+        (match Drivers.Tcp.read c ~max:64 with
+         | Some _ ->
+           incr count;
+           if !count < iters then ignore (Drivers.Tcp.write c (Bytebuf.create 4))
+           else t1 := Engine.Sim.now (Simnet.Net.sim net)
+         | None -> ())
+      | _ -> ());
+  Simnet.Net.run net ~until:(Engine.Time.sec 60);
+  Printf.printf "  %-18s rtt/2 = %.2f us\n" model.Simnet.Linkmodel.name
+    (float_of_int (!t1 - !t0) /. float_of_int iters /. 2.0 /. 1e3)
+
+let gm_test () =
+  let net = Simnet.Net.create () in
+  let a = Simnet.Net.add_node net "a" in
+  let b = Simnet.Net.add_node net "b" in
+  let seg = Simnet.Net.add_segment net Simnet.Presets.myrinet2000 [ a; b ] in
+  let pa = Drivers.Gm.attach seg a in
+  let pb = Drivers.Gm.attach seg b in
+  let ca = Drivers.Gm.open_channel pa ~id:0 in
+  let cb = Drivers.Gm.open_channel pb ~id:0 in
+  (* Latency ping-pong *)
+  let iters = 1000 in
+  let count = ref 0 in
+  let t0 = Engine.Sim.now (Simnet.Net.sim net) in
+  let t1 = ref 0 in
+  Drivers.Gm.set_recv cb (fun ~src:_ buf -> Drivers.Gm.send cb ~dst:0 buf);
+  Drivers.Gm.set_recv ca (fun ~src:_ buf ->
+      incr count;
+      if !count < iters then Drivers.Gm.send ca ~dst:1 buf
+      else t1 := Engine.Sim.now (Simnet.Net.sim net));
+  Drivers.Gm.send ca ~dst:1 (Bytebuf.create 4);
+  Simnet.Net.run net;
+  Printf.printf "  GM latency: %.2f us one-way\n"
+    (float_of_int (!t1 - t0) /. float_of_int iters /. 2.0 /. 1e3);
+  (* Bandwidth: stream 100 MB *)
+  let net = Simnet.Net.create () in
+  let a = Simnet.Net.add_node net "a" in
+  let b = Simnet.Net.add_node net "b" in
+  let seg = Simnet.Net.add_segment net Simnet.Presets.myrinet2000 [ a; b ] in
+  let pa = Drivers.Gm.attach seg a in
+  let pb = Drivers.Gm.attach seg b in
+  let ca = Drivers.Gm.open_channel pa ~id:0 in
+  let cb = Drivers.Gm.open_channel pb ~id:0 in
+  let total = 100_000_000 in
+  let got = ref 0 in
+  let t1 = ref 0 in
+  Drivers.Gm.set_recv cb (fun ~src:_ buf ->
+      got := !got + Bytebuf.length buf;
+      if !got >= total then t1 := Engine.Sim.now (Simnet.Net.sim net));
+  let msg = Bytebuf.create 1_000_000 in
+  for _ = 1 to total / 1_000_000 do
+    Drivers.Gm.send ca ~dst:1 msg
+  done;
+  Simnet.Net.run net;
+  Printf.printf "  GM bandwidth: %.1f MB/s\n"
+    (Engine.Stats.bandwidth_mb_s ~bytes_transferred:total ~elapsed_ns:!t1)
+
+module Bb = Engine.Bytebuf
+
+(* End-to-end: VLink latency/bandwidth over Myrinet via the selector
+   (expected: madio driver, ~10.2us latency, ~240MB/s). *)
+let padico_vlink () =
+  let grid = Padico.create () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 [ a; b ]);
+  Padico.listen grid b ~port:4000 (fun vl ->
+      ignore
+        (Padico.spawn grid b ~name:"echo" (fun () ->
+             let buf = Bb.create 65536 in
+             let rec loop () =
+               let n = Personalities.Vio.read vl (Bb.sub buf 0 65536) in
+               if n > 0 then begin
+                 ignore (Personalities.Vio.write vl (Bb.sub buf 0 n));
+                 loop ()
+               end
+             in
+             loop ())));
+  let t_lat = ref 0.0 in
+  let bw = ref 0.0 in
+  ignore
+    (Padico.spawn grid a ~name:"client" (fun () ->
+         let vl = Padico.connect grid ~src:a ~dst:b ~port:4000 in
+         (match Personalities.Vio.connect_wait vl with
+          | Ok () -> ()
+          | Error e -> failwith e);
+         Printf.printf "  driver chosen: %s
+" (Vlink.Vl.driver_name vl);
+         let small = Bb.create 4 in
+         let iters = 1000 in
+         let t0 = Padico.now grid in
+         for _ = 1 to iters do
+           ignore (Personalities.Vio.write vl small);
+           ignore (Personalities.Vio.read vl small)
+         done;
+         let t1 = Padico.now grid in
+         t_lat := float_of_int (t1 - t0) /. float_of_int iters /. 2.0 /. 1e3;
+         (* bandwidth: stream 50MB one way, wait for echo of last byte *)
+         let big = Bb.create 1_000_000 in
+         let t0 = Padico.now grid in
+         for _ = 1 to 50 do
+           ignore (Personalities.Vio.write vl big)
+         done;
+         (* drain echo *)
+         let got = ref 0 in
+         let rbuf = Bb.create 65536 in
+         while !got < 50_000_000 do
+           got := !got + Personalities.Vio.read vl rbuf
+         done;
+         let t1 = Padico.now grid in
+         (* echo doubles the traffic; full duplex so one-way rate ~ total/time *)
+         bw := Engine.Stats.bandwidth_mb_s ~bytes_transferred:50_000_000
+             ~elapsed_ns:(t1 - t0)));
+  Padico.run grid;
+  Printf.printf "  VLink/Vio over selector: latency %.2f us, echo-bw %.1f MB/s
+"
+    !t_lat !bw
+
+(* Circuit latency over Myrinet (expected ~8.4us). *)
+let padico_circuit () =
+  let grid = Padico.create () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 [ a; b ]);
+  let cts = Padico.circuit grid ~name:"ping" [ a; b ] in
+  let mp0 = Personalities.Madpers.attach cts.(0) in
+  let mp1 = Personalities.Madpers.attach cts.(1) in
+  let t_lat = ref 0.0 in
+  ignore
+    (Padico.spawn grid b ~name:"echo" (fun () ->
+         let rec loop () =
+           let src, inc = Personalities.Madpers.recv_blocking mp1 in
+           let n = Circuit.Ct.remaining inc in
+           let data = Circuit.Ct.unpack inc n in
+           let out = Personalities.Madpers.begin_packing mp1 ~dst:src in
+           Personalities.Madpers.pack out data;
+           Personalities.Madpers.end_packing out;
+           loop ()
+         in
+         loop ()));
+  ignore
+    (Padico.spawn grid a ~name:"client" (fun () ->
+         let small = Bb.create 4 in
+         let iters = 1000 in
+         let t0 = Padico.now grid in
+         for _ = 1 to iters do
+           let out = Personalities.Madpers.begin_packing mp0 ~dst:1 in
+           Personalities.Madpers.pack out small;
+           Personalities.Madpers.end_packing out;
+           ignore (Personalities.Madpers.recv_blocking mp0)
+         done;
+         let t1 = Padico.now grid in
+         t_lat := float_of_int (t1 - t0) /. float_of_int iters /. 2.0 /. 1e3));
+  Padico.run grid;
+  Printf.printf "  Circuit over Myrinet: latency %.2f us
+" !t_lat
+
+let () =
+  if Sys.getenv_opt "TCPDEBUG" <> None then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug);
+    tcp_bulk Simnet.Presets.vthd ~mbytes:20;
+    exit 0
+  end;
+  print_endline "== GM over Myrinet-2000 ==";
+  gm_test ();
+  print_endline "== TCP latency ==";
+  tcp_latency Simnet.Presets.ethernet100;
+  print_endline "== TCP bulk ==";
+  tcp_bulk Simnet.Presets.ethernet100 ~mbytes:50;
+  tcp_bulk Simnet.Presets.vthd ~mbytes:50;
+  tcp_bulk Simnet.Presets.transcontinental ~mbytes:2;
+  tcp_bulk (Simnet.Presets.transcontinental_loss 0.10) ~mbytes:1;
+  print_endline "== Padico end-to-end ==";
+  padico_vlink ();
+  padico_circuit ()

@@ -1,0 +1,1 @@
+examples/coupled_simulation.ml: Array Engine Float Format List Mw_corba Mw_mpi Padico Printf Simnet

@@ -1,0 +1,1 @@
+examples/coupled_simulation.mli:

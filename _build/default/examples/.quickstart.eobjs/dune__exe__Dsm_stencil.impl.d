@@ -1,0 +1,1 @@
+examples/dsm_stencil.ml: Array Engine List Mw_dsm Padico Printexc Printf Simnet

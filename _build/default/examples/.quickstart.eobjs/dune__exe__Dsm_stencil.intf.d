@@ -1,0 +1,1 @@
+examples/dsm_stencil.mli:

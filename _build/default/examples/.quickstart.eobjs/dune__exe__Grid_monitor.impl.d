@@ -1,0 +1,1 @@
+examples/grid_monitor.ml: Array Engine List Mw_mpi Mw_soap Padico Printf Simnet

@@ -1,0 +1,1 @@
+examples/lossy_stream.ml: Drivers Engine List Methods Netaccess Printf Simnet

@@ -1,0 +1,1 @@
+examples/lossy_stream.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Engine Format Padico Personalities Printf Selector Simnet Vlink

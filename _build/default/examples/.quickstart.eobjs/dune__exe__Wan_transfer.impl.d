@@ -1,0 +1,1 @@
+examples/wan_transfer.ml: Engine Padico Personalities Printf Selector Simnet

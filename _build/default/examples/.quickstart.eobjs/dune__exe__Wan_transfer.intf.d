@@ -1,0 +1,1 @@
+examples/wan_transfer.mli:

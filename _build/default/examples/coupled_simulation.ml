@@ -1,0 +1,152 @@
+(* Code coupling, GridCCM-style (the paper's §2.1 component scenario):
+
+   - a parallel "solver" component: 4 MPI ranks on cluster A running a 1-D
+     Jacobi heat diffusion with halo exchange over Myrinet;
+   - its master rank exposes a CORBA interface (get_state / set_boundary);
+   - a "visualization" component on cluster B, across a WAN, steering the
+     simulation through CORBA while the solver keeps exchanging halos.
+
+   Two middleware systems, two paradigms, one PadicoTM runtime.
+
+     dune exec examples/coupled_simulation.exe *)
+
+module Bb = Engine.Bytebuf
+module Mpi = Mw_mpi.Mpi
+module Orb = Mw_corba.Orb
+module Cdr = Mw_corba.Cdr
+
+let cells_per_rank = 64
+
+let np = 4
+
+let () =
+  (* Grid: cluster A (4 nodes, Myrinet + LAN), remote user b1 via WAN. *)
+  let grid = Padico.create () in
+  let cluster =
+    List.init np (fun i -> Padico.add_node grid (Printf.sprintf "a%d" i))
+  in
+  let user = Padico.add_node grid "viz" in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 cluster);
+  ignore (Padico.add_segment grid Simnet.Presets.vthd (user :: cluster));
+  let cts = Padico.circuit grid ~name:"solver" cluster in
+  let comms = Mpi.init cts in
+
+  (* Shared control cell on the master: boundary temperature, set remotely. *)
+  let boundary = ref 100.0 in
+  let iterations_done = ref 0 in
+  let snapshot = ref [||] in
+
+  (* The solver ranks: Jacobi sweeps with halo exchange, gather to master. *)
+  let solver rank comm () =
+    let u = Array.make cells_per_rank 0.0 in
+    let tag_halo_l = 1 and tag_halo_r = 2 and tag_ctl = 3 in
+    for iter = 1 to 200 do
+      (* Local compute for this sweep (keeps virtual time realistic so the
+         remote monitor observes the run in progress). *)
+      Simnet.Node.cpu (Mpi.node comm) (Engine.Time.us 1_500);
+      (* Master broadcasts the current boundary value (steering input). *)
+      let ctl =
+        if rank = 0 then Some (Mpi.floats_to_buf [| !boundary |]) else None
+      in
+      let ctl = Mpi.bcast comm ~root:0 ctl in
+      let b = (Mpi.floats_of_buf ctl).(0) in
+      ignore tag_ctl;
+      (* Halo exchange with neighbours. *)
+      let left = rank - 1 and right = rank + 1 in
+      if left >= 0 then
+        Mpi.send comm ~dst:left ~tag:tag_halo_l (Mpi.floats_to_buf [| u.(0) |]);
+      if right < np then
+        Mpi.send comm ~dst:right ~tag:tag_halo_r
+          (Mpi.floats_to_buf [| u.(cells_per_rank - 1) |]);
+      let halo_r =
+        if right < np then
+          (Mpi.floats_of_buf
+             (let _, _, d = Mpi.recv comm ~source:right ~tag:tag_halo_l () in
+              d)).(0)
+        else b (* right boundary held at the steered temperature *)
+      in
+      let halo_l =
+        if left >= 0 then
+          (Mpi.floats_of_buf
+             (let _, _, d = Mpi.recv comm ~source:left ~tag:tag_halo_r () in
+              d)).(0)
+        else 0.0 (* left boundary fixed cold *)
+      in
+      (* Jacobi sweep. *)
+      let next = Array.make cells_per_rank 0.0 in
+      for i = 0 to cells_per_rank - 1 do
+        let l = if i = 0 then halo_l else u.(i - 1) in
+        let r = if i = cells_per_rank - 1 then halo_r else u.(i + 1) in
+        next.(i) <- 0.5 *. (l +. r)
+      done;
+      Array.blit next 0 u 0 cells_per_rank;
+      (* Periodic gather so the master can serve fresh state. *)
+      if iter mod 10 = 0 then begin
+        match Mpi.gather comm ~root:0 (Mpi.floats_to_buf u) with
+        | Some parts ->
+          snapshot :=
+            Array.concat (Array.to_list (Array.map Mpi.floats_of_buf parts));
+          iterations_done := iter
+        | None -> ()
+      end
+    done
+  in
+  List.iteri
+    (fun rank node ->
+       ignore
+         (Padico.spawn grid node
+            ~name:(Printf.sprintf "solver-%d" rank)
+            (solver rank comms.(rank))))
+    cluster;
+
+  (* CORBA face of the component, served by the master node. *)
+  let master = List.hd cluster in
+  let orb = Orb.init grid master in
+  Orb.activate orb ~key:"solver" (fun ~op args ->
+      match (op, args) with
+      | "get_state", _ ->
+        Ok
+          (Cdr.VStruct
+             [ ("iteration", Cdr.VLong !iterations_done);
+               ("cells", Cdr.VLong (Array.length !snapshot));
+               ("t_mid",
+                Cdr.VDouble
+                  (if Array.length !snapshot = 0 then 0.0
+                   else !snapshot.(Array.length !snapshot / 2)));
+               ("t_max",
+                Cdr.VDouble (Array.fold_left Float.max 0.0 !snapshot)) ])
+      | "set_boundary", Cdr.VDouble t ->
+        boundary := t;
+        Ok Cdr.VNull
+      | _ -> Error "BAD_OPERATION");
+  Orb.serve orb ~port:6000;
+
+  (* The remote visualization/steering client, across the WAN. *)
+  ignore
+    (Padico.spawn grid user ~name:"viz" (fun () ->
+         let viz_orb = Orb.init grid user in
+         let proxy =
+           Orb.resolve viz_orb
+             { Orb.ior_node = master; ior_port = 6000; ior_key = "solver" }
+         in
+         for poll = 1 to 8 do
+           Engine.Proc.sleep (Simnet.Node.sim user) (Engine.Time.ms 30);
+           (match Orb.invoke proxy ~op:"get_state" Cdr.VNull with
+            | Ok state ->
+              Printf.printf "[viz %d] %s\n" poll
+                (Format.asprintf "%a" Cdr.pp_value state)
+            | Error e -> Printf.printf "[viz %d] error: %s\n" poll e);
+           (* Crank the boundary temperature halfway through. *)
+           if poll = 4 then begin
+             Printf.printf "[viz] steering: boundary := 500.0\n";
+             ignore (Orb.invoke proxy ~op:"set_boundary" (Cdr.VDouble 500.0))
+           end
+         done));
+
+  Padico.run grid;
+  Printf.printf
+    "solver finished %d gathered iterations; final mid-cell %.2f (max %.2f)\n"
+    !iterations_done
+    (if Array.length !snapshot = 0 then 0.0
+     else !snapshot.(Array.length !snapshot / 2))
+    (Array.fold_left Float.max 0.0 !snapshot)

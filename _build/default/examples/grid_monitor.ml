@@ -1,0 +1,83 @@
+(* The paper's §2.1 monitoring scenario: "a grid application which supports
+   connection and disconnection from the user to visualize and/or monitor
+   the ongoing computation... likely to use at least two middleware
+   systems". Here: an MPI job instrumented with a SOAP status service; a
+   user connects mid-run over the WAN, polls, disconnects, reconnects.
+
+     dune exec examples/grid_monitor.exe *)
+
+module Bb = Engine.Bytebuf
+module Mpi = Mw_mpi.Mpi
+module Soap = Mw_soap.Soap
+
+let np = 3
+
+let () =
+  let grid = Padico.create () in
+  let cluster =
+    List.init np (fun i -> Padico.add_node grid (Printf.sprintf "w%d" i))
+  in
+  let laptop = Padico.add_node grid "laptop" in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 cluster);
+  ignore
+    (Padico.add_segment grid Simnet.Presets.vthd (laptop :: cluster));
+  let cts = Padico.circuit grid ~name:"job" cluster in
+  let comms = Mpi.init cts in
+
+  (* The computation: iterative all-reduce "residual" shrinking each step. *)
+  let progress = ref 0 in
+  let residual = ref 1.0 in
+  let worker rank comm () =
+    let local = ref (1.0 +. (0.1 *. float_of_int rank)) in
+    for step = 1 to 120 do
+      (* Fake local work. *)
+      Simnet.Node.cpu (Mpi.node comm) (Engine.Time.us 500);
+      local := !local *. 0.95;
+      let combined =
+        Mpi.allreduce comm ~op:Mpi.Max ~datatype:Mpi.Float_t
+          (Mpi.floats_to_buf [| !local |])
+      in
+      if rank = 0 then begin
+        progress := step;
+        residual := (Mpi.floats_of_buf combined).(0)
+      end
+    done
+  in
+  List.iteri
+    (fun rank node ->
+       ignore
+         (Padico.spawn grid node
+            ~name:(Printf.sprintf "worker%d" rank)
+            (worker rank comms.(rank))))
+    cluster;
+
+  (* The SOAP monitoring endpoint on the master worker. *)
+  let master = List.hd cluster in
+  let server = Soap.serve grid master ~port:8080 in
+  Soap.register server ~name:"progress" (fun _ ->
+      Ok [ Soap.SInt !progress; Soap.SFloat !residual ]);
+
+  (* The user's laptop: connect, poll a few times, disconnect, reconnect
+     later — dynamic connections are the point of the distributed side. *)
+  ignore
+    (Padico.spawn grid laptop ~name:"user" (fun () ->
+         let session label polls =
+           let c = Soap.connect grid ~src:laptop ~dst:master ~port:8080 in
+           for _ = 1 to polls do
+             (match Soap.call c ~name:"progress" [] with
+              | Ok [ Soap.SInt step; Soap.SFloat r ] ->
+                Printf.printf "[%s] step %3d, residual %.4f\n" label step r
+              | Ok _ | Error _ -> print_endline "unexpected reply");
+             Engine.Proc.sleep (Simnet.Node.sim laptop) (Engine.Time.ms 20)
+           done;
+           Soap.close c
+         in
+         session "session-1" 4;
+         Printf.printf "[user] disconnecting for a while...\n";
+         Engine.Proc.sleep (Simnet.Node.sim laptop) (Engine.Time.ms 60);
+         session "session-2" 4));
+
+  Padico.run grid;
+  Printf.printf "job finished: %d steps, final residual %.4f, %d SOAP polls\n"
+    !progress !residual
+    (Soap.requests_served server)

@@ -1,0 +1,67 @@
+(* Loss-tolerant media streaming with VRP across a lossy intercontinental
+   link: a "camera" pushes fixed-rate frames; the viewer tolerates a
+   bounded fraction of dropped frames in exchange for 3x the goodput TCP
+   would deliver on the same link.
+
+     dune exec examples/lossy_stream.exe *)
+
+module Bb = Engine.Bytebuf
+module Vrp = Methods.Vrp
+
+let frame_size = 10_000
+
+let frames = 400
+
+let stream ~tolerance =
+  let net = Simnet.Net.create () in
+  let cam = Simnet.Net.add_node net "camera" in
+  let viewer = Simnet.Net.add_node net "viewer" in
+  let seg =
+    Simnet.Net.add_segment net (Simnet.Presets.transcontinental_loss 0.07)
+      [ cam; viewer ]
+  in
+  let ucam = Drivers.Udp.attach seg cam in
+  let uview = Drivers.Udp.attach seg viewer in
+  let receiver =
+    Vrp.create_receiver (Netaccess.Sysio.get viewer) uview ~port:554 ()
+  in
+  let sender =
+    Vrp.create_sender (Netaccess.Sysio.get cam) ucam
+      ~dst:(Simnet.Node.id viewer) ~dst_port:554 ~tolerance ~rate_bps:560e3
+  in
+  ignore
+    (Simnet.Node.spawn cam ~name:"camera" (fun () ->
+         let frame = Bb.create frame_size in
+         for i = 1 to frames do
+           Bb.set_u32 frame 0 i;
+           Vrp.send sender frame;
+           (* ~17 ms per frame: a 60-fps-ish capture rate, the network is
+              the bottleneck. *)
+           Engine.Proc.sleep (Simnet.Net.sim net) 17_000_000
+         done;
+         Vrp.finish sender));
+  Simnet.Net.run net ~until:(Engine.Time.sec 600);
+  let elapsed = Engine.Sim.now (Simnet.Net.sim net) in
+  Printf.printf
+    "tolerance %3.0f%%: delivered %5.2f MB, lost %5.1f%% of bytes, \
+     %4.0f KB/s goodput, retx %d, abandoned %d, done in %4.1f s\n"
+    (tolerance *. 100.0)
+    (float_of_int (Vrp.delivered_bytes receiver) /. 1e6)
+    (Vrp.observed_loss_ratio receiver *. 100.0)
+    (float_of_int (Vrp.delivered_bytes receiver)
+     /. Engine.Time.to_float_sec elapsed /. 1e3)
+    (Vrp.chunks_retransmitted sender)
+    (Vrp.chunks_abandoned sender)
+    (Engine.Time.to_float_sec elapsed)
+
+let () =
+  Printf.printf
+    "Streaming %d frames of %d bytes over a 7%%-loss intercontinental link\n\n"
+    frames frame_size;
+  List.iter (fun t -> stream ~tolerance:t) [ 0.0; 0.05; 0.10; 0.20 ];
+  print_newline ();
+  print_endline
+    "tolerance 0 behaves like a reliable protocol (every gap repaired);";
+  print_endline
+    "a 10-20% budget keeps the sender at full rate through random loss —";
+  print_endline "the paper's 150 KB/s (TCP) vs 500 KB/s (VRP) tradeoff."

@@ -1,0 +1,1 @@
+lib/circuit/ct.ml: Array Calib Engine Hashtbl Int64 List Printf Queue Simnet

@@ -1,0 +1,1 @@
+lib/circuit/ct.mli: Engine Simnet

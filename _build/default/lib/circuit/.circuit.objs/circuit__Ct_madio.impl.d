@@ -1,0 +1,1 @@
+lib/circuit/ct_madio.ml: Ct Hashtbl List Netaccess Simnet

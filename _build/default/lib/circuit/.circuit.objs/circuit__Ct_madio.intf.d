@@ -1,0 +1,1 @@
+lib/circuit/ct_madio.mli: Ct Netaccess

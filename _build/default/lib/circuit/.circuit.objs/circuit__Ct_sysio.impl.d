@@ -1,0 +1,1 @@
+lib/circuit/ct_sysio.ml: Ct Drivers Engine List Netaccess Simnet Vlink

@@ -1,0 +1,1 @@
+lib/circuit/ct_sysio.mli: Ct Drivers Netaccess

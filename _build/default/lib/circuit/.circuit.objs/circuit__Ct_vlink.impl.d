@@ -1,0 +1,1 @@
+lib/circuit/ct_vlink.ml: Ct Engine List Vlink

@@ -1,0 +1,120 @@
+module Bytebuf = Engine.Bytebuf
+
+type adapter = { a_name : string; a_sendv : Bytebuf.t list -> unit }
+
+type incoming = { payload : Bytebuf.t; src : int; mutable pos : int }
+
+type t = {
+  cname : string;
+  crank : int;
+  group : Simnet.Node.t array;
+  links : adapter option array;
+  (* Messages packed before the link adapter is bound (e.g. while a WAN
+     VLink bundle is still connecting) wait here. *)
+  unbound : (int, Bytebuf.t list Queue.t) Hashtbl.t;
+  mutable recv : (incoming -> unit) option;
+  mutable sent : int;
+  mutable received : int;
+}
+
+type outgoing = {
+  circuit : t;
+  dst : int;
+  mutable pieces : Bytebuf.t list; (* reversed *)
+  mutable closed : bool;
+}
+
+let create ~group ~rank ~name =
+  if rank < 0 || rank >= Array.length group then
+    invalid_arg "Ct.create: rank out of range";
+  { cname = name; crank = rank; group;
+    links = Array.make (Array.length group) None; unbound = Hashtbl.create 4;
+    recv = None; sent = 0; received = 0 }
+
+let name t = t.cname
+let rank t = t.crank
+let size t = Array.length t.group
+let node t = t.group.(t.crank)
+
+let node_of_rank t r =
+  if r < 0 || r >= Array.length t.group then
+    invalid_arg "Ct.node_of_rank: rank out of range";
+  t.group.(r)
+
+let set_link t ~dst adapter =
+  if dst < 0 || dst >= Array.length t.group then
+    invalid_arg "Ct.set_link: rank out of range";
+  t.links.(dst) <- Some adapter;
+  match Hashtbl.find_opt t.unbound dst with
+  | Some q ->
+    Hashtbl.remove t.unbound dst;
+    Queue.iter (fun iov -> adapter.a_sendv iov) q
+  | None -> ()
+
+let link_adapter_name t ~dst =
+  match t.links.(dst) with Some a -> a.a_name | None -> raise Not_found
+
+let begin_packing t ~dst =
+  if dst < 0 || dst >= Array.length t.group then
+    invalid_arg "Ct.begin_packing: rank out of range";
+  { circuit = t; dst; pieces = []; closed = false }
+
+let pack out piece =
+  if out.closed then invalid_arg "Ct.pack: message already sent";
+  out.pieces <- piece :: out.pieces
+
+let pack_int out v =
+  let b = Bytebuf.create 8 in
+  Bytebuf.set_i64 b 0 (Int64.of_int v);
+  pack out b
+
+let end_packing out =
+  if out.closed then invalid_arg "Ct.end_packing: message already sent";
+  out.closed <- true;
+  let t = out.circuit in
+  t.sent <- t.sent + 1;
+  match t.links.(out.dst) with
+  | None ->
+    (* Adapter not bound yet: hold the message, flushed by set_link. *)
+    let q =
+      match Hashtbl.find_opt t.unbound out.dst with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.unbound out.dst q;
+        q
+    in
+    Queue.push (List.rev out.pieces) q
+  | Some a ->
+    Simnet.Node.cpu_async (node t) Calib.circuit_op_ns (fun () ->
+        a.a_sendv (List.rev out.pieces))
+
+let unpack inc n =
+  if n < 0 || inc.pos + n > Bytebuf.length inc.payload then
+    invalid_arg
+      (Printf.sprintf "Ct.unpack: %d bytes requested, %d remain" n
+         (Bytebuf.length inc.payload - inc.pos));
+  let piece = Bytebuf.sub inc.payload inc.pos n in
+  inc.pos <- inc.pos + n;
+  piece
+
+let unpack_int inc =
+  let b = unpack inc 8 in
+  Int64.to_int (Bytebuf.get_i64 b 0)
+
+let remaining inc = Bytebuf.length inc.payload - inc.pos
+
+let incoming_src inc = inc.src
+
+let set_recv t f = t.recv <- Some f
+
+let deliver t ~src payload =
+  t.received <- t.received + 1;
+  Simnet.Node.cpu_async (node t) Calib.circuit_op_ns (fun () ->
+      match t.recv with
+      | Some f -> f { payload; src; pos = 0 }
+      | None -> ())
+
+let messages_sent t = t.sent
+
+let messages_received t = t.received

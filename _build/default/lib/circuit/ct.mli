@@ -1,0 +1,72 @@
+(** Circuit: the parallel-oriented abstract interface.
+
+    A Circuit manages communications on a definite set of nodes called a
+    {e group} — an arbitrary set: a cluster, a subset, or nodes spanning
+    several clusters or sites. Every node can talk to every other node
+    through an interface optimized for parallel runtimes: incremental
+    packing with explicit semantics, as in Madeleine. Each {e link} (pair
+    of ranks) is bound to an adapter — straight ({!Ct_madio} on SAN,
+    {!Ct_loopback} intra-node) or cross-paradigm ({!Ct_sysio} over TCP,
+    {!Ct_vlink} over any VLink, e.g. parallel streams on a WAN); one
+    instance can mix adapters across links. *)
+
+type t
+(** One member's view of a circuit (bound to its rank). *)
+
+(** Per-link transport provided by adapters. *)
+type adapter = {
+  a_name : string;
+  a_sendv : Engine.Bytebuf.t list -> unit;
+      (** gathered send towards the link's remote rank *)
+}
+
+(** Cursor over one received message. *)
+type incoming
+
+val create : group:Simnet.Node.t array -> rank:int -> name:string -> t
+(** [group] must be identical (same order) on every member. *)
+
+val name : t -> string
+val rank : t -> int
+val size : t -> int
+val node : t -> Simnet.Node.t
+(** The local node. *)
+
+val node_of_rank : t -> int -> Simnet.Node.t
+
+val set_link : t -> dst:int -> adapter -> unit
+(** Bind the link towards rank [dst]. *)
+
+val link_adapter_name : t -> dst:int -> string
+(** Raises [Not_found] when the link is unbound. *)
+
+(** {1 Sending: incremental packing} *)
+
+type outgoing
+
+val begin_packing : t -> dst:int -> outgoing
+val pack : outgoing -> Engine.Bytebuf.t -> unit
+val pack_int : outgoing -> int -> unit
+(** Convenience: pack a 63-bit integer (8 bytes). *)
+
+val end_packing : outgoing -> unit
+(** Messages packed before the destination link is bound are buffered and
+    flushed when {!set_link} runs. *)
+
+(** {1 Receiving} *)
+
+val unpack : incoming -> int -> Engine.Bytebuf.t
+val unpack_int : incoming -> int
+val remaining : incoming -> int
+val incoming_src : incoming -> int
+(** Source rank. *)
+
+val set_recv : t -> (incoming -> unit) -> unit
+(** Single message handler per instance (parallel runtimes do their own
+    matching above). *)
+
+val deliver : t -> src:int -> Engine.Bytebuf.t -> unit
+(** Adapter-side: hand a complete received message to the circuit. *)
+
+val messages_sent : t -> int
+val messages_received : t -> int

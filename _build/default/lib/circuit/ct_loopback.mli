@@ -1,0 +1,7 @@
+(** Intra-node Circuit adapter: rank-to-self link (also used when two ranks
+    share a node). *)
+
+val bind : Ct.t -> dst:int -> unit
+(** [dst] must live on the same node as the local rank. *)
+
+val adapter_name : string

@@ -1,0 +1,123 @@
+module Bytebuf = Engine.Bytebuf
+module Tcp = Drivers.Tcp
+module Sysio = Netaccess.Sysio
+module Streamq = Vlink.Streamq
+
+let adapter_name = "sysio"
+
+(* Inbound connection: HELLO [u16 src-rank], then frames [u32 len | bytes]. *)
+
+let frame_hdr = 4
+
+type rx_state = {
+  pending : Streamq.t;
+  mutable src_rank : int option;
+  mutable want : int option;
+}
+
+let rx_pump ct st conn =
+  let rec drain () =
+    match Tcp.read conn ~max:65_536 with
+    | Some data ->
+      Streamq.push st.pending data;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let continue = ref true in
+  while !continue do
+    match (st.src_rank, st.want) with
+    | None, _ ->
+      if Streamq.length st.pending >= 2 then
+        st.src_rank <-
+          Some (Bytebuf.get_u16 (Streamq.pop_exact st.pending 2) 0)
+      else continue := false
+    | Some _, None ->
+      if Streamq.length st.pending >= frame_hdr then
+        st.want <- Some (Bytebuf.get_u32 (Streamq.pop_exact st.pending frame_hdr) 0)
+      else continue := false
+    | Some src, Some len ->
+      if Streamq.length st.pending >= len then begin
+        let payload = Streamq.pop_exact st.pending len in
+        st.want <- None;
+        Ct.deliver ct ~src payload
+      end
+      else continue := false
+  done
+
+(* Outbound link: lazy connection with an elastic pending queue flushed on
+   Writable. *)
+type tx_state = {
+  outq : Streamq.t;
+  mutable conn : Tcp.conn option;
+  mutable established : bool;
+}
+
+let tx_flush tx =
+  match (tx.conn, tx.established) with
+  | Some conn, true ->
+    let continue = ref true in
+    while !continue do
+      let space = Tcp.write_space conn in
+      if space <= 0 then continue := false
+      else
+        match Streamq.pop tx.outq ~max:space with
+        | Some chunk ->
+          let n = Tcp.write conn chunk in
+          (* [space] bounds the pop, so the write cannot be partial. *)
+          assert (n = Bytebuf.length chunk);
+          if Streamq.is_empty tx.outq then continue := false
+        | None -> continue := false
+    done
+  | _ -> ()
+
+let bind ct sio stack ~port ~ranks =
+  (* Accept side (idempotent: Tcp.listen raises if bound — tolerate). *)
+  (try
+     Sysio.listen sio stack ~port (fun conn ->
+         let st =
+           { pending = Streamq.create (); src_rank = None; want = None }
+         in
+         Sysio.watch sio conn (function
+           | Tcp.Readable -> rx_pump ct st conn
+           | Tcp.Established | Tcp.Writable | Tcp.Peer_closed | Tcp.Reset ->
+             ()))
+   with Invalid_argument _ -> ());
+  List.iter
+    (fun dst ->
+       let tx =
+         { outq = Streamq.create (); conn = None; established = false }
+       in
+       let ensure_conn () =
+         match tx.conn with
+         | Some _ -> ()
+         | None ->
+           let dst_node = Simnet.Node.id (Ct.node_of_rank ct dst) in
+           let conn =
+             Sysio.connect sio stack ~dst:dst_node ~port (fun conn ev ->
+                 match ev with
+                 | Tcp.Established ->
+                   tx.established <- true;
+                   let hello = Bytebuf.create 2 in
+                   Bytebuf.set_u16 hello 0 (Ct.rank ct);
+                   ignore (Tcp.write conn hello);
+                   tx_flush tx
+                 | Tcp.Writable -> tx_flush tx
+                 | Tcp.Readable | Tcp.Peer_closed | Tcp.Reset -> ())
+           in
+           tx.conn <- Some conn
+       in
+       Ct.set_link ct ~dst
+         { Ct.a_name = adapter_name;
+           a_sendv =
+             (fun iov ->
+                ensure_conn ();
+                let len =
+                  List.fold_left (fun a b -> a + Bytebuf.length b) 0 iov
+                in
+                let hdr = Bytebuf.create frame_hdr in
+                Bytebuf.set_u32 hdr 0 len;
+                Streamq.push tx.outq hdr;
+                List.iter (Streamq.push tx.outq) iov;
+                tx_flush tx) })
+    ranks

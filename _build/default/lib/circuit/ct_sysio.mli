@@ -1,0 +1,14 @@
+(** Cross-paradigm Circuit adapter: parallel interface over distributed
+    hardware (TCP through SysIO). Message boundaries are restored with a
+    length-prefixed framing; connections are opened lazily per link and
+    accepted on a per-circuit port (the same on every member). *)
+
+val bind :
+  Ct.t ->
+  Netaccess.Sysio.t ->
+  Drivers.Tcp.stack ->
+  port:int ->
+  ranks:int list ->
+  unit
+
+val adapter_name : string

@@ -1,0 +1,10 @@
+(** Circuit adapter over an arbitrary VLink — the composition that lets a
+    parallel runtime exploit the alternate VLink methods (parallel streams,
+    AdOC compression, ciphering) on the links that need them, e.g. the
+    inter-cluster WAN links of a grid-spanning group. *)
+
+val bind_link : Ct.t -> dst:int -> Vlink.Vl.t -> unit
+(** Bind the link towards rank [dst] to an (already connecting or
+    connected) VLink. Both members must bind their end. *)
+
+val adapter_name : string

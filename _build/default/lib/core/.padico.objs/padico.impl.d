@@ -1,0 +1,1 @@
+lib/core/padico.ml: Array Circuit Engine Hashtbl List Logs Madeleine Methods Netaccess Printf Registry Selector Simnet Vlink

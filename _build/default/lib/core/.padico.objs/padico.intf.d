@@ -1,0 +1,1 @@
+lib/core/padico.mli: Circuit Engine Netaccess Registry Selector Simnet Vlink

@@ -1,0 +1,82 @@
+(** Padico runtime façade: brings a simulated grid, the NetAccess
+    arbitration, the abstraction layer (VLink + Circuit) and the selector
+    together behind one API. This is what examples, middleware bring-up and
+    benchmarks use.
+
+    {[
+      let grid = Padico.create () in
+      let a = Padico.add_node grid "a" in
+      let b = Padico.add_node grid "b" in
+      ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 [ a; b ]);
+      Padico.listen grid b ~port:4000 (fun vl -> ...);
+      let vl = Padico.connect grid ~src:a ~dst:b ~port:4000 in
+      ...
+      Padico.run grid
+    ]} *)
+
+module Registry = Registry
+
+type t
+
+val create : ?seed:int -> ?prefs:Selector.Prefs.t -> unit -> t
+val net : t -> Simnet.Net.t
+val sim : t -> Engine.Sim.t
+val prefs : t -> Selector.Prefs.t
+val set_prefs : t -> Selector.Prefs.t -> unit
+
+(** {1 Topology} *)
+
+val add_node : t -> string -> Simnet.Node.t
+val add_segment :
+  t -> Simnet.Linkmodel.t -> ?name:string -> Simnet.Node.t list ->
+  Simnet.Segment.t
+
+(** {1 Per-node resources} *)
+
+val sysio : Simnet.Node.t -> Netaccess.Sysio.t
+val madio : t -> Simnet.Node.t -> Simnet.Segment.t -> Netaccess.Madio.t
+(** Raises if the segment is not a SAN/loopback or the node not attached. *)
+
+(** {1 Distributed paradigm: VLink connections} *)
+
+val listen : t -> Simnet.Node.t -> port:int -> (Vlink.Vl.t -> unit) -> unit
+(** Register the service on every driver the node can be reached through:
+    loopback, MadIO on each SAN, SysIO/pstream/VRP on each IP segment —
+    with the selector's wrapping (AdOC on slow links, cipher on untrusted
+    links) mirrored on the accept path. *)
+
+val connect : t -> src:Simnet.Node.t -> dst:Simnet.Node.t -> port:int ->
+  Vlink.Vl.t
+(** Driver and methods chosen by the selector; returns immediately. *)
+
+val connect_choice :
+  t -> src:Simnet.Node.t -> dst:Simnet.Node.t -> Selector.choice
+(** What [connect] would decide (introspection). *)
+
+(** {1 Relay tunnels (future-work extension)} *)
+
+val start_relay : t -> Simnet.Node.t -> unit
+(** Run the tunnel relay service on a gateway node ("tunnels for
+    full-connectivity through firewalls"): when [connect] finds no common
+    network between two nodes, it tunnels through a registered relay that
+    reaches both, transparently for the endpoints. *)
+
+val relay_port : int
+
+(** {1 Parallel paradigm: circuits} *)
+
+val circuit : t -> name:string -> Simnet.Node.t list -> Circuit.Ct.t array
+(** Build one circuit over the group; element [i] is rank [i]'s instance
+    (live on node [i]). Links are bound per pair: loopback intra-node,
+    MadIO on a common SAN, parallel-stream VLink on WAN (when enabled),
+    SysIO/TCP otherwise. *)
+
+(** {1 Execution} *)
+
+val run : ?until:int -> t -> unit
+val now : t -> int
+val spawn :
+  t -> Simnet.Node.t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle
+
+val pstream_port_offset : int
+val vrp_port_offset : int

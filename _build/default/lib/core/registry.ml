@@ -1,0 +1,34 @@
+type kind = Driver | Adapter | Personality | Middleware
+
+type entry = {
+  name : string;
+  kind : kind;
+  description : string;
+  paradigm : [ `Parallel | `Distributed | `Both ];
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let register e = Hashtbl.replace table e.name e
+
+let find name = Hashtbl.find_opt table name
+
+let all () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let by_kind kind = List.filter (fun e -> e.kind = kind) (all ())
+
+let kind_to_string = function
+  | Driver -> "driver"
+  | Adapter -> "adapter"
+  | Personality -> "personality"
+  | Middleware -> "middleware"
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%-12s %-11s %-11s %s" e.name (kind_to_string e.kind)
+    (match e.paradigm with
+     | `Parallel -> "parallel"
+     | `Distributed -> "distributed"
+     | `Both -> "both")
+    e.description

@@ -1,0 +1,22 @@
+(** Dynamic module registry — the OCaml counterpart of PadicoTM's
+    dynamically loadable modules: drivers, adapters, personalities and
+    middleware announce themselves here and can be enumerated or looked up
+    at runtime. *)
+
+type kind = Driver | Adapter | Personality | Middleware
+
+type entry = {
+  name : string;
+  kind : kind;
+  description : string;
+  paradigm : [ `Parallel | `Distributed | `Both ];
+}
+
+val register : entry -> unit
+(** Re-registration under the same name replaces the entry. *)
+
+val find : string -> entry option
+val all : unit -> entry list
+val by_kind : kind -> entry list
+val kind_to_string : kind -> string
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/drivers/gm.ml: Calib Engine Hashtbl List Printf Simnet

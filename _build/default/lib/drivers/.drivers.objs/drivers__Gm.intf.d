@@ -1,0 +1,1 @@
+lib/drivers/gm.mli: Engine Simnet

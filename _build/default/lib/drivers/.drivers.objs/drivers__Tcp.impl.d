@@ -1,0 +1,1 @@
+lib/drivers/tcp.ml: Bytes Calib Engine Float Hashtbl List Logs Printf Queue Simnet

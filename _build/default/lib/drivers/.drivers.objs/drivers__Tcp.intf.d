@@ -1,0 +1,1 @@
+lib/drivers/tcp.mli: Engine Simnet

@@ -1,0 +1,1 @@
+lib/drivers/udp.ml: Calib Engine Hashtbl Printf Simnet

@@ -1,0 +1,1 @@
+lib/drivers/udp.mli: Engine Simnet

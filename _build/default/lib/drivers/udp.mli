@@ -1,0 +1,30 @@
+(** UDP-like datagram driver over any segment.
+
+    Unreliable, unordered beyond what the segment provides, bounded by the
+    MTU. VRP (the tunable-loss protocol) builds on this. *)
+
+type t
+(** A UDP endpoint: one node's datagram service on one segment. *)
+
+val attach : Simnet.Segment.t -> Simnet.Node.t -> t
+(** One endpoint per (segment, node); idempotent. *)
+
+val node : t -> Simnet.Node.t
+val segment : t -> Simnet.Segment.t
+
+val max_payload : t -> int
+(** MTU minus the 28-byte UDP/IP header. *)
+
+val bind :
+  t -> port:int -> (src:int -> src_port:int -> Engine.Bytebuf.t -> unit) -> unit
+(** Register the receive callback for a local port. Raises
+    [Invalid_argument] when the port is taken. *)
+
+val unbind : t -> port:int -> unit
+
+val sendto :
+  t -> dst:int -> dst_port:int -> src_port:int -> Engine.Bytebuf.t -> unit
+(** Send one datagram. Raises [Invalid_argument] beyond {!max_payload}. *)
+
+val datagrams_sent : t -> int
+val datagrams_received : t -> int

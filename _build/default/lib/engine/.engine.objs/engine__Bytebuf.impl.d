@@ -1,0 +1,1 @@
+lib/engine/bytebuf.ml: Bytes Char Int64 List Printf Rng

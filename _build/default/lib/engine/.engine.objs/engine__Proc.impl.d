@@ -1,0 +1,1 @@
+lib/engine/proc.ml: Effect List Logs Printexc Queue Sim

@@ -1,0 +1,1 @@
+lib/engine/proc.mli: Sim

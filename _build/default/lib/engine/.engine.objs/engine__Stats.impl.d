@@ -1,0 +1,1 @@
+lib/engine/stats.ml: Array Format Stdlib

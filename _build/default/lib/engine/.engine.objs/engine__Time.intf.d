@@ -1,0 +1,1 @@
+lib/engine/time.mli: Format

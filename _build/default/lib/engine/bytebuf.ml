@@ -1,0 +1,118 @@
+type t = { data : bytes; off : int; len : int }
+
+let copied = ref 0
+
+let copies_performed () = !copied
+
+let reset_copy_counter () = copied := 0
+
+let create len = { data = Bytes.make len '\000'; off = 0; len }
+
+let of_bytes data = { data; off = 0; len = Bytes.length data }
+
+let of_string s = of_bytes (Bytes.of_string s)
+
+let to_string b = Bytes.sub_string b.data b.off b.len
+
+let length b = b.len
+
+let is_empty b = b.len = 0
+
+let sub b off len =
+  if off < 0 || len < 0 || off + len > b.len then
+    invalid_arg
+      (Printf.sprintf "Bytebuf.sub: off=%d len=%d in buffer of %d" off len
+         b.len);
+  { data = b.data; off = b.off + off; len }
+
+let split b n = (sub b 0 n, sub b n (b.len - n))
+
+let blit_dma ~src ~src_off ~dst ~dst_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > src.len then
+    invalid_arg "Bytebuf.blit: source out of bounds";
+  if dst_off < 0 || dst_off + len > dst.len then
+    invalid_arg "Bytebuf.blit: destination out of bounds";
+  Bytes.blit src.data (src.off + src_off) dst.data (dst.off + dst_off) len
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  blit_dma ~src ~src_off ~dst ~dst_off ~len;
+  copied := !copied + len
+
+let concat parts =
+  let total = List.fold_left (fun acc p -> acc + p.len) 0 parts in
+  let out = create total in
+  let pos = ref 0 in
+  List.iter
+    (fun p ->
+       blit ~src:p ~src_off:0 ~dst:out ~dst_off:!pos ~len:p.len;
+       pos := !pos + p.len)
+    parts;
+  out
+
+let copy b =
+  let out = create b.len in
+  blit ~src:b ~src_off:0 ~dst:out ~dst_off:0 ~len:b.len;
+  out
+
+let fill_pattern b ~seed =
+  for i = 0 to b.len - 1 do
+    Bytes.unsafe_set b.data (b.off + i)
+      (Char.chr ((seed + (i * 31)) land 0xff))
+  done
+
+let fill_zero b = Bytes.fill b.data b.off b.len '\000'
+
+let fill_random b rng =
+  for i = 0 to b.len - 1 do
+    Bytes.unsafe_set b.data (b.off + i) (Char.chr (Rng.int rng 256))
+  done
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec go i =
+    i >= a.len
+    || (Bytes.get a.data (a.off + i) = Bytes.get b.data (b.off + i)
+        && go (i + 1))
+  in
+  go 0
+
+let checksum b =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to b.len - 1 do
+    h := (!h lxor Char.code (Bytes.get b.data (b.off + i))) * 0x100000001b3
+  done;
+  !h land max_int
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Bytebuf.get";
+  Bytes.get b.data (b.off + i)
+
+let set b i c =
+  if i < 0 || i >= b.len then invalid_arg "Bytebuf.set";
+  Bytes.set b.data (b.off + i) c
+
+let get_u8 b i = Char.code (get b i)
+
+let set_u8 b i v = set b i (Char.chr (v land 0xff))
+
+let get_u16 b i = get_u8 b i lor (get_u8 b (i + 1) lsl 8)
+
+let set_u16 b i v =
+  set_u8 b i (v land 0xff);
+  set_u8 b (i + 1) ((v lsr 8) land 0xff)
+
+let get_u32 b i = get_u16 b i lor (get_u16 b (i + 2) lsl 16)
+
+let set_u32 b i v =
+  set_u16 b i (v land 0xffff);
+  set_u16 b (i + 2) ((v lsr 16) land 0xffff)
+
+let get_i64 b i =
+  let lo = Int64.of_int (get_u32 b i) in
+  let hi = Int64.of_int (get_u32 b (i + 4)) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let set_i64 b i v =
+  set_u32 b i (Int64.to_int (Int64.logand v 0xffffffffL));
+  set_u32 b (i + 4) (Int64.to_int (Int64.shift_right_logical v 32))

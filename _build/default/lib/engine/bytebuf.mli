@@ -1,0 +1,70 @@
+(** Byte-buffer slices and scatter/gather vectors.
+
+    Payloads travel through the stack as [Bytebuf.t] slices so that layers
+    can prepend headers or split segments without copying; the copy-strategy
+    of each middleware (a central theme of the paper's evaluation) is then an
+    explicit, observable choice. [copies] counts every byte materially
+    copied through {!blit}-based operations, which the benchmarks use to
+    verify zero-copy claims. *)
+
+type t = private { data : bytes; off : int; len : int }
+
+val create : int -> t
+(** A fresh zero-filled buffer of the given length. *)
+
+val of_bytes : bytes -> t
+val of_string : string -> t
+val to_string : t -> string
+
+val length : t -> int
+val is_empty : t -> bool
+
+val sub : t -> int -> int -> t
+(** [sub b off len] is a no-copy sub-slice. Bounds-checked. *)
+
+val split : t -> int -> t * t
+(** [split b n] is [(sub b 0 n, sub b n (length b - n))]. *)
+
+val concat : t list -> t
+(** [concat parts] copies all parts into one fresh contiguous buffer. *)
+
+val copy : t -> t
+(** Materialize a private copy (counted). *)
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+
+val blit_dma : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Same as {!blit} but not recorded by {!copies_performed}: models hardware
+    DMA placement (e.g. GM reassembling fragments into the posted receive
+    buffer), which costs no host CPU and must not fail the zero-copy
+    audit. *)
+
+val fill_pattern : t -> seed:int -> unit
+(** Fill with a deterministic byte pattern (for integrity checks). *)
+
+val fill_zero : t -> unit
+(** Fill with zeros — a maximally compressible payload for AdOC tests. *)
+
+val fill_random : t -> Rng.t -> unit
+(** Fill with pseudo-random bytes — an incompressible payload. *)
+
+val equal : t -> t -> bool
+val checksum : t -> int
+(** Order-dependent FNV-1a checksum of the contents. *)
+
+val get : t -> int -> char
+val set : t -> int -> char -> unit
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+
+val copies_performed : unit -> int
+(** Total bytes copied through this module since start (or last reset). *)
+
+val reset_copy_counter : unit -> unit

@@ -1,0 +1,82 @@
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* [lt a b] orders by priority then insertion sequence, so equal-priority
+   entries come out FIFO. *)
+let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.arr in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  (* Dummy entry to fill the spare slots; never observed because [size]
+     bounds all accesses. *)
+  let dummy = h.arr.(0) in
+  let arr = Array.make new_cap dummy in
+  Array.blit h.arr 0 arr 0 h.size;
+  h.arr <- arr
+
+let push h ~prio value =
+  let e = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.arr = 0 then h.arr <- Array.make 64 e
+  else if h.size = Array.length h.arr then grow h;
+  h.arr.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    lt h.arr.(!i) h.arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.arr.(parent) in
+    h.arr.(parent) <- h.arr.(!i);
+    h.arr.(!i) <- tmp;
+    i := parent
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek_prio h = if h.size = 0 then None else Some h.arr.(0).prio
+
+let clear h =
+  h.size <- 0;
+  h.arr <- [||]

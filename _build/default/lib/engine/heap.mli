@@ -1,0 +1,27 @@
+(** Array-based binary min-heap with integer priorities.
+
+    Used as the event queue of the simulator: priorities are virtual times in
+    nanoseconds, and entries with equal priority are dequeued in insertion
+    order (FIFO), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of queued entries. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** [push h ~prio v] inserts [v] with priority [prio]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop h] removes and returns the entry with the smallest priority,
+    breaking ties by insertion order. *)
+
+val peek_prio : 'a t -> int option
+(** [peek_prio h] is the smallest priority without removing its entry. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,147 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Suspend : ((('a -> unit) -> unit)) -> 'a Effect.t
+
+let log = Logs.Src.create "engine.proc" ~doc:"green threads"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type handle = {
+  proc_name : string;
+  mutable status : (unit, exn) result option;
+  mutable joiners : (unit -> unit) list;
+}
+
+let done_ h = h.status <> None
+
+let result h = h.status
+
+let name h = h.proc_name
+
+let suspend setup = perform (Suspend setup)
+
+let finish h st =
+  h.status <- Some st;
+  let joiners = h.joiners in
+  h.joiners <- [];
+  List.iter (fun k -> k ()) joiners
+
+let spawn sim ?(name = "proc") f =
+  let h = { proc_name = name; status = None; joiners = [] } in
+  let handler =
+    { retc = (fun () -> finish h (Ok ()));
+      exnc =
+        (fun e ->
+           Log.err (fun m ->
+               m "process %s died: %s" name (Printexc.to_string e));
+           finish h (Error e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+           match eff with
+           | Suspend setup ->
+             Some
+               (fun (k : (a, _) continuation) ->
+                  let resumed = ref false in
+                  let resume v =
+                    if !resumed then
+                      invalid_arg "Proc: continuation resumed twice";
+                    resumed := true;
+                    continue k v
+                  in
+                  setup resume)
+           | _ -> None);
+    }
+  in
+  Sim.after sim 0 (fun () -> match_with f () handler);
+  h
+
+let sleep sim dt = suspend (fun resume -> Sim.after sim dt (fun () -> resume ()))
+
+let yield sim = sleep sim 0
+
+let join sim h =
+  (match h.status with
+   | Some _ -> ()
+   | None ->
+     suspend (fun resume ->
+         h.joiners <- (fun () -> Sim.after sim 0 resume) :: h.joiners));
+  match h.status with
+  | Some (Ok ()) | None -> ()
+  | Some (Error e) -> raise e
+
+module Ivar = struct
+  type 'a t = {
+    mutable value : 'a option;
+    mutable waiters : ('a -> unit) list;
+  }
+
+  let create () = { value = None; waiters = [] }
+
+  let fill t v =
+    match t.value with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+      t.value <- Some v;
+      let ws = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun k -> k v) ws
+
+  let is_filled t = t.value <> None
+
+  let peek t = t.value
+
+  let read t =
+    match t.value with
+    | Some v -> v
+    | None -> suspend (fun resume -> t.waiters <- resume :: t.waiters)
+end
+
+module Mailbox = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    mutable readers : ('a -> unit) list;
+  }
+
+  let create () = { items = Queue.create (); readers = [] }
+
+  let send t v =
+    match t.readers with
+    | [] -> Queue.push v t.items
+    | k :: rest ->
+      t.readers <- rest;
+      k v
+
+  let recv t =
+    if Queue.is_empty t.items then
+      suspend (fun resume -> t.readers <- t.readers @ [ resume ])
+    else Queue.pop t.items
+
+  let recv_opt t = if Queue.is_empty t.items then None else Some (Queue.pop t.items)
+
+  let length t = Queue.length t.items
+end
+
+module Semaphore = struct
+  type t = {
+    mutable count : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create count =
+    assert (count >= 0);
+    { count; waiters = [] }
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else suspend (fun resume -> t.waiters <- t.waiters @ [ resume ])
+
+  let release t =
+    match t.waiters with
+    | [] -> t.count <- t.count + 1
+    | k :: rest ->
+      t.waiters <- rest;
+      k ()
+
+  let available t = t.count
+end

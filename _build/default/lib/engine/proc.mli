@@ -1,0 +1,80 @@
+(** Cooperative green threads over the simulator, built on OCaml 5 effects.
+
+    Middleware and application code in the simulation is written in natural
+    blocking style ([Mpi.recv], [Vio.read], …); blocking operations suspend
+    the current process and resume it from a later simulator event. All
+    processes run interleaved on the single simulation thread, so no locking
+    is needed — only event ordering matters. *)
+
+type handle
+(** A spawned process. *)
+
+val spawn : Sim.t -> ?name:string -> (unit -> unit) -> handle
+(** [spawn sim f] schedules a process running [f] at the current virtual
+    time. An exception escaping [f] is recorded in the handle and logged. *)
+
+val done_ : handle -> bool
+(** [done_ h] is [true] once the process body returned or raised. *)
+
+val result : handle -> (unit, exn) result option
+(** Termination status, or [None] while still running. *)
+
+val name : handle -> string
+
+val suspend : ((('a -> unit) -> unit)) -> 'a
+(** [suspend setup] suspends the calling process and invokes
+    [setup resume]. The process continues — with the value passed to
+    [resume] — from wherever [resume] is called (typically a simulator
+    event). Calling [resume] twice raises. Must be called from inside a
+    process. *)
+
+val sleep : Sim.t -> int -> unit
+(** [sleep sim dt] suspends the calling process for [dt] virtual ns. *)
+
+val yield : Sim.t -> unit
+(** Suspend and resume at the same virtual time, after already-queued
+    events. *)
+
+val join : Sim.t -> handle -> unit
+(** [join sim h] blocks the calling process until [h] terminates. If [h]
+    raised, the exception is re-raised in the joining process. *)
+
+(** Write-once synchronization cell. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] when already filled. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+
+  val read : 'a t -> 'a
+  (** Blocks the calling process until the ivar is filled. *)
+end
+
+(** Unbounded FIFO channel between processes. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  (** Blocks the calling process until a message is available. *)
+
+  val recv_opt : 'a t -> 'a option
+  (** Non-blocking receive. *)
+
+  val length : 'a t -> int
+end
+
+(** Counting semaphore. *)
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+end

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic element of the simulation (packet loss, jitter, workload
+    generation) draws from an explicit [Rng.t], so whole-grid simulations are
+    reproducible from a single seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from Exp(1/mean). *)

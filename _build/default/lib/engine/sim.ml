@@ -1,0 +1,52 @@
+type t = {
+  mutable clock : int;
+  events : (unit -> unit) Heap.t;
+  root_rng : Rng.t;
+  mutable stopped : bool;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0; events = Heap.create (); root_rng = Rng.create seed;
+    stopped = false }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %d is in the past (now %d)" time t.clock);
+  Heap.push t.events ~prio:time f
+
+let after t dt f =
+  let dt = if dt < 0 then 0 else dt in
+  Heap.push t.events ~prio:(t.clock + dt) f
+
+let pending t = Heap.length t.events
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stopped then continue := false
+    else
+      match Heap.peek_prio t.events with
+      | None -> continue := false
+      | Some time ->
+        (match until with
+         | Some u when time > u ->
+           t.clock <- u;
+           continue := false
+         | _ -> ignore (step t))
+  done
+
+let stop t = t.stopped <- true

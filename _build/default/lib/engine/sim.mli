@@ -1,0 +1,37 @@
+(** Discrete-event simulator core: a virtual clock and an event queue.
+
+    All times are integer {e nanoseconds} of virtual time. The simulator is
+    single-threaded and deterministic: events scheduled for the same instant
+    fire in scheduling order. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] is a fresh simulator with its clock at 0. [seed]
+    (default 42) seeds the root {!Rng.t}. *)
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The simulator's root random generator. *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at t time f] schedules [f] to run at absolute virtual [time]. Scheduling
+    in the past raises [Invalid_argument]. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t dt f] schedules [f] at [now t + dt]. [dt] is clamped to 0. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run : ?until:int -> t -> unit
+(** [run t] dispatches events in time order until the queue is empty or the
+    clock passes [until] (events strictly after [until] stay queued). *)
+
+val step : t -> bool
+(** [step t] dispatches one event; [false] if the queue was empty. *)
+
+val stop : t -> unit
+(** [stop t] makes the current [run] return after the ongoing event. *)

@@ -1,0 +1,43 @@
+(** Measurement helpers: counters, online mean/deviation, histograms and
+    throughput series used by the benchmark harness. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+  val reset : t -> unit
+end
+
+(** Welford online mean / variance accumulator. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Power-of-two bucketed histogram for latency distributions. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+  val percentile : t -> float -> int
+  (** [percentile h 0.99] is an upper bound of the requested quantile
+      (bucket resolution). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val bandwidth_mb_s : bytes_transferred:int -> elapsed_ns:int -> float
+(** Bandwidth in MB/s (1 MB = 1e6 bytes, matching the paper's axes). *)

@@ -1,0 +1,17 @@
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+
+let of_float_sec s = int_of_float ((s *. 1e9) +. 0.5)
+
+let to_float_sec t = float_of_int t /. 1e9
+let to_float_us t = float_of_int t /. 1e3
+let to_float_ms t = float_of_int t /. 1e6
+
+let pp fmt t =
+  let f = float_of_int t in
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (f /. 1e3)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)

@@ -1,0 +1,16 @@
+(** Virtual-time unit helpers. The simulator counts integer nanoseconds. *)
+
+val ns : int -> int
+val us : int -> int
+val ms : int -> int
+val sec : int -> int
+
+val of_float_sec : float -> int
+(** [of_float_sec s] is [s] seconds as nanoseconds, rounded to nearest. *)
+
+val to_float_sec : int -> float
+val to_float_us : int -> float
+val to_float_ms : int -> float
+
+val pp : Format.formatter -> int -> unit
+(** Pretty-print a duration with an adaptive unit (ns/µs/ms/s). *)

@@ -1,0 +1,1 @@
+lib/madeleine/mad.ml: Calib Drivers Engine Hashtbl List Printf Simnet

@@ -1,0 +1,1 @@
+lib/madeleine/mad.mli: Engine Simnet

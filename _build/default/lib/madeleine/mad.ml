@@ -1,0 +1,111 @@
+module Bytebuf = Engine.Bytebuf
+
+type pack_mode = Send_safer | Send_later | Send_cheaper
+
+type unpack_mode = Receive_express | Receive_cheaper
+
+exception No_channel_left
+
+type channel = { mad : t; gm_chan : Drivers.Gm.channel }
+
+and t = {
+  gm : Drivers.Gm.t;
+  mnode : Simnet.Node.t;
+  seg : Simnet.Segment.t;
+  mutable sent : int;
+  mutable received : int;
+}
+
+type outgoing = {
+  chan : channel;
+  dst : int;
+  mutable pieces : Bytebuf.t list; (* reversed *)
+  mutable closed : bool;
+}
+
+type incoming = {
+  payload : Bytebuf.t;
+  src : int;
+  mutable pos : int;
+}
+
+let instances : (int * int, t) Hashtbl.t = Hashtbl.create 16
+
+let init seg node =
+  let key = (Simnet.Segment.uid seg, Simnet.Node.id node) in
+  match Hashtbl.find_opt instances key with
+  | Some t -> t
+  | None ->
+    let t =
+      { gm = Drivers.Gm.attach seg node; mnode = node; seg; sent = 0;
+        received = 0 }
+    in
+    Hashtbl.replace instances key t;
+    t
+
+let node t = t.mnode
+let segment t = t.seg
+let max_channels t = Drivers.Gm.max_channels t.gm
+
+let open_channel t ~id =
+  match Drivers.Gm.open_channel t.gm ~id with
+  | gm_chan -> { mad = t; gm_chan }
+  | exception Drivers.Gm.No_channel_left -> raise No_channel_left
+
+let close_channel ch = Drivers.Gm.close_channel ch.gm_chan
+
+let begin_packing ch ~dst = { chan = ch; dst; pieces = []; closed = false }
+
+let pack out ?(mode = Send_cheaper) buf =
+  if out.closed then invalid_arg "Mad.pack: message already sent";
+  let piece =
+    match mode with
+    | Send_safer ->
+      (* Caller may overwrite its buffer immediately: take a copy now and
+         charge the memcpy. *)
+      Simnet.Node.cpu_async (node out.chan.mad)
+        (int_of_float
+           (Calib.memcpy_per_byte_ns *. float_of_int (Bytebuf.length buf)))
+        (fun () -> ());
+      Bytebuf.copy buf
+    | Send_later | Send_cheaper -> buf
+  in
+  out.pieces <- piece :: out.pieces
+
+let end_packing out =
+  if out.closed then invalid_arg "Mad.end_packing: message already sent";
+  out.closed <- true;
+  let t = out.chan.mad in
+  t.sent <- t.sent + 1;
+  Simnet.Node.cpu_async t.mnode Calib.mad_send_ns (fun () ->
+      Drivers.Gm.sendv out.chan.gm_chan ~dst:out.dst (List.rev out.pieces))
+
+let begin_unpacking (_ : incoming) = ()
+
+let unpack inc ?(mode = Receive_express) n =
+  ignore mode;
+  if n < 0 || inc.pos + n > Bytebuf.length inc.payload then
+    invalid_arg
+      (Printf.sprintf "Mad.unpack: %d bytes requested, %d remain" n
+         (Bytebuf.length inc.payload - inc.pos));
+  let piece = Bytebuf.sub inc.payload inc.pos n in
+  inc.pos <- inc.pos + n;
+  piece
+
+let end_unpacking (_ : incoming) = ()
+
+let remaining inc = Bytebuf.length inc.payload - inc.pos
+
+let incoming_src inc = inc.src
+
+let incoming_length inc = Bytebuf.length inc.payload
+
+let set_recv ch f =
+  let t = ch.mad in
+  Drivers.Gm.set_recv ch.gm_chan (fun ~src payload ->
+      Simnet.Node.cpu_async t.mnode Calib.mad_recv_ns (fun () ->
+          t.received <- t.received + 1;
+          f { payload; src; pos = 0 }))
+
+let messages_sent t = t.sent
+let messages_received t = t.received

@@ -1,0 +1,74 @@
+(** Madeleine-like portable high-performance communication library
+    (Aumage et al., CLUSTER 2000) — the generic level the paper's MadIO
+    arbitration builds on.
+
+    Madeleine offers {e channels} over SAN hardware with {e incremental
+    message packing}: a message is built piece by piece with per-piece
+    semantics ([Send_safer]/[Send_later]/[Send_cheaper]) and read back with
+    ([Receive_express]/[Receive_cheaper]); the library is free to aggregate
+    pieces into the same wire packets — this is the mechanism MadIO's header
+    combining relies on. The hardware channel budget (2 on Myrinet, 1 on
+    SCI) is inherited from the GM driver. *)
+
+type t
+(** One node's Madeleine instance on one SAN segment. *)
+
+type channel
+
+type pack_mode =
+  | Send_safer  (** the buffer may be reused right after [pack] *)
+  | Send_later  (** the buffer must stay valid until [end_packing] *)
+  | Send_cheaper  (** free choice of the library (default, fastest) *)
+
+type unpack_mode =
+  | Receive_express  (** needed immediately to interpret the message *)
+  | Receive_cheaper  (** may be delayed until [end_unpacking] *)
+
+exception No_channel_left
+
+val init : Simnet.Segment.t -> Simnet.Node.t -> t
+(** Bring Madeleine up on a SAN (or loopback) segment. Idempotent. *)
+
+val node : t -> Simnet.Node.t
+val segment : t -> Simnet.Segment.t
+val max_channels : t -> int
+
+val open_channel : t -> id:int -> channel
+(** Claims hardware channel [id]; raises {!No_channel_left} beyond the
+    budget — the scarcity that motivates MadIO. *)
+
+val close_channel : channel -> unit
+
+(** {1 Sending} *)
+
+type outgoing
+
+val begin_packing : channel -> dst:int -> outgoing
+val pack : outgoing -> ?mode:pack_mode -> Engine.Bytebuf.t -> unit
+(** Append a piece to the message under construction. [Send_safer] pieces
+    are copied (counted); other modes are referenced without copy. *)
+
+val end_packing : outgoing -> unit
+(** Emit the message. The pieces travel as one gathered wire message. *)
+
+(** {1 Receiving} *)
+
+type incoming
+
+val begin_unpacking : incoming -> unit
+(** No-op marker, kept for API fidelity. *)
+
+val unpack : incoming -> ?mode:unpack_mode -> int -> Engine.Bytebuf.t
+(** Read the next [n] bytes of the message (no copy). Raises
+    [Invalid_argument] when fewer bytes remain. *)
+
+val end_unpacking : incoming -> unit
+val remaining : incoming -> int
+val incoming_src : incoming -> int
+val incoming_length : incoming -> int
+
+val set_recv : channel -> (incoming -> unit) -> unit
+(** Message-arrival callback for this channel. *)
+
+val messages_sent : t -> int
+val messages_received : t -> int

@@ -1,0 +1,1 @@
+lib/methods/adoc.ml: Calib Engine Float List Lz

@@ -1,0 +1,1 @@
+lib/methods/adoc.mli: Engine

@@ -1,0 +1,1 @@
+lib/methods/crypto.ml: Char Engine Int64 Result String

@@ -1,0 +1,1 @@
+lib/methods/crypto.mli: Engine

@@ -1,0 +1,1 @@
+lib/methods/lz.ml: Array Buffer Char Engine

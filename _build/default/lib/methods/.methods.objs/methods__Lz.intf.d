@@ -1,0 +1,1 @@
+lib/methods/lz.mli: Engine

@@ -1,0 +1,1 @@
+lib/methods/vrp.ml: Calib Drivers Engine Float Hashtbl Int64 List Logs Netaccess Queue Simnet

@@ -1,0 +1,1 @@
+lib/methods/vrp.mli: Drivers Engine Netaccess

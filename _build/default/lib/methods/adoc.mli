@@ -1,0 +1,58 @@
+(** AdOC-style adaptive online compression (Jeannot, Knutsson & Björkman,
+    2002): compress a stream chunk by chunk, but only while the CPU can
+    compress faster than the network drains — on fast links compression is
+    skipped automatically, on slow links it multiplies the effective
+    bandwidth of compressible data.
+
+    This module is the pure part: framing and the adaptation policy. The
+    {!Vl_adoc} VLink driver wires it to a transport. *)
+
+(** Per-chunk decision state. *)
+type t
+
+val create : ?chunk:int -> link_bandwidth_bps:float -> unit -> t
+(** [chunk] is the compression block size (default 16 KiB);
+    [link_bandwidth_bps] the estimated drain rate of the underlying link. *)
+
+val chunk_size : t -> int
+
+type decision = Compress | Pass
+
+val decide : t -> decision
+(** Current policy: compress while the compressor's throughput
+    ({!Calib.compress_per_byte_ns}) exceeds the link drain rate, or while
+    recent ratio shows the data is compressible enough that
+    [compressed_bytes / compress_time] beats the link rate. *)
+
+val observe : t -> original:int -> compressed:int -> unit
+(** Feed back the outcome of a compressed chunk (moving-average ratio). *)
+
+val recent_ratio : t -> float
+(** compressed/original moving average (optimistic 0.5 prior). *)
+
+(** {1 Framing} *)
+
+val encode :
+  t -> Engine.Bytebuf.t -> Engine.Bytebuf.t * decision
+(** Frame one chunk: [u8 flag | u32 len | body]. When [Compress] is chosen
+    but the output would be larger than the input, the frame silently falls
+    back to [Pass] (flag says which). *)
+
+val frame_header_len : int
+
+(** Stateful decoder for the receiving side: feed arbitrary stream slices,
+    get decoded chunks out. *)
+module Decoder : sig
+  type d
+
+  val create : unit -> d
+
+  val feed : d -> Engine.Bytebuf.t -> Engine.Bytebuf.t list
+  (** Returns the plaintext chunks completed by this input slice, in
+      order. Raises [Invalid_argument] on corrupt framing. *)
+
+  val pending_bytes : d -> int
+
+  val decompressed_chunks : d -> int
+  (** Number of chunks that arrived compressed (ablation metric). *)
+end

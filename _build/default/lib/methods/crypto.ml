@@ -1,0 +1,63 @@
+module Bytebuf = Engine.Bytebuf
+
+type key = int64
+
+let overhead = 4
+
+let key_of_string s =
+  let h = ref 0x3bf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+           0x100000001b3L)
+    s;
+  !h
+
+let derive k ~salt =
+  Int64.mul (Int64.logxor k (Int64.of_int salt)) 0x9E3779B97F4A7C15L
+
+(* Keyed xorshift64 keystream. *)
+let keystream k =
+  let state = ref (Int64.logor k 1L) in
+  fun () ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.logand x 0xffL)
+
+let checksum k buf =
+  let acc = ref (Int64.to_int (Int64.logand k 0xffffffL)) in
+  for i = 0 to Bytebuf.length buf - 1 do
+    acc := (!acc * 131) + Bytebuf.get_u8 buf i land 0x3fffffff
+  done;
+  !acc land 0xffffffff
+
+let encrypt k buf =
+  let n = Bytebuf.length buf in
+  let out = Bytebuf.create (n + overhead) in
+  let ks = keystream k in
+  for i = 0 to n - 1 do
+    Bytebuf.set_u8 out i (Bytebuf.get_u8 buf i lxor ks ())
+  done;
+  Bytebuf.set_u32 out n (checksum k (Bytebuf.sub out 0 n));
+  out
+
+let decrypt k buf =
+  let total = Bytebuf.length buf in
+  if total < overhead then Result.Error "Crypto: frame too short"
+  else begin
+    let n = total - overhead in
+    let body = Bytebuf.sub buf 0 n in
+    if Bytebuf.get_u32 buf n <> checksum k body then
+      Result.Error "Crypto: authentication failed"
+    else begin
+      let out = Bytebuf.create n in
+      let ks = keystream k in
+      for i = 0 to n - 1 do
+        Bytebuf.set_u8 out i (Bytebuf.get_u8 body i lxor ks ())
+      done;
+      Result.Ok out
+    end
+  end

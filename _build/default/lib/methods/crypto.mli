@@ -1,0 +1,21 @@
+(** Toy confidentiality/authentication adapter for the security-adaptation
+    mechanism ("if the network is secure, it is useless to cipher data").
+
+    NOT real cryptography — the paper leaves GSI/IPsec integration as future
+    work; what we reproduce is the {e selector-driven adaptation}: the
+    cipher adapter is inserted only on untrusted links, and it costs CPU per
+    byte. The cipher is a keyed xorshift stream with a 4-byte keyed checksum
+    trailer so tampering and key mismatch are detectable in tests. *)
+
+type key
+
+val key_of_string : string -> key
+val derive : key -> salt:int -> key
+
+val encrypt : key -> Engine.Bytebuf.t -> Engine.Bytebuf.t
+(** Adds a 4-byte authentication trailer. *)
+
+val decrypt : key -> Engine.Bytebuf.t -> (Engine.Bytebuf.t, string) result
+(** Fails on checksum mismatch (wrong key or corruption). *)
+
+val overhead : int

@@ -1,0 +1,14 @@
+(** LZ77-class byte compressor (FastLZ-style), used by the AdOC adapter.
+
+    A real compressor, not a stub: literals and back-references (offset up
+    to 8 KiB, length 3–264) selected through a rolling 3-byte hash. The
+    format is self-describing; [decompress (compress b) = b] for any
+    input. Incompressible data expands slightly — callers compare sizes and
+    may ship the original instead (see {!Adoc}). *)
+
+val compress : Engine.Bytebuf.t -> Engine.Bytebuf.t
+val decompress : Engine.Bytebuf.t -> Engine.Bytebuf.t
+(** Raises [Invalid_argument] on corrupt input. *)
+
+val compress_bound : int -> int
+(** Worst-case compressed size for an input of the given length. *)

@@ -1,0 +1,1 @@
+lib/middleware/corba/cdr.ml: Buffer Calib Char Engine Format Int64 List String

@@ -1,0 +1,1 @@
+lib/middleware/corba/cdr.mli: Engine Format

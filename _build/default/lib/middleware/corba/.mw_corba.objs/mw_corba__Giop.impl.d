@@ -1,0 +1,1 @@
+lib/middleware/corba/giop.ml: Cdr Engine String

@@ -1,0 +1,1 @@
+lib/middleware/corba/giop.mli: Cdr Engine

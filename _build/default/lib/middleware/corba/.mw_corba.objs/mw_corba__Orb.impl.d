@@ -1,0 +1,1 @@
+lib/middleware/corba/orb.ml: Buffer Cdr Engine Fun Giop Hashtbl List Logs Padico Personalities Printexc Printf Simnet String Vlink

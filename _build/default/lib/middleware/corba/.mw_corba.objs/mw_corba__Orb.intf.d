@@ -1,0 +1,1 @@
+lib/middleware/corba/orb.mli: Cdr Padico Simnet

@@ -1,0 +1,266 @@
+module Bytebuf = Engine.Bytebuf
+
+type value =
+  | VNull
+  | VBool of bool
+  | VLong of int
+  | VDouble of float
+  | VString of string
+  | VOctets of Bytebuf.t
+  | VSeq of value list
+  | VStruct of (string * value) list
+
+type profile = {
+  pname : string;
+  fixed_ns : int;
+  marshal_per_byte_ns : float;
+  unmarshal_per_byte_ns : float;
+  marshal_copies : int;
+  unmarshal_copies : int;
+  zero_copy : bool;
+}
+
+(* Fixed costs calibrated against Table 1 one-way latencies (see Calib);
+   per-byte costs against the Figure 3 plateaus. *)
+let omniorb4 =
+  { pname = "omniORB-4.0.0"; fixed_ns = Calib.corba_omniorb4_ns;
+    marshal_per_byte_ns = 0.0; unmarshal_per_byte_ns = 0.0;
+    marshal_copies = 0; unmarshal_copies = 0; zero_copy = true }
+
+let omniorb3 =
+  { pname = "omniORB-3.0.2"; fixed_ns = Calib.corba_omniorb3_ns;
+    marshal_per_byte_ns = 0.1; unmarshal_per_byte_ns = 0.1;
+    marshal_copies = 0; unmarshal_copies = 0; zero_copy = true }
+
+let mico =
+  { pname = "Mico-2.3.7"; fixed_ns = Calib.corba_mico_ns;
+    marshal_per_byte_ns = Calib.corba_mico_per_byte_ns;
+    unmarshal_per_byte_ns = Calib.corba_mico_per_byte_ns *. 0.7;
+    marshal_copies = 2; unmarshal_copies = 2; zero_copy = false }
+
+let orbacus =
+  { pname = "ORBacus-4.0.5"; fixed_ns = Calib.corba_orbacus_ns;
+    marshal_per_byte_ns = Calib.corba_orbacus_per_byte_ns;
+    unmarshal_per_byte_ns = Calib.corba_orbacus_per_byte_ns *. 0.7;
+    marshal_copies = 1; unmarshal_copies = 1; zero_copy = false }
+
+let profiles = [ omniorb4; omniorb3; mico; orbacus ]
+
+let profile_of_name n = List.find_opt (fun p -> p.pname = n) profiles
+
+let zero_copy_threshold = 256
+
+let rec encoded_size = function
+  | VNull -> 1
+  | VBool _ -> 2
+  | VLong _ | VDouble _ -> 9
+  | VString s -> 5 + String.length s
+  | VOctets b -> 5 + Bytebuf.length b
+  | VSeq items -> 5 + List.fold_left (fun a v -> a + encoded_size v) 0 items
+  | VStruct fields ->
+    5
+    + List.fold_left
+        (fun a (name, v) -> a + 5 + String.length name + encoded_size v)
+        0 fields
+
+let rec bulk_size = function
+  | VNull | VBool _ | VLong _ | VDouble _ | VString _ -> 0
+  | VOctets b -> Bytebuf.length b
+  | VSeq items -> List.fold_left (fun a v -> a + bulk_size v) 0 items
+  | VStruct fields -> List.fold_left (fun a (_, v) -> a + bulk_size v) 0 fields
+
+(* Writer that accumulates small data contiguously and can emit large octet
+   payloads by reference. *)
+type writer = {
+  mutable parts : Bytebuf.t list; (* reversed *)
+  mutable cur : Buffer.t;
+  by_ref : bool;
+}
+
+let writer ~by_ref = { parts = []; cur = Buffer.create 256; by_ref }
+
+let flush_cur w =
+  if Buffer.length w.cur > 0 then begin
+    w.parts <- Bytebuf.of_string (Buffer.contents w.cur) :: w.parts;
+    w.cur <- Buffer.create 256
+  end
+
+let w_u8 w v = Buffer.add_char w.cur (Char.chr (v land 0xff))
+
+let w_u32 w v =
+  w_u8 w v;
+  w_u8 w (v lsr 8);
+  w_u8 w (v lsr 16);
+  w_u8 w (v lsr 24)
+
+let w_i64 w v =
+  w_u32 w (Int64.to_int (Int64.logand v 0xffffffffL));
+  w_u32 w (Int64.to_int (Int64.shift_right_logical v 32))
+
+let w_string w s =
+  w_u32 w (String.length s);
+  Buffer.add_string w.cur s
+
+let w_bytes w (b : Bytebuf.t) =
+  if w.by_ref && Bytebuf.length b >= zero_copy_threshold then begin
+    flush_cur w;
+    w.parts <- b :: w.parts
+  end
+  else Buffer.add_string w.cur (Bytebuf.to_string b)
+
+let rec w_value w = function
+  | VNull -> w_u8 w 0
+  | VBool b ->
+    w_u8 w 1;
+    w_u8 w (if b then 1 else 0)
+  | VLong v ->
+    w_u8 w 2;
+    w_i64 w (Int64.of_int v)
+  | VDouble f ->
+    w_u8 w 3;
+    w_i64 w (Int64.bits_of_float f)
+  | VString s ->
+    w_u8 w 4;
+    w_string w s
+  | VOctets b ->
+    w_u8 w 5;
+    w_u32 w (Bytebuf.length b);
+    w_bytes w b
+  | VSeq items ->
+    w_u8 w 6;
+    w_u32 w (List.length items);
+    List.iter (w_value w) items
+  | VStruct fields ->
+    w_u8 w 7;
+    w_u32 w (List.length fields);
+    List.iter
+      (fun (name, v) ->
+         w_string w name;
+         w_value w v)
+      fields
+
+let encode_iov p v =
+  let w = writer ~by_ref:p.zero_copy in
+  w_value w v;
+  flush_cur w;
+  let iov = List.rev w.parts in
+  if p.zero_copy then iov
+  else begin
+    (* Copying ORBs materialize contiguous buffers — and then copy them
+       again through their internal request queues. *)
+    let one = Bytebuf.concat iov in
+    let extra = ref one in
+    for _ = 2 to p.marshal_copies do
+      extra := Bytebuf.copy !extra
+    done;
+    [ !extra ]
+  end
+
+(* Reader over one contiguous buffer. *)
+type reader = { buf : Bytebuf.t; mutable pos : int; copy_out : bool }
+
+let fail () = invalid_arg "Cdr.decode: corrupt input"
+
+let r_u8 r =
+  if r.pos >= Bytebuf.length r.buf then fail ();
+  let v = Bytebuf.get_u8 r.buf r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  let a = r_u8 r in
+  let b = r_u8 r in
+  let c = r_u8 r in
+  let d = r_u8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let r_i64 r =
+  let lo = r_u32 r in
+  let hi = r_u32 r in
+  Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32)
+
+let r_slice r n =
+  if n < 0 || r.pos + n > Bytebuf.length r.buf then fail ();
+  let b = Bytebuf.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let r_string r =
+  let n = r_u32 r in
+  Bytebuf.to_string (r_slice r n)
+
+let rec r_value r =
+  match r_u8 r with
+  | 0 -> VNull
+  | 1 -> VBool (r_u8 r = 1)
+  | 2 -> VLong (Int64.to_int (r_i64 r))
+  | 3 -> VDouble (Int64.float_of_bits (r_i64 r))
+  | 4 -> VString (r_string r)
+  | 5 ->
+    let n = r_u32 r in
+    let slice = r_slice r n in
+    VOctets (if r.copy_out then Bytebuf.copy slice else slice)
+  | 6 ->
+    let n = r_u32 r in
+    VSeq (List.init n (fun _ -> r_value r))
+  | 7 ->
+    let n = r_u32 r in
+    VStruct
+      (List.init n (fun _ ->
+           let name = r_string r in
+           (name, r_value r)))
+  | _ -> fail ()
+
+let decode p buf =
+  let buf =
+    (* Copying ORBs drag the request through internal buffers first. *)
+    if p.unmarshal_copies > 1 then begin
+      let b = ref buf in
+      for _ = 2 to p.unmarshal_copies do
+        b := Bytebuf.copy !b
+      done;
+      !b
+    end
+    else buf
+  in
+  let r = { buf; pos = 0; copy_out = not p.zero_copy } in
+  let v = r_value r in
+  if r.pos <> Bytebuf.length buf then fail ();
+  v
+
+let rec equal_value a b =
+  match (a, b) with
+  | VNull, VNull -> true
+  | VBool x, VBool y -> x = y
+  | VLong x, VLong y -> x = y
+  | VDouble x, VDouble y -> x = y
+  | VString x, VString y -> x = y
+  | VOctets x, VOctets y -> Bytebuf.equal x y
+  | VSeq x, VSeq y ->
+    List.length x = List.length y && List.for_all2 equal_value x y
+  | VStruct x, VStruct y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (n1, v1) (n2, v2) -> n1 = n2 && equal_value v1 v2)
+         x y
+  | (VNull | VBool _ | VLong _ | VDouble _ | VString _ | VOctets _ | VSeq _
+    | VStruct _), _ ->
+    false
+
+let rec pp_value fmt = function
+  | VNull -> Format.fprintf fmt "null"
+  | VBool b -> Format.fprintf fmt "%b" b
+  | VLong v -> Format.fprintf fmt "%d" v
+  | VDouble f -> Format.fprintf fmt "%g" f
+  | VString s -> Format.fprintf fmt "%S" s
+  | VOctets b -> Format.fprintf fmt "<%d octets>" (Bytebuf.length b)
+  | VSeq items ->
+    Format.fprintf fmt "[@[%a@]]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+         pp_value)
+      items
+  | VStruct fields ->
+    Format.fprintf fmt "{@[%a@]}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+         (fun f (n, v) -> Format.fprintf f "%s=%a" n pp_value v))
+      fields

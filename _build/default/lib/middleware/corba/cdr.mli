@@ -1,0 +1,53 @@
+(** CDR-style marshalling for the mini-ORB, with per-implementation
+    {e marshalling profiles}.
+
+    The paper's Figure 3 spread — omniORB at ~238 MB/s versus Mico at
+    55 MB/s and ORBacus at 63 MB/s over the same PadicoTM/Myrinet stack —
+    comes from the ORBs' internal design: "unlike omniORB, they always copy
+    data for marshalling and unmarshalling". Profiles make that structural
+    difference real here: zero-copy profiles emit large octet sequences by
+    reference (iovec) and decode them as slices; copying profiles marshal
+    into contiguous buffers, perform their extra copies (visible to
+    {!Engine.Bytebuf.copies_performed}), and pay per-byte CPU. *)
+
+type value =
+  | VNull
+  | VBool of bool
+  | VLong of int
+  | VDouble of float
+  | VString of string
+  | VOctets of Engine.Bytebuf.t
+  | VSeq of value list
+  | VStruct of (string * value) list
+
+type profile = {
+  pname : string;
+  fixed_ns : int;  (** per-message marshal (and unmarshal) fixed cost *)
+  marshal_per_byte_ns : float;
+  unmarshal_per_byte_ns : float;
+  marshal_copies : int;  (** extra bulk copies really performed on send *)
+  unmarshal_copies : int;
+  zero_copy : bool;  (** reference large octet payloads instead of copying *)
+}
+
+val omniorb4 : profile
+val omniorb3 : profile
+val mico : profile
+val orbacus : profile
+val profile_of_name : string -> profile option
+val profiles : profile list
+
+val encoded_size : value -> int
+val bulk_size : value -> int
+(** Bytes held in [VOctets] payloads (the "data" the ORBs copy or not). *)
+
+val encode_iov : profile -> value -> Engine.Bytebuf.t list
+(** Marshal. Zero-copy profiles reference octet payloads; copying profiles
+    return one contiguous buffer after performing their extra copies. *)
+
+val decode : profile -> Engine.Bytebuf.t -> value
+(** Unmarshal (copying profiles copy octet payloads out). Raises
+    [Invalid_argument] on corrupt input. *)
+
+val equal_value : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit

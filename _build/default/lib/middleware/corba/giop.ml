@@ -1,0 +1,88 @@
+module Bytebuf = Engine.Bytebuf
+
+type msg_type = Request | Reply
+
+type header = {
+  msg_type : msg_type;
+  oneway : bool;
+  request_id : int;
+  body_len : int;
+}
+
+let header_len = 16
+
+let magic = "GIOP"
+
+let encode_header h =
+  let b = Bytebuf.create header_len in
+  String.iteri (fun i c -> Bytebuf.set b i c) magic;
+  Bytebuf.set_u8 b 4 1 (* version *);
+  Bytebuf.set_u8 b 5 (match h.msg_type with Request -> 0 | Reply -> 1);
+  Bytebuf.set_u8 b 6 (if h.oneway then 1 else 0);
+  Bytebuf.set_u8 b 7 0;
+  Bytebuf.set_u32 b 8 h.request_id;
+  Bytebuf.set_u32 b 12 h.body_len;
+  b
+
+let decode_header b =
+  if Bytebuf.length b <> header_len then
+    invalid_arg "Giop.decode_header: bad length";
+  for i = 0 to 3 do
+    if Bytebuf.get b i <> magic.[i] then
+      invalid_arg "Giop.decode_header: bad magic"
+  done;
+  let msg_type =
+    match Bytebuf.get_u8 b 5 with
+    | 0 -> Request
+    | 1 -> Reply
+    | _ -> invalid_arg "Giop.decode_header: bad message type"
+  in
+  { msg_type; oneway = Bytebuf.get_u8 b 6 = 1;
+    request_id = Bytebuf.get_u32 b 8; body_len = Bytebuf.get_u32 b 12 }
+
+let prefix ~key ~op =
+  let b = Bytebuf.create (4 + String.length key + String.length op) in
+  Bytebuf.set_u16 b 0 (String.length key);
+  Bytebuf.set_u16 b 2 (String.length op);
+  String.iteri (fun i c -> Bytebuf.set b (4 + i) c) key;
+  String.iteri (fun i c -> Bytebuf.set b (4 + String.length key + i) c) op;
+  b
+
+let encode_request ~profile ~key ~op ~args =
+  prefix ~key ~op :: Cdr.encode_iov profile args
+
+let decode_request ~profile body =
+  if Bytebuf.length body < 4 then invalid_arg "Giop.decode_request: short";
+  let klen = Bytebuf.get_u16 body 0 in
+  let olen = Bytebuf.get_u16 body 2 in
+  if Bytebuf.length body < 4 + klen + olen then
+    invalid_arg "Giop.decode_request: short";
+  let key = Bytebuf.to_string (Bytebuf.sub body 4 klen) in
+  let op = Bytebuf.to_string (Bytebuf.sub body (4 + klen) olen) in
+  let args =
+    Cdr.decode profile
+      (Bytebuf.sub body (4 + klen + olen)
+         (Bytebuf.length body - 4 - klen - olen))
+  in
+  (key, op, args)
+
+let encode_reply ~profile ~result =
+  let status = Bytebuf.create 1 in
+  (match result with
+   | Ok v ->
+     Bytebuf.set_u8 status 0 0;
+     status :: Cdr.encode_iov profile v
+   | Error e ->
+     Bytebuf.set_u8 status 0 1;
+     status :: Cdr.encode_iov profile (Cdr.VString e))
+
+let decode_reply ~profile body =
+  if Bytebuf.length body < 1 then invalid_arg "Giop.decode_reply: short";
+  let rest = Bytebuf.sub body 1 (Bytebuf.length body - 1) in
+  match Bytebuf.get_u8 body 0 with
+  | 0 -> Ok (Cdr.decode profile rest)
+  | 1 ->
+    (match Cdr.decode profile rest with
+     | Cdr.VString e -> Error e
+     | _ -> invalid_arg "Giop.decode_reply: bad exception body")
+  | _ -> invalid_arg "Giop.decode_reply: bad status"

@@ -1,0 +1,32 @@
+(** GIOP-like wire protocol: message header and request/reply bodies over a
+    byte stream. *)
+
+type msg_type = Request | Reply
+
+type header = {
+  msg_type : msg_type;
+  oneway : bool;
+  request_id : int;
+  body_len : int;
+}
+
+val header_len : int
+val encode_header : header -> Engine.Bytebuf.t
+val decode_header : Engine.Bytebuf.t -> header
+(** Raises [Invalid_argument] on bad magic/version. *)
+
+val encode_request :
+  profile:Cdr.profile -> key:string -> op:string -> args:Cdr.value ->
+  Engine.Bytebuf.t list
+(** Request body as an iovec (zero-copy profiles pass bulk by reference). *)
+
+val decode_request :
+  profile:Cdr.profile -> Engine.Bytebuf.t -> string * string * Cdr.value
+(** (object key, operation, arguments). *)
+
+val encode_reply :
+  profile:Cdr.profile -> result:(Cdr.value, string) result ->
+  Engine.Bytebuf.t list
+
+val decode_reply :
+  profile:Cdr.profile -> Engine.Bytebuf.t -> (Cdr.value, string) result

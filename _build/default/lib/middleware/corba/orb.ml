@@ -1,0 +1,214 @@
+module Bytebuf = Engine.Bytebuf
+module Syswrap = Personalities.Syswrap
+module Proc = Engine.Proc
+
+let log = Logs.Src.create "corba.orb"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type servant = op:string -> Cdr.value -> (Cdr.value, string) result
+
+type t = {
+  grid : Padico.t;
+  onode : Simnet.Node.t;
+  prof : Cdr.profile;
+  sw : Syswrap.t;
+  servants : (string, servant) Hashtbl.t;
+  mutable served : int;
+}
+
+type ior = { ior_node : Simnet.Node.t; ior_port : int; ior_key : string }
+
+type proxy = {
+  orb : t;
+  target : ior;
+  mutable fd : int option;
+  lock : Proc.Semaphore.t;
+  mutable next_req : int;
+}
+
+let instances : (int * string, t) Hashtbl.t = Hashtbl.create 16
+
+let init ?(profile = Cdr.omniorb4) grid node =
+  let key = (Simnet.Node.uid node, profile.Cdr.pname) in
+  match Hashtbl.find_opt instances key with
+  | Some t -> t
+  | None ->
+    let t =
+      { grid; onode = node; prof = profile; sw = Syswrap.attach grid node;
+        servants = Hashtbl.create 8; served = 0 }
+    in
+    Hashtbl.replace instances key t;
+    t
+
+let node t = t.onode
+
+let profile t = t.prof
+
+let activate t ~key servant = Hashtbl.replace t.servants key servant
+
+let deactivate t ~key = Hashtbl.remove t.servants key
+
+let charge_marshal t bulk =
+  Simnet.Node.cpu t.onode
+    (t.prof.Cdr.fixed_ns
+     + int_of_float (t.prof.Cdr.marshal_per_byte_ns *. float_of_int bulk))
+
+let charge_unmarshal t bulk =
+  Simnet.Node.cpu t.onode
+    (t.prof.Cdr.fixed_ns
+     + int_of_float (t.prof.Cdr.unmarshal_per_byte_ns *. float_of_int bulk))
+
+let iov_len iov = List.fold_left (fun a b -> a + Bytebuf.length b) 0 iov
+
+(* writev-style send: runs of small pieces are coalesced into one write so
+   the GIOP header rides in the same wire message as a small body (one
+   MadIO message, not two); large zero-copy payloads stay by reference. *)
+let coalesce_threshold = 1024
+
+let send_message t fd ~header ~body =
+  let flush buf =
+    if Buffer.length buf > 0 then begin
+      ignore (Syswrap.send t.sw fd (Bytebuf.of_string (Buffer.contents buf)));
+      Buffer.clear buf
+    end
+  in
+  let small = Buffer.create 256 in
+  List.iter
+    (fun piece ->
+       if Bytebuf.length piece <= coalesce_threshold then
+         Buffer.add_string small (Bytebuf.to_string piece)
+       else begin
+         flush small;
+         ignore (Syswrap.send t.sw fd piece)
+       end)
+    (header :: body);
+  flush small
+
+let recv_message t fd =
+  let hdr = Bytebuf.create Giop.header_len in
+  if not (Syswrap.recv_exact t.sw fd hdr) then None
+  else begin
+    let h = Giop.decode_header hdr in
+    let body = Bytebuf.create h.Giop.body_len in
+    if h.Giop.body_len > 0 && not (Syswrap.recv_exact t.sw fd body) then None
+    else Some (h, body)
+  end
+
+(* Per-connection server process. *)
+let serve_connection t fd =
+  let rec loop () =
+    match recv_message t fd with
+    | None -> Syswrap.close t.sw fd
+    | Some (h, body) ->
+      charge_unmarshal t (Bytebuf.length body);
+      let key, op, args = Giop.decode_request ~profile:t.prof body in
+      let result =
+        match Hashtbl.find_opt t.servants key with
+        | None -> Error (Printf.sprintf "OBJECT_NOT_EXIST: %S" key)
+        | Some servant ->
+          (try servant ~op args
+           with e -> Error (Printexc.to_string e))
+      in
+      t.served <- t.served + 1;
+      if not h.Giop.oneway then begin
+        let body = Giop.encode_reply ~profile:t.prof ~result in
+        charge_marshal t (iov_len body);
+        let header =
+          Giop.encode_header
+            { Giop.msg_type = Giop.Reply; oneway = false;
+              request_id = h.Giop.request_id; body_len = iov_len body }
+        in
+        send_message t fd ~header ~body
+      end;
+      loop ()
+  in
+  (try loop ()
+   with Syswrap.Unix_error e ->
+     Log.debug (fun m -> m "orb connection closed: %s" e))
+
+let serve t ~port =
+  ignore
+    (Simnet.Node.spawn t.onode ~name:"orb-acceptor" (fun () ->
+         let lfd = Syswrap.socket t.sw in
+         Syswrap.bind_listen t.sw lfd ~port;
+         while true do
+           let cfd = Syswrap.accept t.sw lfd in
+           ignore
+             (Simnet.Node.spawn t.onode ~name:"orb-conn" (fun () ->
+                  serve_connection t cfd))
+         done))
+
+(* ---------- client ---------- *)
+
+let ior_to_string i =
+  Printf.sprintf "IOR:%d:%d:%s" (Simnet.Node.id i.ior_node) i.ior_port
+    i.ior_key
+
+let ior_of_string grid s =
+  match String.split_on_char ':' s with
+  | [ "IOR"; node_id; port; key ] ->
+    (match
+       ( Simnet.Net.node_by_id (Padico.net grid) (int_of_string node_id),
+         int_of_string_opt port )
+     with
+     | Some n, Some p -> Some { ior_node = n; ior_port = p; ior_key = key }
+     | _ -> None)
+  | _ -> None
+
+let resolve orb target =
+  { orb; target; fd = None; lock = Proc.Semaphore.create 1; next_req = 1 }
+
+let ensure_fd p =
+  match p.fd with
+  | Some fd -> fd
+  | None ->
+    let t = p.orb in
+    let fd = Syswrap.socket t.sw in
+    Syswrap.connect t.sw fd ~dst:p.target.ior_node ~port:p.target.ior_port;
+    p.fd <- Some fd;
+    fd
+
+let do_invoke p ~oneway ~op args =
+  let t = p.orb in
+  Proc.Semaphore.acquire p.lock;
+  Fun.protect
+    ~finally:(fun () -> Proc.Semaphore.release p.lock)
+    (fun () ->
+       let fd = ensure_fd p in
+       let req_id = p.next_req in
+       p.next_req <- req_id + 1;
+       let body =
+         Giop.encode_request ~profile:t.prof ~key:p.target.ior_key ~op ~args
+       in
+       charge_marshal t (iov_len body);
+       let header =
+         Giop.encode_header
+           { Giop.msg_type = Giop.Request; oneway; request_id = req_id;
+             body_len = iov_len body }
+       in
+       send_message t fd ~header ~body;
+       if oneway then Ok Cdr.VNull
+       else begin
+         match recv_message t fd with
+         | None -> Error "COMM_FAILURE: connection closed"
+         | Some (h, body) ->
+           if h.Giop.request_id <> req_id then
+             Error "INTERNAL: reply id mismatch"
+           else begin
+             charge_unmarshal t (Bytebuf.length body);
+             Giop.decode_reply ~profile:t.prof body
+           end
+       end)
+
+let invoke p ~op args = do_invoke p ~oneway:false ~op args
+
+let invoke_oneway p ~op args = ignore (do_invoke p ~oneway:true ~op args)
+
+let proxy_driver p =
+  match p.fd with
+  | Some fd ->
+    Some (Vlink.Vl.driver_name (Syswrap.vlink_of_fd p.orb.sw fd))
+  | None -> None
+
+let requests_served t = t.served

@@ -1,0 +1,50 @@
+(** Mini-ORB: servants, IORs, proxies, synchronous and oneway invocations.
+
+    The ORB runs unmodified on PadicoTM through the SysWrap personality —
+    it believes it is using plain sockets; the selector transparently puts
+    it on MadIO/Myrinet, parallel streams, or TCP. Choose a marshalling
+    {!Cdr.profile} to get the behaviour of omniORB 3/4, Mico or ORBacus. *)
+
+type t
+
+val init : ?profile:Cdr.profile -> Padico.t -> Simnet.Node.t -> t
+(** One ORB per (node, profile). Default profile: omniORB4. *)
+
+val node : t -> Simnet.Node.t
+val profile : t -> Cdr.profile
+
+type servant = op:string -> Cdr.value -> (Cdr.value, string) result
+
+val activate : t -> key:string -> servant -> unit
+(** Register an object implementation under an object key. *)
+
+val deactivate : t -> key:string -> unit
+
+val serve : t -> port:int -> unit
+(** Start accepting GIOP connections on [port] (spawns server processes).
+    One call per port. *)
+
+(** {1 Client side} *)
+
+type ior = { ior_node : Simnet.Node.t; ior_port : int; ior_key : string }
+
+val ior_to_string : ior -> string
+val ior_of_string : Padico.t -> string -> ior option
+
+type proxy
+
+val resolve : t -> ior -> proxy
+(** Connects lazily on first invocation. *)
+
+val invoke : proxy -> op:string -> Cdr.value -> (Cdr.value, string) result
+(** Synchronous invocation (process context). Concurrent invocations on one
+    proxy are serialized, as on a real GIOP connection. *)
+
+val invoke_oneway : proxy -> op:string -> Cdr.value -> unit
+(** Fire-and-forget request (used by the bandwidth benchmarks). *)
+
+val proxy_driver : proxy -> string option
+(** Which VLink driver the proxy's connection ended up on (None before the
+    first invocation). *)
+
+val requests_served : t -> int

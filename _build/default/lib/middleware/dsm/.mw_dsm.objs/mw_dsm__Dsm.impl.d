@@ -1,0 +1,1 @@
+lib/middleware/dsm/dsm.ml: Array Circuit Engine Fun Hashtbl List Printf Simnet

@@ -1,0 +1,1 @@
+lib/middleware/dsm/dsm.mli: Circuit Engine

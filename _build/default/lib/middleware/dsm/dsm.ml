@@ -1,0 +1,258 @@
+module Bytebuf = Engine.Bytebuf
+module Ct = Circuit.Ct
+module Proc = Engine.Proc
+
+(* Protocol messages (first int = kind, then page, then request id):
+   1 READ_REQ   requester -> home
+   2 WRITE_REQ  requester -> home
+   3 REPLY      home -> requester (payload: page data)
+   4 RECALL_S   home -> owner (downgrade to Shared, return data)
+   5 RECALL_I   home -> owner (invalidate, return data)
+   6 RECALL_ACK owner -> home (payload: page data)
+   7 INVAL      home -> sharer
+   8 INVAL_ACK  sharer -> home *)
+
+type page_state = Invalid | Shared | Exclusive
+
+type cached = { mutable cstate : page_state; mutable cdata : Bytebuf.t }
+
+type dir = {
+  master : Bytebuf.t;
+  mutable owner : int option;
+  mutable sharers : int list; (* excluding home *)
+  lock : Proc.Semaphore.t;
+}
+
+type t = {
+  ct : Ct.t;
+  npages : int;
+  psize : int;
+  cache : cached array;
+  dirs : (int, dir) Hashtbl.t; (* pages homed here *)
+  mutable next_req : int;
+  pending : (int, Bytebuf.t -> unit) Hashtbl.t; (* reqid -> resume *)
+  mutable hits : int;
+  mutable fetches : int;
+  mutable invals : int;
+}
+
+let rank t = Ct.rank t.ct
+
+let size t = Ct.size t.ct
+
+let pages t = t.npages
+
+let page_size t = t.psize
+
+let home_of t page = page mod size t
+
+let local_hits t = t.hits
+
+let remote_fetches t = t.fetches
+
+let invalidations_received t = t.invals
+
+let send t ~dst ~kind ~page ~reqid payload =
+  let out = Ct.begin_packing t.ct ~dst in
+  Ct.pack_int out kind;
+  Ct.pack_int out page;
+  Ct.pack_int out reqid;
+  (match payload with Some b -> Ct.pack out b | None -> ());
+  Ct.end_packing out
+
+let fresh_req t k =
+  let id = t.next_req in
+  t.next_req <- id + 1;
+  Hashtbl.replace t.pending id k;
+  id
+
+let await_reply t ~dst ~kind ~page payload =
+  Proc.suspend (fun resume ->
+      let reqid = fresh_req t resume in
+      send t ~dst ~kind ~page ~reqid payload)
+
+let complete t reqid data =
+  match Hashtbl.find_opt t.pending reqid with
+  | Some k ->
+    Hashtbl.remove t.pending reqid;
+    k data
+  | None -> ()
+
+(* --- directory-side request processing (runs in its own process) --- *)
+
+let dir_of t page =
+  match Hashtbl.find_opt t.dirs page with
+  | Some d -> d
+  | None -> invalid_arg "Dsm: not the home of this page"
+
+(* Pull the latest data back from an exclusive owner, if any. *)
+let recall t d ~page ~invalidate =
+  match d.owner with
+  | None -> ()
+  | Some o ->
+    let kind = if invalidate then 5 else 4 in
+    let data =
+      if o = rank t then begin
+        (* Owner is the home itself: act locally. *)
+        let c = t.cache.(page) in
+        c.cstate <- (if invalidate then Invalid else Shared);
+        c.cdata
+      end
+      else await_reply t ~dst:o ~kind ~page None
+    in
+    Bytebuf.blit ~src:data ~src_off:0 ~dst:d.master ~dst_off:0 ~len:t.psize;
+    d.owner <- None;
+    if (not invalidate) && o <> rank t then d.sharers <- o :: d.sharers
+
+let invalidate_sharers t d ~page ~except =
+  let victims = List.filter (fun r -> r <> except) d.sharers in
+  List.iter
+    (fun v ->
+       if v = rank t then begin
+         t.cache.(page).cstate <- Invalid;
+         t.invals <- t.invals + 1
+       end
+       else ignore (await_reply t ~dst:v ~kind:7 ~page None))
+    victims;
+  d.sharers <- List.filter (fun r -> r = except) d.sharers
+
+let process_read t ~page ~requester ~reqid =
+  let d = dir_of t page in
+  Proc.Semaphore.acquire d.lock;
+  Fun.protect
+    ~finally:(fun () -> Proc.Semaphore.release d.lock)
+    (fun () ->
+       recall t d ~page ~invalidate:false;
+       if requester <> rank t && not (List.mem requester d.sharers) then
+         d.sharers <- requester :: d.sharers;
+       send t ~dst:requester ~kind:3 ~page ~reqid (Some d.master))
+
+let process_write t ~page ~requester ~reqid =
+  let d = dir_of t page in
+  Proc.Semaphore.acquire d.lock;
+  Fun.protect
+    ~finally:(fun () -> Proc.Semaphore.release d.lock)
+    (fun () ->
+       recall t d ~page ~invalidate:true;
+       invalidate_sharers t d ~page ~except:requester;
+       (* Home's own copy becomes invalid unless home is the writer. *)
+       if requester <> rank t then t.cache.(page).cstate <- Invalid;
+       d.owner <- Some requester;
+       send t ~dst:requester ~kind:3 ~page ~reqid (Some d.master))
+
+let on_message t inc =
+  let kind = Ct.unpack_int inc in
+  let page = Ct.unpack_int inc in
+  let reqid = Ct.unpack_int inc in
+  let src = Ct.incoming_src inc in
+  let payload () = Ct.unpack inc (Ct.remaining inc) in
+  match kind with
+  | 1 ->
+    ignore
+      (Simnet.Node.spawn (Ct.node t.ct) ~name:"dsm-read" (fun () ->
+           process_read t ~page ~requester:src ~reqid))
+  | 2 ->
+    ignore
+      (Simnet.Node.spawn (Ct.node t.ct) ~name:"dsm-write" (fun () ->
+           process_write t ~page ~requester:src ~reqid))
+  | 3 -> complete t reqid (payload ())
+  | 4 | 5 ->
+    (* Recall: answer inline with the current copy, then downgrade. *)
+    let c = t.cache.(page) in
+    let data = c.cdata in
+    c.cstate <- (if kind = 5 then Invalid else Shared);
+    if kind = 5 then t.invals <- t.invals + 1;
+    send t ~dst:src ~kind:6 ~page ~reqid (Some data)
+  | 6 -> complete t reqid (payload ())
+  | 7 ->
+    t.cache.(page).cstate <- Invalid;
+    t.invals <- t.invals + 1;
+    send t ~dst:src ~kind:8 ~page ~reqid None
+  | 8 -> complete t reqid (Bytebuf.create 0)
+  | k -> invalid_arg (Printf.sprintf "Dsm: unknown message kind %d" k)
+
+let create cts ~pages ~page_size =
+  if pages <= 0 || page_size <= 0 then invalid_arg "Dsm.create: bad geometry";
+  Array.map
+    (fun ct ->
+       let n = Array.length cts in
+       let t =
+         { ct; npages = pages; psize = page_size;
+           cache =
+             Array.init pages (fun _ ->
+                 { cstate = Invalid; cdata = Bytebuf.create page_size });
+           dirs = Hashtbl.create 16; next_req = 0; pending = Hashtbl.create 16;
+           hits = 0; fetches = 0; invals = 0 }
+       in
+       for p = 0 to pages - 1 do
+         if p mod n = Ct.rank ct then
+           Hashtbl.replace t.dirs p
+             { master = Bytebuf.create page_size; owner = None; sharers = [];
+               lock = Proc.Semaphore.create 1 }
+       done;
+       Ct.set_recv ct (on_message t);
+       t)
+    cts
+
+let check_page t page =
+  if page < 0 || page >= t.npages then invalid_arg "Dsm: page out of range"
+
+let read t ~page =
+  check_page t page;
+  let c = t.cache.(page) in
+  match c.cstate with
+  | Shared | Exclusive ->
+    t.hits <- t.hits + 1;
+    c.cdata
+  | Invalid ->
+    t.fetches <- t.fetches + 1;
+    let home = home_of t page in
+    let data =
+      if home = rank t then begin
+        (* Local home: run the directory logic directly. *)
+        let d = dir_of t page in
+        Proc.Semaphore.acquire d.lock;
+        Fun.protect
+          ~finally:(fun () -> Proc.Semaphore.release d.lock)
+          (fun () ->
+             recall t d ~page ~invalidate:false;
+             Bytebuf.copy d.master)
+      end
+      else await_reply t ~dst:home ~kind:1 ~page None
+    in
+    Bytebuf.blit ~src:data ~src_off:0 ~dst:c.cdata ~dst_off:0 ~len:t.psize;
+    c.cstate <- Shared;
+    c.cdata
+
+let write t ~page mutate =
+  check_page t page;
+  let c = t.cache.(page) in
+  (match c.cstate with
+   | Exclusive -> t.hits <- t.hits + 1
+   | Shared | Invalid ->
+     t.fetches <- t.fetches + 1;
+     let home = home_of t page in
+     let data =
+       if home = rank t then begin
+         let d = dir_of t page in
+         Proc.Semaphore.acquire d.lock;
+         Fun.protect
+           ~finally:(fun () -> Proc.Semaphore.release d.lock)
+           (fun () ->
+              recall t d ~page ~invalidate:true;
+              invalidate_sharers t d ~page ~except:(rank t);
+              d.owner <- Some (rank t);
+              Bytebuf.copy d.master)
+       end
+       else await_reply t ~dst:home ~kind:2 ~page None
+     in
+     Bytebuf.blit ~src:data ~src_off:0 ~dst:c.cdata ~dst_off:0 ~len:t.psize;
+     c.cstate <- Exclusive);
+  mutate c.cdata
+
+let read_u32 t ~page ~off =
+  let data = read t ~page in
+  Bytebuf.get_u32 data off
+
+let write_u32 t ~page ~off v =
+  write t ~page (fun data -> Bytebuf.set_u32 data off v)

@@ -1,0 +1,35 @@
+(** Page-based distributed shared memory over Circuit — the parallel,
+    non-message-based middleware the paper counts among PadicoTM's
+    supported systems.
+
+    Home-based write-invalidate protocol with a directory at each page's
+    home rank: reads cache pages [Shared]; writes obtain an [Exclusive]
+    copy after the home recalls the previous owner and invalidates all
+    sharers. Single-writer / multiple-reader coherence; all blocking calls
+    run in process context. *)
+
+type t
+(** One rank's DSM handle. *)
+
+val create :
+  Circuit.Ct.t array -> pages:int -> page_size:int -> t array
+(** Shared space of [pages] pages; page [p]'s home is rank [p mod n]. *)
+
+val rank : t -> int
+val pages : t -> int
+val page_size : t -> int
+
+val read : t -> page:int -> Engine.Bytebuf.t
+(** A readable snapshot of the page (do not mutate). *)
+
+val write : t -> page:int -> (Engine.Bytebuf.t -> unit) -> unit
+(** Obtain exclusive ownership and apply the mutation. *)
+
+val read_u32 : t -> page:int -> off:int -> int
+val write_u32 : t -> page:int -> off:int -> int -> unit
+
+(** {1 Coherence statistics} *)
+
+val local_hits : t -> int
+val remote_fetches : t -> int
+val invalidations_received : t -> int

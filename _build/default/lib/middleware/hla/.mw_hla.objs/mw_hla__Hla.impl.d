@@ -1,0 +1,1 @@
+lib/middleware/hla/hla.ml: Buffer Char Engine Float Hashtbl Int64 List Logs Padico Personalities Simnet String Vlink

@@ -1,0 +1,1 @@
+lib/middleware/hla/hla.mli: Engine Padico Simnet

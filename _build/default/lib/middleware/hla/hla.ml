@@ -1,0 +1,314 @@
+module Bytebuf = Engine.Bytebuf
+module Vio = Personalities.Vio
+module Vl = Vlink.Vl
+module Proc = Engine.Proc
+
+let log = Logs.Src.create "hla"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* Message kinds. federate -> rtig: *)
+let k_join = 1
+
+let k_publish = 2
+
+let k_subscribe = 3
+
+let k_update = 4
+
+let k_tar = 5
+
+let k_resign = 6
+
+(* rtig -> federate: *)
+let k_joined = 10
+
+let k_reflect = 11
+
+let k_grant = 12
+
+(* ---------- framing: [u32 len | u8 kind | body] ---------- *)
+
+let w_string buf s =
+  Buffer.add_char buf (Char.chr (String.length s land 0xff));
+  Buffer.add_char buf (Char.chr ((String.length s lsr 8) land 0xff));
+  Buffer.add_string buf s
+
+let w_f64 buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let send_msg vl ~kind body =
+  let frame = Bytebuf.create (5 + String.length body) in
+  Bytebuf.set_u32 frame 0 (1 + String.length body);
+  Bytebuf.set_u8 frame 4 kind;
+  String.iteri (fun i c -> Bytebuf.set frame (5 + i) c) body;
+  ignore (Vio.write vl frame)
+
+let recv_msg vl =
+  let hdr = Bytebuf.create 4 in
+  if not (Vio.read_exact vl hdr) then None
+  else begin
+    let len = Bytebuf.get_u32 hdr 0 in
+    let body = Bytebuf.create len in
+    if len > 0 && not (Vio.read_exact vl body) then None
+    else Some (Bytebuf.get_u8 body 0, Bytebuf.sub body 1 (len - 1))
+  end
+
+type reader = { rbuf : Bytebuf.t; mutable rpos : int }
+
+let r_string r =
+  let n =
+    Bytebuf.get_u8 r.rbuf r.rpos lor (Bytebuf.get_u8 r.rbuf (r.rpos + 1) lsl 8)
+  in
+  r.rpos <- r.rpos + 2;
+  let s = Bytebuf.to_string (Bytebuf.sub r.rbuf r.rpos n) in
+  r.rpos <- r.rpos + n;
+  s
+
+let r_f64 r =
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits :=
+      Int64.logor
+        (Int64.shift_left !bits 8)
+        (Int64.of_int (Bytebuf.get_u8 r.rbuf (r.rpos + i)))
+  done;
+  r.rpos <- r.rpos + 8;
+  Int64.float_of_bits !bits
+
+let r_rest r = Bytebuf.sub r.rbuf r.rpos (Bytebuf.length r.rbuf - r.rpos)
+
+(* ---------- RTI gateway ---------- *)
+
+type fed_entry = {
+  fe_name : string;
+  fe_vl : Vl.t;
+  mutable fe_pending_tar : float option;
+  mutable fe_time : float;
+}
+
+type federation = {
+  mutable feds : fed_entry list;
+  subs : (string, string list ref) Hashtbl.t; (* class -> federate names *)
+}
+
+let try_grant (fedn : federation) =
+  (* Conservative lockstep: grant when every federate has a pending
+     request; everyone advances to the minimum requested time. *)
+  if fedn.feds <> [] && List.for_all (fun f -> f.fe_pending_tar <> None) fedn.feds
+  then begin
+    let t_min =
+      List.fold_left
+        (fun acc f ->
+           match f.fe_pending_tar with
+           | Some t -> Float.min acc t
+           | None -> acc)
+        infinity fedn.feds
+    in
+    List.iter
+      (fun f ->
+         f.fe_pending_tar <- None;
+         f.fe_time <- t_min;
+         let buf = Buffer.create 16 in
+         w_f64 buf t_min;
+         send_msg f.fe_vl ~kind:k_grant (Buffer.contents buf))
+      fedn.feds
+  end
+
+let start_rtig grid node ~port =
+  let federations : (string, federation) Hashtbl.t = Hashtbl.create 4 in
+  Padico.listen grid node ~port (fun vl ->
+      ignore
+        (Simnet.Node.spawn node ~name:"rtig-conn" (fun () ->
+             let me : fed_entry option ref = ref None in
+             let my_fedn : federation option ref = ref None in
+             let rec loop () =
+               match recv_msg vl with
+               | None -> cleanup ()
+               | Some (kind, body) ->
+                 let r = { rbuf = body; rpos = 0 } in
+                 if kind = k_join then begin
+                   let federation = r_string r in
+                   let name = r_string r in
+                   let fedn =
+                     match Hashtbl.find_opt federations federation with
+                     | Some f -> f
+                     | None ->
+                       let f = { feds = []; subs = Hashtbl.create 8 } in
+                       Hashtbl.replace federations federation f;
+                       f
+                   in
+                   let fe =
+                     { fe_name = name; fe_vl = vl; fe_pending_tar = None;
+                       fe_time = 0.0 }
+                   in
+                   fedn.feds <- fe :: fedn.feds;
+                   me := Some fe;
+                   my_fedn := Some fedn;
+                   send_msg vl ~kind:k_joined "";
+                   loop ()
+                 end
+                 else begin
+                   match (!me, !my_fedn) with
+                   | Some fe, Some fedn ->
+                     if kind = k_publish then ignore (r_string r)
+                     else if kind = k_subscribe then begin
+                       let class_ = r_string r in
+                       let subs =
+                         match Hashtbl.find_opt fedn.subs class_ with
+                         | Some l -> l
+                         | None ->
+                           let l = ref [] in
+                           Hashtbl.replace fedn.subs class_ l;
+                           l
+                       in
+                       if not (List.mem fe.fe_name !subs) then
+                         subs := fe.fe_name :: !subs
+                     end
+                     else if kind = k_update then begin
+                       let class_ = r_string r in
+                       let payload = r_rest r in
+                       match Hashtbl.find_opt fedn.subs class_ with
+                       | None -> ()
+                       | Some subs ->
+                         List.iter
+                           (fun other ->
+                              if other.fe_name <> fe.fe_name
+                                 && List.mem other.fe_name !subs
+                              then begin
+                                let buf = Buffer.create 64 in
+                                w_string buf class_;
+                                w_string buf fe.fe_name;
+                                Buffer.add_string buf (Bytebuf.to_string payload);
+                                send_msg other.fe_vl ~kind:k_reflect
+                                  (Buffer.contents buf)
+                              end)
+                           fedn.feds
+                     end
+                     else if kind = k_tar then begin
+                       fe.fe_pending_tar <- Some (r_f64 r);
+                       try_grant fedn
+                     end
+                     else if kind = k_resign then begin
+                       cleanup ();
+                       raise Exit
+                     end;
+                     loop ()
+                   | _ ->
+                     Log.err (fun m -> m "rtig: message before join");
+                     loop ()
+                 end
+             and cleanup () =
+               match (!me, !my_fedn) with
+               | Some fe, Some fedn ->
+                 fedn.feds <-
+                   List.filter (fun f -> f.fe_name <> fe.fe_name) fedn.feds;
+                 try_grant fedn
+               | _ -> ()
+             in
+             (try loop () with Exit -> ()))))
+
+(* ---------- federate ---------- *)
+
+type federate = {
+  fnode : Simnet.Node.t;
+  fvl : Vl.t;
+  fname : string;
+  callbacks :
+    (string, class_:string -> from:string -> Bytebuf.t -> unit) Hashtbl.t;
+  mutable time : float;
+  mutable grant_waiter : (float -> unit) option;
+  mutable reflected : int;
+}
+
+let reader_process fed =
+  let rec loop () =
+    match recv_msg fed.fvl with
+    | None -> ()
+    | Some (kind, body) ->
+      let r = { rbuf = body; rpos = 0 } in
+      if kind = k_reflect then begin
+        let class_ = r_string r in
+        let from = r_string r in
+        let payload = r_rest r in
+        fed.reflected <- fed.reflected + 1;
+        (match Hashtbl.find_opt fed.callbacks class_ with
+         | Some cb -> cb ~class_ ~from payload
+         | None -> ());
+        loop ()
+      end
+      else if kind = k_grant then begin
+        let t = r_f64 r in
+        fed.time <- t;
+        (match fed.grant_waiter with
+         | Some k ->
+           fed.grant_waiter <- None;
+           k t
+         | None -> ());
+        loop ()
+      end
+      else loop ()
+  in
+  loop ()
+
+let join grid ~src ~rtig ~port ~federation ~name =
+  let vl = Padico.connect grid ~src ~dst:rtig ~port in
+  (match Vio.connect_wait vl with
+   | Ok () -> ()
+   | Error e -> failwith ("Hla.join: " ^ e));
+  let buf = Buffer.create 64 in
+  w_string buf federation;
+  w_string buf name;
+  send_msg vl ~kind:k_join (Buffer.contents buf);
+  (match recv_msg vl with
+   | Some (k, _) when k = k_joined -> ()
+   | Some _ | None -> failwith "Hla.join: no JOINED ack");
+  let fed =
+    { fnode = src; fvl = vl; fname = name; callbacks = Hashtbl.create 8;
+      time = 0.0; grant_waiter = None; reflected = 0 }
+  in
+  ignore (Simnet.Node.spawn src ~name:(name ^ "-hla-reader") (fun () ->
+      reader_process fed));
+  fed
+
+let publish fed ~class_ =
+  let buf = Buffer.create 32 in
+  w_string buf class_;
+  send_msg fed.fvl ~kind:k_publish (Buffer.contents buf)
+
+let subscribe fed ~class_ cb =
+  Hashtbl.replace fed.callbacks class_ cb;
+  let buf = Buffer.create 32 in
+  w_string buf class_;
+  send_msg fed.fvl ~kind:k_subscribe (Buffer.contents buf)
+
+let update_attributes fed ~class_ payload =
+  let buf = Buffer.create 64 in
+  w_string buf class_;
+  Buffer.add_string buf (Bytebuf.to_string payload);
+  send_msg fed.fvl ~kind:k_update (Buffer.contents buf)
+
+let time_advance_request fed t =
+  let rec request () =
+    let buf = Buffer.create 16 in
+    w_f64 buf t;
+    send_msg fed.fvl ~kind:k_tar (Buffer.contents buf);
+    let granted =
+      Proc.suspend (fun resume -> fed.grant_waiter <- Some resume)
+    in
+    if granted +. 1e-9 < t then request () else granted
+  in
+  request ()
+
+let current_time fed = fed.time
+
+let resign fed =
+  send_msg fed.fvl ~kind:k_resign "";
+  Vio.close fed.fvl
+
+let updates_reflected fed = fed.reflected

@@ -1,0 +1,36 @@
+(** Mini HLA-RTI (IEEE 1516 flavour, Certi-style): a central RTI gateway
+    process plus federates connected over VLink. Supports federation
+    join/resign, class publication/subscription, attribute updates
+    (reflected to subscribers) and conservative time management
+    (time-advance requests granted at the minimum requested time across
+    federates). A distributed-paradigm middleware coexisting with MPI et
+    al. on the same PadicoTM node — the paper's multi-middleware story. *)
+
+(** {1 RTI gateway} *)
+
+val start_rtig : Padico.t -> Simnet.Node.t -> port:int -> unit
+(** Run the RTI gateway service on a node. *)
+
+(** {1 Federate} *)
+
+type federate
+
+val join :
+  Padico.t -> src:Simnet.Node.t -> rtig:Simnet.Node.t -> port:int ->
+  federation:string -> name:string -> federate
+(** Blocking join (process context). *)
+
+val publish : federate -> class_:string -> unit
+val subscribe : federate -> class_:string ->
+  (class_:string -> from:string -> Engine.Bytebuf.t -> unit) -> unit
+
+val update_attributes : federate -> class_:string -> Engine.Bytebuf.t -> unit
+(** Reflected asynchronously to all subscribed federates. *)
+
+val time_advance_request : federate -> float -> float
+(** Blocks until the RTI grants; returns the granted time (conservative:
+    min of all federates' pending requests). *)
+
+val current_time : federate -> float
+val resign : federate -> unit
+val updates_reflected : federate -> int

@@ -1,0 +1,1 @@
+lib/middleware/java/jsock.ml: Calib Engine Padico Personalities Queue Simnet Vlink

@@ -1,0 +1,1 @@
+lib/middleware/java/jsock.mli: Engine Padico Simnet Vlink

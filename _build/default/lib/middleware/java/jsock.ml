@@ -1,0 +1,67 @@
+module Bytebuf = Engine.Bytebuf
+module Vio = Personalities.Vio
+module Vl = Vlink.Vl
+module Proc = Engine.Proc
+
+type socket = { jnode : Simnet.Node.t; vl : Vl.t }
+
+type server_socket = {
+  snode : Simnet.Node.t;
+  pending : Vl.t Queue.t;
+  mutable waiter : (Vl.t -> unit) option;
+}
+
+let charge node bytes =
+  Simnet.Node.cpu node
+    (Calib.java_ns + int_of_float (Calib.java_per_byte_ns *. float_of_int bytes))
+
+let server_socket grid node ~port =
+  let s = { snode = node; pending = Queue.create (); waiter = None } in
+  Padico.listen grid node ~port (fun vl ->
+      match s.waiter with
+      | Some k ->
+        s.waiter <- None;
+        k vl
+      | None -> Queue.push vl s.pending);
+  s
+
+let accept s =
+  charge s.snode 0;
+  let vl =
+    if Queue.is_empty s.pending then
+      Proc.suspend (fun resume -> s.waiter <- Some resume)
+    else Queue.pop s.pending
+  in
+  { jnode = s.snode; vl }
+
+let connect grid ~src ~dst ~port =
+  charge src 0;
+  let vl = Padico.connect grid ~src ~dst ~port in
+  (match Vio.connect_wait vl with
+   | Ok () -> ()
+   | Error e -> failwith ("Jsock.connect: " ^ e));
+  { jnode = src; vl }
+
+let input_read sock buf =
+  let n = Vio.read sock.vl buf in
+  charge sock.jnode n;
+  if n = 0 then -1 else n
+
+let input_read_fully sock buf =
+  let total = Bytebuf.length buf in
+  let rec go filled =
+    if filled >= total then true
+    else begin
+      let n = input_read sock (Bytebuf.sub buf filled (total - filled)) in
+      if n < 0 then false else go (filled + n)
+    end
+  in
+  go 0
+
+let output_write sock buf =
+  charge sock.jnode (Bytebuf.length buf);
+  ignore (Vio.write sock.vl buf)
+
+let close sock = Vio.close sock.vl
+
+let vlink sock = sock.vl

@@ -1,0 +1,25 @@
+(** Java-sockets middleware: the [java.net.Socket]/[ServerSocket] +
+    stream API as exposed by a JVM (Kaffe in the paper) running on
+    PadicoTM. The JVM's interpreter/JNI crossing costs dominate latency
+    (Table 1: 40 µs) while bandwidth stays near the wire (237.9 MB/s) —
+    both reproduced through {!Calib.java_ns} / {!Calib.java_per_byte_ns}.
+
+    Blocking calls; process context. *)
+
+type server_socket
+type socket
+
+val server_socket : Padico.t -> Simnet.Node.t -> port:int -> server_socket
+val accept : server_socket -> socket
+
+val connect : Padico.t -> src:Simnet.Node.t -> dst:Simnet.Node.t -> port:int ->
+  socket
+
+val input_read : socket -> Engine.Bytebuf.t -> int
+(** [InputStream.read(buf)]: ≥ 1 bytes, or -1 at end of stream. *)
+
+val input_read_fully : socket -> Engine.Bytebuf.t -> bool
+val output_write : socket -> Engine.Bytebuf.t -> unit
+val close : socket -> unit
+
+val vlink : socket -> Vlink.Vl.t

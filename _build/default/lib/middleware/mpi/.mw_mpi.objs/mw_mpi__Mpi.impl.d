@@ -1,0 +1,1 @@
+lib/middleware/mpi/mpi.ml: Array Calib Circuit Engine Float Int64 List Option Personalities Queue Simnet

@@ -1,0 +1,1 @@
+lib/middleware/mpi/mpi.mli: Circuit Engine Simnet

@@ -1,0 +1,1 @@
+lib/middleware/ns/nameserver.ml: Calib Engine Hashtbl List Padico Personalities Printf Simnet String Vlink

@@ -1,0 +1,1 @@
+lib/middleware/ns/nameserver.mli: Padico Simnet

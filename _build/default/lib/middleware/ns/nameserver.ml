@@ -1,0 +1,124 @@
+module Bb = Engine.Bytebuf
+module Vio = Personalities.Vio
+module Vl = Vlink.Vl
+
+(* Line protocol (one request per line, one reply per line):
+   REG <name> <node> <port>   -> OK | ERR <why>
+   GET <name>                 -> OK <node> <port> | ERR <why>
+   DEL <name>                 -> OK | ERR <why>
+   LST <prefix>               -> OK <name>*                         *)
+
+type server = {
+  snode : Simnet.Node.t;
+  table : (string, int * int) Hashtbl.t;
+}
+
+let entries s =
+  Hashtbl.fold (fun name (node, port) acc -> (name, node, port) :: acc)
+    s.table []
+
+let valid_name name =
+  name <> "" && not (String.contains name ' ')
+  && not (String.contains name '\n')
+
+let handle s line =
+  match String.split_on_char ' ' line with
+  | [ "REG"; name; node; port ] ->
+    (match (int_of_string_opt node, int_of_string_opt port) with
+     | Some n, Some p when valid_name name ->
+       (match Hashtbl.find_opt s.table name with
+        | Some existing when existing <> (n, p) -> "ERR name already bound"
+        | Some _ | None ->
+          Hashtbl.replace s.table name (n, p);
+          "OK")
+     | _ -> "ERR bad register request")
+  | [ "GET"; name ] ->
+    (match Hashtbl.find_opt s.table name with
+     | Some (n, p) -> Printf.sprintf "OK %d %d" n p
+     | None -> "ERR unknown name")
+  | [ "DEL"; name ] ->
+    if Hashtbl.mem s.table name then begin
+      Hashtbl.remove s.table name;
+      "OK"
+    end
+    else "ERR unknown name"
+  | "LST" :: rest ->
+    let prefix = String.concat " " rest in
+    let plen = String.length prefix in
+    let names =
+      Hashtbl.fold
+        (fun name _ acc ->
+           if String.length name >= plen && String.sub name 0 plen = prefix
+           then name :: acc
+           else acc)
+        s.table []
+    in
+    String.concat " " ("OK" :: List.sort compare names)
+  | _ -> "ERR bad request"
+
+let start grid node ~port =
+  let s = { snode = node; table = Hashtbl.create 32 } in
+  Padico.listen grid node ~port (fun vl ->
+      ignore
+        (Simnet.Node.spawn node ~name:"nameserver" (fun () ->
+             let rec loop () =
+               match Vio.read_line vl with
+               | None -> Vio.close vl
+               | Some line ->
+                 Simnet.Node.cpu node Calib.personality_ns;
+                 ignore (Vio.write_string vl (handle s line ^ "\n"));
+                 loop ()
+             in
+             loop ())));
+  s
+
+type client = { grid : Padico.t; vl : Vl.t }
+
+let connect grid ~src ~ns ~port =
+  let vl = Padico.connect grid ~src ~dst:ns ~port in
+  (match Vio.connect_wait vl with
+   | Ok () -> ()
+   | Error e -> failwith ("Nameserver.connect: " ^ e));
+  { grid; vl }
+
+let request c line =
+  ignore (Vio.write_string c.vl (line ^ "\n"));
+  match Vio.read_line c.vl with
+  | None -> Error "connection closed"
+  | Some reply ->
+    (match String.split_on_char ' ' reply with
+     | "OK" :: rest -> Ok rest
+     | "ERR" :: why -> Error (String.concat " " why)
+     | _ -> Error ("malformed reply: " ^ reply))
+
+let register c ~name ~node ~port =
+  match
+    request c
+      (Printf.sprintf "REG %s %d %d" name (Simnet.Node.id node) port)
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let lookup c ~name =
+  match request c ("GET " ^ name) with
+  | Ok [ node; port ] ->
+    (match
+       ( Simnet.Net.node_by_id (Padico.net c.grid) (int_of_string node),
+         int_of_string_opt port )
+     with
+     | Some n, Some p -> Ok (n, p)
+     | _ -> Error "dangling name: node no longer exists")
+  | Ok _ -> Error "malformed lookup reply"
+  | Error e -> Error e
+
+let unregister c ~name =
+  match request c ("DEL " ^ name) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let list_names c ~prefix =
+  match request c ("LST " ^ prefix) with
+  | Ok names -> Ok (List.filter (fun n -> n <> "") names)
+  | Error e -> Error e
+
+let close c = Vio.close c.vl

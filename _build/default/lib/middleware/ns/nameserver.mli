@@ -1,0 +1,29 @@
+(** Grid naming service — the paper's future-work "global addressing
+    (without being tied to the IP system)": services register string names
+    bound to (node, port) endpoints; clients resolve names instead of
+    addresses. A small line-oriented protocol over VLink, so it works
+    across every driver (SAN, WAN, tunnels).
+
+    Names are flat UTF-8 strings without newlines, e.g.
+    ["corba:simulation/solver"]. *)
+
+type server
+
+val start : Padico.t -> Simnet.Node.t -> port:int -> server
+val entries : server -> (string * int * int) list
+(** (name, node id, port), unsorted. *)
+
+type client
+
+val connect : Padico.t -> src:Simnet.Node.t -> ns:Simnet.Node.t -> port:int ->
+  client
+(** Blocking (process context). *)
+
+val register : client -> name:string -> node:Simnet.Node.t -> port:int ->
+  (unit, string) result
+(** Fails when the name is already bound to a different endpoint. *)
+
+val lookup : client -> name:string -> (Simnet.Node.t * int, string) result
+val unregister : client -> name:string -> (unit, string) result
+val list_names : client -> prefix:string -> (string list, string) result
+val close : client -> unit

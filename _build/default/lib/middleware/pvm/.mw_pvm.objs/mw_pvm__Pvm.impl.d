@@ -1,0 +1,1 @@
+lib/middleware/pvm/pvm.ml: Array Buffer Calib Char Circuit Engine Int64 List Option Personalities Printf Queue Simnet String

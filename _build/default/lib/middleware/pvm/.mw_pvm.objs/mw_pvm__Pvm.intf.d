@@ -1,0 +1,1 @@
+lib/middleware/pvm/pvm.mli: Circuit Engine Simnet

@@ -1,0 +1,64 @@
+(** Mini-PVM: the other parallel middleware the paper names alongside MPI
+    ("a MPI-based component could be connected to a PVM-based component").
+
+    PVM semantics differ from MPI where it matters: tasks are addressed by
+    {e task id} (tid) rather than rank; messages are built in a pack
+    buffer ([initsend] / [pk*] / [send]) and read back with [upk*] after a
+    receive; [mcast] sends one message to an explicit tid list. Runs over
+    the Circuit parallel abstract interface like the MPI port. Blocking
+    calls run in process context. *)
+
+type t
+
+val init : Circuit.Ct.t array -> t array
+(** One task handle per circuit member. Tids are dense but not equal to
+    ranks (they carry a PVM-style base offset). *)
+
+val mytid : t -> int
+val tids : t -> int array
+(** All task ids of the group, in rank order. *)
+
+val tid_of_rank : t -> int -> int
+val node : t -> Simnet.Node.t
+
+(** {1 Send buffers} *)
+
+type sendbuf
+
+val initsend : t -> sendbuf
+val pkint : sendbuf -> int -> unit
+val pkdouble : sendbuf -> float -> unit
+val pkstr : sendbuf -> string -> unit
+val pkbytes : sendbuf -> Engine.Bytebuf.t -> unit
+
+val send : sendbuf -> tid:int -> tag:int -> unit
+(** Emit the packed message to one task. The buffer is consumed. *)
+
+val mcast : sendbuf -> tids:int list -> tag:int -> unit
+(** Emit the packed message to several tasks. The buffer is consumed. *)
+
+(** {1 Receiving} *)
+
+type recvbuf
+
+val recv : t -> ?tid:int -> ?tag:int -> unit -> recvbuf
+(** Blocking receive; [tid]/[tag] default to wildcards (-1). *)
+
+val nrecv : t -> ?tid:int -> ?tag:int -> unit -> recvbuf option
+(** Non-blocking receive. *)
+
+val probe : t -> ?tid:int -> ?tag:int -> unit -> bool
+val bufinfo : recvbuf -> int * int
+(** (source tid, tag). *)
+
+val upkint : recvbuf -> int
+val upkdouble : recvbuf -> float
+val upkstr : recvbuf -> string
+val upkbytes : recvbuf -> Engine.Bytebuf.t
+(** Each [upk*] must mirror the corresponding [pk*]; raises
+    [Invalid_argument] on a type mismatch (as real PVM corrupts, we
+    check). *)
+
+(** {1 Group operations} *)
+
+val barrier : t -> unit

@@ -1,0 +1,1 @@
+lib/middleware/soap/soap.ml: Buffer Calib Char Engine Hashtbl List Logs Option Padico Personalities Printf Simnet String Sxml Vlink

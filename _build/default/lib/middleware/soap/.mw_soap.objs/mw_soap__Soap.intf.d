@@ -1,0 +1,1 @@
+lib/middleware/soap/soap.mli: Engine Padico Simnet

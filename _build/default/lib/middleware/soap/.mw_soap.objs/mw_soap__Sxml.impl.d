@@ -1,0 +1,1 @@
+lib/middleware/soap/sxml.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/middleware/soap/sxml.mli:

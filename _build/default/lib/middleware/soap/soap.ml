@@ -1,0 +1,299 @@
+module Bytebuf = Engine.Bytebuf
+module Vio = Personalities.Vio
+module Vl = Vlink.Vl
+
+let log = Logs.Src.create "soap"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type value =
+  | SString of string
+  | SInt of int
+  | SFloat of float
+  | SBytes of Bytebuf.t
+
+type handler = value list -> (value list, string) result
+
+(* ---------- base64 ---------- *)
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let a = Char.code s.[!i]
+    and b = Char.code s.[!i + 1]
+    and c = Char.code s.[!i + 2] in
+    Buffer.add_char buf b64_alphabet.[a lsr 2];
+    Buffer.add_char buf b64_alphabet.[((a land 3) lsl 4) lor (b lsr 4)];
+    Buffer.add_char buf b64_alphabet.[((b land 15) lsl 2) lor (c lsr 6)];
+    Buffer.add_char buf b64_alphabet.[c land 63];
+    i := !i + 3
+  done;
+  (match n - !i with
+   | 1 ->
+     let a = Char.code s.[!i] in
+     Buffer.add_char buf b64_alphabet.[a lsr 2];
+     Buffer.add_char buf b64_alphabet.[(a land 3) lsl 4];
+     Buffer.add_string buf "=="
+   | 2 ->
+     let a = Char.code s.[!i] and b = Char.code s.[!i + 1] in
+     Buffer.add_char buf b64_alphabet.[a lsr 2];
+     Buffer.add_char buf b64_alphabet.[((a land 3) lsl 4) lor (b lsr 4)];
+     Buffer.add_char buf b64_alphabet.[(b land 15) lsl 2];
+     Buffer.add_char buf '='
+   | _ -> ());
+  Buffer.contents buf
+
+let b64_value c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - 65
+  | 'a' .. 'z' -> Char.code c - 97 + 26
+  | '0' .. '9' -> Char.code c - 48 + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> -1
+
+let base64_decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "base64: bad length"
+  else begin
+    let buf = Buffer.create (n / 4 * 3) in
+    let error = ref None in
+    let i = ref 0 in
+    while !error = None && !i < n do
+      let quad = String.sub s !i 4 in
+      let pad =
+        if quad.[3] = '=' then if quad.[2] = '=' then 2 else 1 else 0
+      in
+      let v j =
+        if j >= 4 - pad then 0
+        else begin
+          let v = b64_value quad.[j] in
+          if v < 0 then begin
+            error := Some "base64: bad character";
+            0
+          end
+          else v
+        end
+      in
+      let bits = (v 0 lsl 18) lor (v 1 lsl 12) lor (v 2 lsl 6) lor v 3 in
+      Buffer.add_char buf (Char.chr ((bits lsr 16) land 0xff));
+      if pad < 2 then Buffer.add_char buf (Char.chr ((bits lsr 8) land 0xff));
+      if pad < 1 then Buffer.add_char buf (Char.chr (bits land 0xff));
+      i := !i + 4
+    done;
+    match !error with Some e -> Error e | None -> Ok (Buffer.contents buf)
+  end
+
+(* ---------- envelopes ---------- *)
+
+let value_to_xml v =
+  match v with
+  | SString s -> Sxml.Element ("param", [ ("type", "string") ], [ Sxml.Text s ])
+  | SInt i ->
+    Sxml.Element ("param", [ ("type", "int") ], [ Sxml.Text (string_of_int i) ])
+  | SFloat f ->
+    Sxml.Element
+      ("param", [ ("type", "double") ],
+       [ Sxml.Text (Printf.sprintf "%.17g" f) ])
+  | SBytes b ->
+    Sxml.Element
+      ("param", [ ("type", "base64") ],
+       [ Sxml.Text (base64_encode (Bytebuf.to_string b)) ])
+
+let value_of_xml node =
+  match node with
+  | Sxml.Element ("param", attrs, _) ->
+    let text = Sxml.text_of node in
+    (match List.assoc_opt "type" attrs with
+     | Some "string" -> Ok (SString text)
+     | Some "int" ->
+       (match int_of_string_opt (String.trim text) with
+        | Some i -> Ok (SInt i)
+        | None -> Error "bad int")
+     | Some "double" ->
+       (match float_of_string_opt (String.trim text) with
+        | Some f -> Ok (SFloat f)
+        | None -> Error "bad double")
+     | Some "base64" ->
+       (match base64_decode (String.trim text) with
+        | Ok s -> Ok (SBytes (Bytebuf.of_string s))
+        | Error e -> Error e)
+     | Some other -> Error ("unknown type " ^ other)
+     | None -> Error "missing type attribute")
+  | Sxml.Element _ | Sxml.Text _ -> Error "expected <param>"
+
+let envelope body =
+  Sxml.Element
+    ("Envelope", [ ("xmlns", "http://schemas.xmlsoap.org/soap/envelope/") ],
+     [ Sxml.Element ("Body", [], [ body ]) ])
+
+let encode_call ~name params =
+  Sxml.to_string (envelope (Sxml.Element (name, [], List.map value_to_xml params)))
+
+let params_of children =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | node :: rest ->
+      (match node with
+       | Sxml.Text t when String.trim t = "" -> go acc rest
+       | _ ->
+         (match value_of_xml node with
+          | Ok v -> go (v :: acc) rest
+          | Error e -> Error e))
+  in
+  go [] children
+
+let body_of_string s =
+  match Sxml.of_string s with
+  | Error e -> Error ("xml: " ^ e)
+  | Ok root ->
+    (match Sxml.find_child root "Body" with
+     | Some (Sxml.Element (_, _, [ body ])) -> Ok body
+     | Some (Sxml.Element (_, _, children)) ->
+       (match
+          List.find_opt
+            (function Sxml.Element _ -> true | Sxml.Text _ -> false)
+            children
+        with
+        | Some body -> Ok body
+        | None -> Error "empty Body")
+     | Some (Sxml.Text _) | None -> Error "missing Body")
+
+let decode_call s =
+  match body_of_string s with
+  | Error e -> Error e
+  | Ok (Sxml.Element (name, _, children)) ->
+    (match params_of children with
+     | Ok params -> Ok (name, params)
+     | Error e -> Error e)
+  | Ok (Sxml.Text _) -> Error "malformed call body"
+
+let encode_response result =
+  let body =
+    match result with
+    | Ok values -> Sxml.Element ("Response", [], List.map value_to_xml values)
+    | Error e ->
+      Sxml.Element
+        ("Fault", [], [ Sxml.Element ("faultstring", [], [ Sxml.Text e ]) ])
+  in
+  Sxml.to_string (envelope body)
+
+let decode_response s =
+  match body_of_string s with
+  | Error e -> Error e
+  | Ok (Sxml.Element ("Response", _, children)) -> params_of children
+  | Ok (Sxml.Element ("Fault", _, _) as fault) ->
+    (match Sxml.find_child fault "faultstring" with
+     | Some fs -> Error (Sxml.text_of fs)
+     | None -> Error "unknown fault")
+  | Ok _ -> Error "malformed response body"
+
+(* ---------- HTTP-1.0-ish transport over VIO ---------- *)
+
+let charge node len =
+  Simnet.Node.cpu node
+    (Calib.soap_ns
+     + int_of_float (Calib.soap_per_byte_ns *. float_of_int len))
+
+let send_http vl ~start_line ~payload =
+  let msg =
+    Printf.sprintf "%s\r\nContent-Length: %d\r\n\r\n%s" start_line
+      (String.length payload) payload
+  in
+  ignore (Vio.write vl (Bytebuf.of_string msg))
+
+let recv_http vl =
+  (* Read header lines until the blank line, then Content-Length bytes. *)
+  let rec headers acc =
+    match Vio.read_line vl with
+    | None -> None
+    | Some line ->
+      let line = String.trim line in
+      if line = "" then Some (List.rev acc) else headers (line :: acc)
+  in
+  match headers [] with
+  | None | Some [] -> None
+  | Some lines ->
+    let content_length =
+      List.fold_left
+        (fun acc line ->
+           match String.index_opt line ':' with
+           | Some i
+             when String.lowercase_ascii (String.sub line 0 i)
+                  = "content-length" ->
+             int_of_string_opt
+               (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+             |> Option.value ~default:acc
+           | _ -> acc)
+        0 lines
+    in
+    let body = Bytebuf.create content_length in
+    if content_length > 0 && not (Vio.read_exact vl body) then None
+    else Some (Bytebuf.to_string body)
+
+(* ---------- server ---------- *)
+
+type server = {
+  snode : Simnet.Node.t;
+  handlers : (string, handler) Hashtbl.t;
+  mutable served : int;
+}
+
+let register s ~name h = Hashtbl.replace s.handlers name h
+
+let requests_served s = s.served
+
+let serve grid node ~port =
+  let s = { snode = node; handlers = Hashtbl.create 8; served = 0 } in
+  Padico.listen grid node ~port (fun vl ->
+      ignore
+        (Simnet.Node.spawn node ~name:"soap-conn" (fun () ->
+             let rec loop () =
+               match recv_http vl with
+               | None -> Vio.close vl
+               | Some request ->
+                 charge node (String.length request);
+                 let result =
+                   match decode_call request with
+                   | Error e -> Error ("client error: " ^ e)
+                   | Ok (name, params) ->
+                     (match Hashtbl.find_opt s.handlers name with
+                      | None -> Error ("no such method: " ^ name)
+                      | Some h -> h params)
+                 in
+                 s.served <- s.served + 1;
+                 let payload = encode_response result in
+                 charge node (String.length payload);
+                 send_http vl ~start_line:"HTTP/1.0 200 OK" ~payload;
+                 loop ()
+             in
+             loop ())));
+  s
+
+(* ---------- client ---------- *)
+
+type client = { cnode : Simnet.Node.t; vl : Vl.t }
+
+let connect grid ~src ~dst ~port =
+  let vl = Padico.connect grid ~src ~dst ~port in
+  (match Vio.connect_wait vl with
+   | Ok () -> ()
+   | Error e -> failwith ("Soap.connect: " ^ e));
+  { cnode = src; vl }
+
+let call c ~name params =
+  let payload = encode_call ~name params in
+  charge c.cnode (String.length payload);
+  send_http c.vl ~start_line:"POST /soap HTTP/1.0" ~payload;
+  match recv_http c.vl with
+  | None -> Error "connection closed"
+  | Some response ->
+    charge c.cnode (String.length response);
+    decode_response response
+
+let close c = Vio.close c.vl

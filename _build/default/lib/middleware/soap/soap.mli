@@ -1,0 +1,45 @@
+(** gSOAP-style middleware: XML-envelope RPC over an HTTP/1.0-like POST
+    exchange, running on the VIO personality. Typical grid use: the
+    SOAP-based monitoring of an MPI computation (paper §2.1), exercised in
+    the [grid_monitor] example.
+
+    Verbose text marshalling costs per-byte CPU ({!Calib.soap_per_byte_ns})
+    — SOAP is the slowest stack by design, but it rides the same selector
+    and can therefore also cross Myrinet or striped WAN links. *)
+
+type value =
+  | SString of string
+  | SInt of int
+  | SFloat of float
+  | SBytes of Engine.Bytebuf.t  (** base64-encoded on the wire *)
+
+type handler = value list -> (value list, string) result
+
+(** {1 Server} *)
+
+type server
+
+val serve : Padico.t -> Simnet.Node.t -> port:int -> server
+val register : server -> name:string -> handler -> unit
+val requests_served : server -> int
+
+(** {1 Client} *)
+
+type client
+
+val connect : Padico.t -> src:Simnet.Node.t -> dst:Simnet.Node.t -> port:int ->
+  client
+
+val call : client -> name:string -> value list -> (value list, string) result
+(** Blocking RPC (process context). *)
+
+val close : client -> unit
+
+(** {1 Wire helpers (exposed for tests)} *)
+
+val encode_call : name:string -> value list -> string
+val decode_call : string -> (string * value list, string) result
+val encode_response : (value list, string) result -> string
+val decode_response : string -> (value list, string) result
+val base64_encode : string -> string
+val base64_decode : string -> (string, string) result

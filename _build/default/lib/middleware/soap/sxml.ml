@@ -1,0 +1,195 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '<' -> Buffer.add_string buf "&lt;"
+       | '>' -> Buffer.add_string buf "&gt;"
+       | '&' -> Buffer.add_string buf "&amp;"
+       | '"' -> Buffer.add_string buf "&quot;"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      let entity_end =
+        try String.index_from s !i ';' with Not_found -> n - 1
+      in
+      let entity = String.sub s !i (entity_end - !i + 1) in
+      (match entity with
+       | "&lt;" -> Buffer.add_char buf '<'
+       | "&gt;" -> Buffer.add_char buf '>'
+       | "&amp;" -> Buffer.add_char buf '&'
+       | "&quot;" -> Buffer.add_char buf '"'
+       | other -> Buffer.add_string buf other);
+      i := entity_end + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Text s -> Buffer.add_string buf (escape s)
+  | Element (name, attrs, children) ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf k;
+         Buffer.add_string buf "=\"";
+         Buffer.add_string buf (escape v);
+         Buffer.add_char buf '"')
+      attrs;
+    if children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (write buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let skip_ws p =
+  while
+    p.pos < String.length p.src
+    && (match p.src.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance p
+  done
+
+let read_name p =
+  let start = p.pos in
+  while
+    p.pos < String.length p.src
+    &&
+    match p.src.[p.pos] with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' -> true
+    | _ -> false
+  do
+    advance p
+  done;
+  if p.pos = start then raise (Parse_error "expected name");
+  String.sub p.src start (p.pos - start)
+
+let expect p c =
+  match peek p with
+  | Some x when x = c -> advance p
+  | _ -> raise (Parse_error (Printf.sprintf "expected %c at %d" c p.pos))
+
+let read_attrs p =
+  let attrs = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_ws p;
+    match peek p with
+    | Some ('>' | '/') | None -> continue := false
+    | Some _ ->
+      let name = read_name p in
+      expect p '=';
+      expect p '"';
+      let start = p.pos in
+      while peek p <> Some '"' && peek p <> None do
+        advance p
+      done;
+      let v = String.sub p.src start (p.pos - start) in
+      expect p '"';
+      attrs := (name, unescape v) :: !attrs
+  done;
+  List.rev !attrs
+
+let rec read_node p =
+  match peek p with
+  | Some '<' ->
+    advance p;
+    let name = read_name p in
+    let attrs = read_attrs p in
+    (match peek p with
+     | Some '/' ->
+       advance p;
+       expect p '>';
+       Element (name, attrs, [])
+     | Some '>' ->
+       advance p;
+       let children = read_children p in
+       (* closing tag: "</name>" *)
+       expect p '<';
+       expect p '/';
+       let close = read_name p in
+       if close <> name then
+         raise (Parse_error (Printf.sprintf "mismatched </%s>" close));
+       skip_ws p;
+       expect p '>';
+       Element (name, attrs, children)
+     | _ -> raise (Parse_error "malformed tag"))
+  | _ -> raise (Parse_error "expected element")
+
+and read_children p =
+  let children = ref [] in
+  let continue = ref true in
+  while !continue do
+    if p.pos + 1 < String.length p.src && p.src.[p.pos] = '<'
+       && p.src.[p.pos + 1] = '/'
+    then continue := false
+    else
+      match peek p with
+      | Some '<' -> children := read_node p :: !children
+      | Some _ ->
+        let start = p.pos in
+        while peek p <> Some '<' && peek p <> None do
+          advance p
+        done;
+        let text = unescape (String.sub p.src start (p.pos - start)) in
+        if String.trim text <> "" || text <> "" then
+          children := Text text :: !children
+      | None -> raise (Parse_error "unexpected end of input")
+  done;
+  List.rev !children
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  try
+    skip_ws p;
+    let node = read_node p in
+    Ok node
+  with Parse_error e -> Error e
+
+let find_child t name =
+  match t with
+  | Element (_, _, children) ->
+    List.find_opt
+      (function Element (n, _, _) -> n = name | Text _ -> false)
+      children
+  | Text _ -> None
+
+let text_of t =
+  match t with
+  | Element (_, _, children) ->
+    String.concat ""
+      (List.filter_map (function Text s -> Some s | Element _ -> None) children)
+  | Text s -> s

@@ -1,0 +1,14 @@
+(** Minimal XML for the SOAP middleware: elements, attributes, text;
+    writer and a small recursive-descent parser. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val escape : string -> string
+
+val find_child : t -> string -> t option
+val text_of : t -> string
+(** Concatenated text children. *)

@@ -1,0 +1,1 @@
+lib/netaccess/madio.ml: Calib Engine Hashtbl List Logs Madeleine Na_core Printf Simnet

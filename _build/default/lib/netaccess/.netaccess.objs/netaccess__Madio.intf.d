@@ -1,0 +1,1 @@
+lib/netaccess/madio.mli: Engine Madeleine Simnet

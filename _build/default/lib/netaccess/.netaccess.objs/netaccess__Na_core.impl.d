@@ -1,0 +1,1 @@
+lib/netaccess/na_core.ml: Calib Engine Hashtbl Logs Printexc Queue Simnet

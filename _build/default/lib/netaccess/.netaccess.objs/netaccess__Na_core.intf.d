@@ -1,0 +1,1 @@
+lib/netaccess/na_core.mli: Simnet

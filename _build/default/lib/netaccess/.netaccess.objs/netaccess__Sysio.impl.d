@@ -1,0 +1,1 @@
+lib/netaccess/sysio.ml: Calib Drivers Hashtbl Na_core Simnet

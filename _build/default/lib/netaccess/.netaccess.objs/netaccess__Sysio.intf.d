@@ -1,0 +1,1 @@
+lib/netaccess/sysio.mli: Drivers Engine Simnet

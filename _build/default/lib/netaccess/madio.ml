@@ -1,0 +1,162 @@
+module Bytebuf = Engine.Bytebuf
+module Mad = Madeleine.Mad
+
+let log = Logs.Src.create "netaccess.madio"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let magic = 0xAD10
+
+type lchannel = {
+  owner : t;
+  id : int;
+  mutable recv : (src:int -> Bytebuf.t -> unit) option;
+  mutable open_ : bool;
+}
+
+and t = {
+  mio_mad : Mad.t;
+  mio_node : Simnet.Node.t;
+  core : Na_core.t;
+  hw_chan : Mad.channel;
+  lchannels : (int, lchannel) Hashtbl.t;
+  (* In separate-header mode a header message announces the next payload
+     message from the same source. *)
+  pending_header : (int, int) Hashtbl.t; (* src -> logical channel *)
+  mutable combining : bool;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let instances : (int * int, t) Hashtbl.t = Hashtbl.create 16
+
+let node t = t.mio_node
+let mad t = t.mio_mad
+
+let header_len = Calib.madio_header_bytes
+
+let encode_header ~lchan ~len ~combined =
+  let h = Bytebuf.create header_len in
+  Bytebuf.set_u16 h 0 magic;
+  Bytebuf.set_u16 h 2 lchan;
+  Bytebuf.set_u32 h 4 len;
+  Bytebuf.set_u8 h 8 (if combined then 1 else 0);
+  h
+
+let deliver t ~src ~lchan payload =
+  match Hashtbl.find_opt t.lchannels lchan with
+  | None ->
+    Log.warn (fun m ->
+        m "%s: message for closed logical channel %d dropped"
+          (Simnet.Node.name t.mio_node) lchan)
+  | Some lc ->
+    t.received <- t.received + 1;
+    (match lc.recv with
+     | Some f ->
+       (* Arbitrated delivery: through the NetAccess dispatcher. *)
+       Na_core.post t.core Na_core.Madio_work (fun () -> f ~src payload)
+     | None ->
+       Log.warn (fun m ->
+           m "%s: no receiver on logical channel %d"
+             (Simnet.Node.name t.mio_node) lchan))
+
+let handle_incoming t inc =
+  let src = Mad.incoming_src inc in
+  match Hashtbl.find_opt t.pending_header src with
+  | Some lchan ->
+    (* Separate-header mode: this whole message is the announced payload. *)
+    Hashtbl.remove t.pending_header src;
+    let payload = Mad.unpack inc (Mad.remaining inc) in
+    Simnet.Node.cpu_async t.mio_node Calib.madio_separate_ns (fun () ->
+        deliver t ~src ~lchan payload)
+  | None ->
+    let h = Mad.unpack inc ~mode:Mad.Receive_express header_len in
+    if Bytebuf.get_u16 h 0 <> magic then
+      Log.err (fun m -> m "MadIO: bad header magic, message dropped")
+    else begin
+      let lchan = Bytebuf.get_u16 h 2 in
+      let len = Bytebuf.get_u32 h 4 in
+      let combined = Bytebuf.get_u8 h 8 = 1 in
+      if combined then begin
+        let payload = Mad.unpack inc len in
+        Simnet.Node.cpu_async t.mio_node Calib.madio_combined_ns (fun () ->
+            deliver t ~src ~lchan payload)
+      end
+      else
+        (* Header-only message: remember which channel the next message
+           from this source belongs to. *)
+        Hashtbl.replace t.pending_header src lchan
+    end
+
+let init m =
+  let key = (Simnet.Node.uid (Mad.node m), Simnet.Segment.uid (Mad.segment m)) in
+  match Hashtbl.find_opt instances key with
+  | Some t -> t
+  | None ->
+    let hw_chan = Mad.open_channel m ~id:0 in
+    let t =
+      { mio_mad = m; mio_node = Mad.node m; core = Na_core.get (Mad.node m);
+        hw_chan; lchannels = Hashtbl.create 16;
+        pending_header = Hashtbl.create 4; combining = true; sent = 0;
+        received = 0 }
+    in
+    Mad.set_recv hw_chan (fun inc -> handle_incoming t inc);
+    Hashtbl.replace instances key t;
+    t
+
+let open_lchannel t ~id =
+  if id < 0 || id > 0xffff then invalid_arg "Madio.open_lchannel: bad id";
+  if Hashtbl.mem t.lchannels id then
+    invalid_arg
+      (Printf.sprintf "Madio.open_lchannel: channel %d already open" id);
+  let lc = { owner = t; id; recv = None; open_ = true } in
+  Hashtbl.replace t.lchannels id lc;
+  lc
+
+let close_lchannel lc =
+  if lc.open_ then begin
+    lc.open_ <- false;
+    Hashtbl.remove lc.owner.lchannels lc.id
+  end
+
+let lchannel_id lc = lc.id
+
+let lchannels_open t = Hashtbl.length t.lchannels
+
+let set_recv lc f = lc.recv <- Some f
+
+let sendv lc ~dst iov =
+  if not lc.open_ then invalid_arg "Madio.sendv: logical channel closed";
+  let t = lc.owner in
+  let len = List.fold_left (fun acc b -> acc + Bytebuf.length b) 0 iov in
+  t.sent <- t.sent + 1;
+  if t.combining then begin
+    (* Header combining: the multiplexing header rides in the first packet
+       of the payload message (one Madeleine message, one DMA post). *)
+    let out = Mad.begin_packing t.hw_chan ~dst in
+    Mad.pack out (encode_header ~lchan:lc.id ~len ~combined:true);
+    List.iter (Mad.pack out) iov;
+    Simnet.Node.cpu_async t.mio_node Calib.madio_combined_ns (fun () -> ());
+    Mad.end_packing out
+  end
+  else begin
+    (* Ablation: header as its own message — a full extra message through
+       the whole driver stack. *)
+    let hdr = Mad.begin_packing t.hw_chan ~dst in
+    Mad.pack hdr (encode_header ~lchan:lc.id ~len ~combined:false);
+    Mad.end_packing hdr;
+    let out = Mad.begin_packing t.hw_chan ~dst in
+    List.iter (Mad.pack out) iov;
+    Simnet.Node.cpu_async t.mio_node Calib.madio_separate_ns (fun () -> ());
+    Mad.end_packing out
+  end
+
+let send lc ~dst buf = sendv lc ~dst [ buf ]
+
+let set_header_combining t v = t.combining <- v
+
+let header_combining t = t.combining
+
+let messages_sent t = t.sent
+
+let messages_received t = t.received

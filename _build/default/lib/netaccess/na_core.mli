@@ -1,0 +1,45 @@
+(** NetAccess core: the per-node arbitration dispatcher.
+
+    The paper's arbitration layer provides "a consistent, reentrant and
+    multiplexed access to every networking resource": all network events of
+    a node — MadIO message arrivals and SysIO socket readiness — are funneled
+    through a {e single} dispatcher process, so middleware systems never poll
+    competitively, never race, and never starve each other. The interleaving
+    between the two subsystems is a user-tunable policy ("to give more
+    priority to system sockets or high performance network depending on the
+    application").
+
+    Work items posted here must be {e non-blocking} (callback-based, à la
+    Active Message, as the paper prescribes): an item that suspends would
+    stall the whole node's network dispatch. *)
+
+type t
+
+type kind = Madio_work | Sysio_work
+
+type policy = {
+  madio_quantum : int;  (** MadIO items dispatched per round *)
+  sysio_quantum : int;  (** SysIO items dispatched per round *)
+}
+
+val default_policy : policy
+
+val get : Simnet.Node.t -> t
+(** The node's dispatcher; created (and its process spawned) on first use. *)
+
+val node : t -> Simnet.Node.t
+
+val set_policy : t -> policy -> unit
+val policy : t -> policy
+
+val post : t -> kind -> (unit -> unit) -> unit
+(** Enqueue a work item; the dispatcher wakes if idle. Exceptions raised by
+    items are caught and logged, never propagated. *)
+
+val dispatched : t -> kind -> int
+(** Items dispatched so far (fairness observability, experiment E6). *)
+
+val queue_depth : t -> kind -> int
+
+val mean_wait_ns : t -> kind -> float
+(** Average virtual time items of [kind] spent queued before dispatch. *)

@@ -1,0 +1,51 @@
+module Tcp = Drivers.Tcp
+
+type t = {
+  sio_node : Simnet.Node.t;
+  core : Na_core.t;
+  mutable dispatched : int;
+}
+
+let instances : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let get n =
+  let key = Simnet.Node.uid n in
+  match Hashtbl.find_opt instances key with
+  | Some t -> t
+  | None ->
+    let t = { sio_node = n; core = Na_core.get n; dispatched = 0 } in
+    Hashtbl.replace instances key t;
+    t
+
+let node t = t.sio_node
+
+let stack_on t seg = Tcp.attach seg t.sio_node
+
+let udp_on t seg = Drivers.Udp.attach seg t.sio_node
+
+(* Route an event through the arbitration core, charging the callback
+   dispatch cost. *)
+let dispatch t f =
+  Na_core.post t.core Na_core.Sysio_work (fun () ->
+      t.dispatched <- t.dispatched + 1;
+      Simnet.Node.cpu_async t.sio_node Calib.sysio_callback_ns (fun () -> ());
+      f ())
+
+let watch t conn cb =
+  Tcp.set_event_cb conn (fun ev -> dispatch t (fun () -> cb ev))
+
+let unwatch _t conn = Tcp.set_event_cb conn (fun _ -> ())
+
+let listen t stack ~port cb =
+  Tcp.listen stack ~port (fun conn -> dispatch t (fun () -> cb conn))
+
+let connect t stack ~dst ~port cb =
+  let conn = Tcp.connect stack ~dst ~port in
+  Tcp.set_event_cb conn (fun ev -> dispatch t (fun () -> cb conn ev));
+  conn
+
+let watch_udp t udp ~port cb =
+  Drivers.Udp.bind udp ~port (fun ~src ~src_port buf ->
+      dispatch t (fun () -> cb ~src ~src_port buf))
+
+let events_dispatched t = t.dispatched

@@ -1,0 +1,55 @@
+(** NetAccess SysIO: arbitrated access to distributed-oriented resources.
+
+    Using the socket API directly does not give reentrance or fair
+    multiplexing: middleware using signal-driven I/O misbehaves, and one
+    middleware busy-polling starves another using blocking I/O. SysIO
+    instead manages a {e unique receipt loop} (the NetAccess dispatcher)
+    that watches all open sockets and invokes user-registered callbacks when
+    a socket becomes ready; callbacks are serialized, so there are no
+    reentrance issues and no signals. *)
+
+type t
+
+val get : Simnet.Node.t -> t
+(** The node's SysIO subsystem (created on first use). *)
+
+val node : t -> Simnet.Node.t
+
+val stack_on : t -> Simnet.Segment.t -> Drivers.Tcp.stack
+(** TCP stack of this node on a (LAN/WAN/loopback) segment, creating it on
+    first use. *)
+
+val udp_on : t -> Simnet.Segment.t -> Drivers.Udp.t
+
+val watch : t -> Drivers.Tcp.conn -> (Drivers.Tcp.event -> unit) -> unit
+(** Register the connection with the receipt loop: every TCP event is
+    dispatched through the arbitration core to the (non-blocking)
+    callback. *)
+
+val unwatch : t -> Drivers.Tcp.conn -> unit
+(** Stop dispatching events for this connection. *)
+
+val listen :
+  t -> Drivers.Tcp.stack -> port:int -> (Drivers.Tcp.conn -> unit) -> unit
+(** Arbitrated accept loop: new connections are handed to the callback from
+    the dispatcher. The callback typically calls {!watch} on the new
+    connection. *)
+
+val connect :
+  t ->
+  Drivers.Tcp.stack ->
+  dst:int ->
+  port:int ->
+  (Drivers.Tcp.conn -> Drivers.Tcp.event -> unit) ->
+  Drivers.Tcp.conn
+(** Active open with the event stream (including [Established]) routed
+    through the dispatcher. *)
+
+val watch_udp :
+  t ->
+  Drivers.Udp.t ->
+  port:int ->
+  (src:int -> src_port:int -> Engine.Bytebuf.t -> unit) ->
+  unit
+
+val events_dispatched : t -> int

@@ -1,0 +1,1 @@
+lib/personalities/aio.ml: Calib Engine List Simnet Vlink

@@ -1,0 +1,1 @@
+lib/personalities/aio.mli: Engine Vlink

@@ -1,0 +1,1 @@
+lib/personalities/fm.ml: Calib Circuit Engine Hashtbl Simnet

@@ -1,0 +1,1 @@
+lib/personalities/fm.mli: Circuit Engine

@@ -1,0 +1,1 @@
+lib/personalities/madpers.ml: Calib Circuit Engine Madeleine Simnet

@@ -1,0 +1,1 @@
+lib/personalities/madpers.mli: Circuit Engine Madeleine

@@ -1,0 +1,1 @@
+lib/personalities/syswrap.ml: Calib Engine Hashtbl Padico Queue Simnet Vlink

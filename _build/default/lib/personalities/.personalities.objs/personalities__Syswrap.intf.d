@@ -1,0 +1,1 @@
+lib/personalities/syswrap.mli: Engine Padico Simnet Vlink

@@ -1,0 +1,1 @@
+lib/personalities/vio.ml: Buffer Calib Engine Simnet Vlink

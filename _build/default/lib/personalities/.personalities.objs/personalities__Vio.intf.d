@@ -1,0 +1,1 @@
+lib/personalities/vio.mli: Engine Vlink

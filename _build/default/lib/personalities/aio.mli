@@ -1,0 +1,23 @@
+(** AIO personality: POSIX.2-style asynchronous I/O over VLink — the
+    natural personality for VLink's post/poll model.
+
+    [aio_read]/[aio_write] post an operation and return a control block;
+    completion is observed with [aio_error]/[aio_return] (polling) or
+    [aio_suspend] (blocking), mirroring [<aio.h>]. *)
+
+type aiocb
+
+val aio_read : Vlink.Vl.t -> Engine.Bytebuf.t -> aiocb
+val aio_write : Vlink.Vl.t -> Engine.Bytebuf.t -> aiocb
+
+val aio_error : aiocb -> [ `In_progress | `Ok | `Err of string ]
+val aio_return : aiocb -> int
+(** Bytes transferred (0 at EOF). Raises [Invalid_argument] while still in
+    progress, [Failure] on error. *)
+
+val aio_suspend : aiocb list -> unit
+(** Block (process context) until at least one control block completes. *)
+
+val aio_cancel_all_noop : unit -> unit
+(** Placeholder for API completeness: cancellation is not supported, as in
+    many real AIO implementations. *)

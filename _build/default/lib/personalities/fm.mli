@@ -1,0 +1,21 @@
+(** FastMessage 2.0-style personality over Circuit: active messages with
+    registered handlers. [FM_begin_message dest handler] / piece sends /
+    [FM_end_message]; on the receiver the registered handler runs with a
+    stream cursor. *)
+
+type t
+
+val attach : Circuit.Ct.t -> t
+(** Takes over the circuit's receive path. *)
+
+val register_handler :
+  t -> id:int -> (src:int -> Circuit.Ct.incoming -> unit) -> unit
+
+type stream
+
+val begin_message : t -> dest:int -> handler:int -> stream
+val send_piece : stream -> Engine.Bytebuf.t -> unit
+val send_piece_int : stream -> int -> unit
+val end_message : stream -> unit
+
+val messages_handled : t -> int

@@ -1,0 +1,25 @@
+(** Virtual-Madeleine personality over Circuit: the Madeleine packing API
+    (begin_packing / pack / end_packing, message callback with unpack
+    cursor) re-exposed on top of the abstract parallel interface — what
+    lets the existing MPICH/Madeleine port run unchanged inside PadicoTM.
+    Adds a blocking receive for process-style runtimes. *)
+
+type t
+
+val attach : Circuit.Ct.t -> t
+val circuit : t -> Circuit.Ct.t
+val rank : t -> int
+val size : t -> int
+
+type outgoing
+
+val begin_packing : t -> dst:int -> outgoing
+val pack : outgoing -> ?mode:Madeleine.Mad.pack_mode -> Engine.Bytebuf.t -> unit
+val end_packing : outgoing -> unit
+
+val set_recv : t -> (src:int -> Circuit.Ct.incoming -> unit) -> unit
+(** Callback style (non-blocking context). *)
+
+val recv_blocking : t -> int * Circuit.Ct.incoming
+(** Blocking style (process context): next message (source, cursor), in
+    arrival order. Mutually exclusive with {!set_recv}. *)

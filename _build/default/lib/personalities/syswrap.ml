@@ -1,0 +1,124 @@
+module Bytebuf = Engine.Bytebuf
+module Vl = Vlink.Vl
+module Proc = Engine.Proc
+
+exception Unix_error of string
+
+type listening = {
+  pending : Vl.t Queue.t;
+  mutable waiter : (Vl.t -> unit) option;
+}
+
+type fd_state = Fresh | Connected of Vl.t | Listening of listening | Closed_fd
+
+type t = {
+  grid : Padico.t;
+  wnode : Simnet.Node.t;
+  fds : (int, fd_state) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let instances : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let attach grid node =
+  let key = Simnet.Node.uid node in
+  match Hashtbl.find_opt instances key with
+  | Some t -> t
+  | None ->
+    let t = { grid; wnode = node; fds = Hashtbl.create 32; next_fd = 3 } in
+    Hashtbl.replace instances key t;
+    t
+
+let node t = t.wnode
+
+let charge t = Simnet.Node.cpu t.wnode Calib.personality_ns
+
+let socket t =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd Fresh;
+  fd
+
+let state t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some s -> s
+  | None -> raise (Unix_error "EBADF")
+
+let connect t fd ~dst ~port =
+  charge t;
+  match state t fd with
+  | Fresh ->
+    let vl = Padico.connect t.grid ~src:t.wnode ~dst ~port in
+    (match Vl.await_connected vl with
+     | Ok () -> Hashtbl.replace t.fds fd (Connected vl)
+     | Error _ -> raise (Unix_error "ECONNREFUSED"))
+  | Connected _ | Listening _ -> raise (Unix_error "EISCONN")
+  | Closed_fd -> raise (Unix_error "EBADF")
+
+let bind_listen t fd ~port =
+  charge t;
+  match state t fd with
+  | Fresh ->
+    let listening = { pending = Queue.create (); waiter = None } in
+    Hashtbl.replace t.fds fd (Listening listening);
+    Padico.listen t.grid t.wnode ~port (fun vl ->
+        match listening.waiter with
+        | Some k ->
+          listening.waiter <- None;
+          k vl
+        | None -> Queue.push vl listening.pending)
+  | Connected _ | Listening _ | Closed_fd -> raise (Unix_error "EINVAL")
+
+let accept t fd =
+  charge t;
+  match state t fd with
+  | Listening l ->
+    let vl =
+      if Queue.is_empty l.pending then
+        Proc.suspend (fun resume -> l.waiter <- Some resume)
+      else Queue.pop l.pending
+    in
+    let nfd = t.next_fd in
+    t.next_fd <- nfd + 1;
+    Hashtbl.replace t.fds nfd (Connected vl);
+    nfd
+  | Fresh | Connected _ | Closed_fd -> raise (Unix_error "EINVAL")
+
+let conn t fd =
+  match state t fd with
+  | Connected vl -> vl
+  | Fresh | Listening _ -> raise (Unix_error "ENOTCONN")
+  | Closed_fd -> raise (Unix_error "EBADF")
+
+let recv t fd buf =
+  charge t;
+  match Vl.await (Vl.post_read (conn t fd) buf) with
+  | Vl.Done n -> n
+  | Vl.Eof -> 0
+  | Vl.Error e -> raise (Unix_error e)
+
+let recv_exact t fd buf =
+  let total = Bytebuf.length buf in
+  let rec go filled =
+    if filled >= total then true
+    else begin
+      let n = recv t fd (Bytebuf.sub buf filled (total - filled)) in
+      if n = 0 then false else go (filled + n)
+    end
+  in
+  go 0
+
+let send t fd buf =
+  charge t;
+  match Vl.await (Vl.post_write (conn t fd) buf) with
+  | Vl.Done n -> n
+  | Vl.Eof -> raise (Unix_error "EPIPE")
+  | Vl.Error e -> raise (Unix_error e)
+
+let close t fd =
+  (match Hashtbl.find_opt t.fds fd with
+   | Some (Connected vl) -> Vl.close vl
+   | Some (Fresh | Listening _ | Closed_fd) | None -> ());
+  Hashtbl.replace t.fds fd Closed_fd
+
+let vlink_of_fd t fd = conn t fd

@@ -1,0 +1,39 @@
+(** SysWrap personality: a 100 % BSD-socket-compliant API (integer file
+    descriptors, [socket]/[connect]/[bind]/[listen]/[accept]/[recv]/[send]/
+    [close]) over PadicoTM.
+
+    In the paper SysWrap is applied at link stage so that legacy C/C++/
+    FORTRAN middleware uses PadicoTM without recompiling; here it is the
+    entry point used by the "unmodified" middleware implementations
+    (CORBA, SOAP, Java sockets). Blocking calls; process context. *)
+
+type t
+(** One node's wrapped socket table. *)
+
+exception Unix_error of string
+
+val attach : Padico.t -> Simnet.Node.t -> t
+(** Idempotent per node. *)
+
+val node : t -> Simnet.Node.t
+
+val socket : t -> int
+(** A fresh descriptor. *)
+
+val connect : t -> int -> dst:Simnet.Node.t -> port:int -> unit
+(** Blocking; raises {!Unix_error} ("ECONNREFUSED") on failure. The
+    underlying driver/methods are chosen by the selector, invisibly. *)
+
+val bind_listen : t -> int -> port:int -> unit
+val accept : t -> int -> int
+(** Blocking accept; returns a new descriptor. *)
+
+val recv : t -> int -> Engine.Bytebuf.t -> int
+(** ≥ 1 bytes, 0 at EOF. *)
+
+val recv_exact : t -> int -> Engine.Bytebuf.t -> bool
+val send : t -> int -> Engine.Bytebuf.t -> int
+val close : t -> int -> unit
+
+val vlink_of_fd : t -> int -> Vlink.Vl.t
+(** Introspection (e.g. which driver a legacy app ended up on). *)

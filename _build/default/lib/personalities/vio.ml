@@ -1,0 +1,54 @@
+module Bytebuf = Engine.Bytebuf
+module Vl = Vlink.Vl
+
+let charge vl = Simnet.Node.cpu (Vl.node vl) Calib.personality_ns
+
+let connect_wait vl =
+  charge vl;
+  Vl.await_connected vl
+
+let read vl buf =
+  charge vl;
+  match Vl.await (Vl.post_read vl buf) with
+  | Vl.Done n -> n
+  | Vl.Eof -> 0
+  | Vl.Error e -> failwith ("Vio.read: " ^ e)
+
+let read_exact vl buf =
+  let total = Bytebuf.length buf in
+  let rec go filled =
+    if filled >= total then true
+    else begin
+      let n = read vl (Bytebuf.sub buf filled (total - filled)) in
+      if n = 0 then false else go (filled + n)
+    end
+  in
+  go 0
+
+let write vl buf =
+  charge vl;
+  match Vl.await (Vl.post_write vl buf) with
+  | Vl.Done n -> n
+  | Vl.Eof -> failwith "Vio.write: stream closed"
+  | Vl.Error e -> failwith ("Vio.write: " ^ e)
+
+let write_string vl s = write vl (Bytebuf.of_string s)
+
+let read_line vl =
+  let buf = Buffer.create 64 in
+  let one = Bytebuf.create 1 in
+  let rec go () =
+    let n = read vl one in
+    if n = 0 then if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    else begin
+      let c = Bytebuf.get one 0 in
+      if c = '\n' then Some (Buffer.contents buf)
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let close vl = Vl.close vl

@@ -1,0 +1,25 @@
+(** VIO personality: explicit socket-like {e blocking} API over VLink, for
+    code written in process style. Personalities are thin wrappers — "they
+    do no protocol adaptation nor paradigm translation; they only adapt the
+    syntax". All calls must run in process ({!Engine.Proc}) context. *)
+
+val connect_wait : Vlink.Vl.t -> (unit, string) result
+(** Block until the descriptor is connected (or failed). *)
+
+val read : Vlink.Vl.t -> Engine.Bytebuf.t -> int
+(** Blocking read: at least 1 byte (POSIX semantics), 0 at end-of-stream.
+    Raises [Failure] on error. *)
+
+val read_exact : Vlink.Vl.t -> Engine.Bytebuf.t -> bool
+(** Fill the whole buffer; [false] if the stream ended first. *)
+
+val write : Vlink.Vl.t -> Engine.Bytebuf.t -> int
+(** Blocking write of the whole buffer; returns its length. *)
+
+val write_string : Vlink.Vl.t -> string -> int
+
+val read_line : Vlink.Vl.t -> string option
+(** Read up to a ['\n'] (consumed, not returned); [None] at EOF. Intended
+    for text protocols (SOAP). *)
+
+val close : Vlink.Vl.t -> unit

@@ -1,0 +1,1 @@
+lib/selector/selector.ml: Format List Prefs Printf Simnet

@@ -1,0 +1,1 @@
+lib/selector/selector.mli: Format Prefs Simnet

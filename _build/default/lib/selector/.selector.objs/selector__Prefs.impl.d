@@ -1,0 +1,1 @@
+lib/selector/prefs.ml:

@@ -1,0 +1,74 @@
+module Prefs = Prefs
+
+type choice = {
+  driver : string;
+  segment : Simnet.Segment.t option;
+  streams : int;
+  wrap_adoc : bool;
+  wrap_crypto : bool;
+  vrp_tolerance : float;
+}
+
+let plain ?segment driver =
+  { driver; segment; streams = 1; wrap_adoc = false; wrap_crypto = false;
+    vrp_tolerance = 0.0 }
+
+let choose ?(prefs = Prefs.default) net ~src ~dst =
+  if Simnet.Node.uid src = Simnet.Node.uid dst then plain "loopback"
+  else begin
+    match Simnet.Net.links_between net src dst with
+    | [] ->
+      failwith
+        (Printf.sprintf "Selector: no common network between %s and %s"
+           (Simnet.Node.name src) (Simnet.Node.name dst))
+    | best :: _ as links ->
+      let model s = Simnet.Segment.model s in
+      (match prefs.Prefs.forced_driver with
+       | Some driver -> { (plain ~segment:best driver) with streams = prefs.Prefs.pstream_streams }
+       | None ->
+         (* Prefer a SAN when present, even if not the top bandwidth. *)
+         let san =
+           List.find_opt
+             (fun s -> (model s).Simnet.Linkmodel.class_ = Simnet.Linkmodel.San)
+             links
+         in
+         (match san with
+          | Some s -> plain ~segment:s "madio"
+          | None ->
+            let m = model best in
+            let slow =
+              m.Simnet.Linkmodel.bandwidth_bps <= prefs.Prefs.adoc_threshold_bps
+            in
+            let base =
+              match m.Simnet.Linkmodel.class_ with
+              | Simnet.Linkmodel.Lossy_wan when prefs.Prefs.vrp_on_lossy ->
+                { (plain ~segment:best "vrp") with
+                  vrp_tolerance = prefs.Prefs.vrp_tolerance }
+              | Simnet.Linkmodel.Wan when prefs.Prefs.pstream_on_wan ->
+                { (plain ~segment:best "pstream") with
+                  streams = prefs.Prefs.pstream_streams }
+              | Simnet.Linkmodel.San | Simnet.Linkmodel.Lan
+              | Simnet.Linkmodel.Wan | Simnet.Linkmodel.Lossy_wan
+              | Simnet.Linkmodel.Loop ->
+                plain ~segment:best "sysio"
+            in
+            let base =
+              if prefs.Prefs.adoc_on_slow && slow && base.driver <> "vrp" then
+                { base with wrap_adoc = true }
+              else base
+            in
+            if prefs.Prefs.cipher_untrusted
+               && (not m.Simnet.Linkmodel.trusted)
+               && base.driver <> "vrp"
+            then { base with wrap_crypto = true }
+            else base))
+  end
+
+let pp_choice fmt c =
+  Format.fprintf fmt "%s%s%s%s%s" c.driver
+    (match c.segment with
+     | Some s -> Printf.sprintf " via %s" (Simnet.Segment.name s)
+     | None -> "")
+    (if c.streams > 1 then Printf.sprintf " x%d" c.streams else "")
+    (if c.wrap_adoc then " +adoc" else "")
+    (if c.wrap_crypto then " +crypto" else "")

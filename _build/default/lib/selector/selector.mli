@@ -1,0 +1,33 @@
+(** The selector: automatically and dynamically choose the best arbitrated
+    interface for each link according to the available hardware and the
+    user preferences, then map it onto the right abstract interface through
+    the right adapter.
+
+    The decision is pure (driven by {!Simnet.Net} topology and {!Prefs});
+    the Padico runtime applies it by instantiating drivers. *)
+
+module Prefs = Prefs
+
+type choice = {
+  driver : string;  (** "loopback" | "madio" | "sysio" | "pstream" | "vrp" *)
+  segment : Simnet.Segment.t option;  (** chosen network, None = loopback *)
+  streams : int;  (** >1 only for pstream *)
+  wrap_adoc : bool;
+  wrap_crypto : bool;
+  vrp_tolerance : float;  (** meaningful when driver = "vrp" *)
+}
+
+val choose :
+  ?prefs:Prefs.t -> Simnet.Net.t -> src:Simnet.Node.t -> dst:Simnet.Node.t ->
+  choice
+(** Decision rules, in order:
+    - same node → loopback;
+    - best common segment is a SAN → MadIO (straight parallel path);
+    - lossy WAN and VRP enabled → VRP with the configured tolerance;
+    - WAN and parallel streams enabled → pstream;
+    - otherwise → SysIO/TCP.
+    AdOC wraps slow links when enabled; the cipher wraps untrusted links
+    (security adaptation: trusted links are never ciphered).
+    Raises [Failure] when no common network exists. *)
+
+val pp_choice : Format.formatter -> choice -> unit

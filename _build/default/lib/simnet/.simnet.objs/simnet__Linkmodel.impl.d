@@ -1,0 +1,1 @@
+lib/simnet/linkmodel.ml: Engine Format

@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Engine Hashtbl Linkmodel List Node Presets Segment

@@ -1,0 +1,1 @@
+lib/simnet/node.ml: Engine Format

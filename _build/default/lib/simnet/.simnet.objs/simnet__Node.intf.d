@@ -1,0 +1,1 @@
+lib/simnet/node.mli: Engine Format

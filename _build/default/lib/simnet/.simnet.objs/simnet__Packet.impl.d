@@ -1,0 +1,1 @@
+lib/simnet/packet.ml: Engine Format

@@ -1,0 +1,1 @@
+lib/simnet/packet.mli: Engine Format

@@ -1,0 +1,1 @@
+lib/simnet/presets.mli: Linkmodel

@@ -1,0 +1,1 @@
+lib/simnet/segment.ml: Engine Hashtbl Linkmodel Logs Node Packet Printf

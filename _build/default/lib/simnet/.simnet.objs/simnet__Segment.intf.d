@@ -1,0 +1,1 @@
+lib/simnet/segment.mli: Engine Linkmodel Node Packet

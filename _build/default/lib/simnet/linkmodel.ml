@@ -1,0 +1,31 @@
+type link_class = San | Lan | Wan | Lossy_wan | Loop
+
+type t = {
+  name : string;
+  class_ : link_class;
+  bandwidth_bps : float;
+  latency_ns : int;
+  jitter_ns : int;
+  loss : float;
+  mtu : int;
+  frame_overhead : int;
+  turnaround_ns : int;
+  trusted : bool;
+}
+
+let serialization_ns m bytes =
+  let wire_bytes = bytes + m.frame_overhead in
+  int_of_float ((float_of_int wire_bytes /. m.bandwidth_bps *. 1e9) +. 0.5)
+
+let class_to_string = function
+  | San -> "SAN"
+  | Lan -> "LAN"
+  | Wan -> "WAN"
+  | Lossy_wan -> "lossy-WAN"
+  | Loop -> "loopback"
+
+let pp fmt m =
+  Format.fprintf fmt "%s(%s, %.1f MB/s, %a lat, %.2f%% loss, mtu %d)" m.name
+    (class_to_string m.class_)
+    (m.bandwidth_bps /. 1e6)
+    Engine.Time.pp m.latency_ns (m.loss *. 100.0) m.mtu

@@ -1,0 +1,37 @@
+(** Physical characteristics of a network segment.
+
+    A link model charges virtual time for serialization (port bandwidth),
+    propagation (latency), and drops frames with a fixed probability. It is
+    the only place where "hardware" performance enters the simulation; all
+    other costs come from the software layers above. *)
+
+type link_class =
+  | San  (** system-area network: Myrinet, SCI — parallel-oriented *)
+  | Lan  (** local-area: switched Ethernet *)
+  | Wan  (** wide-area: high bandwidth, high latency *)
+  | Lossy_wan  (** slow Internet path with significant loss *)
+  | Loop  (** intra-node loopback *)
+
+type t = {
+  name : string;
+  class_ : link_class;
+  bandwidth_bps : float;  (** per-port bandwidth, bytes per second *)
+  latency_ns : int;  (** one-way propagation delay *)
+  jitter_ns : int;  (** uniform jitter added to propagation *)
+  loss : float;  (** independent frame-loss probability *)
+  mtu : int;  (** maximum frame payload, bytes *)
+  frame_overhead : int;  (** wire framing bytes added per frame *)
+  turnaround_ns : int;
+  (** extra egress-port gap between {e back-to-back} frames (DMA setup /
+      link-level flow control); isolated frames do not pay it, so small-
+      message latency is unaffected while streaming bandwidth is capped
+      below the raw link rate (Myrinet-2000: 250 → ~240 MB/s). *)
+  trusted : bool;  (** true when the selector may skip ciphering *)
+}
+
+val serialization_ns : t -> int -> int
+(** [serialization_ns m bytes] is the port occupancy time of a frame of
+    [bytes] payload bytes (framing overhead included). *)
+
+val pp : Format.formatter -> t -> unit
+val class_to_string : link_class -> string

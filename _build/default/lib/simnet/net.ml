@@ -1,0 +1,65 @@
+type t = {
+  sim : Engine.Sim.t;
+  mutable nodes : Node.t list;
+  mutable segments : Segment.t list;
+  loopbacks : (int, Segment.t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ?seed () =
+  let sim = Engine.Sim.create ?seed () in
+  { sim; nodes = []; segments = []; loopbacks = Hashtbl.create 16;
+    next_id = 0 }
+
+let sim t = t.sim
+
+let add_node t name =
+  let node = Node.create t.sim ~id:t.next_id ~name in
+  t.next_id <- t.next_id + 1;
+  t.nodes <- t.nodes @ [ node ];
+  let lo =
+    Segment.create t.sim Presets.loopback ~name:(name ^ "/lo")
+  in
+  Segment.attach lo node;
+  Hashtbl.replace t.loopbacks (Node.id node) lo;
+  t.segments <- t.segments @ [ lo ];
+  node
+
+let add_segment t model ?name nodes =
+  let name = match name with Some n -> n | None -> model.Linkmodel.name in
+  let seg = Segment.create t.sim model ~name in
+  List.iter (Segment.attach seg) nodes;
+  t.segments <- t.segments @ [ seg ];
+  seg
+
+let nodes t = t.nodes
+let segments t = t.segments
+
+let node_by_id t id = List.find_opt (fun n -> Node.id n = id) t.nodes
+
+let loopback_of t node =
+  match Hashtbl.find_opt t.loopbacks (Node.id node) with
+  | Some s -> s
+  | None -> invalid_arg "Net.loopback_of: unknown node"
+
+let links_between t a b =
+  if Node.id a = Node.id b then [ loopback_of t a ]
+  else begin
+    let both s = Segment.attached s a && Segment.attached s b in
+    let links = List.filter both t.segments in
+    List.sort
+      (fun s1 s2 ->
+         compare
+           (Segment.model s2).Linkmodel.bandwidth_bps
+           (Segment.model s1).Linkmodel.bandwidth_bps)
+      links
+  end
+
+let best_link t a b =
+  match links_between t a b with [] -> None | s :: _ -> Some s
+
+let run ?until t = Engine.Sim.run ?until t.sim
+
+let spawn t node ?name f =
+  ignore t;
+  Node.spawn node ?name f

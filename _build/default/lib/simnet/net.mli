@@ -1,0 +1,37 @@
+(** Grid topology container and knowledge base.
+
+    A [Net.t] owns the nodes and segments of one simulated grid and answers
+    the topology queries the selector needs ("which networks connect A and
+    B, and of which class?") — the paper's "knowledge base of the network
+    topology managed by PadicoTM". *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+val sim : t -> Engine.Sim.t
+
+val add_node : t -> string -> Node.t
+(** Create a node. Each node automatically gets a private loopback
+    segment. *)
+
+val add_segment : t -> Linkmodel.t -> ?name:string -> Node.t list -> Segment.t
+(** Create a segment over [model] and attach the given nodes. *)
+
+val nodes : t -> Node.t list
+val segments : t -> Segment.t list
+val node_by_id : t -> int -> Node.t option
+
+val loopback_of : t -> Node.t -> Segment.t
+(** The node's private loopback segment. *)
+
+val links_between : t -> Node.t -> Node.t -> Segment.t list
+(** All segments attached to both nodes (the loopback when they are the same
+    node), ordered by decreasing bandwidth. *)
+
+val best_link : t -> Node.t -> Node.t -> Segment.t option
+(** Highest-bandwidth segment between the two nodes. *)
+
+val run : ?until:int -> t -> unit
+(** Convenience: run the underlying simulator. *)
+
+val spawn : t -> Node.t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle

@@ -1,0 +1,39 @@
+type t = {
+  id : int;
+  uid : int;
+  name : string;
+  sim : Engine.Sim.t;
+  mutable busy_until : int;
+}
+
+let next_uid = ref 0
+
+let create sim ~id ~name =
+  incr next_uid;
+  { id; uid = !next_uid; name; sim; busy_until = 0 }
+
+let id t = t.id
+let uid t = t.uid
+let name t = t.name
+let sim t = t.sim
+
+let cpu_async t cost k =
+  assert (cost >= 0);
+  let now = Engine.Sim.now t.sim in
+  let start = if t.busy_until > now then t.busy_until else now in
+  let finish = start + cost in
+  t.busy_until <- finish;
+  Engine.Sim.at t.sim finish k
+
+let cpu t cost =
+  Engine.Proc.suspend (fun resume -> cpu_async t cost (fun () -> resume ()))
+
+let cpu_busy_until t = t.busy_until
+
+let spawn t ?name f =
+  let name =
+    match name with Some n -> t.name ^ "/" ^ n | None -> t.name ^ "/proc"
+  in
+  Engine.Proc.spawn t.sim ~name f
+
+let pp fmt t = Format.fprintf fmt "%s#%d" t.name t.id

@@ -1,0 +1,36 @@
+(** A grid node: an identity, a CPU resource, and attached segments.
+
+    The CPU is a serialized resource: software layers charge host time
+    ([cpu], [cpu_async]) and charges queue behind each other, which is what
+    makes per-byte copy costs and per-message overheads translate into the
+    latency/bandwidth figures of the paper. *)
+
+type t
+
+val create : Engine.Sim.t -> id:int -> name:string -> t
+
+val id : t -> int
+(** Address of the node inside its own grid (small, per-[Net]). *)
+
+(** [uid t] is a process-wide unique identity — a safe key for global
+    registries even when several simulations coexist (tests). *)
+val uid : t -> int
+
+val name : t -> string
+val sim : t -> Engine.Sim.t
+
+val cpu_async : t -> int -> (unit -> unit) -> unit
+(** [cpu_async node cost k] occupies the CPU for [cost] ns starting when it
+    becomes free, then runs [k]. *)
+
+val cpu : t -> int -> unit
+(** Blocking variant for process context: suspends the calling process while
+    the work executes. *)
+
+val cpu_busy_until : t -> int
+(** Instant at which already-queued CPU work completes. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle
+(** Spawn a process "running on" this node (naming/logging convenience). *)
+
+val pp : Format.formatter -> t -> unit

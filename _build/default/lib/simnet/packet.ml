@@ -1,0 +1,18 @@
+type content = ..
+
+type content += Raw of Engine.Bytebuf.t
+
+type t = { src : int; dst : int; proto : int; size : int; content : content }
+
+module Proto = struct
+  let gm = 1
+  let tcp = 6
+  let udp = 17
+end
+
+let make ~src ~dst ~proto ~size content =
+  assert (size >= 0);
+  { src; dst; proto; size; content }
+
+let pp fmt p =
+  Format.fprintf fmt "pkt[%d->%d proto=%d %dB]" p.src p.dst p.proto p.size

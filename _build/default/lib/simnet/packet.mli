@@ -1,0 +1,29 @@
+(** Frames carried by a segment.
+
+    The frame body is an extensible variant: each driver (GM, TCP, UDP, …)
+    extends {!content} with its own frame structure, so no driver pays
+    serialization costs in host time while the {e wire} size is still modeled
+    exactly through [size]. [proto] demultiplexes frames between drivers
+    sharing a segment (e.g. TCP and UDP on the same Ethernet). *)
+
+type content = ..
+
+type content += Raw of Engine.Bytebuf.t
+
+type t = {
+  src : int;  (** sender node id *)
+  dst : int;  (** destination node id *)
+  proto : int;  (** driver protocol number (cf. {!Proto}) *)
+  size : int;  (** payload bytes on the wire (headers included by sender) *)
+  content : content;
+}
+
+(** Well-known protocol numbers. *)
+module Proto : sig
+  val gm : int
+  val tcp : int
+  val udp : int
+end
+
+val make : src:int -> dst:int -> proto:int -> size:int -> content -> t
+val pp : Format.formatter -> t -> unit

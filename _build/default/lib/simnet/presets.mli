@@ -1,0 +1,37 @@
+(** Calibrated link models for the networks of the paper's evaluation
+    (dual-PIII 1 GHz testbed, Linux 2.2, IPDPS 2004).
+
+    The raw numbers anchor to the paper: Myrinet-2000 peaks at 250 MB/s and
+    the best middleware reach 240 MB/s (96 %); TCP/Ethernet-100 is the
+    reference curve of Figure 3; VTHD gives ≈ 9–12 MB/s at 8 ms; the
+    transcontinental path runs at a few hundred KB/s with 5–10 % loss. *)
+
+val myrinet2000 : Linkmodel.t
+(** 250 MB/s SAN, sub-2 µs hardware latency, no loss, 32 KB frames (GM-style
+    large messages), trusted. *)
+
+val sci : Linkmodel.t
+(** SCI SAN: lower bandwidth, very low latency, 8 KB frames. *)
+
+val ethernet100 : Linkmodel.t
+(** Switched Fast Ethernet: 12.5 MB/s, ~30 µs port-to-port, MTU 1500. *)
+
+val gigabit_lan : Linkmodel.t
+(** A faster LAN used in extension scenarios. *)
+
+val vthd : Linkmodel.t
+(** VTHD-like WAN: nodes access it through Ethernet-100 so the bottleneck is
+    12.5 MB/s; 4 ms one-way; rare loss that stalls a single TCP stream. *)
+
+val transcontinental : Linkmodel.t
+(** Slow intercontinental Internet path: ~600 KB/s, 25 ms one-way, 5 % base
+    loss (benchmarks sweep the loss), untrusted. *)
+
+val transcontinental_loss : float -> Linkmodel.t
+(** Same path with an explicit loss rate. *)
+
+val modem : Linkmodel.t
+(** Very slow access link where online compression pays off. *)
+
+val loopback : Linkmodel.t
+(** Intra-node loopback. *)

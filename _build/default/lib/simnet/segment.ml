@@ -1,0 +1,117 @@
+type port = {
+  node : Node.t;
+  mutable egress_busy_until : int;
+  mutable ingress_busy_until : int;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+let next_uid = ref 0
+
+type t = {
+  uid : int;
+  name : string;
+  sim : Engine.Sim.t;
+  model : Linkmodel.t;
+  rng : Engine.Rng.t;
+  ports : (int, port) Hashtbl.t;
+  mutable sent : int;
+  mutable lost : int;
+  mutable delivered : int;
+  mutable unclaimed : int;
+  mutable bytes : int;
+}
+
+let log = Logs.Src.create "simnet.segment"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let create sim model ~name =
+  incr next_uid;
+  { uid = !next_uid; name; sim; model; rng = Engine.Rng.split (Engine.Sim.rng sim);
+    ports = Hashtbl.create 16; sent = 0; lost = 0; delivered = 0;
+    unclaimed = 0; bytes = 0 }
+
+let uid t = t.uid
+let name t = t.name
+let model t = t.model
+let sim t = t.sim
+
+let attach t node =
+  if not (Hashtbl.mem t.ports (Node.id node)) then
+    Hashtbl.replace t.ports (Node.id node)
+      { node; egress_busy_until = 0; ingress_busy_until = 0;
+        handlers = Hashtbl.create 4 }
+
+let attached t node = Hashtbl.mem t.ports (Node.id node)
+
+let nodes t = Hashtbl.fold (fun _ p acc -> p.node :: acc) t.ports []
+
+let port_exn t id what =
+  match Hashtbl.find_opt t.ports id with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Segment %s: node %d not attached (%s)" t.name id what)
+
+let set_handler t node ~proto f =
+  let p = port_exn t (Node.id node) "set_handler" in
+  Hashtbl.replace p.handlers proto f
+
+let clear_handler t node ~proto =
+  let p = port_exn t (Node.id node) "clear_handler" in
+  Hashtbl.remove p.handlers proto
+
+let deliver t (dst : port) (pkt : Packet.t) =
+  match Hashtbl.find_opt dst.handlers pkt.proto with
+  | Some f ->
+    t.delivered <- t.delivered + 1;
+    f pkt
+  | None ->
+    t.unclaimed <- t.unclaimed + 1;
+    Log.debug (fun m ->
+        m "%s: no handler for %a at %a" t.name Packet.pp pkt Node.pp dst.node)
+
+let send t (pkt : Packet.t) =
+  let src = port_exn t pkt.src "send source" in
+  let dst = port_exn t pkt.dst "send destination" in
+  if pkt.size > t.model.Linkmodel.mtu then
+    invalid_arg
+      (Printf.sprintf "Segment %s: frame of %d bytes exceeds MTU %d" t.name
+         pkt.size t.model.Linkmodel.mtu);
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + pkt.size;
+  let now = Engine.Sim.now t.sim in
+  (* Back-to-back frames pay the port turnaround gap; an isolated frame on
+     an idle port does not (see Linkmodel.turnaround_ns). *)
+  let busy = src.egress_busy_until > now in
+  let ser =
+    Linkmodel.serialization_ns t.model pkt.size
+    + (if busy then t.model.Linkmodel.turnaround_ns else 0)
+  in
+  let start = if busy then src.egress_busy_until else now in
+  src.egress_busy_until <- start + ser;
+  if Engine.Rng.bool t.rng t.model.Linkmodel.loss then begin
+    t.lost <- t.lost + 1;
+    Log.debug (fun m -> m "%s: lost %a" t.name Packet.pp pkt)
+  end
+  else begin
+    let jitter =
+      if t.model.Linkmodel.jitter_ns = 0 then 0
+      else Engine.Rng.int t.rng (t.model.Linkmodel.jitter_ns + 1)
+    in
+    let arrival = start + ser + t.model.Linkmodel.latency_ns + jitter in
+    (* Ingress contention: the receiving port absorbs at most one frame per
+       serialization slot; concurrent senders queue behind each other. *)
+    let rx_start =
+      if dst.ingress_busy_until > arrival then dst.ingress_busy_until
+      else arrival
+    in
+    dst.ingress_busy_until <- rx_start + ser;
+    Engine.Sim.at t.sim rx_start (fun () -> deliver t dst pkt)
+  end
+
+let frames_sent t = t.sent
+let frames_lost t = t.lost
+let frames_delivered t = t.delivered
+let frames_unclaimed t = t.unclaimed
+let bytes_sent t = t.bytes

@@ -1,0 +1,44 @@
+(** A network segment: a set of node ports sharing one {!Linkmodel}.
+
+    A point-to-point link is a 2-port segment; a switched Ethernet or a SAN
+    fabric is an n-port segment. Each port serializes frames at the model's
+    bandwidth on egress and on ingress, so two senders targeting the same
+    receiver contend for its input port — the effect the NetAccess
+    arbitration experiment (E6) relies on. Frames are dropped independently
+    with the model's loss probability. *)
+
+type t
+
+val create : Engine.Sim.t -> Linkmodel.t -> name:string -> t
+
+val name : t -> string
+val model : t -> Linkmodel.t
+val sim : t -> Engine.Sim.t
+
+val uid : t -> int
+(** Process-wide unique identity (distinct across simulations). *)
+
+val attach : t -> Node.t -> unit
+(** Give [node] a port on this segment. Idempotent. *)
+
+val attached : t -> Node.t -> bool
+val nodes : t -> Node.t list
+
+val set_handler : t -> Node.t -> proto:int -> (Packet.t -> unit) -> unit
+(** Register the receive callback for frames of protocol [proto] arriving at
+    [node]'s port. One handler per (port, proto); re-registration replaces.
+    Frames with no handler are counted and dropped. *)
+
+val clear_handler : t -> Node.t -> proto:int -> unit
+
+val send : t -> Packet.t -> unit
+(** Inject a frame at the source port. Raises [Invalid_argument] when source
+    or destination is not attached, or when the frame exceeds the MTU. The
+    frame is delivered asynchronously (or lost). *)
+
+(** Observability for tests and benchmarks. *)
+val frames_sent : t -> int
+val frames_lost : t -> int
+val frames_delivered : t -> int
+val frames_unclaimed : t -> int
+val bytes_sent : t -> int

@@ -1,0 +1,1 @@
+lib/vlink/streamq.ml: Engine Queue

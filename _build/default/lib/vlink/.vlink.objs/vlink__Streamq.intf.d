@@ -1,0 +1,1 @@
+lib/vlink/streamq.mli: Engine

@@ -1,0 +1,1 @@
+lib/vlink/vl.ml: Calib Engine List Logs Queue Simnet

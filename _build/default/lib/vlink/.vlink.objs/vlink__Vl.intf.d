@@ -1,0 +1,1 @@
+lib/vlink/vl.mli: Engine Simnet

@@ -1,0 +1,1 @@
+lib/vlink/vl_adoc.ml: Calib Engine List Methods Simnet Stdlib Streamq Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_crypto.ml: Calib Engine List Logs Methods Simnet Stdlib Streamq Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_crypto.mli: Methods Vl

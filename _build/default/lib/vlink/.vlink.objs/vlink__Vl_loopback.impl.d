@@ -1,0 +1,1 @@
+lib/vlink/vl_loopback.ml: Calib Engine Hashtbl Printf Simnet Streamq Vl

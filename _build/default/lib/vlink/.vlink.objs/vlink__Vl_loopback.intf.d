@@ -1,0 +1,1 @@
+lib/vlink/vl_loopback.mli: Simnet Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_madio.ml: Engine Hashtbl Logs Madeleine Netaccess Printf Simnet Streamq Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_madio.mli: Netaccess Simnet Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_pstream.ml: Array Drivers Engine Hashtbl List Logs Netaccess Simnet Streamq Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_pstream.mli: Drivers Netaccess Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_sysio.mli: Drivers Netaccess Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_vrp.ml: Drivers Engine List Methods Option Streamq Vl

@@ -1,0 +1,1 @@
+lib/vlink/vl_vrp.mli: Drivers Methods Netaccess Vl

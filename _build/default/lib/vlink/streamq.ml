@@ -1,0 +1,56 @@
+module Bytebuf = Engine.Bytebuf
+
+type t = { chunks : Bytebuf.t Queue.t; mutable len : int }
+
+let create () = { chunks = Queue.create (); len = 0 }
+
+let push t b =
+  if Bytebuf.length b > 0 then begin
+    Queue.push b t.chunks;
+    t.len <- t.len + Bytebuf.length b
+  end
+
+let pop t ~max =
+  if t.len = 0 || max <= 0 then None
+  else begin
+    let head = Queue.pop t.chunks in
+    let hlen = Bytebuf.length head in
+    let out =
+      if hlen <= max then head
+      else begin
+        let a, b = Bytebuf.split head max in
+        (* Reinsert the remainder at the front. *)
+        let rest = Queue.create () in
+        Queue.push b rest;
+        Queue.transfer t.chunks rest;
+        Queue.transfer rest t.chunks;
+        a
+      end
+    in
+    t.len <- t.len - Bytebuf.length out;
+    Some out
+  end
+
+let pop_exact t n =
+  if n > t.len then invalid_arg "Streamq.pop_exact: not enough bytes";
+  match pop t ~max:n with
+  | Some first when Bytebuf.length first = n -> first
+  | Some first ->
+    let out = Bytebuf.create n in
+    Bytebuf.blit_dma ~src:first ~src_off:0 ~dst:out ~dst_off:0
+      ~len:(Bytebuf.length first);
+    let filled = ref (Bytebuf.length first) in
+    while !filled < n do
+      match pop t ~max:(n - !filled) with
+      | Some part ->
+        Bytebuf.blit_dma ~src:part ~src_off:0 ~dst:out ~dst_off:!filled
+          ~len:(Bytebuf.length part);
+        filled := !filled + Bytebuf.length part
+      | None -> invalid_arg "Streamq.pop_exact: queue underflow"
+    done;
+    out
+  | None -> invalid_arg "Streamq.pop_exact: queue underflow"
+
+let length t = t.len
+
+let is_empty t = t.len = 0

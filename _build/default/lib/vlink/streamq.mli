@@ -1,0 +1,17 @@
+(** In-memory byte-stream queue shared by memory-backed VLink drivers
+    (MadIO, loopback, parallel streams, AdOC, VRP). Chunks in, bounded
+    byte reads out, without copying. *)
+
+type t
+
+val create : unit -> t
+val push : t -> Engine.Bytebuf.t -> unit
+val pop : t -> max:int -> Engine.Bytebuf.t option
+(** Up to [max] bytes; [None] when empty. Single-chunk pops are no-copy. *)
+
+val pop_exact : t -> int -> Engine.Bytebuf.t
+(** Exactly [n] bytes. Raises [Invalid_argument] when fewer are queued.
+    No-copy when the front chunk suffices. *)
+
+val length : t -> int
+val is_empty : t -> bool

@@ -1,0 +1,227 @@
+module Bytebuf = Engine.Bytebuf
+module Proc = Engine.Proc
+
+let log = Logs.Src.create "vlink"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type event = Connected | Readable | Writable | Peer_closed | Failed of string
+
+type ops = {
+  o_write : Bytebuf.t -> int;
+  o_read : max:int -> Bytebuf.t option;
+  o_readable : unit -> int;
+  o_write_space : unit -> int;
+  o_close : unit -> unit;
+  o_driver : string;
+}
+
+type completion = Done of int | Eof | Error of string
+
+type state = Connecting | Connected_st | Closed | Failed_st of string
+
+type req = {
+  kind : [ `Read | `Write ];
+  buf : Bytebuf.t;
+  mutable progress : int;
+  mutable result : completion option;
+  mutable handler : (completion -> unit) option;
+  owner : t;
+}
+
+and t = {
+  vnode : Simnet.Node.t;
+  mutable ops : ops option;
+  mutable st : state;
+  reads : req Queue.t;
+  writes : req Queue.t;
+  mutable evt_handlers : (event -> unit) list;
+  mutable peer_closed : bool;
+}
+
+let create vnode =
+  { vnode; ops = None; st = Connecting; reads = Queue.create ();
+    writes = Queue.create (); evt_handlers = []; peer_closed = false }
+
+let node t = t.vnode
+
+let driver_name t =
+  match t.ops with Some o -> o.o_driver | None -> "(connecting)"
+
+let is_connected t = t.st = Connected_st
+
+let is_closed t = match t.st with Closed | Failed_st _ -> true | _ -> false
+
+let readable_bytes t =
+  match t.ops with Some o -> o.o_readable () | None -> 0
+
+let write_space t =
+  match t.ops with Some o -> o.o_write_space () | None -> 0
+
+let complete req c =
+  if req.result = None then begin
+    req.result <- Some c;
+    match req.handler with Some f -> f c | None -> ()
+  end
+
+let fire t ev = List.iter (fun f -> f ev) (List.rev t.evt_handlers)
+
+let pump_reads t =
+  match t.ops with
+  | None -> ()
+  | Some o ->
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      match Queue.peek_opt t.reads with
+      | None -> ()
+      | Some req ->
+        let want = Bytebuf.length req.buf in
+        (match o.o_read ~max:want with
+         | Some data ->
+           let n = Bytebuf.length data in
+           Bytebuf.blit_dma ~src:data ~src_off:0 ~dst:req.buf ~dst_off:0
+             ~len:n;
+           ignore (Queue.pop t.reads);
+           (* Completion machinery cost: on the receive latency path. *)
+           Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () ->
+               complete req (Done n));
+           progress := true
+         | None ->
+           if t.peer_closed then begin
+             ignore (Queue.pop t.reads);
+             complete req Eof;
+             progress := true
+           end)
+    done
+
+let pump_writes t =
+  match t.ops with
+  | None -> ()
+  | Some o ->
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      match Queue.peek_opt t.writes with
+      | None -> ()
+      | Some req ->
+        let len = Bytebuf.length req.buf in
+        let remaining = len - req.progress in
+        if remaining = 0 then begin
+          ignore (Queue.pop t.writes);
+          complete req (Done len);
+          progress := true
+        end
+        else begin
+          let n = o.o_write (Bytebuf.sub req.buf req.progress remaining) in
+          if n > 0 then begin
+            req.progress <- req.progress + n;
+            if req.progress = len then begin
+              ignore (Queue.pop t.writes);
+              complete req (Done len)
+            end;
+            progress := true
+          end
+        end
+    done
+
+let fail_all t msg =
+  let fail_queue q =
+    Queue.iter (fun req -> complete req (Error msg)) q;
+    Queue.clear q
+  in
+  fail_queue t.reads;
+  fail_queue t.writes
+
+let notify t ev =
+  (match ev with
+   | Connected ->
+     if t.st = Connecting then t.st <- Connected_st
+   | Readable -> pump_reads t
+   | Writable -> pump_writes t
+   | Peer_closed ->
+     t.peer_closed <- true;
+     pump_reads t
+   | Failed msg ->
+     t.st <- Failed_st msg;
+     fail_all t msg);
+  fire t ev
+
+let attach_ops t ops =
+  (match t.ops with
+   | Some _ -> invalid_arg "Vlink.attach_ops: ops already attached"
+   | None -> t.ops <- Some ops);
+  notify t Connected;
+  pump_writes t;
+  pump_reads t
+
+let create_connected vnode ops =
+  let t = create vnode in
+  attach_ops t ops;
+  t
+
+let post_read t buf =
+  if Bytebuf.length buf = 0 then invalid_arg "Vlink.post_read: empty buffer";
+  let req =
+    { kind = `Read; buf; progress = 0; result = None; handler = None;
+      owner = t }
+  in
+  (match t.st with
+   | Failed_st msg -> complete req (Error msg)
+   | Closed -> complete req (Error "closed")
+   | Connecting | Connected_st ->
+     Queue.push req t.reads;
+     Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () -> pump_reads t));
+  req
+
+let post_write t buf =
+  let req =
+    { kind = `Write; buf; progress = 0; result = None; handler = None;
+      owner = t }
+  in
+  (match t.st with
+   | Failed_st msg -> complete req (Error msg)
+   | Closed -> complete req (Error "closed")
+   | Connecting | Connected_st ->
+     Queue.push req t.writes;
+     (* Post machinery cost: on the send latency path. *)
+     Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () -> pump_writes t));
+  req
+
+let poll req = req.result
+
+let set_handler req f =
+  match req.result with
+  | Some c -> f c
+  | None -> req.handler <- Some f
+
+let await req =
+  match req.result with
+  | Some c -> c
+  | None -> Proc.suspend (fun resume -> req.handler <- Some resume)
+
+let close t =
+  match t.st with
+  | Closed | Failed_st _ -> ()
+  | Connecting | Connected_st ->
+    (match t.ops with Some o -> o.o_close () | None -> ());
+    t.st <- Closed;
+    (* Pending reads see end-of-stream; pending writes are aborted. *)
+    Queue.iter (fun req -> complete req Eof) t.reads;
+    Queue.clear t.reads;
+    Queue.iter (fun req -> complete req (Error "closed")) t.writes;
+    Queue.clear t.writes
+
+let on_event t f = t.evt_handlers <- f :: t.evt_handlers
+
+let await_connected t =
+  match t.st with
+  | Connected_st -> Ok ()
+  | Failed_st m -> Error m
+  | Closed -> Error "closed"
+  | Connecting ->
+    Proc.suspend (fun resume ->
+        on_event t (function
+          | Connected -> resume (Ok ())
+          | Failed m -> resume (Error m)
+          | Readable | Writable | Peer_closed -> ()))

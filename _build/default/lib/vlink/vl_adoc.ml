@@ -1,0 +1,103 @@
+module Bytebuf = Engine.Bytebuf
+module Adoc = Methods.Adoc
+
+let driver_name = "adoc"
+
+type st = {
+  inner : Vl.t;
+  codec : Adoc.t;
+  decoder : Adoc.Decoder.d;
+  rx : Streamq.t;
+  node : Simnet.Node.t;
+  mutable outer : Vl.t option;
+  mutable closed : bool;
+}
+
+let charge st per_byte n k =
+  Simnet.Node.cpu_async st.node
+    (int_of_float (per_byte *. float_of_int n))
+    k
+
+(* Keep one inner read posted at all times; decode into the rx queue. *)
+let rec read_loop st =
+  if not st.closed then begin
+    let buf = Bytebuf.create 65_536 in
+    let req = Vl.post_read st.inner buf in
+    Vl.set_handler req (function
+      | Vl.Done n ->
+        let chunks = Adoc.Decoder.feed st.decoder (Bytebuf.sub buf 0 n) in
+        let decompressed =
+          List.fold_left (fun acc c -> acc + Bytebuf.length c) 0 chunks
+        in
+        (* Decompression CPU, then deliver. *)
+        charge st Calib.decompress_per_byte_ns decompressed (fun () ->
+            List.iter (Streamq.push st.rx) chunks;
+            (match st.outer with
+             | Some vl when not (Streamq.is_empty st.rx) ->
+               Vl.notify vl Vl.Readable
+             | _ -> ());
+            read_loop st)
+      | Vl.Eof ->
+        (match st.outer with
+         | Some vl -> Vl.notify vl Vl.Peer_closed
+         | None -> ())
+      | Vl.Error e ->
+        (match st.outer with
+         | Some vl -> Vl.notify vl (Vl.Failed e)
+         | None -> ()))
+  end
+
+let ops st =
+  { Vl.o_write =
+      (fun buf ->
+         if st.closed then 0
+         else begin
+           let total = Bytebuf.length buf in
+           let pos = ref 0 in
+           while !pos < total do
+             let n = min (Adoc.chunk_size st.codec) (total - !pos) in
+             let chunk = Bytebuf.sub buf !pos n in
+             let frame, decision = Adoc.encode st.codec chunk in
+             (* Compression CPU precedes the wire. *)
+             (match decision with
+              | Adoc.Compress -> charge st Calib.compress_per_byte_ns n (fun () -> ())
+              | Adoc.Pass -> ());
+             ignore (Vl.post_write st.inner frame);
+             pos := !pos + n
+           done;
+           total
+         end);
+    o_read = (fun ~max -> Streamq.pop st.rx ~max);
+    o_readable = (fun () -> Streamq.length st.rx);
+    o_write_space =
+      (fun () -> if st.closed then 0 else Stdlib.max 0 (Vl.write_space st.inner));
+    o_close =
+      (fun () ->
+         st.closed <- true;
+         Vl.close st.inner);
+    o_driver = driver_name }
+
+let wrap ?chunk ~link_bandwidth_bps inner =
+  let st =
+    { inner; codec = Adoc.create ?chunk ~link_bandwidth_bps ();
+      decoder = Adoc.Decoder.create (); rx = Streamq.create ();
+      node = Vl.node inner; outer = None; closed = false }
+  in
+  let vl =
+    if Vl.is_connected inner then Vl.create_connected (Vl.node inner) (ops st)
+    else begin
+      let vl = Vl.create (Vl.node inner) in
+      Vl.on_event inner (function
+        | Vl.Connected -> Vl.attach_ops vl (ops st)
+        | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
+        | Vl.Readable | Vl.Writable | Vl.Peer_closed -> ());
+      vl
+    end
+  in
+  st.outer <- Some vl;
+  if Vl.is_connected inner then read_loop st
+  else
+    Vl.on_event inner (function
+      | Vl.Connected -> read_loop st
+      | _ -> ());
+  vl

@@ -1,0 +1,11 @@
+(** AdOC VLink adapter: adaptive online compression stacked over any other
+    VLink (typically SysIO/TCP on a slow WAN). Both ends must use the
+    adapter. Compression CPU time is charged; the decision to compress is
+    re-evaluated per chunk (see {!Methods.Adoc}). *)
+
+val wrap : ?chunk:int -> link_bandwidth_bps:float -> Vl.t -> Vl.t
+(** [wrap inner] returns a descriptor whose writes are compressed
+    (adaptively) and whose reads are decompressed. Closing the wrapper
+    closes [inner]. *)
+
+val driver_name : string

@@ -1,0 +1,131 @@
+module Bytebuf = Engine.Bytebuf
+module Crypto = Methods.Crypto
+
+let log = Logs.Src.create "vlink.crypto"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let driver_name = "crypto"
+
+let chunk_max = 16_384
+
+(* Frame: [u32 len | len ciphered bytes] where the ciphered body carries the
+   Crypto authentication trailer. *)
+
+type st = {
+  inner : Vl.t;
+  key : Crypto.key;
+  rx : Streamq.t;
+  pending : Streamq.t;
+  mutable want : int option;
+  node : Simnet.Node.t;
+  mutable outer : Vl.t option;
+  mutable closed : bool;
+}
+
+let charge st n k =
+  Simnet.Node.cpu_async st.node
+    (int_of_float (Calib.cipher_per_byte_ns *. float_of_int n))
+    k
+
+let parse st =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match st.want with
+    | None ->
+      if Streamq.length st.pending >= 4 then begin
+        let h = Streamq.pop_exact st.pending 4 in
+        st.want <- Some (Bytebuf.get_u32 h 0)
+      end
+      else continue := false
+    | Some len ->
+      if Streamq.length st.pending >= len then begin
+        let body = Streamq.pop_exact st.pending len in
+        st.want <- None;
+        match Crypto.decrypt st.key body with
+        | Ok plain -> out := plain :: !out
+        | Error e ->
+          Log.err (fun m -> m "vl_crypto: %s" e);
+          (match st.outer with
+           | Some vl -> Vl.notify vl (Vl.Failed e)
+           | None -> ());
+          continue := false
+      end
+      else continue := false
+  done;
+  List.rev !out
+
+let rec read_loop st =
+  if not st.closed then begin
+    let buf = Bytebuf.create 65_536 in
+    let req = Vl.post_read st.inner buf in
+    Vl.set_handler req (function
+      | Vl.Done n ->
+        Streamq.push st.pending (Bytebuf.sub buf 0 n);
+        let chunks = parse st in
+        let bytes = List.fold_left (fun a c -> a + Bytebuf.length c) 0 chunks in
+        charge st bytes (fun () ->
+            List.iter (Streamq.push st.rx) chunks;
+            (match st.outer with
+             | Some vl when not (Streamq.is_empty st.rx) ->
+               Vl.notify vl Vl.Readable
+             | _ -> ());
+            read_loop st)
+      | Vl.Eof ->
+        (match st.outer with Some vl -> Vl.notify vl Vl.Peer_closed | None -> ())
+      | Vl.Error e ->
+        (match st.outer with Some vl -> Vl.notify vl (Vl.Failed e) | None -> ()))
+  end
+
+let ops st =
+  { Vl.o_write =
+      (fun buf ->
+         if st.closed then 0
+         else begin
+           let total = Bytebuf.length buf in
+           let pos = ref 0 in
+           while !pos < total do
+             let n = min chunk_max (total - !pos) in
+             let body = Crypto.encrypt st.key (Bytebuf.sub buf !pos n) in
+             let frame = Bytebuf.create (4 + Bytebuf.length body) in
+             Bytebuf.set_u32 frame 0 (Bytebuf.length body);
+             Bytebuf.blit ~src:body ~src_off:0 ~dst:frame ~dst_off:4
+               ~len:(Bytebuf.length body);
+             charge st n (fun () -> ());
+             ignore (Vl.post_write st.inner frame);
+             pos := !pos + n
+           done;
+           total
+         end);
+    o_read = (fun ~max -> Streamq.pop st.rx ~max);
+    o_readable = (fun () -> Streamq.length st.rx);
+    o_write_space =
+      (fun () -> if st.closed then 0 else Stdlib.max 0 (Vl.write_space st.inner));
+    o_close =
+      (fun () ->
+         st.closed <- true;
+         Vl.close st.inner);
+    o_driver = driver_name }
+
+let wrap ~key inner =
+  let st =
+    { inner; key; rx = Streamq.create (); pending = Streamq.create ();
+      want = None; node = Vl.node inner; outer = None; closed = false }
+  in
+  let vl =
+    if Vl.is_connected inner then Vl.create_connected (Vl.node inner) (ops st)
+    else begin
+      let vl = Vl.create (Vl.node inner) in
+      Vl.on_event inner (function
+        | Vl.Connected -> Vl.attach_ops vl (ops st)
+        | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
+        | Vl.Readable | Vl.Writable | Vl.Peer_closed -> ());
+      vl
+    end
+  in
+  st.outer <- Some vl;
+  if Vl.is_connected inner then read_loop st
+  else
+    Vl.on_event inner (function Vl.Connected -> read_loop st | _ -> ());
+  vl

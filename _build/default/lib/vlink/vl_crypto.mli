@@ -1,0 +1,7 @@
+(** Cipher VLink adapter: authenticated stream encryption stacked over any
+    other VLink. The selector inserts it automatically on untrusted links
+    ("if the network is secure, it is useless to cipher data"). *)
+
+val wrap : key:Methods.Crypto.key -> Vl.t -> Vl.t
+
+val driver_name : string

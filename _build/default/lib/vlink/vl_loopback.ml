@@ -1,0 +1,74 @@
+module Bytebuf = Engine.Bytebuf
+
+let driver_name = "loopback"
+
+type half = {
+  rx : Streamq.t;
+  mutable peer : Vl.t option;
+  mutable closed : bool;
+}
+
+let listeners : (int * int, Vl.t -> unit) Hashtbl.t = Hashtbl.create 16
+
+let ops node mine theirs =
+  { Vl.o_write =
+      (fun buf ->
+         if mine.closed then 0
+         else begin
+           let n = Bytebuf.length buf in
+           (* One pipe-style copy, charged as memcpy. *)
+           let cost =
+             500 + int_of_float (Calib.memcpy_per_byte_ns *. float_of_int n)
+           in
+           let data = Bytebuf.copy buf in
+           Simnet.Node.cpu_async node cost (fun () ->
+               if not theirs.closed then begin
+                 Streamq.push theirs.rx data;
+                 match theirs.peer with
+                 | Some vl -> Vl.notify vl Vl.Readable
+                 | None -> ()
+               end);
+           n
+         end);
+    o_read = (fun ~max -> Streamq.pop mine.rx ~max);
+    o_readable = (fun () -> Streamq.length mine.rx);
+    o_write_space = (fun () -> if mine.closed then 0 else max_int);
+    o_close =
+      (fun () ->
+         mine.closed <- true;
+         (* Defer through the same CPU queue so EOF cannot overtake data
+            already in flight. *)
+         Simnet.Node.cpu_async node 500 (fun () ->
+             match theirs.peer with
+             | Some vl -> Vl.notify vl Vl.Peer_closed
+             | None -> ()));
+    o_driver = driver_name }
+
+let pair node =
+  let a = { rx = Streamq.create (); peer = None; closed = false } in
+  let b = { rx = Streamq.create (); peer = None; closed = false } in
+  let va = Vl.create_connected node (ops node a b) in
+  let vb = Vl.create_connected node (ops node b a) in
+  a.peer <- Some va;
+  b.peer <- Some vb;
+  (va, vb)
+
+let listen node ~port accept =
+  let key = (Simnet.Node.uid node, port) in
+  if Hashtbl.mem listeners key then
+    invalid_arg
+      (Printf.sprintf "Vl_loopback.listen: port %d already bound" port);
+  Hashtbl.replace listeners key accept
+
+let unlisten node ~port = Hashtbl.remove listeners (Simnet.Node.uid node, port)
+
+let connect node ~port =
+  match Hashtbl.find_opt listeners (Simnet.Node.uid node, port) with
+  | None ->
+    let vl = Vl.create node in
+    Vl.notify vl (Vl.Failed "connection refused");
+    vl
+  | Some accept ->
+    let client, server = pair node in
+    accept server;
+    client

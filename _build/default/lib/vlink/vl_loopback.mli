@@ -1,0 +1,11 @@
+(** Intra-node loopback VLink driver: a crossed pair of in-memory byte
+    queues with a small per-operation cost. *)
+
+val pair : Simnet.Node.t -> Vl.t * Vl.t
+(** Two directly connected descriptors on the same node. *)
+
+val listen : Simnet.Node.t -> port:int -> (Vl.t -> unit) -> unit
+val unlisten : Simnet.Node.t -> port:int -> unit
+val connect : Simnet.Node.t -> port:int -> Vl.t
+
+val driver_name : string

@@ -1,0 +1,156 @@
+module Bytebuf = Engine.Bytebuf
+module Madio = Netaccess.Madio
+
+let log = Logs.Src.create "vlink.madio"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let driver_name = "madio"
+
+let control_lchannel = 0xFFF0
+
+(* Control/data messages, all on the reserved logical channel:
+   SYN    [u8 1 | u32 conn | u32 port]
+   SYNACK [u8 2 | u32 conn | u32 peer-conn]
+   RST    [u8 3 | u32 conn]
+   DATA   [u8 4 | u32 conn | bytes]
+   CLOSE  [u8 5 | u32 conn]
+   where [conn] is always the {e receiver's} connection id (except SYN,
+   where it is the initiator's). *)
+
+type conn = {
+  vl : Vl.t;
+  local_id : int;
+  mutable peer_node : int;
+  mutable peer_id : int; (* -1 until SYNACK *)
+  rx : Streamq.t;
+  mutable closed : bool;
+}
+
+type inst = {
+  mio : Madio.t;
+  lchan : Madio.lchannel;
+  conns : (int, conn) Hashtbl.t;
+  listeners : (int, Vl.t -> unit) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let instances : (int * int, inst) Hashtbl.t = Hashtbl.create 16
+
+let header ~kind ~conn_id ~extra =
+  let b = Bytebuf.create 9 in
+  Bytebuf.set_u8 b 0 kind;
+  Bytebuf.set_u32 b 1 conn_id;
+  Bytebuf.set_u32 b 5 extra;
+  b
+
+let send_ctl t ~dst ~kind ~conn_id ~extra =
+  Madio.send t.lchan ~dst (header ~kind ~conn_id ~extra)
+
+let ops_of_conn t c =
+  { Vl.o_write =
+      (fun buf ->
+         if c.closed then 0
+         else begin
+           (* SAN is reliable and fast: a write becomes one MadIO message
+              carrying the 9-byte data header combined with the payload. *)
+           Madio.sendv t.lchan ~dst:c.peer_node
+             [ header ~kind:4 ~conn_id:c.peer_id ~extra:0; buf ];
+           Bytebuf.length buf
+         end);
+    o_read = (fun ~max -> Streamq.pop c.rx ~max);
+    o_readable = (fun () -> Streamq.length c.rx);
+    o_write_space = (fun () -> if c.closed then 0 else max_int);
+    o_close =
+      (fun () ->
+         if not c.closed then begin
+           c.closed <- true;
+           if c.peer_id >= 0 then
+             send_ctl t ~dst:c.peer_node ~kind:5 ~conn_id:c.peer_id ~extra:0
+         end);
+    o_driver = driver_name }
+
+let fresh_conn t ~vl ~peer_node ~peer_id =
+  let local_id = t.next_id in
+  t.next_id <- local_id + 1;
+  let c =
+    { vl; local_id; peer_node; peer_id; rx = Streamq.create (); closed = false }
+  in
+  Hashtbl.replace t.conns local_id c;
+  c
+
+let handle t ~src (msg : Bytebuf.t) =
+  let kind = Bytebuf.get_u8 msg 0 in
+  let conn_id = Bytebuf.get_u32 msg 1 in
+  match kind with
+  | 1 ->
+    (* SYN: conn_id is the initiator's id, extra is the port. *)
+    let port = Bytebuf.get_u32 msg 5 in
+    (match Hashtbl.find_opt t.listeners port with
+     | None -> send_ctl t ~dst:src ~kind:3 ~conn_id ~extra:0
+     | Some accept ->
+       let vl = Vl.create (Madio.node t.mio) in
+       let c = fresh_conn t ~vl ~peer_node:src ~peer_id:conn_id in
+       send_ctl t ~dst:src ~kind:2 ~conn_id ~extra:c.local_id;
+       Vl.attach_ops vl (ops_of_conn t c);
+       accept vl)
+  | 2 ->
+    (* SYNACK: conn_id is ours, extra is the peer's. *)
+    (match Hashtbl.find_opt t.conns conn_id with
+     | Some c when c.peer_id < 0 ->
+       c.peer_id <- Bytebuf.get_u32 msg 5;
+       Vl.attach_ops c.vl (ops_of_conn t c)
+     | _ -> ())
+  | 3 ->
+    (match Hashtbl.find_opt t.conns conn_id with
+     | Some c ->
+       Hashtbl.remove t.conns conn_id;
+       Vl.notify c.vl (Vl.Failed "connection refused")
+     | None -> ())
+  | 4 ->
+    (match Hashtbl.find_opt t.conns conn_id with
+     | Some c ->
+       Streamq.push c.rx (Bytebuf.sub msg 9 (Bytebuf.length msg - 9));
+       Vl.notify c.vl Vl.Readable
+     | None -> ())
+  | 5 ->
+    (match Hashtbl.find_opt t.conns conn_id with
+     | Some c ->
+       c.closed <- true;
+       Vl.notify c.vl Vl.Peer_closed
+     | None -> ())
+  | k -> Log.err (fun m -> m "vl_madio: unknown message kind %d" k)
+
+let get mio =
+  let key =
+    ( Simnet.Node.uid (Madio.node mio),
+      Simnet.Segment.uid (Madeleine.Mad.segment (Madio.mad mio)) )
+  in
+  match Hashtbl.find_opt instances key with
+  | Some t -> t
+  | None ->
+    let lchan = Madio.open_lchannel mio ~id:control_lchannel in
+    let t =
+      { mio; lchan; conns = Hashtbl.create 16; listeners = Hashtbl.create 8;
+        next_id = 0 }
+    in
+    Madio.set_recv lchan (fun ~src msg -> handle t ~src msg);
+    Hashtbl.replace instances key t;
+    t
+
+let connect mio ~dst ~port =
+  let t = get mio in
+  let vl = Vl.create (Madio.node mio) in
+  let c = fresh_conn t ~vl ~peer_node:(Simnet.Node.id dst) ~peer_id:(-1) in
+  send_ctl t ~dst:(Simnet.Node.id dst) ~kind:1 ~conn_id:c.local_id ~extra:port;
+  vl
+
+let listen mio ~port accept =
+  let t = get mio in
+  if Hashtbl.mem t.listeners port then
+    invalid_arg (Printf.sprintf "Vl_madio.listen: port %d already bound" port);
+  Hashtbl.replace t.listeners port accept
+
+let unlisten mio ~port =
+  let t = get mio in
+  Hashtbl.remove t.listeners port

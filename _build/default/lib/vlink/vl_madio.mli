@@ -1,0 +1,20 @@
+(** VLink driver over NetAccess MadIO — the {e cross-paradigm} adapter:
+    distributed semantics (dynamic client/server connections, byte
+    streaming) on parallel hardware (Myrinet/SCI through Madeleine).
+
+    This is the adapter that lets a CORBA implementation "believe it is
+    using TCP/IP" while actually running at Myrinet speed — without
+    PadicoTM "no CORBA implementation is able to utilize a Myrinet-2000
+    network".
+
+    One reserved logical channel per node carries the connection-management
+    and data messages of all VLink-over-MadIO connections. *)
+
+val connect : Netaccess.Madio.t -> dst:Simnet.Node.t -> port:int -> Vl.t
+val listen : Netaccess.Madio.t -> port:int -> (Vl.t -> unit) -> unit
+val unlisten : Netaccess.Madio.t -> port:int -> unit
+
+val driver_name : string
+
+val control_lchannel : int
+(** The reserved MadIO logical channel id. *)

@@ -1,0 +1,25 @@
+(** Parallel-streams VLink driver: one logical link striped over several TCP
+    connections (GridFTP-style).
+
+    On a high-bandwidth high-latency WAN each isolated TCP loss halves one
+    stream's congestion window; striping over [n] sockets confines every
+    loss to 1/n of the aggregate, recovering most of the link bandwidth
+    (experiment E4). Frames carry a global sequence number; the receiver
+    reorders across streams and delivers a plain in-order byte stream. *)
+
+val connect :
+  Netaccess.Sysio.t ->
+  Drivers.Tcp.stack ->
+  dst:int ->
+  port:int ->
+  streams:int ->
+  Vl.t
+
+val listen :
+  Netaccess.Sysio.t -> Drivers.Tcp.stack -> port:int -> (Vl.t -> unit) -> unit
+(** Accepts grouped connection bundles on [port]. *)
+
+val driver_name : string
+
+val default_block : int
+(** Striping block size (bytes). *)

@@ -1,0 +1,37 @@
+module Tcp = Drivers.Tcp
+
+let driver_name = "sysio"
+
+let ops_of_conn conn =
+  { Vl.o_write = Tcp.write conn;
+    o_read = (fun ~max -> Tcp.read conn ~max);
+    o_readable = (fun () -> Tcp.readable_bytes conn);
+    o_write_space = (fun () -> Tcp.write_space conn);
+    o_close = (fun () -> Tcp.close conn);
+    o_driver = driver_name }
+
+let wire vl conn =
+  (* Connection-level events go through the SysIO receipt loop already
+     (Sysio.watch); translate them for the descriptor. *)
+  function
+  | Tcp.Established -> Vl.attach_ops vl (ops_of_conn conn)
+  | Tcp.Readable -> Vl.notify vl Vl.Readable
+  | Tcp.Writable -> Vl.notify vl Vl.Writable
+  | Tcp.Peer_closed -> Vl.notify vl Vl.Peer_closed
+  | Tcp.Reset -> Vl.notify vl (Vl.Failed "connection reset")
+
+let connect sio stack ~dst ~port =
+  let vl = Vl.create (Tcp.node stack) in
+  let conn = Netaccess.Sysio.connect sio stack ~dst ~port (fun conn ev ->
+      wire vl conn ev)
+  in
+  ignore conn;
+  vl
+
+let listen sio stack ~port accept =
+  Netaccess.Sysio.listen sio stack ~port (fun conn ->
+      (* The connection is already established when handed over. *)
+      let vl = Vl.create (Tcp.node stack) in
+      Netaccess.Sysio.watch sio conn (wire vl conn);
+      Vl.attach_ops vl (ops_of_conn conn);
+      accept vl)

@@ -1,0 +1,12 @@
+(** VLink driver over NetAccess SysIO (TCP sockets) — the {e straight}
+    adapter for the distributed paradigm on distributed hardware. *)
+
+val connect :
+  Netaccess.Sysio.t -> Drivers.Tcp.stack -> dst:int -> port:int -> Vl.t
+(** Returns immediately with a connecting descriptor. *)
+
+val listen :
+  Netaccess.Sysio.t -> Drivers.Tcp.stack -> port:int -> (Vl.t -> unit) ->
+  unit
+
+val driver_name : string

@@ -1,0 +1,81 @@
+module Bytebuf = Engine.Bytebuf
+module Vrp = Methods.Vrp
+
+let driver_name = "vrp"
+
+(* Descriptor → protocol-instance associations for stats introspection
+   (physical equality; streams are few). *)
+let senders : (Vl.t * Vrp.sender) list ref = ref []
+
+let receivers : (Vl.t * Vrp.receiver) list ref = ref []
+
+let sender_of vl =
+  List.find_opt (fun (v, _) -> v == vl) !senders |> Option.map snd
+
+let receiver_of vl =
+  List.find_opt (fun (v, _) -> v == vl) !receivers |> Option.map snd
+
+let connect sio udp ~dst ~port ~tolerance ~rate_bps =
+  let sender =
+    Vrp.create_sender sio udp ~dst ~dst_port:port ~tolerance ~rate_bps
+  in
+  let closed = ref false in
+  let ops =
+    { Vl.o_write =
+        (fun buf ->
+           if !closed then 0
+           else begin
+             Vrp.send sender buf;
+             Bytebuf.length buf
+           end);
+      (* A VRP stream is unidirectional: the connecting side only writes. *)
+      o_read = (fun ~max:_ -> None);
+      o_readable = (fun () -> 0);
+      o_write_space = (fun () -> if !closed then 0 else max_int);
+      o_close =
+        (fun () ->
+           closed := true;
+           Vrp.finish sender);
+      o_driver = driver_name }
+  in
+  let vl = Vl.create_connected (Drivers.Udp.node udp) ops in
+  senders := (vl, sender) :: !senders;
+  vl
+
+let listen sio udp ~port ~tolerance accept =
+  ignore tolerance; (* the budget is enforced by the sender *)
+  let rxq = Streamq.create () in
+  let vl_cell = ref None in
+  let ops =
+    { Vl.o_write = (fun _ -> 0);
+      o_read = (fun ~max -> Streamq.pop rxq ~max);
+      o_readable = (fun () -> Streamq.length rxq);
+      o_write_space = (fun () -> 0);
+      o_close = (fun () -> ());
+      o_driver = driver_name }
+  in
+  (* Datagram semantics: the stream "connects" when the first datagram
+     arrives — accepting earlier would hand servers a dead descriptor. *)
+  let receiver_cell = ref None in
+  let ensure_accepted () =
+    match !vl_cell with
+    | Some vl -> vl
+    | None ->
+      let vl = Vl.create_connected (Drivers.Udp.node udp) ops in
+      vl_cell := Some vl;
+      (match !receiver_cell with
+       | Some r -> receivers := (vl, r) :: !receivers
+       | None -> ());
+      accept vl;
+      vl
+  in
+  let receiver =
+    Vrp.create_receiver sio udp ~port
+      ~on_chunk:(fun ~offset:_ chunk ->
+        let vl = ensure_accepted () in
+        Streamq.push rxq chunk;
+        Vl.notify vl Vl.Readable)
+      ~on_complete:(fun () -> Vl.notify (ensure_accepted ()) Vl.Peer_closed)
+      ()
+  in
+  receiver_cell := Some receiver

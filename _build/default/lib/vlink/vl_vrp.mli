@@ -1,0 +1,33 @@
+(** VRP VLink adapter: loss-tolerant streaming over UDP on lossy WANs.
+
+    The byte stream delivered on the receiving side may contain bounded
+    gaps (the tolerated loss); chunks arrive in sending order with missing
+    chunks skipped. Suited to media/visualization streams, not to
+    protocols that need exact bytes. *)
+
+val connect :
+  Netaccess.Sysio.t ->
+  Drivers.Udp.t ->
+  dst:int ->
+  port:int ->
+  tolerance:float ->
+  rate_bps:float ->
+  Vl.t
+(** Datagram transport: the descriptor is connected immediately. *)
+
+val listen :
+  Netaccess.Sysio.t ->
+  Drivers.Udp.t ->
+  port:int ->
+  tolerance:float ->
+  (Vl.t -> unit) ->
+  unit
+(** One stream per port; the acceptor fires as soon as the receiver is set
+    up (datagram semantics: there is no handshake to wait for). *)
+
+val sender_of : Vl.t -> Methods.Vrp.sender option
+(** Access protocol statistics of a connected sender descriptor. *)
+
+val receiver_of : Vl.t -> Methods.Vrp.receiver option
+
+val driver_name : string

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Engine List Option Padico Selector Simnet Tutil

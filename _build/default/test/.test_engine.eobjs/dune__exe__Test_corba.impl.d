@@ -1,0 +1,1 @@
+test/test_corba.ml: Alcotest Engine Format List Mw_corba Padico QCheck Simnet String Tutil

@@ -1,0 +1,1 @@
+test/test_drivers.ml: Alcotest Drivers Engine List QCheck Simnet Tutil

@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Array Engine List Mw_dsm Padico Printf Simnet Tutil

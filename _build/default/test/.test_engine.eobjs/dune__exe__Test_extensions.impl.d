@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Buffer Engine List Mw_corba Mw_ns Padico Personalities Simnet String Tutil

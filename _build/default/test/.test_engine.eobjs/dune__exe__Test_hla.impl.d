@@ -1,0 +1,1 @@
+test/test_hla.ml: Alcotest Engine List Mw_hla Padico Simnet Tutil

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Engine List Mw_corba Mw_java Mw_mpi Mw_soap Option Padico Selector Simnet Tutil Vlink

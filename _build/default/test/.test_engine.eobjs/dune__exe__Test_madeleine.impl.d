@@ -1,0 +1,1 @@
+test/test_madeleine.ml: Alcotest Engine Madeleine Simnet Tutil

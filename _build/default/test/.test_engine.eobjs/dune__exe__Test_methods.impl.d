@@ -1,0 +1,1 @@
+test/test_methods.ml: Alcotest Drivers Engine Gen List Methods Netaccess QCheck Simnet String Tutil

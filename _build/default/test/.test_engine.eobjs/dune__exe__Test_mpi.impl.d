@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array Engine List Mw_mpi Padico Printf Simnet Tutil

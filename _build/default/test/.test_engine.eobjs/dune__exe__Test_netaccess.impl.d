@@ -1,0 +1,1 @@
+test/test_netaccess.ml: Alcotest Array Drivers Engine List Madeleine Netaccess Printf Simnet Tutil

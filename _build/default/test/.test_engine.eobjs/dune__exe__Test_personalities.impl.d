@@ -1,0 +1,1 @@
+test/test_personalities.ml: Alcotest Array Circuit Engine List Netaccess Padico Personalities Simnet Tutil Vlink

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer Drivers Engine Gen List Mw_corba Mw_mpi Padico Personalities Printf QCheck Simnet Tutil

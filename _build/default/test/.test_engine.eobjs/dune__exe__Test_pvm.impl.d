@@ -1,0 +1,1 @@
+test/test_pvm.ml: Alcotest Array Engine List Mw_corba Mw_mpi Mw_pvm Padico Printf Simnet Tutil

@@ -1,0 +1,1 @@
+test/test_selector.ml: Alcotest Selector Simnet Tutil

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Engine List Simnet Tutil

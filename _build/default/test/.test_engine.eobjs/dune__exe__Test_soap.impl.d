@@ -1,0 +1,1 @@
+test/test_soap.ml: Alcotest Engine List Mw_soap Padico QCheck Simnet String Tutil

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer Drivers Engine Simnet Tutil

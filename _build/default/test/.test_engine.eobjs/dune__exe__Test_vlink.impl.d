@@ -1,0 +1,1 @@
+test/test_vlink.ml: Alcotest Buffer Engine List Methods Padico Personalities QCheck Selector Simnet String Tutil Vlink

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Engine List Padico Printexc QCheck_alcotest Simnet

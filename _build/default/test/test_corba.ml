@@ -1,0 +1,283 @@
+module Bb = Engine.Bytebuf
+module Cdr = Mw_corba.Cdr
+module Giop = Mw_corba.Giop
+module Orb = Mw_corba.Orb
+
+(* ---------- CDR ---------- *)
+
+let sample_value =
+  Cdr.VStruct
+    [ ("id", Cdr.VLong 42);
+      ("name", Cdr.VString "grid");
+      ("ratio", Cdr.VDouble 3.25);
+      ("flag", Cdr.VBool true);
+      ("data", Cdr.VOctets (Tutil.pattern_buf ~seed:1 5_000));
+      ("tags", Cdr.VSeq [ Cdr.VLong 1; Cdr.VNull; Cdr.VString "x" ]);
+    ]
+
+let roundtrip p v = Cdr.decode p (Bb.concat (Cdr.encode_iov p v))
+
+let test_cdr_roundtrip_all_profiles () =
+  List.iter
+    (fun p ->
+       Tutil.check_bool (p.Cdr.pname ^ " roundtrip") true
+         (Cdr.equal_value sample_value (roundtrip p sample_value)))
+    Cdr.profiles
+
+let test_cdr_cross_profile () =
+  (* Interoperability: a Mico-encoded request decodes with omniORB rules
+     (the wire format is shared; only costs/copies differ). *)
+  let encoded = Bb.concat (Cdr.encode_iov Cdr.mico sample_value) in
+  Tutil.check_bool "cross decode" true
+    (Cdr.equal_value sample_value (Cdr.decode Cdr.omniorb4 encoded))
+
+let test_cdr_zero_copy_audit () =
+  (* The central Figure-3 claim: omniORB does not copy the bulk payload,
+     Mico does — observable through the copy counter. *)
+  let payload = Cdr.VOctets (Bb.create 1_000_000) in
+  Bb.reset_copy_counter ();
+  ignore (Cdr.encode_iov Cdr.omniorb4 payload);
+  let omni_copies = Bb.copies_performed () in
+  Bb.reset_copy_counter ();
+  ignore (Cdr.encode_iov Cdr.mico payload);
+  let mico_copies = Bb.copies_performed () in
+  Tutil.check_bool "omniORB bulk is by reference" true
+    (omni_copies < 10_000);
+  Tutil.check_bool "Mico copies the megabyte at least twice" true
+    (mico_copies >= 2_000_000)
+
+let test_cdr_corrupt_rejected () =
+  let encoded = Bb.concat (Cdr.encode_iov Cdr.omniorb4 sample_value) in
+  let truncated = Bb.sub encoded 0 (Bb.length encoded - 10) in
+  Tutil.check_bool "truncated rejected" true
+    (try
+       ignore (Cdr.decode Cdr.omniorb4 truncated);
+       false
+     with Invalid_argument _ -> true)
+
+let gen_value =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+           if n <= 0 then
+             oneof
+               [ return Cdr.VNull;
+                 map (fun b -> Cdr.VBool b) bool;
+                 map (fun i -> Cdr.VLong i) small_signed_int;
+                 map (fun f -> Cdr.VDouble f) (float_bound_inclusive 1e6);
+                 map (fun s -> Cdr.VString s) small_string;
+                 map (fun s -> Cdr.VOctets (Bb.of_string s)) small_string ]
+           else
+             oneof
+               [ map (fun l -> Cdr.VSeq l) (list_size (int_bound 5) (self (n / 2)));
+                 map
+                   (fun l ->
+                      Cdr.VStruct (List.mapi (fun i v -> ("f" ^ string_of_int i, v)) l))
+                   (list_size (int_bound 5) (self (n / 2))) ])
+        (min n 6))
+
+let arb_value = QCheck.make gen_value
+
+let prop_cdr_roundtrip =
+  QCheck.Test.make ~name:"CDR roundtrip (every profile)" ~count:100 arb_value
+    (fun v ->
+       List.for_all
+         (fun p -> Cdr.equal_value v (roundtrip p v))
+         Cdr.profiles)
+
+(* ---------- GIOP ---------- *)
+
+let test_giop_header_roundtrip () =
+  let h =
+    { Giop.msg_type = Giop.Request; oneway = true; request_id = 777;
+      body_len = 12_345 }
+  in
+  let h' = Giop.decode_header (Giop.encode_header h) in
+  Tutil.check_bool "header" true (h = h')
+
+let test_giop_request_roundtrip () =
+  let body =
+    Bb.concat
+      (Giop.encode_request ~profile:Cdr.omniorb4 ~key:"obj-1" ~op:"compute"
+         ~args:sample_value)
+  in
+  let key, op, args = Giop.decode_request ~profile:Cdr.omniorb4 body in
+  Tutil.check_string "key" "obj-1" key;
+  Tutil.check_string "op" "compute" op;
+  Tutil.check_bool "args" true (Cdr.equal_value sample_value args)
+
+let test_giop_reply_roundtrip () =
+  let ok_body =
+    Bb.concat (Giop.encode_reply ~profile:Cdr.mico ~result:(Ok (Cdr.VLong 5)))
+  in
+  (match Giop.decode_reply ~profile:Cdr.mico ok_body with
+   | Ok (Cdr.VLong 5) -> ()
+   | _ -> Alcotest.fail "ok reply");
+  let err_body =
+    Bb.concat
+      (Giop.encode_reply ~profile:Cdr.mico ~result:(Error "OBJ_NOT_FOUND"))
+  in
+  match Giop.decode_reply ~profile:Cdr.mico err_body with
+  | Error "OBJ_NOT_FOUND" -> ()
+  | _ -> Alcotest.fail "error reply"
+
+let test_giop_bad_magic () =
+  let h =
+    Giop.encode_header
+      { Giop.msg_type = Giop.Reply; oneway = false; request_id = 1;
+        body_len = 0 }
+  in
+  Bb.set h 0 'X';
+  Tutil.check_bool "bad magic rejected" true
+    (try
+       ignore (Giop.decode_header h);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- ORB end-to-end ---------- *)
+
+let with_orb ?profile body =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let client_orb = Orb.init ?profile grid a in
+  let server_orb = Orb.init ?profile grid b in
+  (* Echo/compute servant. *)
+  Orb.activate server_orb ~key:"calc" (fun ~op args ->
+      match (op, args) with
+      | "echo", v -> Ok v
+      | "add", Cdr.VSeq [ Cdr.VLong x; Cdr.VLong y ] -> Ok (Cdr.VLong (x + y))
+      | "boom", _ -> Error "deliberate failure"
+      | _ -> Error ("BAD_OPERATION: " ^ op))
+  ;
+  Orb.serve server_orb ~port:3000;
+  let h =
+    Padico.spawn grid a ~name:"corba-client" (fun () ->
+        let proxy =
+          Orb.resolve client_orb
+            { Orb.ior_node = b; ior_port = 3000; ior_key = "calc" }
+        in
+        body proxy)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  server_orb
+
+let test_orb_invoke_echo () =
+  let orb =
+    with_orb (fun proxy ->
+        match Orb.invoke proxy ~op:"echo" sample_value with
+        | Ok v -> Tutil.check_bool "echoed" true (Cdr.equal_value v sample_value)
+        | Error e -> Alcotest.fail e)
+  in
+  Tutil.check_int "served one request" 1 (Orb.requests_served orb)
+
+let test_orb_add () =
+  ignore
+    (with_orb (fun proxy ->
+         match
+           Orb.invoke proxy ~op:"add"
+             (Cdr.VSeq [ Cdr.VLong 20; Cdr.VLong 22 ])
+         with
+         | Ok (Cdr.VLong 42) -> ()
+         | Ok v -> Alcotest.failf "wrong result %s" (Format.asprintf "%a" Cdr.pp_value v)
+         | Error e -> Alcotest.fail e))
+
+let test_orb_user_exception () =
+  ignore
+    (with_orb (fun proxy ->
+         match Orb.invoke proxy ~op:"boom" Cdr.VNull with
+         | Ok _ -> Alcotest.fail "expected exception"
+         | Error e -> Tutil.check_string "fault" "deliberate failure" e))
+
+let test_orb_object_not_exist () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let client_orb = Orb.init grid a in
+  let server_orb = Orb.init grid b in
+  Orb.serve server_orb ~port:3100;
+  let h =
+    Padico.spawn grid a ~name:"client" (fun () ->
+        let proxy =
+          Orb.resolve client_orb
+            { Orb.ior_node = b; ior_port = 3100; ior_key = "ghost" }
+        in
+        match Orb.invoke proxy ~op:"ping" Cdr.VNull with
+        | Ok _ -> Alcotest.fail "ghost object answered"
+        | Error e ->
+          Tutil.check_bool "OBJECT_NOT_EXIST" true
+            (String.length e >= 16 && String.sub e 0 16 = "OBJECT_NOT_EXIST"))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let test_orb_sequential_invocations () =
+  ignore
+    (with_orb (fun proxy ->
+         for i = 1 to 20 do
+           match Orb.invoke proxy ~op:"echo" (Cdr.VLong i) with
+           | Ok (Cdr.VLong j) -> Tutil.check_int "sequence" i j
+           | _ -> Alcotest.fail "echo failed"
+         done))
+
+let test_orb_oneway () =
+  let orb =
+    with_orb (fun proxy ->
+        Orb.invoke_oneway proxy ~op:"echo" (Cdr.VLong 1);
+        Orb.invoke_oneway proxy ~op:"echo" (Cdr.VLong 2);
+        (* A final two-way flushes the pipeline. *)
+        match Orb.invoke proxy ~op:"echo" Cdr.VNull with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e)
+  in
+  Tutil.check_int "all three served" 3 (Orb.requests_served orb)
+
+let test_orb_all_profiles_interoperate () =
+  List.iter
+    (fun profile ->
+       ignore
+         (with_orb ~profile (fun proxy ->
+              match Orb.invoke proxy ~op:"echo" sample_value with
+              | Ok v ->
+                Tutil.check_bool
+                  (profile.Cdr.pname ^ " echoes")
+                  true (Cdr.equal_value v sample_value)
+              | Error e -> Alcotest.fail e)))
+    Cdr.profiles
+
+let test_ior_string_roundtrip () =
+  let grid, _a, b, _ = Tutil.grid_pair Simnet.Presets.ethernet100 in
+  let ior = { Orb.ior_node = b; ior_port = 1234; ior_key = "service" } in
+  match Orb.ior_of_string grid (Orb.ior_to_string ior) with
+  | Some ior' ->
+    Tutil.check_bool "ior roundtrip" true
+      (Simnet.Node.id ior'.Orb.ior_node = Simnet.Node.id b
+       && ior'.Orb.ior_port = 1234 && ior'.Orb.ior_key = "service")
+  | None -> Alcotest.fail "ior parse"
+
+let () =
+  Alcotest.run "corba"
+    [ ("cdr",
+       [ Alcotest.test_case "roundtrip all profiles" `Quick
+           test_cdr_roundtrip_all_profiles;
+         Alcotest.test_case "cross-profile decode" `Quick test_cdr_cross_profile;
+         Alcotest.test_case "zero-copy audit" `Quick test_cdr_zero_copy_audit;
+         Alcotest.test_case "corrupt rejected" `Quick test_cdr_corrupt_rejected
+       ]);
+      Tutil.qsuite "cdr-props" [ prop_cdr_roundtrip ];
+      ("giop",
+       [ Alcotest.test_case "header" `Quick test_giop_header_roundtrip;
+         Alcotest.test_case "request" `Quick test_giop_request_roundtrip;
+         Alcotest.test_case "reply" `Quick test_giop_reply_roundtrip;
+         Alcotest.test_case "bad magic" `Quick test_giop_bad_magic ]);
+      ("orb",
+       [ Alcotest.test_case "invoke echo" `Quick test_orb_invoke_echo;
+         Alcotest.test_case "add" `Quick test_orb_add;
+         Alcotest.test_case "user exception" `Quick test_orb_user_exception;
+         Alcotest.test_case "object not exist" `Quick
+           test_orb_object_not_exist;
+         Alcotest.test_case "sequential invocations" `Quick
+           test_orb_sequential_invocations;
+         Alcotest.test_case "oneway" `Quick test_orb_oneway;
+         Alcotest.test_case "profiles interoperate" `Quick
+           test_orb_all_profiles_interoperate;
+         Alcotest.test_case "ior string" `Quick test_ior_string_roundtrip ]);
+    ]

@@ -1,0 +1,235 @@
+module Bb = Engine.Bytebuf
+module Gm = Drivers.Gm
+module Udp = Drivers.Udp
+
+(* ---------- GM ---------- *)
+
+let gm_pair () =
+  let net, a, b, seg = Tutil.pair Simnet.Presets.myrinet2000 in
+  (net, a, b, seg, Gm.attach seg a, Gm.attach seg b)
+
+let test_gm_channel_budget () =
+  let _net, _a, _b, _seg, pa, _pb = gm_pair () in
+  Tutil.check_int "myrinet budget" 2 (Gm.max_channels pa);
+  let _c0 = Gm.open_channel pa ~id:0 in
+  let _c1 = Gm.open_channel pa ~id:1 in
+  Tutil.check_int "in use" 2 (Gm.channels_in_use pa);
+  Alcotest.check_raises "third channel refused" Gm.No_channel_left (fun () ->
+      ignore (Gm.open_channel pa ~id:2))
+
+let test_gm_sci_budget () =
+  let _net, a, _b, seg = Tutil.pair Simnet.Presets.sci in
+  let p = Gm.attach seg a in
+  Tutil.check_int "sci budget" 1 (Gm.max_channels p)
+
+let test_gm_requires_san () =
+  let _net, a, _b, seg = Tutil.pair Simnet.Presets.ethernet100 in
+  Alcotest.check_raises "no GM on ethernet"
+    (Invalid_argument "Gm.attach: GM requires a SAN or loopback segment")
+    (fun () -> ignore (Gm.attach seg a))
+
+let test_gm_reopen_after_close () =
+  let _net, _a, _b, _seg, pa, _pb = gm_pair () in
+  let c0 = Gm.open_channel pa ~id:0 in
+  Gm.close_channel c0;
+  let c0' = Gm.open_channel pa ~id:0 in
+  Tutil.check_int "reopened" 0 (Gm.channel_id c0')
+
+let test_gm_roundtrip_small () =
+  let net, _a, b, _seg, pa, pb = gm_pair () in
+  let ca = Gm.open_channel pa ~id:0 in
+  let cb = Gm.open_channel pb ~id:0 in
+  let got = ref None in
+  Gm.set_recv cb (fun ~src buf -> got := Some (src, buf));
+  let msg = Tutil.pattern_buf ~seed:5 100 in
+  Gm.send ca ~dst:(Simnet.Node.id b) msg;
+  Tutil.run_net net;
+  match !got with
+  | Some (src, buf) ->
+    Tutil.check_int "source" 0 src;
+    Tutil.check_bool "payload identical" true (Bb.equal msg buf)
+  | None -> Alcotest.fail "message not delivered"
+
+let test_gm_fragmentation_integrity () =
+  (* 100 KB > 32 KB MTU: fragmented and reassembled by DMA. *)
+  let net, _a, b, _seg, pa, pb = gm_pair () in
+  let ca = Gm.open_channel pa ~id:0 in
+  let cb = Gm.open_channel pb ~id:0 in
+  let got = ref None in
+  Gm.set_recv cb (fun ~src:_ buf -> got := Some buf);
+  let msg = Tutil.pattern_buf ~seed:11 100_000 in
+  Bb.reset_copy_counter ();
+  Gm.send ca ~dst:(Simnet.Node.id b) msg;
+  Tutil.run_net net;
+  (match !got with
+   | Some buf ->
+     Tutil.check_int "length" 100_000 (Bb.length buf);
+     Tutil.check_bool "content" true (Bb.equal msg buf)
+   | None -> Alcotest.fail "message not delivered");
+  Tutil.check_int "zero-copy path (DMA only)" 0 (Bb.copies_performed ())
+
+let test_gm_ordering () =
+  let net, _a, b, _seg, pa, pb = gm_pair () in
+  let ca = Gm.open_channel pa ~id:0 in
+  let cb = Gm.open_channel pb ~id:0 in
+  let order = ref [] in
+  Gm.set_recv cb (fun ~src:_ buf -> order := Bb.get_u8 buf 0 :: !order);
+  for i = 1 to 10 do
+    let m = Bb.create 10 in
+    Bb.set_u8 m 0 i;
+    Gm.send ca ~dst:(Simnet.Node.id b) m
+  done;
+  Tutil.run_net net;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !order)
+
+let test_gm_channel_isolation () =
+  let net, _a, b, _seg, pa, pb = gm_pair () in
+  let ca0 = Gm.open_channel pa ~id:0 in
+  let ca1 = Gm.open_channel pa ~id:1 in
+  let cb0 = Gm.open_channel pb ~id:0 in
+  let cb1 = Gm.open_channel pb ~id:1 in
+  let on0 = ref 0 and on1 = ref 0 in
+  Gm.set_recv cb0 (fun ~src:_ _ -> incr on0);
+  Gm.set_recv cb1 (fun ~src:_ _ -> incr on1);
+  Gm.send ca0 ~dst:(Simnet.Node.id b) (Bb.create 4);
+  Gm.send ca1 ~dst:(Simnet.Node.id b) (Bb.create 4);
+  Gm.send ca1 ~dst:(Simnet.Node.id b) (Bb.create 4);
+  Tutil.run_net net;
+  Tutil.check_int "channel 0" 1 !on0;
+  Tutil.check_int "channel 1" 2 !on1
+
+let test_gm_sendv_gather () =
+  let net, _a, b, _seg, pa, pb = gm_pair () in
+  let ca = Gm.open_channel pa ~id:0 in
+  let cb = Gm.open_channel pb ~id:0 in
+  let got = ref None in
+  Gm.set_recv cb (fun ~src:_ buf -> got := Some buf);
+  let p1 = Tutil.pattern_buf ~seed:1 10 in
+  let p2 = Tutil.pattern_buf ~seed:2 50_000 in
+  let p3 = Tutil.pattern_buf ~seed:3 7 in
+  Gm.sendv ca ~dst:(Simnet.Node.id b) [ p1; p2; p3 ];
+  Tutil.run_net net;
+  match !got with
+  | Some buf ->
+    Tutil.check_bool "gathered equals concat" true
+      (Bb.equal buf (Bb.concat [ p1; p2; p3 ]))
+  | None -> Alcotest.fail "not delivered"
+
+let prop_gm_any_size_roundtrip =
+  QCheck.Test.make ~name:"GM delivers any size intact" ~count:30
+    QCheck.(int_range 0 200_000)
+    (fun n ->
+       let net, _a, b, _seg, pa, pb = gm_pair () in
+       let ca = Gm.open_channel pa ~id:0 in
+       let cb = Gm.open_channel pb ~id:0 in
+       let ok = ref false in
+       let msg = Tutil.pattern_buf ~seed:n n in
+       Gm.set_recv cb (fun ~src:_ buf -> ok := Bb.equal msg buf);
+       Gm.send ca ~dst:(Simnet.Node.id b) msg;
+       Tutil.run_net net;
+       !ok)
+
+(* ---------- UDP ---------- *)
+
+let udp_pair ?(model = Simnet.Presets.ethernet100) () =
+  let net, a, b, seg = Tutil.pair model in
+  (net, a, b, Udp.attach seg a, Udp.attach seg b)
+
+let test_udp_roundtrip () =
+  let net, _a, b, ua, ub = udp_pair () in
+  let got = ref None in
+  Udp.bind ub ~port:53 (fun ~src ~src_port buf ->
+      got := Some (src, src_port, buf));
+  let msg = Tutil.pattern_buf ~seed:4 512 in
+  Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:53 ~src_port:1000 msg;
+  Tutil.run_net net;
+  match !got with
+  | Some (src, sport, buf) ->
+    Tutil.check_int "src" 0 src;
+    Tutil.check_int "sport" 1000 sport;
+    Tutil.check_bool "payload" true (Bb.equal msg buf)
+  | None -> Alcotest.fail "datagram not delivered"
+
+let test_udp_port_demux () =
+  let net, _a, b, ua, ub = udp_pair () in
+  let p1 = ref 0 and p2 = ref 0 in
+  Udp.bind ub ~port:1 (fun ~src:_ ~src_port:_ _ -> incr p1);
+  Udp.bind ub ~port:2 (fun ~src:_ ~src_port:_ _ -> incr p2);
+  Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:1 ~src_port:9 (Bb.create 1);
+  Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:2 ~src_port:9 (Bb.create 1);
+  Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:2 ~src_port:9 (Bb.create 1);
+  Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:3 ~src_port:9 (Bb.create 1);
+  Tutil.run_net net;
+  Tutil.check_int "port 1" 1 !p1;
+  Tutil.check_int "port 2" 2 !p2
+
+let test_udp_double_bind () =
+  let _net, _a, _b, _ua, ub = udp_pair () in
+  Udp.bind ub ~port:7 (fun ~src:_ ~src_port:_ _ -> ());
+  Alcotest.check_raises "double bind"
+    (Invalid_argument "Udp.bind: port 7 already bound") (fun () ->
+      Udp.bind ub ~port:7 (fun ~src:_ ~src_port:_ _ -> ()))
+
+let test_udp_max_payload () =
+  let _net, _a, b, ua, _ub = udp_pair () in
+  Tutil.check_int "max payload" (1500 - 28) (Udp.max_payload ua);
+  Alcotest.check_raises "oversize"
+    (Invalid_argument "Udp.sendto: datagram of 1473 exceeds max payload 1472")
+    (fun () ->
+       Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:1 ~src_port:1
+         (Bb.create 1473))
+
+let test_udp_loss () =
+  let net, _a, b, ua, ub =
+    udp_pair ~model:(Simnet.Presets.transcontinental_loss 0.5) ()
+  in
+  let got = ref 0 in
+  Udp.bind ub ~port:5 (fun ~src:_ ~src_port:_ _ -> incr got);
+  let n = 2000 in
+  let sim = Simnet.Net.sim net in
+  let rec send i =
+    if i < n then begin
+      Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:5 ~src_port:5
+        (Bb.create 100);
+      Engine.Sim.after sim 3_000_000 (fun () -> send (i + 1))
+    end
+  in
+  send 0;
+  Tutil.run_net net ~until:(Engine.Time.sec 60);
+  let ratio = float_of_int !got /. float_of_int n in
+  Tutil.check_bool "about half delivered" true (ratio > 0.42 && ratio < 0.58)
+
+let test_udp_unbind () =
+  let net, _a, b, ua, ub = udp_pair () in
+  let got = ref 0 in
+  Udp.bind ub ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Udp.unbind ub ~port:9;
+  Udp.sendto ua ~dst:(Simnet.Node.id b) ~dst_port:9 ~src_port:1 (Bb.create 4);
+  Tutil.run_net net;
+  Tutil.check_int "nothing received after unbind" 0 !got
+
+let () =
+  Alcotest.run "drivers"
+    [ ("gm",
+       [ Alcotest.test_case "channel budget" `Quick test_gm_channel_budget;
+         Alcotest.test_case "sci budget" `Quick test_gm_sci_budget;
+         Alcotest.test_case "requires SAN" `Quick test_gm_requires_san;
+         Alcotest.test_case "reopen after close" `Quick
+           test_gm_reopen_after_close;
+         Alcotest.test_case "roundtrip small" `Quick test_gm_roundtrip_small;
+         Alcotest.test_case "fragmentation" `Quick
+           test_gm_fragmentation_integrity;
+         Alcotest.test_case "ordering" `Quick test_gm_ordering;
+         Alcotest.test_case "channel isolation" `Quick
+           test_gm_channel_isolation;
+         Alcotest.test_case "sendv gather" `Quick test_gm_sendv_gather ]);
+      Tutil.qsuite "gm-props" [ prop_gm_any_size_roundtrip ];
+      ("udp",
+       [ Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
+         Alcotest.test_case "port demux" `Quick test_udp_port_demux;
+         Alcotest.test_case "double bind" `Quick test_udp_double_bind;
+         Alcotest.test_case "max payload" `Quick test_udp_max_payload;
+         Alcotest.test_case "loss" `Quick test_udp_loss;
+         Alcotest.test_case "unbind" `Quick test_udp_unbind ]);
+    ]

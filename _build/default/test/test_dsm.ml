@@ -1,0 +1,159 @@
+module Bb = Engine.Bytebuf
+module Dsm = Mw_dsm.Dsm
+
+(* Run one process per rank; [body rank node dsm] in process context.
+   Phases are sequenced with virtual-time sleeps (deterministic). *)
+let dsm_job ?(pages = 8) ?(page_size = 4096) ~np body =
+  let grid = Padico.create () in
+  let nodes =
+    List.init np (fun i -> Padico.add_node grid (Printf.sprintf "n%d" i))
+  in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 nodes);
+  let cts = Padico.circuit grid ~name:"dsm" nodes in
+  let dsms = Dsm.create cts ~pages ~page_size in
+  let handles =
+    Array.mapi
+      (fun i d ->
+         let node = List.nth nodes i in
+         Padico.spawn grid node ~name:(Printf.sprintf "dsm%d" i) (fun () ->
+             body i node d))
+      dsms
+  in
+  Tutil.run_grid grid;
+  Array.iter Tutil.assert_done handles
+
+let phase node k = Engine.Proc.sleep (Simnet.Node.sim node) (k * 10_000_000)
+
+let test_write_then_remote_read () =
+  dsm_job ~np:2 (fun rank node d ->
+      if rank = 0 then begin
+        Dsm.write_u32 d ~page:3 ~off:0 0xCAFE;
+        Dsm.write_u32 d ~page:3 ~off:4 7
+      end
+      else begin
+        phase node 1;
+        Tutil.check_int "remote read sees write" 0xCAFE
+          (Dsm.read_u32 d ~page:3 ~off:0);
+        Tutil.check_int "second word" 7 (Dsm.read_u32 d ~page:3 ~off:4)
+      end)
+
+let test_read_caching () =
+  dsm_job ~np:2 (fun rank node d ->
+      if rank = 0 then Dsm.write_u32 d ~page:1 ~off:0 5
+      else begin
+        phase node 1;
+        ignore (Dsm.read_u32 d ~page:1 ~off:0);
+        let fetches_before = Dsm.remote_fetches d in
+        (* Re-reads hit the cache. *)
+        for _ = 1 to 10 do
+          ignore (Dsm.read_u32 d ~page:1 ~off:0)
+        done;
+        Tutil.check_int "no extra fetches" fetches_before
+          (Dsm.remote_fetches d);
+        Tutil.check_bool "hits counted" true (Dsm.local_hits d >= 10)
+      end)
+
+let test_write_invalidates_readers () =
+  dsm_job ~np:3 (fun rank node d ->
+      match rank with
+      | 0 ->
+        Dsm.write_u32 d ~page:2 ~off:0 1;
+        phase node 2;
+        (* Phase 2: overwrite; readers must see the new value afterwards. *)
+        Dsm.write_u32 d ~page:2 ~off:0 2
+      | _ ->
+        phase node 1;
+        Tutil.check_int "initial value" 1 (Dsm.read_u32 d ~page:2 ~off:0);
+        phase node 2;
+        (* Our cached copy must have been invalidated. *)
+        Tutil.check_int "updated value" 2 (Dsm.read_u32 d ~page:2 ~off:0))
+
+let test_invalidation_counted () =
+  dsm_job ~np:2 (fun rank node d ->
+      if rank = 1 then begin
+        ignore (Dsm.read_u32 d ~page:0 ~off:0);
+        phase node 2;
+        ignore (Dsm.read_u32 d ~page:0 ~off:0);
+        Tutil.check_bool "was invalidated" true
+          (Dsm.invalidations_received d >= 1)
+      end
+      else begin
+        phase node 1;
+        Dsm.write_u32 d ~page:0 ~off:0 99
+      end)
+
+let test_ping_pong_ownership () =
+  (* Two ranks alternately increment a shared counter: sequential
+     consistency through exclusive-ownership migration. *)
+  let rounds = 10 in
+  dsm_job ~np:2 (fun rank node d ->
+      for r = 0 to rounds - 1 do
+        phase node ((2 * r) + if rank = 0 then 0 else 1);
+        if r mod 1 = 0 then
+          Dsm.write d ~page:5 (fun data ->
+              let v = Bb.get_u32 data 0 in
+              Bb.set_u32 data 0 (v + 1))
+      done;
+      phase node (2 * rounds + 2);
+      Tutil.check_int "final count" (2 * rounds) (Dsm.read_u32 d ~page:5 ~off:0))
+
+let test_distinct_pages_independent () =
+  dsm_job ~np:4 ~pages:4 (fun rank node d ->
+      (* Each rank owns its own page: no interference. *)
+      Dsm.write_u32 d ~page:rank ~off:0 (rank * 11);
+      phase node 1;
+      for p = 0 to 3 do
+        Tutil.check_int
+          (Printf.sprintf "rank %d reads page %d" rank p)
+          (p * 11)
+          (Dsm.read_u32 d ~page:p ~off:0)
+      done)
+
+let test_page_bounds () =
+  dsm_job ~np:2 (fun rank _node d ->
+      if rank = 0 then
+        Alcotest.check_raises "page out of range"
+          (Invalid_argument "Dsm: page out of range") (fun () ->
+            ignore (Dsm.read d ~page:99)))
+
+let test_sequential_model_check () =
+  (* Random single-writer phases executed against a reference array:
+     after each phase every rank must read the reference value. *)
+  let pages = 4 in
+  let phases = 12 in
+  let rng = Engine.Rng.create 77 in
+  let writers = Array.init phases (fun _ -> Engine.Rng.int rng 3) in
+  let values = Array.init phases (fun _ -> Engine.Rng.int rng 1_000_000) in
+  let pagesel = Array.init phases (fun _ -> Engine.Rng.int rng pages) in
+  let reference = Array.make pages 0 in
+  dsm_job ~np:3 ~pages (fun rank node d ->
+      for ph = 0 to phases - 1 do
+        phase node (2 * ph);
+        if writers.(ph) = rank then
+          Dsm.write_u32 d ~page:pagesel.(ph) ~off:0 values.(ph);
+        phase node ((2 * ph) + 1);
+        (* Maintain the reference locally (same deterministic schedule). *)
+        reference.(pagesel.(ph)) <- values.(ph);
+        Tutil.check_int
+          (Printf.sprintf "phase %d rank %d page %d" ph rank pagesel.(ph))
+          reference.(pagesel.(ph))
+          (Dsm.read_u32 d ~page:pagesel.(ph) ~off:0)
+      done)
+
+let () =
+  Alcotest.run "dsm"
+    [ ("coherence",
+       [ Alcotest.test_case "remote read" `Quick test_write_then_remote_read;
+         Alcotest.test_case "read caching" `Quick test_read_caching;
+         Alcotest.test_case "write invalidates" `Quick
+           test_write_invalidates_readers;
+         Alcotest.test_case "invalidations counted" `Quick
+           test_invalidation_counted;
+         Alcotest.test_case "ownership ping-pong" `Quick
+           test_ping_pong_ownership;
+         Alcotest.test_case "independent pages" `Quick
+           test_distinct_pages_independent;
+         Alcotest.test_case "bounds" `Quick test_page_bounds;
+         Alcotest.test_case "sequential model check" `Quick
+           test_sequential_model_check ]);
+    ]

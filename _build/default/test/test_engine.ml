@@ -1,0 +1,372 @@
+module Bb = Engine.Bytebuf
+module Sim = Engine.Sim
+module Proc = Engine.Proc
+
+(* ---------- Heap ---------- *)
+
+let test_heap_basic () =
+  let h = Engine.Heap.create () in
+  Tutil.check_bool "empty" true (Engine.Heap.is_empty h);
+  Engine.Heap.push h ~prio:5 "five";
+  Engine.Heap.push h ~prio:1 "one";
+  Engine.Heap.push h ~prio:3 "three";
+  Tutil.check_int "length" 3 (Engine.Heap.length h);
+  Tutil.check_int "peek" 1 (Option.get (Engine.Heap.peek_prio h));
+  let order = List.init 3 (fun _ -> snd (Option.get (Engine.Heap.pop h))) in
+  Alcotest.(check (list string)) "order" [ "one"; "three"; "five" ] order;
+  Tutil.check_bool "empty again" true (Engine.Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Engine.Heap.create () in
+  List.iter (fun v -> Engine.Heap.push h ~prio:7 v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Engine.Heap.pop h))) in
+  Alcotest.(check (list int)) "fifo on equal priorities" [ 1; 2; 3; 4 ] order
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in nondecreasing priority order"
+    ~count:200
+    QCheck.(list small_int)
+    (fun prios ->
+       let h = Engine.Heap.create () in
+       List.iter (fun p -> Engine.Heap.push h ~prio:p p) prios;
+       let rec drain acc =
+         match Engine.Heap.pop h with
+         | None -> List.rev acc
+         | Some (p, _) -> drain (p :: acc)
+       in
+       let out = drain [] in
+       out = List.sort compare prios)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Engine.Rng.create 7 and b = Engine.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Engine.Rng.int64 a)
+      (Engine.Rng.int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Engine.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Engine.Rng.int r 10 in
+    Tutil.check_bool "in range" true (v >= 0 && v < 10);
+    let f = Engine.Rng.float r 2.5 in
+    Tutil.check_bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_bool_bias () =
+  let r = Engine.Rng.create 3 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Engine.Rng.bool r 0.25 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  Tutil.check_bool "bernoulli(0.25) frequency" true
+    (ratio > 0.22 && ratio < 0.28)
+
+let test_rng_split_independent () =
+  let r = Engine.Rng.create 9 in
+  let s = Engine.Rng.split r in
+  Tutil.check_bool "split streams differ" true
+    (Engine.Rng.int64 r <> Engine.Rng.int64 s)
+
+(* ---------- Sim ---------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  Sim.at sim 30 (fun () -> trace := 30 :: !trace);
+  Sim.at sim 10 (fun () -> trace := 10 :: !trace);
+  Sim.at sim 20 (fun () -> trace := 20 :: !trace);
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !trace);
+  Tutil.check_int "clock at last event" 30 (Sim.now sim)
+
+let test_sim_same_time_fifo () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    Sim.at sim 42 (fun () -> trace := i :: !trace)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo at same instant" [ 1; 2; 3; 4; 5 ]
+    (List.rev !trace)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.at sim 100 (fun () -> fired := 100 :: !fired);
+  Sim.at sim 200 (fun () -> fired := 200 :: !fired);
+  Sim.run sim ~until:150;
+  Alcotest.(check (list int)) "only first fired" [ 100 ] !fired;
+  Tutil.check_int "clock clamped" 150 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check (list int)) "rest fired on resume" [ 200; 100 ] !fired
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  Sim.at sim 50 (fun () ->
+      Alcotest.check_raises "past scheduling rejected"
+        (Invalid_argument "Sim.at: time 10 is in the past (now 50)")
+        (fun () -> Sim.at sim 10 ignore));
+  Sim.run sim
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  Sim.after sim 10 (fun () ->
+      Sim.after sim 10 (fun () ->
+          incr hits;
+          Tutil.check_int "nested time" 20 (Sim.now sim)));
+  Sim.run sim;
+  Tutil.check_int "nested fired" 1 !hits
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Sim.after sim 1 (fun () ->
+        incr count;
+        if !count = 3 then Sim.stop sim)
+  done;
+  Sim.run sim;
+  Tutil.check_int "stopped after 3" 3 !count;
+  Sim.run sim;
+  Tutil.check_int "resumable" 10 !count
+
+(* ---------- Proc ---------- *)
+
+let test_proc_sleep () =
+  let sim = Sim.create () in
+  let t_end = ref 0 in
+  let h =
+    Proc.spawn sim (fun () ->
+        Proc.sleep sim 100;
+        Proc.sleep sim 200;
+        t_end := Sim.now sim)
+  in
+  Sim.run sim;
+  Tutil.assert_done h;
+  Tutil.check_int "slept 300" 300 !t_end
+
+let test_proc_ivar () =
+  let sim = Sim.create () in
+  let iv = Proc.Ivar.create () in
+  let got = ref 0 in
+  let reader =
+    Proc.spawn sim (fun () -> got := Proc.Ivar.read iv)
+  in
+  let _writer =
+    Proc.spawn sim (fun () ->
+        Proc.sleep sim 50;
+        Proc.Ivar.fill iv 42)
+  in
+  Sim.run sim;
+  Tutil.assert_done reader;
+  Tutil.check_int "ivar value" 42 !got;
+  Tutil.check_bool "filled" true (Proc.Ivar.is_filled iv);
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Proc.Ivar.fill iv 1)
+
+let test_proc_ivar_read_after_fill () =
+  let sim = Sim.create () in
+  let iv = Proc.Ivar.create () in
+  Proc.Ivar.fill iv "x";
+  let got = ref "" in
+  let h = Proc.spawn sim (fun () -> got := Proc.Ivar.read iv) in
+  Sim.run sim;
+  Tutil.assert_done h;
+  Tutil.check_string "immediate read" "x" !got
+
+let test_proc_mailbox () =
+  let sim = Sim.create () in
+  let mb = Proc.Mailbox.create () in
+  let received = ref [] in
+  let consumer =
+    Proc.spawn sim (fun () ->
+        for _ = 1 to 3 do
+          received := Proc.Mailbox.recv mb :: !received
+        done)
+  in
+  let _producer =
+    Proc.spawn sim (fun () ->
+        Proc.Mailbox.send mb 1;
+        Proc.sleep sim 10;
+        Proc.Mailbox.send mb 2;
+        Proc.Mailbox.send mb 3)
+  in
+  Sim.run sim;
+  Tutil.assert_done consumer;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_proc_semaphore_mutex () =
+  let sim = Sim.create () in
+  let sem = Proc.Semaphore.create 1 in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  let worker () =
+    Proc.Semaphore.acquire sem;
+    incr inside;
+    if !inside > !max_inside then max_inside := !inside;
+    Proc.sleep sim 10;
+    decr inside;
+    Proc.Semaphore.release sem
+  in
+  let hs = List.init 5 (fun i -> Proc.spawn sim ~name:(string_of_int i) worker) in
+  Sim.run sim;
+  List.iter Tutil.assert_done hs;
+  Tutil.check_int "mutual exclusion" 1 !max_inside
+
+let test_proc_join () =
+  let sim = Sim.create () in
+  let child =
+    Proc.spawn sim (fun () -> Proc.sleep sim 100)
+  in
+  let after_join = ref 0 in
+  let parent =
+    Proc.spawn sim (fun () ->
+        Proc.join sim child;
+        after_join := Sim.now sim)
+  in
+  Sim.run sim;
+  Tutil.assert_done parent;
+  Tutil.check_int "joined after child" 100 !after_join
+
+let test_proc_join_error_propagates () =
+  let sim = Sim.create () in
+  let child = Proc.spawn sim (fun () -> failwith "boom") in
+  let caught = ref false in
+  let parent =
+    Proc.spawn sim (fun () ->
+        try Proc.join sim child with Failure _ -> caught := true)
+  in
+  Sim.run sim;
+  Tutil.assert_done parent;
+  Tutil.check_bool "exception re-raised in joiner" true !caught
+
+(* ---------- Bytebuf ---------- *)
+
+let test_bytebuf_sub_and_blit () =
+  let b = Tutil.pattern_buf ~seed:1 64 in
+  let s = Bb.sub b 16 32 in
+  Tutil.check_int "sub length" 32 (Bb.length s);
+  Tutil.check_bool "sub shares data" true (Bb.get s 0 = Bb.get b 16);
+  let d = Bb.create 32 in
+  Bb.blit ~src:s ~src_off:0 ~dst:d ~dst_off:0 ~len:32;
+  Tutil.check_bool "blit copies" true (Bb.equal s d);
+  Alcotest.check_raises "oob sub"
+    (Invalid_argument "Bytebuf.sub: off=60 len=10 in buffer of 64") (fun () ->
+      ignore (Bb.sub b 60 10))
+
+let test_bytebuf_concat_split () =
+  let a = Tutil.pattern_buf ~seed:2 10 in
+  let b = Tutil.pattern_buf ~seed:3 20 in
+  let c = Bb.concat [ a; b ] in
+  Tutil.check_int "concat length" 30 (Bb.length c);
+  let x, y = Bb.split c 10 in
+  Tutil.check_bool "split left" true (Bb.equal a x);
+  Tutil.check_bool "split right" true (Bb.equal b y)
+
+let test_bytebuf_ints () =
+  let b = Bb.create 32 in
+  Bb.set_u16 b 0 0xBEEF;
+  Bb.set_u32 b 4 0xDEAD1234;
+  Bb.set_i64 b 8 (-123456789L);
+  Bb.set_u8 b 16 0xAB;
+  Tutil.check_int "u16" 0xBEEF (Bb.get_u16 b 0);
+  Tutil.check_int "u32" 0xDEAD1234 (Bb.get_u32 b 4);
+  Alcotest.(check int64) "i64" (-123456789L) (Bb.get_i64 b 8);
+  Tutil.check_int "u8" 0xAB (Bb.get_u8 b 16)
+
+let test_bytebuf_copy_counter () =
+  Bb.reset_copy_counter ();
+  let a = Bb.create 100 in
+  let b = Bb.copy a in
+  ignore b;
+  Tutil.check_int "counted copy" 100 (Bb.copies_performed ());
+  let c = Bb.create 100 in
+  Bb.blit_dma ~src:a ~src_off:0 ~dst:c ~dst_off:0 ~len:100;
+  Tutil.check_int "dma not counted" 100 (Bb.copies_performed ())
+
+let prop_bytebuf_string_roundtrip =
+  QCheck.Test.make ~name:"of_string/to_string roundtrip" ~count:200
+    QCheck.string (fun s -> Bb.to_string (Bb.of_string s) = s)
+
+let prop_bytebuf_checksum_sensitive =
+  QCheck.Test.make ~name:"checksum changes when a byte changes" ~count:100
+    QCheck.(string_of_size Gen.(int_range 1 200))
+    (fun s ->
+       let b = Bb.of_string s in
+       let before = Bb.checksum b in
+       let i = String.length s / 2 in
+       Bb.set_u8 b i (Bb.get_u8 b i lxor 0x5a);
+       Bb.checksum b <> before)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_summary () =
+  let s = Engine.Stats.Summary.create () in
+  List.iter (Engine.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Tutil.check_int "n" 4 (Engine.Stats.Summary.n s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Engine.Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Engine.Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Engine.Stats.Summary.max s);
+  Tutil.check_bool "stddev" true
+    (abs_float (Engine.Stats.Summary.stddev s -. 1.2909944487) < 1e-6)
+
+let test_stats_histogram () =
+  let h = Engine.Stats.Histogram.create () in
+  List.iter (Engine.Stats.Histogram.add h) [ 1; 2; 4; 8; 1000 ];
+  Tutil.check_int "count" 5 (Engine.Stats.Histogram.count h);
+  Tutil.check_bool "p50 small" true (Engine.Stats.Histogram.percentile h 0.5 < 8);
+  Tutil.check_bool "p100 covers max" true
+    (Engine.Stats.Histogram.percentile h 1.0 >= 1000)
+
+let test_stats_bandwidth () =
+  Alcotest.(check (float 1e-9)) "100MB in 1s" 100.0
+    (Engine.Stats.bandwidth_mb_s ~bytes_transferred:100_000_000
+       ~elapsed_ns:1_000_000_000)
+
+let () =
+  Alcotest.run "engine"
+    [ ("heap",
+       [ Alcotest.test_case "basic order" `Quick test_heap_basic;
+         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties ]);
+      Tutil.qsuite "heap-props" [ prop_heap_sorts ];
+      ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "bernoulli bias" `Quick test_rng_bool_bias;
+         Alcotest.test_case "split" `Quick test_rng_split_independent ]);
+      ("sim",
+       [ Alcotest.test_case "ordering" `Quick test_sim_ordering;
+         Alcotest.test_case "same-time fifo" `Quick test_sim_same_time_fifo;
+         Alcotest.test_case "until" `Quick test_sim_until;
+         Alcotest.test_case "past raises" `Quick test_sim_past_raises;
+         Alcotest.test_case "nested" `Quick test_sim_nested_scheduling;
+         Alcotest.test_case "stop/resume" `Quick test_sim_stop ]);
+      ("proc",
+       [ Alcotest.test_case "sleep" `Quick test_proc_sleep;
+         Alcotest.test_case "ivar" `Quick test_proc_ivar;
+         Alcotest.test_case "ivar pre-filled" `Quick
+           test_proc_ivar_read_after_fill;
+         Alcotest.test_case "mailbox" `Quick test_proc_mailbox;
+         Alcotest.test_case "semaphore mutex" `Quick test_proc_semaphore_mutex;
+         Alcotest.test_case "join" `Quick test_proc_join;
+         Alcotest.test_case "join error" `Quick test_proc_join_error_propagates
+       ]);
+      ("bytebuf",
+       [ Alcotest.test_case "sub/blit" `Quick test_bytebuf_sub_and_blit;
+         Alcotest.test_case "concat/split" `Quick test_bytebuf_concat_split;
+         Alcotest.test_case "integer accessors" `Quick test_bytebuf_ints;
+         Alcotest.test_case "copy counter" `Quick test_bytebuf_copy_counter ]);
+      Tutil.qsuite "bytebuf-props"
+        [ prop_bytebuf_string_roundtrip; prop_bytebuf_checksum_sensitive ];
+      ("stats",
+       [ Alcotest.test_case "summary" `Quick test_stats_summary;
+         Alcotest.test_case "histogram" `Quick test_stats_histogram;
+         Alcotest.test_case "bandwidth" `Quick test_stats_bandwidth ]);
+    ]

@@ -1,0 +1,244 @@
+(* Future-work extensions: relay tunnels (full connectivity through
+   firewalls) and the grid naming service (global addressing). *)
+
+module Bb = Engine.Bytebuf
+module Vio = Personalities.Vio
+module Ns = Mw_ns.Nameserver
+module Orb = Mw_corba.Orb
+module Cdr = Mw_corba.Cdr
+
+(* Firewalled topology: A -lanA- G -lanB- C; A and C share no network. *)
+let firewalled () =
+  let grid = Padico.create () in
+  let a = Padico.add_node grid "a" in
+  let g = Padico.add_node grid "gateway" in
+  let c = Padico.add_node grid "c" in
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lanA" [ a; g ]);
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lanB" [ g; c ]);
+  (grid, a, g, c)
+
+let test_no_path_without_relay () =
+  let grid, a, _g, c = firewalled () in
+  let h =
+    Padico.spawn grid a ~name:"client" (fun () ->
+        try
+          ignore (Padico.connect grid ~src:a ~dst:c ~port:4000);
+          Alcotest.fail "expected failure without a relay"
+        with Failure msg ->
+          Tutil.check_bool "mentions relay" true
+            (String.length msg > 0))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let test_relay_tunnel_end_to_end () =
+  let grid, a, g, c = firewalled () in
+  Padico.start_relay grid g;
+  let served = ref "" in
+  Padico.listen grid c ~port:4000 (fun vl ->
+      ignore
+        (Padico.spawn grid c ~name:"server" (fun () ->
+             let buf = Bb.create 32 in
+             let n = Vio.read vl buf in
+             served := Bb.to_string (Bb.sub buf 0 n);
+             ignore (Vio.write_string vl "pong-through-tunnel"))));
+  let h =
+    Padico.spawn grid a ~name:"client" (fun () ->
+        let vl = Padico.connect grid ~src:a ~dst:c ~port:4000 in
+        (match Vio.connect_wait vl with
+         | Ok () -> ()
+         | Error e -> failwith e);
+        ignore (Vio.write_string vl "ping-through-tunnel");
+        let buf = Bb.create 32 in
+        let n = Vio.read vl buf in
+        Tutil.check_string "reply crossed both hops" "pong-through-tunnel"
+          (Bb.to_string (Bb.sub buf 0 n)))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  Tutil.check_string "request crossed both hops" "ping-through-tunnel" !served
+
+let test_relay_bulk_integrity () =
+  let grid, a, g, c = firewalled () in
+  Padico.start_relay grid g;
+  let total = 300_000 in
+  let msg = Tutil.pattern_buf ~seed:9 total in
+  let received = Buffer.create total in
+  Padico.listen grid c ~port:4100 (fun vl ->
+      ignore
+        (Padico.spawn grid c ~name:"sink" (fun () ->
+             let buf = Bb.create 65_536 in
+             let rec loop () =
+               let n = Vio.read vl buf in
+               if n > 0 then begin
+                 Buffer.add_string received (Bb.to_string (Bb.sub buf 0 n));
+                 if Buffer.length received < total then loop ()
+               end
+             in
+             loop ())));
+  let h =
+    Padico.spawn grid a ~name:"src" (fun () ->
+        let vl = Padico.connect grid ~src:a ~dst:c ~port:4100 in
+        (match Vio.connect_wait vl with
+         | Ok () -> ()
+         | Error e -> failwith e);
+        ignore (Vio.write vl msg))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  Tutil.check_bool "bulk payload intact through the tunnel" true
+    (Buffer.contents received = Bb.to_string msg)
+
+let test_corba_through_tunnel () =
+  (* An unmodified middleware crossing the firewall transparently. *)
+  let grid, a, g, c = firewalled () in
+  Padico.start_relay grid g;
+  let orb_a = Orb.init grid a in
+  let orb_c = Orb.init grid c in
+  Orb.activate orb_c ~key:"svc" (fun ~op:_ v -> Ok v);
+  Orb.serve orb_c ~port:3000;
+  let h =
+    Padico.spawn grid a ~name:"corba-client" (fun () ->
+        let p =
+          Orb.resolve orb_a { Orb.ior_node = c; ior_port = 3000; ior_key = "svc" }
+        in
+        match Orb.invoke p ~op:"echo" (Cdr.VLong 7) with
+        | Ok (Cdr.VLong 7) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "CORBA through tunnel failed")
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+(* ---------- nameserver ---------- *)
+
+let ns_grid () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.ethernet100 in
+  let server = Ns.start grid b ~port:53 in
+  (grid, a, b, server)
+
+let test_ns_register_lookup () =
+  let grid, a, b, server = ns_grid () in
+  let h =
+    Padico.spawn grid a ~name:"ns-client" (fun () ->
+        let c = Ns.connect grid ~src:a ~ns:b ~port:53 in
+        (match Ns.register c ~name:"corba:solver" ~node:b ~port:3000 with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+        (match Ns.lookup c ~name:"corba:solver" with
+         | Ok (node, port) ->
+           Tutil.check_int "node" (Simnet.Node.id b) (Simnet.Node.id node);
+           Tutil.check_int "port" 3000 port
+         | Error e -> Alcotest.fail e);
+        (match Ns.lookup c ~name:"corba:ghost" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "ghost resolved");
+        Ns.close c)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  Tutil.check_int "one entry" 1 (List.length (Ns.entries server))
+
+let test_ns_conflict_and_delete () =
+  let grid, a, b, _server = ns_grid () in
+  let h =
+    Padico.spawn grid a ~name:"ns-client" (fun () ->
+        let c = Ns.connect grid ~src:a ~ns:b ~port:53 in
+        (match Ns.register c ~name:"svc" ~node:b ~port:1 with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+        (* Same binding is idempotent. *)
+        (match Ns.register c ~name:"svc" ~node:b ~port:1 with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+        (* Different binding conflicts. *)
+        (match Ns.register c ~name:"svc" ~node:a ~port:2 with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "conflicting rebind accepted");
+        (match Ns.unregister c ~name:"svc" with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+        (match Ns.lookup c ~name:"svc" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "deleted name resolved");
+        Ns.close c)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let test_ns_list_prefix () =
+  let grid, a, b, _server = ns_grid () in
+  let h =
+    Padico.spawn grid a ~name:"ns-client" (fun () ->
+        let c = Ns.connect grid ~src:a ~ns:b ~port:53 in
+        List.iter
+          (fun (n, p) ->
+             match Ns.register c ~name:n ~node:b ~port:p with
+             | Ok () -> ()
+             | Error e -> Alcotest.fail e)
+          [ ("corba:x", 1); ("corba:y", 2); ("soap:z", 3) ];
+        (match Ns.list_names c ~prefix:"corba:" with
+         | Ok names ->
+           Alcotest.(check (list string)) "prefix filter"
+             [ "corba:x"; "corba:y" ] names
+         | Error e -> Alcotest.fail e);
+        Ns.close c)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let test_ns_driven_corba_resolution () =
+  (* End-to-end "global addressing": the server publishes its CORBA
+     endpoint under a name; the client knows only the name. *)
+  let grid, a, b, _server = ns_grid () in
+  let orb_b = Orb.init grid b in
+  Orb.activate orb_b ~key:"calc" (fun ~op:_ v -> Ok v);
+  Orb.serve orb_b ~port:3333;
+  ignore
+    (Padico.spawn grid b ~name:"publisher" (fun () ->
+         let c = Ns.connect grid ~src:b ~ns:b ~port:53 in
+         (match Ns.register c ~name:"corba:calc" ~node:b ~port:3333 with
+          | Ok () -> ()
+          | Error e -> failwith e);
+         Ns.close c));
+  let h =
+    Padico.spawn grid a ~name:"consumer" (fun () ->
+        Engine.Proc.sleep (Simnet.Node.sim a) (Engine.Time.ms 5);
+        let c = Ns.connect grid ~src:a ~ns:b ~port:53 in
+        let node, port =
+          match Ns.lookup c ~name:"corba:calc" with
+          | Ok e -> e
+          | Error e -> failwith e
+        in
+        Ns.close c;
+        let orb_a = Orb.init grid a in
+        let p =
+          Orb.resolve orb_a
+            { Orb.ior_node = node; ior_port = port; ior_key = "calc" }
+        in
+        match Orb.invoke p ~op:"echo" (Cdr.VString "named") with
+        | Ok (Cdr.VString "named") -> ()
+        | Ok _ | Error _ -> Alcotest.fail "named invocation failed")
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let () =
+  Alcotest.run "extensions"
+    [ ("relay",
+       [ Alcotest.test_case "no path without relay" `Quick
+           test_no_path_without_relay;
+         Alcotest.test_case "tunnel end-to-end" `Quick
+           test_relay_tunnel_end_to_end;
+         Alcotest.test_case "bulk integrity" `Quick test_relay_bulk_integrity;
+         Alcotest.test_case "CORBA through tunnel" `Quick
+           test_corba_through_tunnel ]);
+      ("nameserver",
+       [ Alcotest.test_case "register/lookup" `Quick test_ns_register_lookup;
+         Alcotest.test_case "conflict/delete" `Quick
+           test_ns_conflict_and_delete;
+         Alcotest.test_case "prefix listing" `Quick test_ns_list_prefix;
+         Alcotest.test_case "name-driven CORBA" `Quick
+           test_ns_driven_corba_resolution ]);
+    ]

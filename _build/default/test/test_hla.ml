@@ -1,0 +1,137 @@
+module Bb = Engine.Bytebuf
+module Hla = Mw_hla.Hla
+
+let rtig_grid () =
+  let grid = Padico.create () in
+  let rtig = Padico.add_node grid "rtig" in
+  let f1 = Padico.add_node grid "fed1" in
+  let f2 = Padico.add_node grid "fed2" in
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 [ rtig; f1; f2 ]);
+  Hla.start_rtig grid rtig ~port:9100;
+  (grid, rtig, f1, f2)
+
+let test_join_publish_subscribe_reflect () =
+  let grid, rtig, f1, f2 = rtig_grid () in
+  let reflected = ref [] in
+  let h2 =
+    Padico.spawn grid f2 ~name:"subscriber" (fun () ->
+        let fed =
+          Hla.join grid ~src:f2 ~rtig ~port:9100 ~federation:"sim"
+            ~name:"viewer"
+        in
+        Hla.subscribe fed ~class_:"Aircraft" (fun ~class_ ~from payload ->
+            reflected := (class_, from, Bb.to_string payload) :: !reflected))
+  in
+  let h1 =
+    Padico.spawn grid f1 ~name:"publisher" (fun () ->
+        let fed =
+          Hla.join grid ~src:f1 ~rtig ~port:9100 ~federation:"sim"
+            ~name:"plane"
+        in
+        Hla.publish fed ~class_:"Aircraft";
+        (* Let the subscriber get its subscription in. *)
+        Engine.Proc.sleep (Simnet.Node.sim f1) (Engine.Time.ms 50);
+        Hla.update_attributes fed ~class_:"Aircraft" (Bb.of_string "pos=1,2");
+        Hla.update_attributes fed ~class_:"Aircraft" (Bb.of_string "pos=3,4"))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h1;
+  Tutil.assert_done h2;
+  match List.rev !reflected with
+  | [ ("Aircraft", "plane", "pos=1,2"); ("Aircraft", "plane", "pos=3,4") ] ->
+    ()
+  | l -> Alcotest.failf "unexpected reflections (%d)" (List.length l)
+
+let test_publisher_does_not_hear_itself () =
+  let grid, rtig, f1, _f2 = rtig_grid () in
+  let self_reflections = ref 0 in
+  let h =
+    Padico.spawn grid f1 ~name:"both" (fun () ->
+        let fed =
+          Hla.join grid ~src:f1 ~rtig ~port:9100 ~federation:"solo"
+            ~name:"only"
+        in
+        Hla.publish fed ~class_:"C";
+        Hla.subscribe fed ~class_:"C" (fun ~class_:_ ~from:_ _ ->
+            incr self_reflections);
+        Hla.update_attributes fed ~class_:"C" (Bb.of_string "x"))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  Tutil.check_int "no self reflection" 0 !self_reflections
+
+let test_time_advance_lockstep () =
+  let grid, rtig, f1, f2 = rtig_grid () in
+  let times1 = ref [] and times2 = ref [] in
+  let body node times steps name () =
+    let fed =
+      Hla.join grid ~src:node ~rtig ~port:9100 ~federation:"time" ~name
+    in
+    List.iter
+      (fun t ->
+         let granted = Hla.time_advance_request fed t in
+         times := granted :: !times;
+         Tutil.check_bool "granted >= requested" true (granted +. 1e-9 >= t))
+      steps;
+    Hla.resign fed
+  in
+  (* Federate 1 requests 1,2,3; federate 2 requests 1.5, 2.5, 3.5.
+     Conservative grants: each re-requests until its own time is reached,
+     never overtaking the slowest pending request. *)
+  let h1 =
+    Padico.spawn grid f1 ~name:"fed1" (body f1 times1 [ 1.0; 2.0; 3.0 ] "one")
+  in
+  let h2 =
+    Padico.spawn grid f2 ~name:"fed2"
+      (body f2 times2 [ 1.5; 2.5; 3.5 ] "two")
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h1;
+  Tutil.assert_done h2;
+  (* Monotone non-decreasing grants. *)
+  let monotone l =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b && go rest
+      | _ -> true
+    in
+    go (List.rev l)
+  in
+  Tutil.check_bool "fed1 monotone" true (monotone !times1);
+  Tutil.check_bool "fed2 monotone" true (monotone !times2)
+
+let test_two_federations_isolated () =
+  let grid, rtig, f1, f2 = rtig_grid () in
+  let cross = ref 0 in
+  let h2 =
+    Padico.spawn grid f2 ~name:"other-fed" (fun () ->
+        let fed =
+          Hla.join grid ~src:f2 ~rtig ~port:9100 ~federation:"B" ~name:"b"
+        in
+        Hla.subscribe fed ~class_:"X" (fun ~class_:_ ~from:_ _ -> incr cross))
+  in
+  let h1 =
+    Padico.spawn grid f1 ~name:"fed-a" (fun () ->
+        let fed =
+          Hla.join grid ~src:f1 ~rtig ~port:9100 ~federation:"A" ~name:"a"
+        in
+        Engine.Proc.sleep (Simnet.Node.sim f1) (Engine.Time.ms 50);
+        Hla.update_attributes fed ~class_:"X" (Bb.of_string "leak?"))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h1;
+  Tutil.assert_done h2;
+  Tutil.check_int "federations isolated" 0 !cross
+
+let () =
+  Alcotest.run "hla"
+    [ ("rti",
+       [ Alcotest.test_case "pub/sub reflect" `Quick
+           test_join_publish_subscribe_reflect;
+         Alcotest.test_case "no self reflection" `Quick
+           test_publisher_does_not_hear_itself;
+         Alcotest.test_case "time advance lockstep" `Quick
+           test_time_advance_lockstep;
+         Alcotest.test_case "federation isolation" `Quick
+           test_two_federations_isolated ]);
+    ]

@@ -1,0 +1,237 @@
+(* Cross-cutting scenarios: the paper's core claims exercised end-to-end.
+
+   - several middleware systems at the same time on the same node/network
+     (MPI + CORBA + SOAP over one Myrinet), through the NetAccess
+     arbitration;
+   - middleware decoupled from networks: the same code paths on SAN, LAN
+     and WAN, with WAN methods applied transparently;
+   - component-style coupling: an MPI-parallel "component" exposing a
+     CORBA interface. *)
+
+module Bb = Engine.Bytebuf
+module Mpi = Mw_mpi.Mpi
+module Orb = Mw_corba.Orb
+module Cdr = Mw_corba.Cdr
+module Soap = Mw_soap.Soap
+module Jsock = Mw_java.Jsock
+
+let test_three_middleware_share_myrinet () =
+  let grid = Padico.create () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 [ a; b ]);
+  (* MPI job between a and b. *)
+  let cts = Padico.circuit grid ~name:"mpi" [ a; b ] in
+  let comms = Mpi.init cts in
+  let mpi_ok = ref false in
+  ignore
+    (Padico.spawn grid a ~name:"mpi0" (fun () ->
+         Mpi.send comms.(0) ~dst:1 ~tag:1 (Bb.of_string "halo");
+         let _, _, back = Mpi.recv comms.(0) ~tag:2 () in
+         mpi_ok := Bb.to_string back = "halo-back"));
+  ignore
+    (Padico.spawn grid b ~name:"mpi1" (fun () ->
+         let _, _, m = Mpi.recv comms.(1) ~tag:1 () in
+         Mpi.send comms.(1) ~dst:0 ~tag:2
+           (Bb.of_string (Bb.to_string m ^ "-back"))));
+  (* CORBA service on b, client on a — same wire, same time. *)
+  let orb_a = Orb.init grid a in
+  let orb_b = Orb.init grid b in
+  Orb.activate orb_b ~key:"svc" (fun ~op:_ v -> Ok v);
+  Orb.serve orb_b ~port:3000;
+  let corba_ok = ref false in
+  ignore
+    (Padico.spawn grid a ~name:"corba" (fun () ->
+         let p =
+           Orb.resolve orb_a { Orb.ior_node = b; ior_port = 3000; ior_key = "svc" }
+         in
+         for i = 1 to 10 do
+           match Orb.invoke p ~op:"echo" (Cdr.VLong i) with
+           | Ok (Cdr.VLong j) when i = j -> ()
+           | _ -> failwith "corba echo failed"
+         done;
+         corba_ok := true));
+  (* SOAP monitoring service on b, polled from a. *)
+  let soap_server = Soap.serve grid b ~port:8080 in
+  Soap.register soap_server ~name:"status" (fun _ -> Ok [ Soap.SString "up" ]);
+  let soap_ok = ref false in
+  ignore
+    (Padico.spawn grid a ~name:"soap" (fun () ->
+         let c = Soap.connect grid ~src:a ~dst:b ~port:8080 in
+         (match Soap.call c ~name:"status" [] with
+          | Ok [ Soap.SString "up" ] -> soap_ok := true
+          | _ -> ());
+         Soap.close c));
+  Tutil.run_grid grid;
+  Tutil.check_bool "MPI worked" true !mpi_ok;
+  Tutil.check_bool "CORBA worked alongside" true !corba_ok;
+  Tutil.check_bool "SOAP worked alongside" true !soap_ok
+
+let test_java_sockets_middleware () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let server = Jsock.server_socket grid b ~port:7001 in
+  let hs =
+    Padico.spawn grid b ~name:"jserver" (fun () ->
+        let s = Jsock.accept server in
+        Tutil.check_string "runs on madio" "madio"
+          (Vlink.Vl.driver_name (Jsock.vlink s));
+        let buf = Bb.create 4 in
+        Tutil.check_bool "read" true (Jsock.input_read_fully s buf);
+        Jsock.output_write s (Bb.of_string (Bb.to_string buf ^ "-ok"));
+        Jsock.close s)
+  in
+  let hc =
+    Padico.spawn grid a ~name:"jclient" (fun () ->
+        let s = Jsock.connect grid ~src:a ~dst:b ~port:7001 in
+        Jsock.output_write s (Bb.of_string "java");
+        let buf = Bb.create 7 in
+        Tutil.check_bool "reply" true (Jsock.input_read_fully s buf);
+        Tutil.check_string "payload" "java-ok" (Bb.to_string buf);
+        Jsock.close s)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done hs;
+  Tutil.assert_done hc
+
+let test_parallel_component_with_corba_interface () =
+  (* GridCCM-style: a 2-rank MPI component on cluster A; its master rank
+     exposes a CORBA "interface" invoked from a remote client over the
+     WAN. The invocation triggers an internal MPI exchange. *)
+  let grid, a1, a2, b1, _b2 = Tutil.two_clusters ~wan:Simnet.Presets.vthd () in
+  let cts = Padico.circuit grid ~name:"component" [ a1; a2 ] in
+  let comms = Mpi.init cts in
+  (* Worker rank: doubles whatever the master sends. *)
+  ignore
+    (Padico.spawn grid a2 ~name:"worker" (fun () ->
+         let rec loop () =
+           let _, _, v = Mpi.recv comms.(1) ~tag:1 () in
+           let x = (Mpi.ints_of_buf v).(0) in
+           Mpi.send comms.(1) ~dst:0 ~tag:2 (Mpi.ints_to_buf [| 2 * x |]);
+           loop ()
+         in
+         loop ()));
+  (* Master rank: CORBA servant delegating to the worker over MPI. *)
+  let orb_master = Orb.init grid a1 in
+  Orb.activate orb_master ~key:"component" (fun ~op args ->
+      match (op, args) with
+      | "double", Cdr.VLong x ->
+        Mpi.send comms.(0) ~dst:1 ~tag:1 (Mpi.ints_to_buf [| x |]);
+        let _, _, r = Mpi.recv comms.(0) ~tag:2 () in
+        Ok (Cdr.VLong (Mpi.ints_of_buf r).(0))
+      | _ -> Error "BAD_OPERATION");
+  Orb.serve orb_master ~port:3500;
+  let got = ref 0 in
+  let hc =
+    Padico.spawn grid b1 ~name:"remote-client" (fun () ->
+        let orb = Orb.init grid b1 in
+        let p =
+          Orb.resolve orb
+            { Orb.ior_node = a1; ior_port = 3500; ior_key = "component" }
+        in
+        match Orb.invoke p ~op:"double" (Cdr.VLong 21) with
+        | Ok (Cdr.VLong v) -> got := v
+        | Ok _ | Error _ -> ())
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done hc;
+  Tutil.check_int "CORBA -> MPI -> CORBA" 42 !got
+
+let test_corba_servant_is_not_blocking () =
+  (* The servant above blocks on MPI inside the ORB connection process:
+     verify another client connection is still served meanwhile (each
+     connection has its own process). *)
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let orb_b = Orb.init grid b in
+  let gate = Engine.Proc.Ivar.create () in
+  Orb.activate orb_b ~key:"slow" (fun ~op:_ _ ->
+      (* Block until the fast request went through. *)
+      Engine.Proc.Ivar.read gate;
+      Ok (Cdr.VString "slow-done"));
+  Orb.activate orb_b ~key:"fast" (fun ~op:_ _ -> Ok (Cdr.VString "fast-done"));
+  Orb.serve orb_b ~port:3600;
+  let orb_a = Orb.init grid a in
+  let order = ref [] in
+  let h_slow =
+    Padico.spawn grid a ~name:"slow-client" (fun () ->
+        let p =
+          Orb.resolve orb_a { Orb.ior_node = b; ior_port = 3600; ior_key = "slow" }
+        in
+        match Orb.invoke p ~op:"go" Cdr.VNull with
+        | Ok _ -> order := "slow" :: !order
+        | Error e -> failwith e)
+  in
+  let h_fast =
+    Padico.spawn grid a ~name:"fast-client" (fun () ->
+        (* Give the slow request a head start. *)
+        Engine.Proc.sleep (Simnet.Node.sim a) (Engine.Time.ms 1);
+        let p =
+          Orb.resolve orb_a { Orb.ior_node = b; ior_port = 3600; ior_key = "fast" }
+        in
+        (match Orb.invoke p ~op:"go" Cdr.VNull with
+         | Ok _ -> order := "fast" :: !order
+         | Error e -> failwith e);
+        Engine.Proc.Ivar.fill gate ())
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h_slow;
+  Tutil.assert_done h_fast;
+  Alcotest.(check (list string)) "fast overtook slow" [ "slow"; "fast" ]
+    !order
+
+let test_wan_methods_transparent_to_corba () =
+  (* The same CORBA code, deployed across the WAN with pstream+crypto:
+     nothing in the middleware changes. *)
+  let prefs =
+    { Selector.Prefs.default with Selector.Prefs.pstream_on_wan = true }
+  in
+  let grid = Padico.create ~prefs () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  ignore (Padico.add_segment grid Simnet.Presets.vthd [ a; b ]);
+  let orb_a = Orb.init grid a in
+  let orb_b = Orb.init grid b in
+  Orb.activate orb_b ~key:"svc" (fun ~op:_ v -> Ok v);
+  Orb.serve orb_b ~port:3700;
+  let payload = Cdr.VOctets (Tutil.pattern_buf ~seed:5 200_000) in
+  let ok = ref false in
+  let driver = ref "" in
+  let h =
+    Padico.spawn grid a ~name:"wan-client" (fun () ->
+        let p =
+          Orb.resolve orb_a { Orb.ior_node = b; ior_port = 3700; ior_key = "svc" }
+        in
+        (match Orb.invoke p ~op:"echo" payload with
+         | Ok v -> ok := Cdr.equal_value v payload
+         | Error e -> failwith e);
+        driver := Option.value ~default:"?" (Orb.proxy_driver p))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  Tutil.check_bool "payload intact over striped+ciphered WAN" true !ok;
+  Tutil.check_string "outermost adapter is the cipher" "crypto" !driver
+
+let test_registry_populated () =
+  ignore (Padico.create ());
+  Tutil.check_bool "drivers registered" true
+    (List.length (Padico.Registry.by_kind Padico.Registry.Driver) >= 4);
+  Tutil.check_bool "personalities registered" true
+    (List.length (Padico.Registry.by_kind Padico.Registry.Personality) >= 5);
+  match Padico.Registry.find "madio" with
+  | Some e -> Tutil.check_bool "madio is an adapter" true (e.Padico.Registry.kind = Padico.Registry.Adapter)
+  | None -> Alcotest.fail "madio not registered"
+
+let () =
+  Alcotest.run "integration"
+    [ ("multi-middleware",
+       [ Alcotest.test_case "MPI+CORBA+SOAP share Myrinet" `Quick
+           test_three_middleware_share_myrinet;
+         Alcotest.test_case "Java sockets" `Quick test_java_sockets_middleware;
+         Alcotest.test_case "parallel component via CORBA" `Quick
+           test_parallel_component_with_corba_interface;
+         Alcotest.test_case "concurrent connections" `Quick
+           test_corba_servant_is_not_blocking ]);
+      ("deployment",
+       [ Alcotest.test_case "WAN methods transparent" `Quick
+           test_wan_methods_transparent_to_corba;
+         Alcotest.test_case "registry" `Quick test_registry_populated ]);
+    ]

@@ -1,0 +1,125 @@
+module Bb = Engine.Bytebuf
+module Mad = Madeleine.Mad
+
+let mad_pair () =
+  let net, a, b, seg = Tutil.pair Simnet.Presets.myrinet2000 in
+  (net, a, b, Mad.init seg a, Mad.init seg b)
+
+let test_channel_budget_shared_with_gm () =
+  let _net, _a, _b, ma, _mb = mad_pair () in
+  Tutil.check_int "budget" 2 (Mad.max_channels ma);
+  let _c0 = Mad.open_channel ma ~id:0 in
+  let _c1 = Mad.open_channel ma ~id:1 in
+  Alcotest.check_raises "exhausted" Mad.No_channel_left (fun () ->
+      ignore (Mad.open_channel ma ~id:2))
+
+let test_pack_unpack_roundtrip () =
+  let net, _a, b, ma, mb = mad_pair () in
+  let ca = Mad.open_channel ma ~id:0 in
+  let cb = Mad.open_channel mb ~id:0 in
+  let header = Tutil.pattern_buf ~seed:1 16 in
+  let body = Tutil.pattern_buf ~seed:2 10_000 in
+  let ok = ref false in
+  Mad.set_recv cb (fun inc ->
+      Mad.begin_unpacking inc;
+      Tutil.check_int "src" 0 (Mad.incoming_src inc);
+      Tutil.check_int "total" 10_016 (Mad.incoming_length inc);
+      let h = Mad.unpack inc ~mode:Mad.Receive_express 16 in
+      let d = Mad.unpack inc ~mode:Mad.Receive_cheaper 10_000 in
+      Mad.end_unpacking inc;
+      ok := Bb.equal h header && Bb.equal d body);
+  let out = Mad.begin_packing ca ~dst:(Simnet.Node.id b) in
+  Mad.pack out ~mode:Mad.Send_later header;
+  Mad.pack out ~mode:Mad.Send_cheaper body;
+  Mad.end_packing out;
+  Tutil.run_net net;
+  Tutil.check_bool "pieces roundtrip" true !ok
+
+let test_send_safer_copies () =
+  (* Send_safer must snapshot: mutating the buffer after pack must not
+     change what is delivered. *)
+  let net, _a, b, ma, mb = mad_pair () in
+  let ca = Mad.open_channel ma ~id:0 in
+  let cb = Mad.open_channel mb ~id:0 in
+  let buf = Bb.of_string "original" in
+  let got = ref "" in
+  Mad.set_recv cb (fun inc ->
+      got := Bb.to_string (Mad.unpack inc (Mad.remaining inc)));
+  let out = Mad.begin_packing ca ~dst:(Simnet.Node.id b) in
+  Mad.pack out ~mode:Mad.Send_safer buf;
+  Bb.set buf 0 'X';
+  Mad.end_packing out;
+  Tutil.run_net net;
+  Tutil.check_string "safer snapshot" "original" !got
+
+let test_send_cheaper_references () =
+  (* Send_cheaper may reference: a mutation before end_packing IS visible
+     (that is the documented contract difference). *)
+  let net, _a, b, ma, mb = mad_pair () in
+  let ca = Mad.open_channel ma ~id:0 in
+  let cb = Mad.open_channel mb ~id:0 in
+  let buf = Bb.of_string "original" in
+  let got = ref "" in
+  Mad.set_recv cb (fun inc ->
+      got := Bb.to_string (Mad.unpack inc (Mad.remaining inc)));
+  let out = Mad.begin_packing ca ~dst:(Simnet.Node.id b) in
+  Mad.pack out ~mode:Mad.Send_cheaper buf;
+  Bb.set buf 0 'X';
+  Mad.end_packing out;
+  Tutil.run_net net;
+  Tutil.check_string "cheaper references" "Xriginal" !got
+
+let test_unpack_overrun_raises () =
+  let net, _a, b, ma, mb = mad_pair () in
+  let ca = Mad.open_channel ma ~id:0 in
+  let cb = Mad.open_channel mb ~id:0 in
+  let raised = ref false in
+  Mad.set_recv cb (fun inc ->
+      (try ignore (Mad.unpack inc 100)
+       with Invalid_argument _ -> raised := true));
+  let out = Mad.begin_packing ca ~dst:(Simnet.Node.id b) in
+  Mad.pack out (Bb.create 10);
+  Mad.end_packing out;
+  Tutil.run_net net;
+  Tutil.check_bool "overrun rejected" true !raised
+
+let test_double_end_packing_raises () =
+  let net, _a, b, ma, _mb = mad_pair () in
+  let ca = Mad.open_channel ma ~id:0 in
+  let out = Mad.begin_packing ca ~dst:(Simnet.Node.id b) in
+  Mad.pack out (Bb.create 4);
+  Mad.end_packing out;
+  Alcotest.check_raises "double end"
+    (Invalid_argument "Mad.end_packing: message already sent") (fun () ->
+      Mad.end_packing out);
+  Tutil.run_net net
+
+let test_counters () =
+  let net, _a, b, ma, mb = mad_pair () in
+  let ca = Mad.open_channel ma ~id:0 in
+  let cb = Mad.open_channel mb ~id:0 in
+  Mad.set_recv cb (fun _ -> ());
+  for _ = 1 to 5 do
+    let out = Mad.begin_packing ca ~dst:(Simnet.Node.id b) in
+    Mad.pack out (Bb.create 8);
+    Mad.end_packing out
+  done;
+  Tutil.run_net net;
+  Tutil.check_int "sent" 5 (Mad.messages_sent ma);
+  Tutil.check_int "received" 5 (Mad.messages_received mb)
+
+let () =
+  Alcotest.run "madeleine"
+    [ ("channels",
+       [ Alcotest.test_case "hardware budget" `Quick
+           test_channel_budget_shared_with_gm ]);
+      ("packing",
+       [ Alcotest.test_case "roundtrip" `Quick test_pack_unpack_roundtrip;
+         Alcotest.test_case "Send_safer copies" `Quick test_send_safer_copies;
+         Alcotest.test_case "Send_cheaper references" `Quick
+           test_send_cheaper_references;
+         Alcotest.test_case "unpack overrun" `Quick test_unpack_overrun_raises;
+         Alcotest.test_case "double end_packing" `Quick
+           test_double_end_packing_raises;
+         Alcotest.test_case "counters" `Quick test_counters ]);
+    ]

@@ -1,0 +1,244 @@
+module Bb = Engine.Bytebuf
+module Mpi = Mw_mpi.Mpi
+
+(* An MPI "job": one process per rank running [body rank comm]. *)
+let mpi_job ?(model = Simnet.Presets.myrinet2000) ~np body =
+  let grid = Padico.create () in
+  let nodes =
+    List.init np (fun i -> Padico.add_node grid (Printf.sprintf "n%d" i))
+  in
+  ignore (Padico.add_segment grid model nodes);
+  let cts = Padico.circuit grid ~name:"mpi" nodes in
+  let comms = Mpi.init cts in
+  let handles =
+    Array.mapi
+      (fun i comm ->
+         Padico.spawn grid (List.nth nodes i)
+           ~name:(Printf.sprintf "rank%d" i) (fun () -> body i comm))
+      comms
+  in
+  Tutil.run_grid grid;
+  Array.iter Tutil.assert_done handles
+
+let test_send_recv () =
+  mpi_job ~np:2 (fun rank comm ->
+      if rank = 0 then Mpi.send comm ~dst:1 ~tag:7 (Bb.of_string "payload")
+      else begin
+        let src, tag, data = Mpi.recv comm () in
+        Tutil.check_int "src" 0 src;
+        Tutil.check_int "tag" 7 tag;
+        Tutil.check_string "data" "payload" (Bb.to_string data)
+      end)
+
+let test_tag_matching () =
+  mpi_job ~np:2 (fun rank comm ->
+      if rank = 0 then begin
+        Mpi.send comm ~dst:1 ~tag:1 (Bb.of_string "one");
+        Mpi.send comm ~dst:1 ~tag:2 (Bb.of_string "two")
+      end
+      else begin
+        (* Receive out of arrival order by tag. *)
+        let _, _, d2 = Mpi.recv comm ~tag:2 () in
+        let _, _, d1 = Mpi.recv comm ~tag:1 () in
+        Tutil.check_string "tag 2" "two" (Bb.to_string d2);
+        Tutil.check_string "tag 1" "one" (Bb.to_string d1)
+      end)
+
+let test_any_source () =
+  mpi_job ~np:4 (fun rank comm ->
+      if rank > 0 then Mpi.send comm ~dst:0 ~tag:5 (Bb.create rank)
+      else begin
+        let seen = ref [] in
+        for _ = 1 to 3 do
+          let src, _, data = Mpi.recv comm ~tag:5 () in
+          Tutil.check_int "size matches source" src (Bb.length data);
+          seen := src :: !seen
+        done;
+        Alcotest.(check (list int)) "all sources" [ 1; 2; 3 ]
+          (List.sort compare !seen)
+      end)
+
+let test_isend_irecv_waitall () =
+  mpi_job ~np:2 (fun rank comm ->
+      if rank = 0 then begin
+        let reqs =
+          List.init 5 (fun i ->
+              Mpi.isend comm ~dst:1 ~tag:i (Bb.create (10 * (i + 1))))
+        in
+        ignore (Mpi.waitall reqs)
+      end
+      else begin
+        let reqs = List.init 5 (fun i -> Mpi.irecv comm ~tag:i ()) in
+        let results = Mpi.waitall reqs in
+        List.iteri
+          (fun i (_, tag, data) ->
+             Tutil.check_int "tag" i tag;
+             Tutil.check_int "size" (10 * (i + 1)) (Bb.length data))
+          results
+      end)
+
+let test_test_nonblocking () =
+  mpi_job ~np:2 (fun rank comm ->
+      if rank = 0 then begin
+        Engine.Proc.sleep (Simnet.Node.sim (Mpi.node comm)) 1_000_000;
+        Mpi.send comm ~dst:1 ~tag:1 (Bb.create 4)
+      end
+      else begin
+        let req = Mpi.irecv comm ~tag:1 () in
+        Tutil.check_bool "not yet" true (Mpi.test req = None);
+        ignore (Mpi.wait req);
+        Tutil.check_bool "now done" true (Mpi.test req <> None)
+      end)
+
+let test_probe () =
+  mpi_job ~np:2 (fun rank comm ->
+      if rank = 0 then Mpi.send comm ~dst:1 ~tag:9 (Bb.create 4)
+      else begin
+        (* Wait for arrival via a blocking recv of a different message
+           first? Simpler: poll by sleeping until probe sees it. *)
+        let sim = Simnet.Node.sim (Mpi.node comm) in
+        let rec wait_for_probe n =
+          if n > 1000 then Alcotest.fail "probe never matched"
+          else
+            match Mpi.probe comm ~tag:9 () with
+            | Some (src, tag) ->
+              Tutil.check_int "probe src" 0 src;
+              Tutil.check_int "probe tag" 9 tag
+            | None ->
+              Engine.Proc.sleep sim 10_000;
+              wait_for_probe (n + 1)
+        in
+        wait_for_probe 0;
+        ignore (Mpi.recv comm ~tag:9 ())
+      end)
+
+(* ---------- collectives ---------- *)
+
+let test_barrier_synchronizes () =
+  let np = 5 in
+  let after = Array.make np 0 in
+  let before = Array.make np 0 in
+  mpi_job ~np (fun rank comm ->
+      let sim = Simnet.Node.sim (Mpi.node comm) in
+      (* Stagger arrival times. *)
+      Engine.Proc.sleep sim (rank * 1_000_000);
+      before.(rank) <- Engine.Sim.now sim;
+      Mpi.barrier comm;
+      after.(rank) <- Engine.Sim.now sim);
+  let latest_before = Array.fold_left max 0 before in
+  Array.iteri
+    (fun i t ->
+       Tutil.check_bool
+         (Printf.sprintf "rank %d leaves after the last arrives" i)
+         true (t >= latest_before))
+    after
+
+let test_bcast_all_roots () =
+  let np = 6 in
+  for root = 0 to np - 1 do
+    mpi_job ~np (fun rank comm ->
+        let data =
+          if rank = root then Some (Tutil.pattern_buf ~seed:root 1_000)
+          else None
+        in
+        let out = Mpi.bcast comm ~root data in
+        Tutil.check_bool
+          (Printf.sprintf "root %d -> rank %d" root rank)
+          true
+          (Bb.equal out (Tutil.pattern_buf ~seed:root 1_000)))
+  done
+
+let test_reduce_sum_ints () =
+  let np = 7 in
+  mpi_job ~np (fun rank comm ->
+      let v = Mpi.ints_to_buf [| rank; rank * 2; 1 |] in
+      match Mpi.reduce comm ~root:0 ~op:Mpi.Sum ~datatype:Mpi.Int_t v with
+      | Some out ->
+        Tutil.check_int "root is 0" 0 rank;
+        let r = Mpi.ints_of_buf out in
+        Tutil.check_int "sum of ranks" 21 r.(0);
+        Tutil.check_int "sum of 2*ranks" 42 r.(1);
+        Tutil.check_int "count" np r.(2)
+      | None -> Tutil.check_bool "non-root gets None" true (rank <> 0))
+
+let test_reduce_max_floats () =
+  mpi_job ~np:4 (fun rank comm ->
+      let v = Mpi.floats_to_buf [| float_of_int rank; -.float_of_int rank |] in
+      match Mpi.reduce comm ~root:2 ~op:Mpi.Max ~datatype:Mpi.Float_t v with
+      | Some out ->
+        let r = Mpi.floats_of_buf out in
+        Alcotest.(check (float 1e-9)) "max" 3.0 r.(0);
+        Alcotest.(check (float 1e-9)) "max of negatives" 0.0 r.(1)
+      | None -> ())
+
+let test_allreduce () =
+  mpi_job ~np:5 (fun rank comm ->
+      let v = Mpi.ints_to_buf [| rank |] in
+      let out = Mpi.allreduce comm ~op:Mpi.Sum ~datatype:Mpi.Int_t v in
+      Tutil.check_int
+        (Printf.sprintf "rank %d sees the sum" rank)
+        10
+        (Mpi.ints_of_buf out).(0))
+
+let test_gather_scatter () =
+  mpi_job ~np:4 (fun rank comm ->
+      (* gather *)
+      (match Mpi.gather comm ~root:0 (Bb.create (rank + 1)) with
+       | Some parts ->
+         Array.iteri
+           (fun i p -> Tutil.check_int "gathered size" (i + 1) (Bb.length p))
+           parts
+       | None -> Tutil.check_bool "non-root" true (rank <> 0));
+      (* scatter *)
+      let parts =
+        if rank = 0 then
+          Some (Array.init 4 (fun i -> Tutil.pattern_buf ~seed:i (100 * (i + 1))))
+        else None
+      in
+      let mine = Mpi.scatter comm ~root:0 parts in
+      Tutil.check_int "scattered size" (100 * (rank + 1)) (Bb.length mine);
+      Tutil.check_bool "scattered content" true
+        (Bb.equal mine (Tutil.pattern_buf ~seed:rank (100 * (rank + 1)))))
+
+let test_alltoall () =
+  mpi_job ~np:3 (fun rank comm ->
+      let parts =
+        Array.init 3 (fun dst -> Tutil.pattern_buf ~seed:((rank * 10) + dst) 64)
+      in
+      let out = Mpi.alltoall comm parts in
+      Array.iteri
+        (fun src p ->
+           Tutil.check_bool
+             (Printf.sprintf "rank %d slot %d" rank src)
+             true
+             (Bb.equal p (Tutil.pattern_buf ~seed:((src * 10) + rank) 64)))
+        out)
+
+let test_collectives_over_lan () =
+  (* Cross-paradigm: the same MPI collectives over TCP/Ethernet. *)
+  mpi_job ~model:Simnet.Presets.ethernet100 ~np:4 (fun rank comm ->
+      let v = Mpi.ints_to_buf [| rank + 1 |] in
+      let out = Mpi.allreduce comm ~op:Mpi.Sum ~datatype:Mpi.Int_t v in
+      Tutil.check_int "sum over TCP" 10 (Mpi.ints_of_buf out).(0))
+
+let () =
+  Alcotest.run "mpi"
+    [ ("p2p",
+       [ Alcotest.test_case "send/recv" `Quick test_send_recv;
+         Alcotest.test_case "tag matching" `Quick test_tag_matching;
+         Alcotest.test_case "any_source" `Quick test_any_source;
+         Alcotest.test_case "isend/irecv/waitall" `Quick
+           test_isend_irecv_waitall;
+         Alcotest.test_case "test" `Quick test_test_nonblocking;
+         Alcotest.test_case "probe" `Quick test_probe ]);
+      ("collectives",
+       [ Alcotest.test_case "barrier" `Quick test_barrier_synchronizes;
+         Alcotest.test_case "bcast all roots" `Quick test_bcast_all_roots;
+         Alcotest.test_case "reduce sum" `Quick test_reduce_sum_ints;
+         Alcotest.test_case "reduce max" `Quick test_reduce_max_floats;
+         Alcotest.test_case "allreduce" `Quick test_allreduce;
+         Alcotest.test_case "gather/scatter" `Quick test_gather_scatter;
+         Alcotest.test_case "alltoall" `Quick test_alltoall;
+         Alcotest.test_case "collectives over LAN" `Quick
+           test_collectives_over_lan ]);
+    ]

@@ -1,0 +1,208 @@
+module Bb = Engine.Bytebuf
+module Vio = Personalities.Vio
+module Syswrap = Personalities.Syswrap
+module Aio = Personalities.Aio
+module Fm = Personalities.Fm
+module Madpers = Personalities.Madpers
+module Proc = Engine.Proc
+module Ct = Circuit.Ct
+
+(* ---------- Vio ---------- *)
+
+let test_vio_read_line () =
+  let net = Simnet.Net.create () in
+  let a = Simnet.Net.add_node net "a" in
+  let va, vb = Vlink.Vl_loopback.pair a in
+  let lines = ref [] in
+  let h =
+    Simnet.Node.spawn a (fun () ->
+        ignore (Vio.write_string va "first\nsecond\nlast-no-newline");
+        Vio.close va)
+  in
+  let h2 =
+    Simnet.Node.spawn a (fun () ->
+        let rec loop () =
+          match Vio.read_line vb with
+          | Some l ->
+            lines := l :: !lines;
+            loop ()
+          | None -> ()
+        in
+        loop ())
+  in
+  Tutil.run_net net;
+  Tutil.assert_done h;
+  Tutil.assert_done h2;
+  Alcotest.(check (list string)) "lines"
+    [ "first"; "second"; "last-no-newline" ]
+    (List.rev !lines)
+
+(* ---------- SysWrap ---------- *)
+
+let test_syswrap_full_socket_lifecycle () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let swa = Syswrap.attach grid a in
+  let swb = Syswrap.attach grid b in
+  let server =
+    Padico.spawn grid b ~name:"server" (fun () ->
+        let lfd = Syswrap.socket swb in
+        Syswrap.bind_listen swb lfd ~port:2000;
+        let cfd = Syswrap.accept swb lfd in
+        let buf = Bb.create 5 in
+        Tutil.check_bool "recv" true (Syswrap.recv_exact swb cfd buf);
+        Tutil.check_string "request" "hello" (Bb.to_string buf);
+        ignore (Syswrap.send swb cfd (Bb.of_string "world"));
+        (* The legacy app believes it used sockets; it actually rode MadIO. *)
+        Tutil.check_string "transparent driver" "madio"
+          (Vlink.Vl.driver_name (Syswrap.vlink_of_fd swb cfd));
+        Syswrap.close swb cfd)
+  in
+  let client =
+    Padico.spawn grid a ~name:"client" (fun () ->
+        let fd = Syswrap.socket swa in
+        Syswrap.connect swa fd ~dst:b ~port:2000;
+        ignore (Syswrap.send swa fd (Bb.of_string "hello"));
+        let buf = Bb.create 5 in
+        Tutil.check_bool "reply" true (Syswrap.recv_exact swa fd buf);
+        Tutil.check_string "response" "world" (Bb.to_string buf);
+        Syswrap.close swa fd)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done server;
+  Tutil.assert_done client
+
+let test_syswrap_errors () =
+  let grid, a, b, seg = Tutil.grid_pair Simnet.Presets.ethernet100 in
+  (* Give the peer a live TCP stack so unbound ports answer with RST. *)
+  ignore (Netaccess.Sysio.stack_on (Padico.sysio b) seg);
+  let sw = Syswrap.attach grid a in
+  let h =
+    Padico.spawn grid a ~name:"errs" (fun () ->
+        (* EBADF *)
+        (try
+           ignore (Syswrap.recv sw 99 (Bb.create 1));
+           Alcotest.fail "EBADF expected"
+         with Syswrap.Unix_error e -> Tutil.check_string "ebadf" "EBADF" e);
+        (* ENOTCONN *)
+        let fd = Syswrap.socket sw in
+        (try
+           ignore (Syswrap.send sw fd (Bb.create 1));
+           Alcotest.fail "ENOTCONN expected"
+         with Syswrap.Unix_error e ->
+           Tutil.check_string "enotconn" "ENOTCONN" e);
+        (* ECONNREFUSED *)
+        (try
+           Syswrap.connect sw fd ~dst:b ~port:4321;
+           Alcotest.fail "ECONNREFUSED expected"
+         with Syswrap.Unix_error e ->
+           Tutil.check_string "refused" "ECONNREFUSED" e))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+(* ---------- Aio ---------- *)
+
+let test_aio_poll_and_suspend () =
+  let net = Simnet.Net.create () in
+  let a = Simnet.Net.add_node net "a" in
+  let va, vb = Vlink.Vl_loopback.pair a in
+  let h =
+    Simnet.Node.spawn a (fun () ->
+        let buf = Bb.create 16 in
+        let cb = Aio.aio_read vb buf in
+        Tutil.check_bool "in progress" true (Aio.aio_error cb = `In_progress);
+        (try
+           ignore (Aio.aio_return cb);
+           Alcotest.fail "aio_return while pending"
+         with Invalid_argument _ -> ());
+        (* Write from the other end, then suspend on the read. *)
+        let wcb = Aio.aio_write va (Bb.of_string "async!") in
+        Aio.aio_suspend [ cb ];
+        Tutil.check_bool "done" true (Aio.aio_error cb = `Ok);
+        Tutil.check_int "bytes" 6 (Aio.aio_return cb);
+        Aio.aio_suspend [ wcb ];
+        Tutil.check_int "write completed" 6 (Aio.aio_return wcb))
+  in
+  Tutil.run_net net;
+  Tutil.assert_done h
+
+(* ---------- FastMessage ---------- *)
+
+let test_fm_handlers () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let cts = Padico.circuit grid ~name:"fm" [ a; b ] in
+  let fm0 = Fm.attach cts.(0) in
+  let fm1 = Fm.attach cts.(1) in
+  ignore fm0;
+  let sum = ref 0 in
+  let texts = ref [] in
+  Fm.register_handler fm1 ~id:1 (fun ~src:_ inc ->
+      sum := !sum + Ct.unpack_int inc);
+  Fm.register_handler fm1 ~id:2 (fun ~src:_ inc ->
+      texts := Bb.to_string (Ct.unpack inc (Ct.remaining inc)) :: !texts);
+  let st = Fm.begin_message fm0 ~dest:1 ~handler:1 in
+  Fm.send_piece_int st 40;
+  Fm.end_message st;
+  let st = Fm.begin_message fm0 ~dest:1 ~handler:1 in
+  Fm.send_piece_int st 2;
+  Fm.end_message st;
+  let st = Fm.begin_message fm0 ~dest:1 ~handler:2 in
+  Fm.send_piece st (Bb.of_string "am");
+  Fm.end_message st;
+  Tutil.run_grid grid;
+  Tutil.check_int "handler 1 accumulated" 42 !sum;
+  Alcotest.(check (list string)) "handler 2" [ "am" ] !texts;
+  Tutil.check_int "handled count" 3 (Fm.messages_handled fm1)
+
+(* ---------- Madpers ---------- *)
+
+let test_madpers_blocking_recv () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let cts = Padico.circuit grid ~name:"mp" [ a; b ] in
+  let mp0 = Madpers.attach cts.(0) in
+  let mp1 = Madpers.attach cts.(1) in
+  Tutil.check_int "rank" 1 (Madpers.rank mp1);
+  Tutil.check_int "size" 2 (Madpers.size mp1);
+  let h =
+    Padico.spawn grid b ~name:"recv" (fun () ->
+        let src, inc = Madpers.recv_blocking mp1 in
+        Tutil.check_int "src" 0 src;
+        Tutil.check_string "payload" "to-rank-1"
+          (Bb.to_string (Ct.unpack inc (Ct.remaining inc))))
+  in
+  let out = Madpers.begin_packing mp0 ~dst:1 in
+  Madpers.pack out (Bb.of_string "to-rank-1");
+  Madpers.end_packing out;
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let test_madpers_callback_mode_conflicts () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let cts = Padico.circuit grid ~name:"mp2" [ a; b ] in
+  let mp = Madpers.attach cts.(0) in
+  Madpers.set_recv mp (fun ~src:_ _ -> ());
+  let h =
+    Padico.spawn grid a ~name:"conflict" (fun () ->
+        try
+          ignore (Madpers.recv_blocking mp);
+          Alcotest.fail "expected conflict"
+        with Invalid_argument _ -> ())
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let () =
+  Alcotest.run "personalities"
+    [ ("vio", [ Alcotest.test_case "read_line" `Quick test_vio_read_line ]);
+      ("syswrap",
+       [ Alcotest.test_case "socket lifecycle over MadIO" `Quick
+           test_syswrap_full_socket_lifecycle;
+         Alcotest.test_case "errno behaviour" `Quick test_syswrap_errors ]);
+      ("aio",
+       [ Alcotest.test_case "poll+suspend" `Quick test_aio_poll_and_suspend ]);
+      ("fm", [ Alcotest.test_case "handlers" `Quick test_fm_handlers ]);
+      ("madpers",
+       [ Alcotest.test_case "blocking recv" `Quick test_madpers_blocking_recv;
+         Alcotest.test_case "mode conflict" `Quick
+           test_madpers_callback_mode_conflicts ]);
+    ]

@@ -1,0 +1,213 @@
+(* Cross-cutting property tests: determinism of the whole simulator,
+   TCP stream integrity under randomized traffic and loss, MPI collective
+   correctness on random vectors and group sizes. *)
+
+module Bb = Engine.Bytebuf
+module Tcp = Drivers.Tcp
+module Mpi = Mw_mpi.Mpi
+
+(* ---------- determinism ---------- *)
+
+(* A full-stack scenario, returning a digest of everything observable. *)
+let scenario_digest seed =
+  let grid, a, b, _ = Tutil.grid_pair ~seed Simnet.Presets.vthd in
+  let digest = ref 0 in
+  let mix v = digest := (!digest * 1_000_003) + v land max_int in
+  Padico.listen grid b ~port:4000 (fun vl ->
+      ignore
+        (Padico.spawn grid b ~name:"sink" (fun () ->
+             let buf = Bb.create 4096 in
+             let rec loop () =
+               let n = Personalities.Vio.read vl buf in
+               if n > 0 then begin
+                 mix n;
+                 mix (Padico.now grid);
+                 loop ()
+               end
+             in
+             loop ())));
+  ignore
+    (Padico.spawn grid a ~name:"src" (fun () ->
+         let vl = Padico.connect grid ~src:a ~dst:b ~port:4000 in
+         (match Personalities.Vio.connect_wait vl with
+          | Ok () -> ()
+          | Error e -> failwith e);
+         for i = 1 to 50 do
+           ignore (Personalities.Vio.write vl (Tutil.pattern_buf ~seed:i 4096))
+         done));
+  Tutil.run_grid grid;
+  mix (Padico.now grid);
+  !digest
+
+let prop_simulation_deterministic =
+  QCheck.Test.make ~name:"same seed => byte-identical simulation" ~count:10
+    QCheck.(int_bound 1000)
+    (fun seed -> scenario_digest seed = scenario_digest seed)
+
+let test_different_seeds_diverge () =
+  (* Loss draws differ across seeds on a lossy link, so timings differ. *)
+  Tutil.check_bool "seeds influence the run" true
+    (scenario_digest 1 <> scenario_digest 2)
+
+(* ---------- TCP under randomized traffic ---------- *)
+
+let tcp_random_traffic (seed, sizes, loss_pct) =
+  let loss = float_of_int loss_pct /. 100.0 in
+  let model =
+    { Simnet.Presets.ethernet100 with
+      Simnet.Linkmodel.loss;
+      latency_ns = 500_000 }
+  in
+  let net, _a, b, seg = Tutil.pair ~seed model in
+  let a = List.hd (Simnet.Net.nodes net) in
+  let sa = Tcp.attach seg a in
+  let sb = Tcp.attach seg b in
+  let received = Buffer.create 1024 in
+  Tcp.listen sb ~port:80 (fun conn ->
+      Tcp.set_event_cb conn (fun ev ->
+          if ev = Tcp.Readable then begin
+            let rec drain () =
+              match Tcp.read conn ~max:65_536 with
+              | Some buf ->
+                Buffer.add_string received (Bb.to_string buf);
+                drain ()
+              | None -> ()
+            in
+            drain ()
+          end));
+  let sent = Buffer.create 1024 in
+  let chunks =
+    List.map
+      (fun s ->
+         let b = Tutil.pattern_buf ~seed:(s + seed) (max 1 s) in
+         Buffer.add_string sent (Bb.to_string b);
+         b)
+      sizes
+  in
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let pending = ref chunks in
+  let offset = ref 0 in
+  let rec pump () =
+    match !pending with
+    | [] -> ()
+    | chunk :: rest ->
+      let len = Bb.length chunk in
+      let n = Tcp.write c (Bb.sub chunk !offset (len - !offset)) in
+      offset := !offset + n;
+      if !offset = len then begin
+        pending := rest;
+        offset := 0;
+        if n > 0 then pump ()
+      end
+  in
+  Tcp.set_event_cb c (fun ev ->
+      match ev with Tcp.Established | Tcp.Writable -> pump () | _ -> ());
+  Tutil.run_net net ~until:(Engine.Time.sec 590);
+  Buffer.contents received = Buffer.contents sent
+
+let prop_tcp_random_streams =
+  QCheck.Test.make
+    ~name:"TCP delivers arbitrary write patterns intact (0-6% loss)"
+    ~count:15
+    QCheck.(triple (int_bound 10_000)
+              (list_of_size Gen.(int_range 1 12) (make Gen.(int_range 0 20_000)))
+              (int_bound 6))
+    tcp_random_traffic
+
+(* ---------- MPI collectives on random inputs ---------- *)
+
+let run_allreduce (np, values, op_pick) =
+  let np = max 2 (min 6 np) in
+  let op, reference =
+    match op_pick mod 3 with
+    | 0 -> (Mpi.Sum, fun l -> List.fold_left ( + ) 0 l)
+    | 1 -> (Mpi.Max, fun l -> List.fold_left max min_int l)
+    | _ -> (Mpi.Min, fun l -> List.fold_left min max_int l)
+  in
+  let values = if values = [] then [ 1 ] else values in
+  let per_rank =
+    Array.init np (fun r -> List.nth values (r mod List.length values))
+  in
+  let grid = Padico.create () in
+  let nodes =
+    List.init np (fun i -> Padico.add_node grid (Printf.sprintf "n%d" i))
+  in
+  ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 nodes);
+  let comms = Mpi.init (Padico.circuit grid ~name:"prop" nodes) in
+  let results = Array.make np None in
+  let handles =
+    Array.mapi
+      (fun rank comm ->
+         Padico.spawn grid (List.nth nodes rank)
+           ~name:(Printf.sprintf "r%d" rank) (fun () ->
+             let out =
+               Mpi.allreduce comm ~op ~datatype:Mpi.Int_t
+                 (Mpi.ints_to_buf [| per_rank.(rank) |])
+             in
+             results.(rank) <- Some (Mpi.ints_of_buf out).(0)))
+      comms
+  in
+  Tutil.run_grid grid;
+  Array.iter Tutil.assert_done handles;
+  let expected = reference (Array.to_list per_rank) in
+  Array.for_all (fun r -> r = Some expected) results
+
+let prop_mpi_allreduce =
+  QCheck.Test.make
+    ~name:"MPI allreduce agrees with the sequential reduction" ~count:20
+    QCheck.(triple (int_range 2 6)
+              (list_of_size Gen.(int_range 1 6) (make Gen.small_signed_int))
+              int)
+    run_allreduce
+
+(* ---------- CORBA values survive every transport ---------- *)
+
+let corba_roundtrip_over model =
+  let grid, a, b, _ = Tutil.grid_pair model in
+  let orb_a = Mw_corba.Orb.init grid a in
+  let orb_b = Mw_corba.Orb.init grid b in
+  Mw_corba.Orb.activate orb_b ~key:"echo" (fun ~op:_ v -> Ok v);
+  Mw_corba.Orb.serve orb_b ~port:3000;
+  let value =
+    Mw_corba.Cdr.VStruct
+      [ ("blob", Mw_corba.Cdr.VOctets (Tutil.pattern_buf ~seed:1 20_000));
+        ("tag", Mw_corba.Cdr.VString "x") ]
+  in
+  let ok = ref false in
+  let h =
+    Padico.spawn grid a ~name:"c" (fun () ->
+        let p =
+          Mw_corba.Orb.resolve orb_a
+            { Mw_corba.Orb.ior_node = b; ior_port = 3000; ior_key = "echo" }
+        in
+        match Mw_corba.Orb.invoke p ~op:"e" value with
+        | Ok v -> ok := Mw_corba.Cdr.equal_value v value
+        | Error _ -> ())
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  !ok
+
+let test_corba_on_every_network () =
+  List.iter
+    (fun (name, model) ->
+       Tutil.check_bool ("CORBA echo over " ^ name) true
+         (corba_roundtrip_over model))
+    [ ("myrinet", Simnet.Presets.myrinet2000);
+      ("sci", Simnet.Presets.sci);
+      ("ethernet", Simnet.Presets.ethernet100);
+      ("gigabit", Simnet.Presets.gigabit_lan);
+      ("vthd (ciphered)", Simnet.Presets.vthd) ]
+
+let () =
+  Alcotest.run "properties"
+    [ Tutil.qsuite "determinism" [ prop_simulation_deterministic ];
+      ("seeds",
+       [ Alcotest.test_case "seeds diverge" `Quick test_different_seeds_diverge
+       ]);
+      Tutil.qsuite "tcp" [ prop_tcp_random_streams ];
+      Tutil.qsuite "mpi" [ prop_mpi_allreduce ];
+      ("corba",
+       [ Alcotest.test_case "every network" `Quick test_corba_on_every_network
+       ]);
+    ]

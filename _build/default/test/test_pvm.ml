@@ -1,0 +1,209 @@
+module Bb = Engine.Bytebuf
+module Pvm = Mw_pvm.Pvm
+module Mpi = Mw_mpi.Mpi
+module Orb = Mw_corba.Orb
+module Cdr = Mw_corba.Cdr
+
+let pvm_job ?(model = Simnet.Presets.myrinet2000) ~np body =
+  let grid = Padico.create () in
+  let nodes =
+    List.init np (fun i -> Padico.add_node grid (Printf.sprintf "n%d" i))
+  in
+  ignore (Padico.add_segment grid model nodes);
+  let tasks = Pvm.init (Padico.circuit grid ~name:"pvm" nodes) in
+  let handles =
+    Array.mapi
+      (fun i task ->
+         Padico.spawn grid (List.nth nodes i)
+           ~name:(Printf.sprintf "task%d" i) (fun () -> body i task))
+      tasks
+  in
+  Tutil.run_grid grid;
+  Array.iter Tutil.assert_done handles
+
+let test_typed_pack_unpack () =
+  pvm_job ~np:2 (fun rank task ->
+      if rank = 0 then begin
+        let sb = Pvm.initsend task in
+        Pvm.pkint sb 42;
+        Pvm.pkdouble sb 2.75;
+        Pvm.pkstr sb "pvm";
+        Pvm.pkbytes sb (Tutil.pattern_buf ~seed:3 1000);
+        Pvm.send sb ~tid:(Pvm.tid_of_rank task 1) ~tag:5
+      end
+      else begin
+        let rb = Pvm.recv task ~tag:5 () in
+        let src, tag = Pvm.bufinfo rb in
+        Tutil.check_int "source tid" (Pvm.tid_of_rank task 0) src;
+        Tutil.check_int "tag" 5 tag;
+        Tutil.check_int "int" 42 (Pvm.upkint rb);
+        Alcotest.(check (float 1e-12)) "double" 2.75 (Pvm.upkdouble rb);
+        Tutil.check_string "str" "pvm" (Pvm.upkstr rb);
+        Tutil.check_bool "bytes" true
+          (Bb.equal (Pvm.upkbytes rb) (Tutil.pattern_buf ~seed:3 1000))
+      end)
+
+let test_type_mismatch_detected () =
+  pvm_job ~np:2 (fun rank task ->
+      if rank = 0 then begin
+        let sb = Pvm.initsend task in
+        Pvm.pkint sb 1;
+        Pvm.send sb ~tid:(Pvm.tid_of_rank task 1) ~tag:1
+      end
+      else begin
+        let rb = Pvm.recv task ~tag:1 () in
+        try
+          ignore (Pvm.upkstr rb);
+          Alcotest.fail "type mismatch accepted"
+        with Invalid_argument _ -> ()
+      end)
+
+let test_tid_addressing_and_wildcards () =
+  pvm_job ~np:3 (fun rank task ->
+      if rank > 0 then begin
+        let sb = Pvm.initsend task in
+        Pvm.pkint sb rank;
+        Pvm.send sb ~tid:(Pvm.tid_of_rank task 0) ~tag:rank
+      end
+      else begin
+        (* Receive from a specific tid first, then a wildcard. *)
+        let rb = Pvm.recv task ~tid:(Pvm.tid_of_rank task 2) () in
+        Tutil.check_int "from tid 2" 2 (Pvm.upkint rb);
+        let rb = Pvm.recv task () in
+        Tutil.check_int "wildcard gets the other" 1 (Pvm.upkint rb)
+      end)
+
+let test_mcast () =
+  pvm_job ~np:4 (fun rank task ->
+      if rank = 0 then begin
+        let sb = Pvm.initsend task in
+        Pvm.pkstr sb "to-many";
+        Pvm.mcast sb
+          ~tids:[ Pvm.tid_of_rank task 1; Pvm.tid_of_rank task 3 ]
+          ~tag:9
+      end
+      else if rank = 1 || rank = 3 then begin
+        let rb = Pvm.recv task ~tag:9 () in
+        Tutil.check_string "mcast payload" "to-many" (Pvm.upkstr rb)
+      end
+      else begin
+        (* rank 2 must NOT receive. *)
+        Engine.Proc.sleep (Simnet.Node.sim (Pvm.node task)) 1_000_000;
+        Tutil.check_bool "not addressed" false (Pvm.probe task ~tag:9 ())
+      end)
+
+let test_consumed_buffer_rejected () =
+  pvm_job ~np:2 (fun rank task ->
+      if rank = 0 then begin
+        let sb = Pvm.initsend task in
+        Pvm.pkint sb 1;
+        Pvm.send sb ~tid:(Pvm.tid_of_rank task 1) ~tag:1;
+        try
+          Pvm.send sb ~tid:(Pvm.tid_of_rank task 1) ~tag:2;
+          Alcotest.fail "reuse accepted"
+        with Invalid_argument _ -> ()
+      end
+      else ignore (Pvm.recv task ~tag:1 ()))
+
+let test_barrier () =
+  let np = 4 in
+  let before = Array.make np 0 and after = Array.make np 0 in
+  pvm_job ~np (fun rank task ->
+      let sim = Simnet.Node.sim (Pvm.node task) in
+      Engine.Proc.sleep sim (rank * 2_000_000);
+      before.(rank) <- Engine.Sim.now sim;
+      Pvm.barrier task;
+      after.(rank) <- Engine.Sim.now sim);
+  let latest = Array.fold_left max 0 before in
+  Array.iter
+    (fun t -> Tutil.check_bool "left after last arrival" true (t >= latest))
+    after
+
+let test_pvm_over_lan () =
+  pvm_job ~model:Simnet.Presets.ethernet100 ~np:2 (fun rank task ->
+      if rank = 0 then begin
+        let sb = Pvm.initsend task in
+        Pvm.pkbytes sb (Tutil.pattern_buf ~seed:7 50_000);
+        Pvm.send sb ~tid:(Pvm.tid_of_rank task 1) ~tag:1
+      end
+      else begin
+        let rb = Pvm.recv task ~tag:1 () in
+        Tutil.check_bool "bulk over TCP" true
+          (Bb.equal (Pvm.upkbytes rb) (Tutil.pattern_buf ~seed:7 50_000))
+      end)
+
+(* The paper's §2.1 sentence, literally: "a MPI-based component could be
+   connected to a PVM-based component" — each component's master exposes a
+   CORBA interface; the framework couples them across the grid. *)
+let test_mpi_component_talks_to_pvm_component () =
+  let grid, a1, a2, b1, b2 = Tutil.two_clusters ~wan:Simnet.Presets.vthd () in
+  (* PVM component on cluster B: rank 0 asks rank 1 to square numbers. *)
+  let pvm_tasks = Pvm.init (Padico.circuit grid ~name:"pvm-comp" [ b1; b2 ]) in
+  ignore
+    (Padico.spawn grid b2 ~name:"pvm-worker" (fun () ->
+         let rec loop () =
+           let rb = Pvm.recv pvm_tasks.(1) ~tag:1 () in
+           let v = Pvm.upkint rb in
+           let sb = Pvm.initsend pvm_tasks.(1) in
+           Pvm.pkint sb (v * v);
+           Pvm.send sb ~tid:(Pvm.mytid pvm_tasks.(0)) ~tag:2;
+           loop ()
+         in
+         loop ()));
+  let orb_b = Orb.init grid b1 in
+  Orb.activate orb_b ~key:"pvm-component" (fun ~op:_ args ->
+      match args with
+      | Cdr.VLong v ->
+        let sb = Pvm.initsend pvm_tasks.(0) in
+        Pvm.pkint sb v;
+        Pvm.send sb ~tid:(Pvm.mytid pvm_tasks.(1)) ~tag:1;
+        let rb = Pvm.recv pvm_tasks.(0) ~tag:2 () in
+        Ok (Cdr.VLong (Pvm.upkint rb))
+      | _ -> Error "BAD_PARAM");
+  Orb.serve orb_b ~port:3900;
+  (* MPI component on cluster A: ranks sum their values, master forwards
+     the sum to the PVM component for squaring. *)
+  let comms = Mpi.init (Padico.circuit grid ~name:"mpi-comp" [ a1; a2 ]) in
+  ignore
+    (Padico.spawn grid a2 ~name:"mpi-rank1" (fun () ->
+         ignore
+           (Mpi.allreduce comms.(1) ~op:Mpi.Sum ~datatype:Mpi.Int_t
+              (Mpi.ints_to_buf [| 4 |]))));
+  let result = ref 0 in
+  let h =
+    Padico.spawn grid a1 ~name:"mpi-master" (fun () ->
+        let sum =
+          (Mpi.ints_of_buf
+             (Mpi.allreduce comms.(0) ~op:Mpi.Sum ~datatype:Mpi.Int_t
+                (Mpi.ints_to_buf [| 3 |]))).(0)
+        in
+        let orb_a = Orb.init grid a1 in
+        let p =
+          Orb.resolve orb_a
+            { Orb.ior_node = b1; ior_port = 3900; ior_key = "pvm-component" }
+        in
+        match Orb.invoke p ~op:"square" (Cdr.VLong sum) with
+        | Ok (Cdr.VLong v) -> result := v
+        | Ok _ | Error _ -> ())
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  (* (3+4)^2 computed by MPI + CORBA + PVM across two clusters. *)
+  Tutil.check_int "coupled result" 49 !result
+
+let () =
+  Alcotest.run "pvm"
+    [ ("api",
+       [ Alcotest.test_case "typed pack/unpack" `Quick test_typed_pack_unpack;
+         Alcotest.test_case "type mismatch" `Quick test_type_mismatch_detected;
+         Alcotest.test_case "tids + wildcards" `Quick
+           test_tid_addressing_and_wildcards;
+         Alcotest.test_case "mcast" `Quick test_mcast;
+         Alcotest.test_case "consumed buffer" `Quick
+           test_consumed_buffer_rejected;
+         Alcotest.test_case "barrier" `Quick test_barrier;
+         Alcotest.test_case "over LAN" `Quick test_pvm_over_lan ]);
+      ("coupling",
+       [ Alcotest.test_case "MPI component <-> PVM component" `Quick
+           test_mpi_component_talks_to_pvm_component ]);
+    ]

@@ -1,0 +1,153 @@
+module Bb = Engine.Bytebuf
+module Soap = Mw_soap.Soap
+module Sxml = Mw_soap.Sxml
+
+(* ---------- base64 ---------- *)
+
+let test_base64_vectors () =
+  Tutil.check_string "empty" "" (Soap.base64_encode "");
+  Tutil.check_string "f" "Zg==" (Soap.base64_encode "f");
+  Tutil.check_string "fo" "Zm8=" (Soap.base64_encode "fo");
+  Tutil.check_string "foo" "Zm9v" (Soap.base64_encode "foo");
+  Tutil.check_string "foobar" "Zm9vYmFy" (Soap.base64_encode "foobar")
+
+let prop_base64_roundtrip =
+  QCheck.Test.make ~name:"base64 roundtrip" ~count:200 QCheck.string (fun s ->
+      match Soap.base64_decode (Soap.base64_encode s) with
+      | Ok s' -> s' = s
+      | Error _ -> false)
+
+let test_base64_reject_garbage () =
+  (match Soap.base64_decode "a" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad length accepted");
+  match Soap.base64_decode "Zm9%" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad character accepted"
+
+(* ---------- XML ---------- *)
+
+let test_xml_roundtrip () =
+  let doc =
+    Sxml.Element
+      ("root", [ ("a", "1"); ("b", "x<y") ],
+       [ Sxml.Element ("child", [], [ Sxml.Text "some & text" ]);
+         Sxml.Element ("empty", [], []) ])
+  in
+  match Sxml.of_string (Sxml.to_string doc) with
+  | Ok parsed ->
+    Tutil.check_string "same xml" (Sxml.to_string doc) (Sxml.to_string parsed)
+  | Error e -> Alcotest.fail e
+
+let test_xml_escape () =
+  Tutil.check_string "escaped" "a&lt;b&gt;c&amp;d&quot;e"
+    (Sxml.escape "a<b>c&d\"e")
+
+let test_xml_malformed () =
+  (match Sxml.of_string "<a><b></a>" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "mismatched tags accepted");
+  match Sxml.of_string "no xml at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+(* ---------- envelopes ---------- *)
+
+let test_envelope_roundtrip () =
+  let params =
+    [ Soap.SString "abc"; Soap.SInt (-42); Soap.SFloat 2.5;
+      Soap.SBytes (Tutil.pattern_buf ~seed:3 100) ]
+  in
+  let s = Soap.encode_call ~name:"doWork" params in
+  match Soap.decode_call s with
+  | Ok ("doWork", params') ->
+    Tutil.check_int "param count" 4 (List.length params');
+    List.iter2
+      (fun a b ->
+         match (a, b) with
+         | Soap.SString x, Soap.SString y -> Tutil.check_string "str" x y
+         | Soap.SInt x, Soap.SInt y -> Tutil.check_int "int" x y
+         | Soap.SFloat x, Soap.SFloat y ->
+           Alcotest.(check (float 1e-12)) "float" x y
+         | Soap.SBytes x, Soap.SBytes y ->
+           Tutil.check_bool "bytes" true (Bb.equal x y)
+         | _ -> Alcotest.fail "type mismatch")
+      params params'
+  | Ok (n, _) -> Alcotest.failf "wrong method %s" n
+  | Error e -> Alcotest.fail e
+
+let test_response_fault () =
+  let s = Soap.encode_response (Error "no such method") in
+  match Soap.decode_response s with
+  | Error "no such method" -> ()
+  | _ -> Alcotest.fail "fault roundtrip"
+
+(* ---------- end-to-end RPC ---------- *)
+
+let test_rpc_over_grid () =
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.ethernet100 in
+  let server = Soap.serve grid b ~port:8080 in
+  Soap.register server ~name:"concat" (fun params ->
+      match params with
+      | [ Soap.SString x; Soap.SString y ] -> Ok [ Soap.SString (x ^ y) ]
+      | _ -> Error "bad params");
+  Soap.register server ~name:"sum" (fun params ->
+      let total =
+        List.fold_left
+          (fun acc p -> match p with Soap.SInt i -> acc + i | _ -> acc)
+          0 params
+      in
+      Ok [ Soap.SInt total ]);
+  let h =
+    Padico.spawn grid a ~name:"soap-client" (fun () ->
+        let c = Soap.connect grid ~src:a ~dst:b ~port:8080 in
+        (match Soap.call c ~name:"concat" [ Soap.SString "grid"; Soap.SString "-rpc" ] with
+         | Ok [ Soap.SString "grid-rpc" ] -> ()
+         | Ok _ -> Alcotest.fail "wrong concat"
+         | Error e -> Alcotest.fail e);
+        (match Soap.call c ~name:"sum" [ Soap.SInt 1; Soap.SInt 2; Soap.SInt 39 ] with
+         | Ok [ Soap.SInt 42 ] -> ()
+         | _ -> Alcotest.fail "wrong sum");
+        (match Soap.call c ~name:"missing" [] with
+         | Error e ->
+           Tutil.check_bool "fault mentions method" true
+             (String.length e > 0)
+         | Ok _ -> Alcotest.fail "missing method answered");
+        Soap.close c)
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h;
+  Tutil.check_int "served" 3 (Soap.requests_served server)
+
+let test_rpc_over_myrinet () =
+  (* The point of PadicoTM: even SOAP can ride the SAN. *)
+  let grid, a, b, _ = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  let server = Soap.serve grid b ~port:8081 in
+  Soap.register server ~name:"ping" (fun _ -> Ok [ Soap.SString "pong" ]);
+  let h =
+    Padico.spawn grid a ~name:"client" (fun () ->
+        let c = Soap.connect grid ~src:a ~dst:b ~port:8081 in
+        match Soap.call c ~name:"ping" [] with
+        | Ok [ Soap.SString "pong" ] -> ()
+        | _ -> Alcotest.fail "ping failed")
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let () =
+  Alcotest.run "soap"
+    [ ("base64",
+       [ Alcotest.test_case "rfc vectors" `Quick test_base64_vectors;
+         Alcotest.test_case "garbage" `Quick test_base64_reject_garbage ]);
+      Tutil.qsuite "base64-props" [ prop_base64_roundtrip ];
+      ("xml",
+       [ Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+         Alcotest.test_case "escape" `Quick test_xml_escape;
+         Alcotest.test_case "malformed" `Quick test_xml_malformed ]);
+      ("envelope",
+       [ Alcotest.test_case "call roundtrip" `Quick test_envelope_roundtrip;
+         Alcotest.test_case "fault" `Quick test_response_fault ]);
+      ("rpc",
+       [ Alcotest.test_case "over ethernet" `Quick test_rpc_over_grid;
+         Alcotest.test_case "over myrinet" `Quick test_rpc_over_myrinet ]);
+    ]

@@ -1,0 +1,325 @@
+module Bb = Engine.Bytebuf
+module Tcp = Drivers.Tcp
+
+let tcp_pair ?(model = Simnet.Presets.ethernet100) ?seed () =
+  let net, a, b, seg = Tutil.pair ?seed model in
+  (net, a, b, Tcp.attach seg a, Tcp.attach seg b)
+
+(* Echo server helper: accepts on [port] and echoes everything. *)
+let echo_server stack ~port =
+  Tcp.listen stack ~port (fun conn ->
+      Tcp.set_event_cb conn (fun ev ->
+          if ev = Tcp.Readable then begin
+            let rec drain () =
+              match Tcp.read conn ~max:65_536 with
+              | Some buf ->
+                ignore (Tcp.write conn buf);
+                drain ()
+              | None -> ()
+            in
+            drain ()
+          end))
+
+let test_connect_establish () =
+  let net, _a, b, sa, sb = tcp_pair () in
+  let established_client = ref false and established_server = ref false in
+  Tcp.listen sb ~port:80 (fun conn ->
+      established_server := true;
+      Tutil.check_bool "server state" true (Tcp.state conn = Tcp.Established_st));
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  Tcp.set_event_cb c (fun ev ->
+      if ev = Tcp.Established then established_client := true);
+  Tutil.run_net net;
+  Tutil.check_bool "client established" true !established_client;
+  Tutil.check_bool "server accepted" true !established_server;
+  Tutil.check_bool "client state" true (Tcp.state c = Tcp.Established_st)
+
+let test_connection_refused () =
+  let net, _a, b, sa, _sb = tcp_pair () in
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:81 in
+  let reset = ref false in
+  Tcp.set_event_cb c (fun ev -> if ev = Tcp.Reset then reset := true);
+  Tutil.run_net net;
+  Tutil.check_bool "RST received" true !reset;
+  Tutil.check_bool "closed" true (Tcp.state c = Tcp.Closed_st)
+
+let test_echo_integrity () =
+  let net, _a, b, sa, sb = tcp_pair () in
+  echo_server sb ~port:80;
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let msg = Tutil.pattern_buf ~seed:17 100_000 in
+  let echoed = Buffer.create 100_000 in
+  let pump = ref (fun () -> ()) in
+  let sent = ref 0 in
+  (pump :=
+     fun () ->
+       if !sent < Bb.length msg then begin
+         let n = Tcp.write c (Bb.sub msg !sent (Bb.length msg - !sent)) in
+         sent := !sent + n
+       end);
+  Tcp.set_event_cb c (fun ev ->
+      match ev with
+      | Tcp.Established | Tcp.Writable -> !pump ()
+      | Tcp.Readable ->
+        let rec drain () =
+          match Tcp.read c ~max:65_536 with
+          | Some buf ->
+            Buffer.add_string echoed (Bb.to_string buf);
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      | _ -> ());
+  Tutil.run_net net;
+  Tutil.check_int "all echoed" 100_000 (Buffer.length echoed);
+  Tutil.check_bool "identical" true
+    (Buffer.contents echoed = Bb.to_string msg)
+
+let test_integrity_under_loss () =
+  (* A lossy WAN must still deliver a correct byte stream. *)
+  let net, _a, b, sa, sb =
+    tcp_pair ~model:(Simnet.Presets.transcontinental_loss 0.08) ~seed:3 ()
+  in
+  let total = 300_000 in
+  let received = Buffer.create total in
+  Tcp.listen sb ~port:80 (fun conn ->
+      Tcp.set_event_cb conn (fun ev ->
+          if ev = Tcp.Readable then begin
+            let rec drain () =
+              match Tcp.read conn ~max:65_536 with
+              | Some buf ->
+                Buffer.add_string received (Bb.to_string buf);
+                drain ()
+              | None -> ()
+            in
+            drain ()
+          end));
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let msg = Tutil.pattern_buf ~seed:23 total in
+  let sent = ref 0 in
+  let pump () =
+    if !sent < total then begin
+      let n = Tcp.write c (Bb.sub msg !sent (total - !sent)) in
+      sent := !sent + n
+    end
+  in
+  Tcp.set_event_cb c (fun ev ->
+      match ev with Tcp.Established | Tcp.Writable -> pump () | _ -> ());
+  Tutil.run_net net ~until:(Engine.Time.sec 590);
+  Tutil.check_int "all delivered despite loss" total (Buffer.length received);
+  Tutil.check_bool "stream identical" true
+    (Buffer.contents received = Bb.to_string msg);
+  Tutil.check_bool "retransmissions happened" true (Tcp.retransmits c > 0)
+
+let test_fin_eof () =
+  let net, _a, b, sa, sb = tcp_pair () in
+  let got_eof = ref false in
+  let got_data = Buffer.create 16 in
+  Tcp.listen sb ~port:80 (fun conn ->
+      Tcp.set_event_cb conn (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+            (match Tcp.read conn ~max:100 with
+             | Some buf -> Buffer.add_string got_data (Bb.to_string buf)
+             | None -> ())
+          | Tcp.Peer_closed -> got_eof := true
+          | _ -> ()));
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  Tcp.set_event_cb c (fun ev ->
+      if ev = Tcp.Established then begin
+        ignore (Tcp.write c (Bb.of_string "bye"));
+        Tcp.close c
+      end);
+  Tutil.run_net net;
+  Tutil.check_string "data before fin" "bye" (Buffer.contents got_data);
+  Tutil.check_bool "peer closed seen" true !got_eof
+
+let test_flow_control_slow_reader () =
+  (* Reader never reads: sender must be throttled near the receive buffer
+     size, not stream forever. *)
+  let net, _a, b, sa, sb = tcp_pair () in
+  Tcp.listen sb ~port:80 (fun _conn -> ());
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let accepted = ref 0 in
+  let big = Bb.create 65_536 in
+  let pump () =
+    let n = ref 1 in
+    while !n > 0 do
+      n := Tcp.write c big;
+      accepted := !accepted + !n
+    done
+  in
+  Tcp.set_event_cb c (fun ev ->
+      match ev with Tcp.Established | Tcp.Writable -> pump () | _ -> ());
+  Tutil.run_net net ~until:(Engine.Time.sec 30);
+  (* Accepted data is bounded by sndbuf + rcvbuf (plus margin). *)
+  Tutil.check_bool "sender throttled" true
+    (!accepted <= (2 * Tcp.default_bufsize) + 100_000);
+  Tutil.check_bool "window closed" true (Tcp.bytes_sent c <= Tcp.default_bufsize + 65_536)
+
+let test_window_reopens () =
+  (* Slow reader that eventually drains: everything must arrive. *)
+  let net, _a, b, sa, sb = tcp_pair () in
+  let total = 600_000 in
+  let received = ref 0 in
+  let sim = Simnet.Net.sim net in
+  Tcp.listen sb ~port:80 (fun conn ->
+      (* Read 10 KB every 50 ms regardless of events. *)
+      let rec slow_read () =
+        (match Tcp.read conn ~max:10_240 with
+         | Some buf -> received := !received + Bb.length buf
+         | None -> ());
+        if !received < total then
+          Engine.Sim.after sim 50_000_000 slow_read
+      in
+      Engine.Sim.after sim 50_000_000 slow_read);
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let sent = ref 0 in
+  let chunk = Bb.create 32_768 in
+  let pump () =
+    let n = ref 1 in
+    while !n > 0 && !sent < total do
+      let want = min 32_768 (total - !sent) in
+      n := Tcp.write c (Bb.sub chunk 0 want);
+      sent := !sent + !n
+    done
+  in
+  Tcp.set_event_cb c (fun ev ->
+      match ev with Tcp.Established | Tcp.Writable -> pump () | _ -> ());
+  Tutil.run_net net ~until:(Engine.Time.sec 120);
+  Tutil.check_int "all delivered through a slow reader" total !received
+
+let test_bidirectional () =
+  let net, _a, b, sa, sb = tcp_pair () in
+  let to_server = Tutil.pattern_buf ~seed:1 50_000 in
+  let to_client = Tutil.pattern_buf ~seed:2 80_000 in
+  let server_got = Buffer.create 50_000 in
+  let client_got = Buffer.create 80_000 in
+  Tcp.listen sb ~port:80 (fun conn ->
+      let sent = ref 0 in
+      let pump () =
+        if !sent < Bb.length to_client then begin
+          let n =
+            Tcp.write conn (Bb.sub to_client !sent (Bb.length to_client - !sent))
+          in
+          sent := !sent + n
+        end
+      in
+      pump ();
+      Tcp.set_event_cb conn (fun ev ->
+          match ev with
+          | Tcp.Writable -> pump ()
+          | Tcp.Readable ->
+            let rec drain () =
+              match Tcp.read conn ~max:65_536 with
+              | Some buf ->
+                Buffer.add_string server_got (Bb.to_string buf);
+                drain ()
+              | None -> ()
+            in
+            drain ()
+          | _ -> ()));
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let sent = ref 0 in
+  let pump () =
+    if !sent < Bb.length to_server then begin
+      let n = Tcp.write c (Bb.sub to_server !sent (Bb.length to_server - !sent)) in
+      sent := !sent + n
+    end
+  in
+  Tcp.set_event_cb c (fun ev ->
+      match ev with
+      | Tcp.Established | Tcp.Writable -> pump ()
+      | Tcp.Readable ->
+        let rec drain () =
+          match Tcp.read c ~max:65_536 with
+          | Some buf ->
+            Buffer.add_string client_got (Bb.to_string buf);
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      | _ -> ());
+  Tutil.run_net net;
+  Tutil.check_bool "server received all" true
+    (Buffer.contents server_got = Bb.to_string to_server);
+  Tutil.check_bool "client received all" true
+    (Buffer.contents client_got = Bb.to_string to_client)
+
+let test_two_connections_demux () =
+  let net, _a, b, sa, sb = tcp_pair () in
+  echo_server sb ~port:80;
+  let c1 = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let c2 = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let got1 = ref "" and got2 = ref "" in
+  let wire c tag got =
+    Tcp.set_event_cb c (fun ev ->
+        match ev with
+        | Tcp.Established -> ignore (Tcp.write c (Bb.of_string tag))
+        | Tcp.Readable ->
+          (match Tcp.read c ~max:100 with
+           | Some buf -> got := !got ^ Bb.to_string buf
+           | None -> ())
+        | _ -> ())
+  in
+  wire c1 "first" got1;
+  wire c2 "second" got2;
+  Tutil.run_net net;
+  Tutil.check_string "conn1 echo" "first" !got1;
+  Tutil.check_string "conn2 echo" "second" !got2
+
+let test_abort_resets_peer () =
+  let net, _a, b, sa, sb = tcp_pair () in
+  let server_reset = ref false in
+  Tcp.listen sb ~port:80 (fun conn ->
+      Tcp.set_event_cb conn (fun ev ->
+          if ev = Tcp.Reset then server_reset := true));
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  Tcp.set_event_cb c (fun ev -> if ev = Tcp.Established then Tcp.abort c);
+  Tutil.run_net net;
+  Tutil.check_bool "peer saw RST" true !server_reset
+
+let test_cwnd_grows () =
+  let net, _a, b, sa, sb = tcp_pair ~model:Simnet.Presets.vthd () in
+  echo_server sb ~port:80;
+  let c = Tcp.connect sa ~dst:(Simnet.Node.id b) ~port:80 in
+  let initial = ref 0 in
+  let big = Bb.create 65_536 in
+  let sent = ref 0 in
+  let pump () =
+    if !sent < 2_000_000 then begin
+      let n = Tcp.write c big in
+      sent := !sent + n
+    end
+  in
+  Tcp.set_event_cb c (fun ev ->
+      match ev with
+      | Tcp.Established ->
+        initial := Tcp.cwnd c;
+        pump ()
+      | Tcp.Writable -> pump ()
+      | Tcp.Readable -> ignore (Tcp.read c ~max:65_536)
+      | _ -> ());
+  Tutil.run_net net ~until:(Engine.Time.sec 20);
+  Tutil.check_bool "congestion window opened" true (Tcp.cwnd c > !initial * 4)
+
+let () =
+  Alcotest.run "tcp"
+    [ ("lifecycle",
+       [ Alcotest.test_case "connect/accept" `Quick test_connect_establish;
+         Alcotest.test_case "refused" `Quick test_connection_refused;
+         Alcotest.test_case "fin/eof" `Quick test_fin_eof;
+         Alcotest.test_case "abort/rst" `Quick test_abort_resets_peer;
+         Alcotest.test_case "two connections" `Quick
+           test_two_connections_demux ]);
+      ("data",
+       [ Alcotest.test_case "echo integrity" `Quick test_echo_integrity;
+         Alcotest.test_case "integrity under 8% loss" `Quick
+           test_integrity_under_loss;
+         Alcotest.test_case "bidirectional" `Quick test_bidirectional ]);
+      ("flow-control",
+       [ Alcotest.test_case "slow reader throttles" `Quick
+           test_flow_control_slow_reader;
+         Alcotest.test_case "window reopens" `Quick test_window_reopens;
+         Alcotest.test_case "cwnd grows" `Quick test_cwnd_grows ]);
+    ]

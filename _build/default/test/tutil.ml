@@ -1,0 +1,69 @@
+(* Shared helpers for the test suites. *)
+
+module Bb = Engine.Bytebuf
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+(* Run a simulation until quiescence (bounded), then assert the processes
+   completed without raising. *)
+let run_net ?(until = Engine.Time.sec 600) net = Simnet.Net.run net ~until
+
+let run_grid ?(until = Engine.Time.sec 600) grid = Padico.run grid ~until
+
+let assert_done h =
+  match Engine.Proc.result h with
+  | Some (Ok ()) -> ()
+  | Some (Error e) ->
+    Alcotest.failf "process %s raised %s" (Engine.Proc.name h)
+      (Printexc.to_string e)
+  | None -> Alcotest.failf "process %s did not finish" (Engine.Proc.name h)
+
+(* A two-node net on one segment. *)
+let pair ?seed model =
+  let net = Simnet.Net.create ?seed () in
+  let a = Simnet.Net.add_node net "a" in
+  let b = Simnet.Net.add_node net "b" in
+  let seg = Simnet.Net.add_segment net model [ a; b ] in
+  (net, a, b, seg)
+
+(* A two-node Padico grid on one segment. *)
+let grid_pair ?seed ?prefs model =
+  let grid = Padico.create ?seed ?prefs () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  let seg = Padico.add_segment grid model [ a; b ] in
+  (grid, a, b, seg)
+
+(* Two 2-node clusters (Myrinet inside) joined by a WAN; every node also on
+   a LAN for IP reachability inside the cluster. *)
+let two_clusters ?seed ?prefs ~wan () =
+  let grid = Padico.create ?seed ?prefs () in
+  let a1 = Padico.add_node grid "a1" in
+  let a2 = Padico.add_node grid "a2" in
+  let b1 = Padico.add_node grid "b1" in
+  let b2 = Padico.add_node grid "b2" in
+  ignore
+    (Padico.add_segment grid Simnet.Presets.myrinet2000 ~name:"myri-a"
+       [ a1; a2 ]);
+  ignore
+    (Padico.add_segment grid Simnet.Presets.myrinet2000 ~name:"myri-b"
+       [ b1; b2 ]);
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan-a"
+       [ a1; a2 ]);
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan-b"
+       [ b1; b2 ]);
+  ignore (Padico.add_segment grid wan ~name:"wan" [ a1; a2; b1; b2 ]);
+  (grid, a1, a2, b1, b2)
+
+let pattern_buf ~seed n =
+  let b = Bb.create n in
+  Bb.fill_pattern b ~seed;
+  b
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
