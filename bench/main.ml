@@ -10,6 +10,7 @@ let experiments =
     ("arbitration", "E6: middleware sharing a node", Arb_bench.run);
     ("adoc", "E7: adaptive online compression", Adoc_bench.run);
     ("copies", "E8: marshalling-copies ablation", Copies_bench.run);
+    ("obs", "E9: tracing overhead on the MadIO hot path", Obs_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 let usage () =

@@ -1,0 +1,80 @@
+(* Obs — tracing overhead on the MadIO ping-pong hot path.
+
+   Two claims to check:
+   1. virtual-time neutrality: instrumentation charges no simulated cost, so
+      the measured one-way latency is bit-identical with tracing disabled,
+      enabled, or compared to a build without any tracing (the seed);
+   2. host-time cost: with tracing disabled the only added work is one
+      load+branch per event site, so wall-clock per simulated round must be
+      within noise of the seed; enabled tracing pays for ring-buffer writes
+      only.
+
+   Numbers are recorded in EXPERIMENTS.md (experiment E9). *)
+
+module Bb = Engine.Bytebuf
+module Mad = Madeleine.Mad
+module Madio = Netaccess.Madio
+module Trace = Padico_obs.Trace
+
+let iters = 5000
+
+(* MadIO logical-channel ping-pong — the E3 hot path. Returns (one-way
+   virtual latency in us, wall-clock seconds for the whole run). *)
+let madio_pingpong () =
+  let grid, a, b = Bhelp.myrinet_pair () in
+  let net = Padico.net grid in
+  let seg = Option.get (Simnet.Net.best_link net a b) in
+  let ma = Madio.init (Mad.init seg a) in
+  let mb = Madio.init (Mad.init seg b) in
+  let la = Madio.open_lchannel ma ~id:42 in
+  let lb = Madio.open_lchannel mb ~id:42 in
+  Madio.set_recv lb (fun ~src:_ buf -> Madio.send lb ~dst:(Simnet.Node.id a) buf);
+  let count = ref 0 in
+  let t0 = ref 0 and t1 = ref 0 in
+  Madio.set_recv la (fun ~src:_ buf ->
+      incr count;
+      if !count = 10 then t0 := Padico.now grid;
+      if !count < iters + 10 then Madio.send la ~dst:(Simnet.Node.id b) buf
+      else t1 := Padico.now grid);
+  let wall0 = Unix.gettimeofday () in
+  Madio.send la ~dst:(Simnet.Node.id b) (Bb.create 4);
+  Bhelp.run grid;
+  let wall1 = Unix.gettimeofday () in
+  ( float_of_int (!t1 - !t0) /. float_of_int iters /. 2.0 /. 1e3,
+    wall1 -. wall0 )
+
+let best_of n f =
+  let lat = ref nan and wall = ref infinity in
+  for _ = 1 to n do
+    let l, w = f () in
+    lat := l;
+    if w < !wall then wall := w
+  done;
+  (!lat, !wall)
+
+let run () =
+  Bhelp.print_header
+    "E9 — tracing overhead on the MadIO ping-pong path (5000 rounds)";
+  Trace.disable ();
+  let lat_off, wall_off = best_of 3 madio_pingpong in
+  (* A capacity large enough that the enabled run never drops (each round
+     emits a handful of events per side). *)
+  let lat_on, wall_on =
+    best_of 3 (fun () ->
+        Trace.enable ~capacity:262_144 ();
+        let r = madio_pingpong () in
+        Trace.disable ();
+        r)
+  in
+  let traced = Trace.length () + Trace.dropped () in
+  Printf.printf "%-34s %8.3f us   wall %6.0f ms\n" "tracing disabled" lat_off
+    (wall_off *. 1e3);
+  Printf.printf "%-34s %8.3f us   wall %6.0f ms   (%d records)\n"
+    "tracing enabled" lat_on (wall_on *. 1e3) traced;
+  Printf.printf "virtual-time delta enabled-disabled: %+.3f us (must be 0)\n"
+    (lat_on -. lat_off);
+  Printf.printf
+    "wall-clock cost of enabled tracing: %+.1f%% on this hot path\n"
+    ((wall_on /. wall_off -. 1.0) *. 100.0);
+  Printf.printf
+    "disabled-path check: latency must equal the seed E3 figure (7.238 us)\n"

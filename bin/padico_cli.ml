@@ -4,6 +4,7 @@
      padico_cli selector  --net vthd [--pstream] [--adoc] [--vrp] [--no-cipher]
      padico_cli ping      --net myrinet --middleware corba --iters 1000
      padico_cli bandwidth --net vthd --middleware vio --mbytes 16 [--pstream N]
+     padico_cli trace     --net vthd --iters 50 -o trace.json
 
    All measurements are virtual-time results from the simulator. *)
 
@@ -148,9 +149,60 @@ let bandwidth_cmd =
   Cmd.v (Cmd.info "bandwidth" ~doc:"Streaming bandwidth of a middleware over a network.")
     Term.(const run $ net_arg $ prefs_term $ mw_arg $ mbytes_arg $ chunk_arg)
 
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the Chrome trace-event JSON (load it in \
+                 about:tracing or ui.perfetto.dev).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~docv:"N" ~doc:"Trace ring-buffer capacity.")
+  in
+  let run model prefs mw iters out capacity =
+    (* Enable before building the grid so selection-layer events (which
+       fire at connect time) are captured too. *)
+    Padico_obs.Metrics.reset ();
+    Padico_obs.Trace.enable ~capacity ();
+    let grid, a, b = Scenario.pair model ~prefs () in
+    let lat =
+      match mw with
+      | Vio_mw -> Scenario.vio_latency grid ~src:a ~dst:b ~port:4000 ~size:4 ~iters
+      | Mpi_mw ->
+        let comms = Scenario.mpi_pair grid a b in
+        Scenario.mpi_latency grid comms ~a ~b ~iters
+      | Corba profile -> Scenario.corba_latency ~profile grid ~a ~b ~port:3000 ~iters
+      | Java_mw -> Scenario.java_latency grid ~a ~b ~port:7000 ~iters
+    in
+    Padico_obs.Trace.disable ();
+    Padico_obs.Export_chrome.write_file out;
+    (* Sanity-check our own output: parse it back and count events per
+       layer, so a broken export fails loudly rather than in the viewer. *)
+    let ic = open_in out in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    (match Padico_obs.Json.parse contents with
+     | Error msg -> failwith ("exported trace is not valid JSON: " ^ msg)
+     | Ok _ -> ());
+    Format.printf "%a@." Padico_obs.Export_summary.pp ();
+    Printf.printf "one-way latency: %.2f us (%d iterations)\n" lat iters;
+    Printf.printf "trace: %d records (%d dropped) -> %s\n"
+      (Padico_obs.Trace.length ()) (Padico_obs.Trace.dropped ()) out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a ping-pong scenario with virtual-time tracing enabled; \
+             write a Chrome trace-event JSON and print the metrics summary.")
+    Term.(const run $ net_arg $ prefs_term $ mw_arg $ iters_arg $ out_arg
+          $ capacity_arg)
+
 let () =
   let doc = "PadicoTM-style grid communication framework (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
-          [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd ]))
+          [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd ]))

@@ -1,4 +1,7 @@
 module Bytebuf = Engine.Bytebuf
+module Stats = Engine.Stats
+module Trace = Padico_obs.Trace
+module Metrics = Padico_obs.Metrics
 
 type adapter = { a_name : string; a_sendv : Bytebuf.t list -> unit }
 
@@ -13,8 +16,8 @@ type t = {
      VLink bundle is still connecting) wait here. *)
   unbound : (int, Bytebuf.t list Queue.t) Hashtbl.t;
   mutable recv : (incoming -> unit) option;
-  mutable sent : int;
-  mutable received : int;
+  sent : Stats.Counter.t;
+  received : Stats.Counter.t;
 }
 
 type outgoing = {
@@ -27,9 +30,12 @@ type outgoing = {
 let create ~group ~rank ~name =
   if rank < 0 || rank >= Array.length group then
     invalid_arg "Ct.create: rank out of range";
+  let scope = Metrics.Node (Simnet.Node.name group.(rank)) in
   { cname = name; crank = rank; group;
     links = Array.make (Array.length group) None; unbound = Hashtbl.create 4;
-    recv = None; sent = 0; received = 0 }
+    recv = None;
+    sent = Metrics.fresh_counter scope ("ct." ^ name ^ ".sent");
+    received = Metrics.fresh_counter scope ("ct." ^ name ^ ".received") }
 
 let name t = t.cname
 let rank t = t.crank
@@ -72,7 +78,13 @@ let end_packing out =
   if out.closed then invalid_arg "Ct.end_packing: message already sent";
   out.closed <- true;
   let t = out.circuit in
-  t.sent <- t.sent + 1;
+  Stats.Counter.incr t.sent;
+  if Trace.on () then
+    Trace.instant (node t)
+      (Padico_obs.Event.Ct_pack
+         { circuit = t.cname; dst = out.dst;
+           bytes =
+             List.fold_left (fun a b -> a + Bytebuf.length b) 0 out.pieces });
   match t.links.(out.dst) with
   | None ->
     (* Adapter not bound yet: hold the message, flushed by set_link. *)
@@ -109,12 +121,16 @@ let incoming_src inc = inc.src
 let set_recv t f = t.recv <- Some f
 
 let deliver t ~src payload =
-  t.received <- t.received + 1;
+  Stats.Counter.incr t.received;
+  if Trace.on () then
+    Trace.instant (node t)
+      (Padico_obs.Event.Ct_recv
+         { circuit = t.cname; src; bytes = Bytebuf.length payload });
   Simnet.Node.cpu_async (node t) Calib.circuit_op_ns (fun () ->
       match t.recv with
       | Some f -> f { payload; src; pos = 0 }
       | None -> ())
 
-let messages_sent t = t.sent
+let messages_sent t = Stats.Counter.value t.sent
 
-let messages_received t = t.received
+let messages_received t = Stats.Counter.value t.received

@@ -1,5 +1,8 @@
 module Bytebuf = Engine.Bytebuf
 module Mad = Madeleine.Mad
+module Stats = Engine.Stats
+module Trace = Padico_obs.Trace
+module Metrics = Padico_obs.Metrics
 
 let log = Logs.Src.create "netaccess.madio"
 
@@ -24,8 +27,8 @@ and t = {
      message from the same source. *)
   pending_header : (int, int) Hashtbl.t; (* src -> logical channel *)
   mutable combining : bool;
-  mutable sent : int;
-  mutable received : int;
+  sent : Stats.Counter.t;
+  received : Stats.Counter.t;
 }
 
 let instances : (int * int, t) Hashtbl.t = Hashtbl.create 16
@@ -50,7 +53,11 @@ let deliver t ~src ~lchan payload =
         m "%s: message for closed logical channel %d dropped"
           (Simnet.Node.name t.mio_node) lchan)
   | Some lc ->
-    t.received <- t.received + 1;
+    Stats.Counter.incr t.received;
+    if Trace.on () then
+      Trace.instant t.mio_node
+        (Padico_obs.Event.Madio_recv
+           { lchannel = lchan; bytes = Bytebuf.length payload });
     (match lc.recv with
      | Some f ->
        (* Arbitrated delivery: through the NetAccess dispatcher. *)
@@ -94,11 +101,13 @@ let init m =
   | Some t -> t
   | None ->
     let hw_chan = Mad.open_channel m ~id:0 in
+    let scope = Metrics.Node (Simnet.Node.name (Mad.node m)) in
     let t =
       { mio_mad = m; mio_node = Mad.node m; core = Na_core.get (Mad.node m);
         hw_chan; lchannels = Hashtbl.create 16;
-        pending_header = Hashtbl.create 4; combining = true; sent = 0;
-        received = 0 }
+        pending_header = Hashtbl.create 4; combining = true;
+        sent = Metrics.fresh_counter scope "madio.sent";
+        received = Metrics.fresh_counter scope "madio.received" }
     in
     Mad.set_recv hw_chan (fun inc -> handle_incoming t inc);
     Hashtbl.replace instances key t;
@@ -129,7 +138,11 @@ let sendv lc ~dst iov =
   if not lc.open_ then invalid_arg "Madio.sendv: logical channel closed";
   let t = lc.owner in
   let len = List.fold_left (fun acc b -> acc + Bytebuf.length b) 0 iov in
-  t.sent <- t.sent + 1;
+  Stats.Counter.incr t.sent;
+  if Trace.on () then
+    Trace.instant t.mio_node
+      (Padico_obs.Event.Header
+         { lchannel = lc.id; bytes = len; combined = t.combining });
   if t.combining then begin
     (* Header combining: the multiplexing header rides in the first packet
        of the payload message (one Madeleine message, one DMA post). *)
@@ -157,6 +170,6 @@ let set_header_combining t v = t.combining <- v
 
 let header_combining t = t.combining
 
-let messages_sent t = t.sent
+let messages_sent t = Stats.Counter.value t.sent
 
-let messages_received t = t.received
+let messages_received t = Stats.Counter.value t.received

@@ -1,5 +1,8 @@
 module Sim = Engine.Sim
 module Proc = Engine.Proc
+module Stats = Engine.Stats
+module Trace = Padico_obs.Trace
+module Metrics = Padico_obs.Metrics
 
 let log = Logs.Src.create "netaccess.core"
 
@@ -14,9 +17,10 @@ let default_policy = { madio_quantum = 4; sysio_quantum = 4 }
 type item = { work : unit -> unit; posted_at : int }
 
 type queue_state = {
+  kname : string;
   items : item Queue.t;
-  mutable count : int; (* dispatched *)
-  mutable waited : float; (* cumulated queueing time, ns *)
+  count : Stats.Counter.t; (* dispatched *)
+  wait : Stats.Summary.t; (* queueing time per item, ns *)
 }
 
 type t = {
@@ -45,8 +49,13 @@ let run_item t q =
   match Queue.take_opt q.items with
   | None -> false
   | Some { work; posted_at } ->
-    q.count <- q.count + 1;
-    q.waited <- q.waited +. float_of_int (Sim.now t.sim - posted_at);
+    Stats.Counter.incr q.count;
+    let queued_ns = Sim.now t.sim - posted_at in
+    Stats.Summary.add q.wait (float_of_int queued_ns);
+    (* The span covers the queueing interval: posted -> dispatched. *)
+    if Trace.on () then
+      Trace.complete t.dnode ~since:posted_at
+        (Padico_obs.Event.Dispatch { kind = q.kname; queued_ns });
     (try work ()
      with e ->
        Log.err (fun m ->
@@ -73,12 +82,20 @@ let dispatcher_loop t () =
     let rec drain q n = if n > 0 && run_item t q then drain q (n - 1) in
     if not (Queue.is_empty t.madio.items) then drain t.madio t.pol.madio_quantum;
     if not (Queue.is_empty t.sysio.items) then begin
+      if Trace.on () then
+        Trace.instant t.dnode (Padico_obs.Event.Poll { kind = "sysio" });
       Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
       drain t.sysio t.pol.sysio_quantum
     end;
     (* Yield so co-located processes make progress between rounds. *)
     Proc.yield t.sim
   done
+
+let make_queue node kname =
+  let scope = Metrics.Node (Simnet.Node.name node) in
+  { kname; items = Queue.create ();
+    count = Metrics.fresh_counter scope ("na." ^ kname ^ ".dispatched");
+    wait = Metrics.fresh_summary scope ("na." ^ kname ^ ".wait_ns") }
 
 let get dnode =
   let id = Simnet.Node.uid dnode in
@@ -87,8 +104,8 @@ let get dnode =
   | None ->
     let t =
       { dnode; sim = Simnet.Node.sim dnode; pol = default_policy;
-        madio = { items = Queue.create (); count = 0; waited = 0.0 };
-        sysio = { items = Queue.create (); count = 0; waited = 0.0 };
+        madio = make_queue dnode "madio";
+        sysio = make_queue dnode "sysio";
         waker = None }
     in
     Hashtbl.replace dispatchers id t;
@@ -104,10 +121,10 @@ let post t kind work =
     resume ()
   | None -> ()
 
-let dispatched t kind = (qstate t kind).count
+let dispatched t kind = Stats.Counter.value (qstate t kind).count
 
 let queue_depth t kind = Queue.length (qstate t kind).items
 
 let mean_wait_ns t kind =
   let q = qstate t kind in
-  if q.count = 0 then 0.0 else q.waited /. float_of_int q.count
+  if Stats.Summary.n q.wait = 0 then 0.0 else Stats.Summary.mean q.wait

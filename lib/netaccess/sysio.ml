@@ -1,9 +1,12 @@
 module Tcp = Drivers.Tcp
+module Stats = Engine.Stats
+module Trace = Padico_obs.Trace
+module Metrics = Padico_obs.Metrics
 
 type t = {
   sio_node : Simnet.Node.t;
   core : Na_core.t;
-  mutable dispatched : int;
+  dispatched : Stats.Counter.t;
 }
 
 let instances : (int, t) Hashtbl.t = Hashtbl.create 16
@@ -13,7 +16,13 @@ let get n =
   match Hashtbl.find_opt instances key with
   | Some t -> t
   | None ->
-    let t = { sio_node = n; core = Na_core.get n; dispatched = 0 } in
+    let t =
+      { sio_node = n; core = Na_core.get n;
+        dispatched =
+          Metrics.fresh_counter
+            (Metrics.Node (Simnet.Node.name n))
+            "sysio.dispatched" }
+    in
     Hashtbl.replace instances key t;
     t
 
@@ -23,29 +32,51 @@ let stack_on t seg = Tcp.attach seg t.sio_node
 
 let udp_on t seg = Drivers.Udp.attach seg t.sio_node
 
+let event_name = function
+  | Tcp.Established -> "established"
+  | Tcp.Readable -> "readable"
+  | Tcp.Writable -> "writable"
+  | Tcp.Peer_closed -> "peer-closed"
+  | Tcp.Reset -> "reset"
+
 (* Route an event through the arbitration core, charging the callback
    dispatch cost. *)
 let dispatch t f =
   Na_core.post t.core Na_core.Sysio_work (fun () ->
-      t.dispatched <- t.dispatched + 1;
+      Stats.Counter.incr t.dispatched;
       Simnet.Node.cpu_async t.sio_node Calib.sysio_callback_ns (fun () -> ());
       f ())
 
+let trace_event t name =
+  if Trace.on () then
+    Trace.instant t.sio_node (Padico_obs.Event.Sysio_event { event = name })
+
 let watch t conn cb =
-  Tcp.set_event_cb conn (fun ev -> dispatch t (fun () -> cb ev))
+  Tcp.set_event_cb conn (fun ev ->
+      dispatch t (fun () ->
+          trace_event t (event_name ev);
+          cb ev))
 
 let unwatch _t conn = Tcp.set_event_cb conn (fun _ -> ())
 
 let listen t stack ~port cb =
-  Tcp.listen stack ~port (fun conn -> dispatch t (fun () -> cb conn))
+  Tcp.listen stack ~port (fun conn ->
+      dispatch t (fun () ->
+          trace_event t "accept";
+          cb conn))
 
 let connect t stack ~dst ~port cb =
   let conn = Tcp.connect stack ~dst ~port in
-  Tcp.set_event_cb conn (fun ev -> dispatch t (fun () -> cb conn ev));
+  Tcp.set_event_cb conn (fun ev ->
+      dispatch t (fun () ->
+          trace_event t (event_name ev);
+          cb conn ev));
   conn
 
 let watch_udp t udp ~port cb =
   Drivers.Udp.bind udp ~port (fun ~src ~src_port buf ->
-      dispatch t (fun () -> cb ~src ~src_port buf))
+      dispatch t (fun () ->
+          trace_event t "udp-datagram";
+          cb ~src ~src_port buf))
 
-let events_dispatched t = t.dispatched
+let events_dispatched t = Stats.Counter.value t.dispatched

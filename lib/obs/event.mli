@@ -1,0 +1,70 @@
+(** Typed trace-event taxonomy covering the three layers of the stack.
+
+    Arbitration events come from the NetAccess core (the single per-node
+    dispatcher) and its two subsystems; abstraction events from the VLink /
+    Circuit APIs and the method adapters stacked on them; selection events
+    from the strategy selector. The taxonomy is closed on purpose: every
+    event an exporter can meet is listed here, so exporters never need a
+    fallback case and traces stay comparable across runs. *)
+
+type layer = Arbitration | Abstraction | Selection
+
+type vl_op = Read | Write
+
+type adapter_dir = Wrap | Unwrap
+
+type t =
+  (* -- arbitration (NetAccess) -- *)
+  | Dispatch of { kind : string; queued_ns : int }
+      (** One work item left the [kind] ("madio" | "sysio") queue after
+          waiting [queued_ns] of virtual time. Rendered as a span covering
+          the queueing interval. *)
+  | Poll of { kind : string }
+      (** A polling pass over a subsystem (SysIO select()-like scan). *)
+  | Header of { lchannel : int; bytes : int; combined : bool }
+      (** MadIO multiplexing header emission: combined with the payload
+          message, or sent as a separate message (the ablation). *)
+  | Madio_recv of { lchannel : int; bytes : int }
+      (** A MadIO message reassembled and handed to a logical channel. *)
+  | Sysio_event of { event : string }
+      (** A socket event routed through the arbitrated receipt loop. *)
+  (* -- abstraction (VLink / Circuit) -- *)
+  | Vl_connect of { driver : string }  (** Descriptor bound to a driver. *)
+  | Vl_post of { op : vl_op; bytes : int }  (** Read/write request posted. *)
+  | Vl_complete of { op : vl_op; result : string; bytes : int }
+      (** Request completion ("done" | "eof" | "error"). *)
+  | Ct_pack of { circuit : string; dst : int; bytes : int }
+      (** Circuit message packed and sent towards rank [dst]. *)
+  | Ct_recv of { circuit : string; src : int; bytes : int }
+      (** Circuit message delivered from rank [src]. *)
+  | Adapter of { adapter : string; dir : adapter_dir; bytes : int }
+      (** A method adapter (adoc / crypto / vrp / pstream) transformed
+          [bytes] of payload on the way down ([Wrap]) or up ([Unwrap]). *)
+  (* -- selection -- *)
+  | Choice of {
+      src : string;
+      dst : string;
+      driver : string;
+      rule : string;
+      streams : int;
+      adoc : bool;
+      crypto : bool;
+    }
+      (** The selector picked [driver] for the [src]->[dst] link because
+          [rule] fired ("loopback" | "forced" | "san" | "vrp-lossy" |
+          "pstream-wan" | "default"). *)
+
+val layer : t -> layer
+
+val layer_name : layer -> string
+(** "arbitration" | "abstraction" | "selection" — the Chrome trace [cat]. *)
+
+val name : t -> string
+(** Stable dotted event name, e.g. ["na.dispatch"], ["vl.post"]. *)
+
+type arg = I of int | S of string | B of bool
+
+val args : t -> (string * arg) list
+(** Structured payload of the event, in a fixed order. *)
+
+val pp : Format.formatter -> t -> unit

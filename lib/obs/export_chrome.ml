@@ -1,0 +1,68 @@
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+let arg_json = function
+  | Event.I i -> Json.Int i
+  | Event.S s -> Json.Str s
+  | Event.B b -> Json.Bool b
+
+(* pids by order of first appearance: stable across identical runs. *)
+let assign_pids records =
+  let pids = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Trace.record) ->
+       if not (Hashtbl.mem pids r.Trace.node) then begin
+         Hashtbl.replace pids r.Trace.node (Hashtbl.length pids + 1);
+         order := r.Trace.node :: !order
+       end)
+    records;
+  (pids, List.rev !order)
+
+let event_json pids (r : Trace.record) =
+  let pid = Hashtbl.find pids r.Trace.node in
+  let common =
+    [ ("name", Json.Str (Event.name r.ev));
+      ("cat", Json.Str (Event.layer_name (Event.layer r.ev)));
+      ("ts", Json.Float (us_of_ns r.ts));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 1) ]
+  in
+  let shape =
+    if r.dur >= 0 then
+      [ ("ph", Json.Str "X"); ("dur", Json.Float (us_of_ns r.dur)) ]
+    else [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+  in
+  let args =
+    ("args",
+     Json.Obj
+       (("seq", Json.Int r.seq)
+        :: List.map (fun (k, v) -> (k, arg_json v)) (Event.args r.ev)))
+  in
+  Json.Obj (common @ shape @ [ args ])
+
+let meta_json pids name =
+  Json.Obj
+    [ ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int (Hashtbl.find pids name));
+      ("tid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+let json ?records () =
+  let records =
+    match records with Some r -> r | None -> Trace.records ()
+  in
+  let pids, order = assign_pids records in
+  let metas = List.map (meta_json pids) order in
+  let events = List.map (event_json pids) records in
+  Json.Obj
+    [ ("traceEvents", Json.List (metas @ events));
+      ("displayTimeUnit", Json.Str "ns") ]
+
+let to_string ?records () = Json.to_string (json ?records ())
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

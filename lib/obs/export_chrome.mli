@@ -1,0 +1,18 @@
+(** Chrome [trace_event] exporter.
+
+    Produces the JSON object format ({["{\"traceEvents\": [...]}"]})
+    loadable in [about:tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+    Each simulated node becomes a process (metadata [process_name] event);
+    spans are "X" complete events, point events are "i" instants.
+    Timestamps are virtual-time microseconds with nanosecond precision.
+
+    Process ids are assigned by first appearance of a node in the record
+    stream, so identical runs export byte-identical JSON. *)
+
+val json : ?records:Trace.record list -> unit -> Json.t
+(** Build the trace tree; [records] defaults to {!Trace.records}[ ()]. *)
+
+val to_string : ?records:Trace.record list -> unit -> string
+
+val write_file : string -> unit
+(** Dump {!to_string} of the current trace buffer to a file. *)

@@ -1,0 +1,63 @@
+module Stats = Engine.Stats
+
+let pp_value fmt = function
+  | Metrics.Counter c -> Format.fprintf fmt "%d" (Stats.Counter.value c)
+  | Metrics.Summary s ->
+    if Stats.Summary.n s = 0 then Format.fprintf fmt "(empty)"
+    else
+      Format.fprintf fmt "n=%d mean=%.1f min=%.1f max=%.1f"
+        (Stats.Summary.n s) (Stats.Summary.mean s) (Stats.Summary.min s)
+        (Stats.Summary.max s)
+  | Metrics.Histogram h ->
+    if Stats.Histogram.count h = 0 then Format.fprintf fmt "(empty)"
+    else
+      Format.fprintf fmt "n=%d p50<=%d p99<=%d" (Stats.Histogram.count h)
+        (Stats.Histogram.percentile h 0.5)
+        (Stats.Histogram.percentile h 0.99)
+
+let pp_metrics fmt () =
+  let items = Metrics.all () in
+  Format.fprintf fmt "@[<v>metrics (%d registered)@," (List.length items);
+  let last_scope = ref None in
+  List.iter
+    (fun (scope, name, v) ->
+       let sname = Metrics.scope_name scope in
+       if !last_scope <> Some sname then begin
+         Format.fprintf fmt "  %s@," sname;
+         last_scope := Some sname
+       end;
+       Format.fprintf fmt "    %-32s %a@," name pp_value v)
+    items;
+  Format.fprintf fmt "@]"
+
+let pp_trace fmt () =
+  let records = Trace.records () in
+  (* (node, layer, name) -> count, insertion-ordered per first appearance. *)
+  let counts : (string * string * string, int ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let order = ref [] in
+  List.iter
+    (fun (r : Trace.record) ->
+       let key =
+         ( r.Trace.node,
+           Event.layer_name (Event.layer r.ev),
+           Event.name r.ev )
+       in
+       match Hashtbl.find_opt counts key with
+       | Some c -> incr c
+       | None ->
+         Hashtbl.replace counts key (ref 1);
+         order := key :: !order)
+    records;
+  Format.fprintf fmt "@[<v>trace: %d records retained, %d dropped@,"
+    (Trace.length ()) (Trace.dropped ());
+  List.iter
+    (fun ((node, layer, name) as key) ->
+       Format.fprintf fmt "  %-10s %-12s %-24s %d@," node layer name
+         !(Hashtbl.find counts key))
+    (List.rev !order);
+  Format.fprintf fmt "@]"
+
+let pp fmt () =
+  Format.fprintf fmt "%a@.%a@." pp_metrics () pp_trace ()

@@ -1,0 +1,12 @@
+(** Human-readable dump of a run's observability state: the metrics registry
+    grouped by scope, and a per-layer digest of the trace buffer. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Table of every registered metric: counters as values, summaries as
+    n/mean/min/max, histograms as count/p50/p99. *)
+
+val pp_trace : Format.formatter -> unit -> unit
+(** Per-node, per-event-name record counts plus buffer occupancy. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Both sections. *)

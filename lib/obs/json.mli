@@ -1,0 +1,26 @@
+(** Minimal JSON tree, printer and strict parser.
+
+    Just enough for the Chrome [trace_event] exporter and for tests to parse
+    exported traces back — not a general-purpose JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering with full string escaping. Floats are printed with
+    enough digits to round-trip nanosecond-scale microsecond timestamps. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset emitted by {!to_string} plus whitespace.
+    [Error msg] carries the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to the first occurrence of [k]. *)

@@ -1,0 +1,48 @@
+(** Process-wide metrics registry: named counters, summaries and histograms
+    with a node / link / global scope, enumerable for dumping.
+
+    This unifies the counters that used to live as loose mutable fields
+    scattered through the stack (MadIO messages sent, SysIO events
+    dispatched, circuit traffic, dispatcher queue waits): layers now create
+    their instruments here, so one call ({!all}) can enumerate everything a
+    run measured. The instruments themselves are the {!Engine.Stats}
+    accumulators, so existing benchmark code keeps working on top.
+
+    Two registration flavours:
+    - [counter] (resp. [summary], [histogram]) is get-or-create: callers
+      accumulate into a shared instrument — use for long-lived aggregates
+      such as selector decision counts.
+    - [fresh_counter] (&c.) always creates a new instrument and rebinds the
+      name — use for per-instance state (a node's MadIO instance), so a
+      fresh simulation starts its counts at zero while the registry always
+      exposes the most recent instance. *)
+
+type scope =
+  | Global
+  | Node of string  (** node name *)
+  | Link of string  (** "src->dst" or segment name *)
+
+type value =
+  | Counter of Engine.Stats.Counter.t
+  | Summary of Engine.Stats.Summary.t
+  | Histogram of Engine.Stats.Histogram.t
+
+val scope_name : scope -> string
+
+val counter : scope -> string -> Engine.Stats.Counter.t
+val summary : scope -> string -> Engine.Stats.Summary.t
+val histogram : scope -> string -> Engine.Stats.Histogram.t
+
+val fresh_counter : scope -> string -> Engine.Stats.Counter.t
+val fresh_summary : scope -> string -> Engine.Stats.Summary.t
+val fresh_histogram : scope -> string -> Engine.Stats.Histogram.t
+
+val find : scope -> string -> value option
+
+val all : unit -> (scope * string * value) list
+(** Every registered instrument, sorted (Global, then nodes, then links;
+    alphabetical within a scope) so enumeration order is deterministic. *)
+
+val reset : unit -> unit
+(** Forget every binding. Instruments already held by callers keep working
+    but are no longer enumerated. *)

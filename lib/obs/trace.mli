@@ -1,0 +1,62 @@
+(** Structured trace ring buffer keyed on simulator virtual time.
+
+    One process-wide buffer, disabled by default. The disabled fast path is
+    a single branch: instrumentation sites guard event construction with
+    [if Trace.on () then ...] so a disabled run pays one load+test and no
+    allocation. Records carry virtual-time nanosecond timestamps taken from
+    the node's simulator clock, so traces are deterministic: two identical
+    runs produce identical traces.
+
+    When the buffer is full the oldest records are overwritten and counted
+    in {!dropped} — tracing never aborts or grows without bound. *)
+
+type record = {
+  ts : int;  (** virtual time, ns *)
+  dur : int;  (** span duration in ns; [-1] for instant events *)
+  node : string;  (** node name *)
+  seq : int;  (** emission order, ties broken deterministically *)
+  ev : Event.t;
+}
+
+val on : unit -> bool
+(** The global enable flag — the only check on the disabled path. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start tracing into a fresh ring buffer ([capacity] records,
+    default 65536). Clears any previous records. *)
+
+val disable : unit -> unit
+(** Stop recording; the buffer keeps its records for export. *)
+
+val clear : unit -> unit
+(** Drop all records and reset the {!dropped} count. *)
+
+val instant : Simnet.Node.t -> Event.t -> unit
+(** Record a point event at the node's current virtual time. *)
+
+val complete : Simnet.Node.t -> since:int -> Event.t -> unit
+(** Record a span from absolute virtual time [since] to now (clamped to a
+    non-negative duration). Used when the span's start was only known in
+    hindsight, e.g. queue-wait intervals. *)
+
+type span
+
+val null_span : span
+(** Inert span; ending it is a no-op. Returned when tracing is off. *)
+
+val begin_span : Simnet.Node.t -> Event.t -> span
+
+val end_span : span -> unit
+(** Records a span from [begin_span]'s time to now. A span survives
+    [disable]/[enable] windows: it is recorded only if tracing is on when it
+    ends. *)
+
+val records : unit -> record list
+(** Chronological (= emission-order) list of retained records. *)
+
+val length : unit -> int
+
+val dropped : unit -> int
+(** Records overwritten due to ring wraparound since the last [clear]. *)
+
+val capacity : unit -> int

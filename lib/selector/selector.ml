@@ -13,8 +13,25 @@ let plain ?segment driver =
   { driver; segment; streams = 1; wrap_adoc = false; wrap_crypto = false;
     vrp_tolerance = 0.0 }
 
+(* Record the decision: a selection-layer trace event on the source node and
+   a global per-driver decision count in the metrics registry. [rule] names
+   the knowledge-base rule that fired, so traces explain *why* a link was
+   mapped onto a given adapter stack. *)
+let observe ~src ~dst ~rule choice =
+  Engine.Stats.Counter.incr
+    (Padico_obs.Metrics.counter Padico_obs.Metrics.Global
+       ("selector.choice." ^ choice.driver));
+  if Padico_obs.Trace.on () then
+    Padico_obs.Trace.instant src
+      (Padico_obs.Event.Choice
+         { src = Simnet.Node.name src; dst = Simnet.Node.name dst;
+           driver = choice.driver; rule; streams = choice.streams;
+           adoc = choice.wrap_adoc; crypto = choice.wrap_crypto });
+  choice
+
 let choose ?(prefs = Prefs.default) net ~src ~dst =
-  if Simnet.Node.uid src = Simnet.Node.uid dst then plain "loopback"
+  if Simnet.Node.uid src = Simnet.Node.uid dst then
+    observe ~src ~dst ~rule:"loopback" (plain "loopback")
   else begin
     match Simnet.Net.links_between net src dst with
     | [] ->
@@ -24,7 +41,10 @@ let choose ?(prefs = Prefs.default) net ~src ~dst =
     | best :: _ as links ->
       let model s = Simnet.Segment.model s in
       (match prefs.Prefs.forced_driver with
-       | Some driver -> { (plain ~segment:best driver) with streams = prefs.Prefs.pstream_streams }
+       | Some driver ->
+         observe ~src ~dst ~rule:"forced"
+           { (plain ~segment:best driver) with
+             streams = prefs.Prefs.pstream_streams }
        | None ->
          (* Prefer a SAN when present, even if not the top bandwidth. *)
          let san =
@@ -33,35 +53,40 @@ let choose ?(prefs = Prefs.default) net ~src ~dst =
              links
          in
          (match san with
-          | Some s -> plain ~segment:s "madio"
+          | Some s -> observe ~src ~dst ~rule:"san" (plain ~segment:s "madio")
           | None ->
             let m = model best in
             let slow =
               m.Simnet.Linkmodel.bandwidth_bps <= prefs.Prefs.adoc_threshold_bps
             in
-            let base =
+            let rule, base =
               match m.Simnet.Linkmodel.class_ with
               | Simnet.Linkmodel.Lossy_wan when prefs.Prefs.vrp_on_lossy ->
-                { (plain ~segment:best "vrp") with
-                  vrp_tolerance = prefs.Prefs.vrp_tolerance }
+                ( "vrp-lossy",
+                  { (plain ~segment:best "vrp") with
+                    vrp_tolerance = prefs.Prefs.vrp_tolerance } )
               | Simnet.Linkmodel.Wan when prefs.Prefs.pstream_on_wan ->
-                { (plain ~segment:best "pstream") with
-                  streams = prefs.Prefs.pstream_streams }
+                ( "pstream-wan",
+                  { (plain ~segment:best "pstream") with
+                    streams = prefs.Prefs.pstream_streams } )
               | Simnet.Linkmodel.San | Simnet.Linkmodel.Lan
               | Simnet.Linkmodel.Wan | Simnet.Linkmodel.Lossy_wan
               | Simnet.Linkmodel.Loop ->
-                plain ~segment:best "sysio"
+                ("default", plain ~segment:best "sysio")
             in
             let base =
               if prefs.Prefs.adoc_on_slow && slow && base.driver <> "vrp" then
                 { base with wrap_adoc = true }
               else base
             in
-            if prefs.Prefs.cipher_untrusted
-               && (not m.Simnet.Linkmodel.trusted)
-               && base.driver <> "vrp"
-            then { base with wrap_crypto = true }
-            else base))
+            let choice =
+              if prefs.Prefs.cipher_untrusted
+                 && (not m.Simnet.Linkmodel.trusted)
+                 && base.driver <> "vrp"
+              then { base with wrap_crypto = true }
+              else base
+            in
+            observe ~src ~dst ~rule choice))
   end
 
 let pp_choice fmt c =

@@ -1,5 +1,6 @@
 module Bytebuf = Engine.Bytebuf
 module Proc = Engine.Proc
+module Trace = Padico_obs.Trace
 
 let log = Logs.Src.create "vlink"
 
@@ -58,9 +59,24 @@ let readable_bytes t =
 let write_space t =
   match t.ops with Some o -> o.o_write_space () | None -> 0
 
+let op_of_kind = function
+  | `Read -> Padico_obs.Event.Read
+  | `Write -> Padico_obs.Event.Write
+
 let complete req c =
   if req.result = None then begin
     req.result <- Some c;
+    if Trace.on () then begin
+      let result, bytes =
+        match c with
+        | Done n -> ("done", n)
+        | Eof -> ("eof", 0)
+        | Error _ -> ("error", 0)
+      in
+      Trace.instant req.owner.vnode
+        (Padico_obs.Event.Vl_complete
+           { op = op_of_kind req.kind; result; bytes })
+    end;
     match req.handler with Some f -> f c | None -> ()
   end
 
@@ -151,6 +167,9 @@ let attach_ops t ops =
   (match t.ops with
    | Some _ -> invalid_arg "Vlink.attach_ops: ops already attached"
    | None -> t.ops <- Some ops);
+  if Trace.on () then
+    Trace.instant t.vnode
+      (Padico_obs.Event.Vl_connect { driver = ops.o_driver });
   notify t Connected;
   pump_writes t;
   pump_reads t
@@ -166,6 +185,10 @@ let post_read t buf =
     { kind = `Read; buf; progress = 0; result = None; handler = None;
       owner = t }
   in
+  if Trace.on () then
+    Trace.instant t.vnode
+      (Padico_obs.Event.Vl_post
+         { op = Padico_obs.Event.Read; bytes = Bytebuf.length buf });
   (match t.st with
    | Failed_st msg -> complete req (Error msg)
    | Closed -> complete req (Error "closed")
@@ -179,6 +202,10 @@ let post_write t buf =
     { kind = `Write; buf; progress = 0; result = None; handler = None;
       owner = t }
   in
+  if Trace.on () then
+    Trace.instant t.vnode
+      (Padico_obs.Event.Vl_post
+         { op = Padico_obs.Event.Write; bytes = Bytebuf.length buf });
   (match t.st with
    | Failed_st msg -> complete req (Error msg)
    | Closed -> complete req (Error "closed")

@@ -1,7 +1,13 @@
 module Bytebuf = Engine.Bytebuf
 module Adoc = Methods.Adoc
+module Trace = Padico_obs.Trace
 
 let driver_name = "adoc"
+
+let trace_adapter node dir bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Adapter { adapter = driver_name; dir; bytes })
 
 type st = {
   inner : Vl.t;
@@ -29,6 +35,7 @@ let rec read_loop st =
         let decompressed =
           List.fold_left (fun acc c -> acc + Bytebuf.length c) 0 chunks
         in
+        trace_adapter st.node Padico_obs.Event.Unwrap decompressed;
         (* Decompression CPU, then deliver. *)
         charge st Calib.decompress_per_byte_ns decompressed (fun () ->
             List.iter (Streamq.push st.rx) chunks;
@@ -53,6 +60,7 @@ let ops st =
          if st.closed then 0
          else begin
            let total = Bytebuf.length buf in
+           trace_adapter st.node Padico_obs.Event.Wrap total;
            let pos = ref 0 in
            while !pos < total do
              let n = min (Adoc.chunk_size st.codec) (total - !pos) in

@@ -7,6 +7,13 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 let driver_name = "crypto"
 
+module Trace = Padico_obs.Trace
+
+let trace_adapter node dir bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Adapter { adapter = driver_name; dir; bytes })
+
 let chunk_max = 16_384
 
 (* Frame: [u32 len | len ciphered bytes] where the ciphered body carries the
@@ -65,6 +72,7 @@ let rec read_loop st =
         Streamq.push st.pending (Bytebuf.sub buf 0 n);
         let chunks = parse st in
         let bytes = List.fold_left (fun a c -> a + Bytebuf.length c) 0 chunks in
+        if bytes > 0 then trace_adapter st.node Padico_obs.Event.Unwrap bytes;
         charge st bytes (fun () ->
             List.iter (Streamq.push st.rx) chunks;
             (match st.outer with
@@ -84,6 +92,7 @@ let ops st =
          if st.closed then 0
          else begin
            let total = Bytebuf.length buf in
+           trace_adapter st.node Padico_obs.Event.Wrap total;
            let pos = ref 0 in
            while !pos < total do
              let n = min chunk_max (total - !pos) in

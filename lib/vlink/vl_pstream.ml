@@ -8,6 +8,13 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 let driver_name = "pstream"
 
+module Trace = Padico_obs.Trace
+
+let trace_adapter node dir bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Adapter { adapter = driver_name; dir; bytes })
+
 let default_block = 16_384
 
 (* Stream-member handshake: HELLO [u32 session | u16 index | u16 n].
@@ -43,6 +50,7 @@ let deliver_in_order l =
     match Hashtbl.find_opt l.reorder l.next_rx_seq with
     | Some chunk ->
       Hashtbl.remove l.reorder l.next_rx_seq;
+      trace_adapter l.lnode Padico_obs.Event.Unwrap (Bytebuf.length chunk);
       Streamq.push l.rx chunk;
       l.next_rx_seq <- l.next_rx_seq + 1
     | None -> progress := false
@@ -113,6 +121,7 @@ let ops l =
            (* Stripe in blocks, round-robin across members with space: the
               aggregate of n congestion windows is the point. *)
            let total = Bytebuf.length buf in
+           trace_adapter l.lnode Padico_obs.Event.Wrap total;
            let sent = ref 0 in
            let stalled = ref 0 in
            let n = Array.length l.members in

@@ -1,7 +1,13 @@
 module Bytebuf = Engine.Bytebuf
 module Vrp = Methods.Vrp
+module Trace = Padico_obs.Trace
 
 let driver_name = "vrp"
+
+let trace_adapter node dir bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Adapter { adapter = driver_name; dir; bytes })
 
 (* Descriptor → protocol-instance associations for stats introspection
    (physical equality; streams are few). *)
@@ -25,6 +31,8 @@ let connect sio udp ~dst ~port ~tolerance ~rate_bps =
         (fun buf ->
            if !closed then 0
            else begin
+             trace_adapter (Drivers.Udp.node udp) Padico_obs.Event.Wrap
+               (Bytebuf.length buf);
              Vrp.send sender buf;
              Bytebuf.length buf
            end);
@@ -73,6 +81,8 @@ let listen sio udp ~port ~tolerance accept =
     Vrp.create_receiver sio udp ~port
       ~on_chunk:(fun ~offset:_ chunk ->
         let vl = ensure_accepted () in
+        trace_adapter (Drivers.Udp.node udp) Padico_obs.Event.Unwrap
+          (Bytebuf.length chunk);
         Streamq.push rxq chunk;
         Vl.notify vl Vl.Readable)
       ~on_complete:(fun () -> Vl.notify (ensure_accepted ()) Vl.Peer_closed)

@@ -325,6 +325,67 @@ let test_stats_histogram () =
   Tutil.check_bool "p100 covers max" true
     (Engine.Stats.Histogram.percentile h 1.0 >= 1000)
 
+(* Bucket i of the histogram holds values of bit-width i, i.e. [2^(i-1),
+   2^i); [percentile] answers the inclusive upper bound 2^i - 1 of the
+   bucket reaching the requested rank. These tests pin that contract at the
+   boundaries. *)
+let test_stats_histogram_powers_of_two () =
+  let module H = Engine.Stats.Histogram in
+  (* A power of two 2^k has bit-width k+1, so its reported upper bound is
+     2^(k+1) - 1 — one bucket above 2^k - 1. *)
+  List.iter
+    (fun k ->
+       let h = H.create () in
+       H.add h (1 lsl k);
+       Tutil.check_int
+         (Printf.sprintf "p100 of singleton 2^%d" k)
+         ((1 lsl (k + 1)) - 1)
+         (H.percentile h 1.0))
+    [ 0; 1; 4; 10; 20 ];
+  (* One below a power of two stays in the lower bucket: its bound is
+     exactly itself. *)
+  let h = H.create () in
+  H.add h 1023;
+  Tutil.check_int "p100 of 1023" 1023 (H.percentile h 1.0);
+  (* Zero has bit-width 0: bucket 0, bound 0. *)
+  let h = H.create () in
+  H.add h 0;
+  Tutil.check_int "p100 of 0" 0 (H.percentile h 1.0);
+  (* Negative values are clamped to bucket 0 rather than crashing. *)
+  let h = H.create () in
+  H.add h (-5);
+  Tutil.check_int "negative clamps to 0" 0 (H.percentile h 1.0)
+
+let test_stats_histogram_empty () =
+  let module H = Engine.Stats.Histogram in
+  let h = H.create () in
+  Tutil.check_int "count" 0 (H.count h);
+  Tutil.check_int "p0" 0 (H.percentile h 0.0);
+  Tutil.check_int "p50" 0 (H.percentile h 0.5);
+  Tutil.check_int "p100" 0 (H.percentile h 1.0);
+  Tutil.check_string "pp prints nothing" ""
+    (Format.asprintf "%a" H.pp h)
+
+let test_stats_histogram_p0_p100 () =
+  let module H = Engine.Stats.Histogram in
+  let h = H.create () in
+  List.iter (H.add h) [ 1; 6; 1000 ];
+  (* q = 0 still answers the lowest occupied bucket (rank clamps to 1). *)
+  Tutil.check_int "p0 = first bucket bound" 1 (H.percentile h 0.0);
+  (* q = 1 answers the highest occupied bucket: 1000 has bit-width 10. *)
+  Tutil.check_int "p100 = last bucket bound" 1023 (H.percentile h 1.0);
+  (* Ranks are inclusive: with 3 samples, q = 1/3 is the first sample. *)
+  Tutil.check_int "p33 inclusive" 1 (H.percentile h (1.0 /. 3.0));
+  Tutil.check_int "p34 next bucket" 7 (H.percentile h 0.34)
+
+let test_stats_histogram_pp () =
+  let module H = Engine.Stats.Histogram in
+  let h = H.create () in
+  List.iter (H.add h) [ 1; 3; 3; 1000 ];
+  let out = Format.asprintf "%a" H.pp h in
+  (* Buckets print as exclusive upper bounds with their counts. *)
+  Tutil.check_string "bucket lines" "[<2] 1\n[<4] 2\n[<1024] 1\n" out
+
 let test_stats_bandwidth () =
   Alcotest.(check (float 1e-9)) "100MB in 1s" 100.0
     (Engine.Stats.bandwidth_mb_s ~bytes_transferred:100_000_000
@@ -368,5 +429,11 @@ let () =
       ("stats",
        [ Alcotest.test_case "summary" `Quick test_stats_summary;
          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+         Alcotest.test_case "histogram powers of two" `Quick
+           test_stats_histogram_powers_of_two;
+         Alcotest.test_case "histogram empty" `Quick test_stats_histogram_empty;
+         Alcotest.test_case "histogram p0/p100" `Quick
+           test_stats_histogram_p0_p100;
+         Alcotest.test_case "histogram pp" `Quick test_stats_histogram_pp;
          Alcotest.test_case "bandwidth" `Quick test_stats_bandwidth ]);
     ]

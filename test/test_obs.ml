@@ -1,0 +1,266 @@
+(* The Padico_obs subsystem: trace ring buffer, span API, metrics registry,
+   Chrome exporter well-formedness, and trace determinism. *)
+
+module Bb = Engine.Bytebuf
+module Obs = Padico_obs
+module Trace = Padico_obs.Trace
+module Event = Padico_obs.Event
+module Metrics = Padico_obs.Metrics
+module Json = Padico_obs.Json
+module Vio = Personalities.Vio
+
+let fresh () =
+  Trace.disable ();
+  Trace.enable ();
+  Metrics.reset ()
+
+let ev_poll = Event.Poll { kind = "sysio" }
+
+(* ---------- trace buffer ---------- *)
+
+let test_disabled_is_off () =
+  Trace.disable ();
+  Tutil.check_bool "off" false (Trace.on ())
+
+let test_span_nesting () =
+  fresh ();
+  let sim = Engine.Sim.create () in
+  let node = Simnet.Node.create sim ~id:0 ~name:"n0" in
+  let outer = ref Trace.null_span and inner = ref Trace.null_span in
+  Engine.Sim.at sim 100 (fun () ->
+      outer := Trace.begin_span node (Event.Vl_connect { driver = "x" }));
+  Engine.Sim.at sim 200 (fun () -> inner := Trace.begin_span node ev_poll);
+  Engine.Sim.at sim 300 (fun () -> Trace.end_span !inner);
+  Engine.Sim.at sim 500 (fun () -> Trace.end_span !outer);
+  Engine.Sim.run sim;
+  match Trace.records () with
+  | [ r_inner; r_outer ] ->
+    (* Spans are recorded when they end: inner first. *)
+    Tutil.check_int "inner ts" 200 r_inner.Trace.ts;
+    Tutil.check_int "inner dur" 100 r_inner.Trace.dur;
+    Tutil.check_int "outer ts" 100 r_outer.Trace.ts;
+    Tutil.check_int "outer dur" 400 r_outer.Trace.dur;
+    (* Proper nesting: the outer interval contains the inner one. *)
+    Tutil.check_bool "contained" true
+      (r_outer.Trace.ts <= r_inner.Trace.ts
+       && r_inner.Trace.ts + r_inner.Trace.dur
+          <= r_outer.Trace.ts + r_outer.Trace.dur)
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let test_instant_and_complete () =
+  fresh ();
+  let sim = Engine.Sim.create () in
+  let node = Simnet.Node.create sim ~id:0 ~name:"n0" in
+  Engine.Sim.at sim 50 (fun () -> Trace.instant node ev_poll);
+  Engine.Sim.at sim 80 (fun () ->
+      Trace.complete node ~since:10
+        (Event.Dispatch { kind = "madio"; queued_ns = 70 }));
+  Engine.Sim.run sim;
+  (match Trace.records () with
+   | [ i; c ] ->
+     Tutil.check_int "instant dur" (-1) i.Trace.dur;
+     Tutil.check_int "instant ts" 50 i.Trace.ts;
+     Tutil.check_int "complete ts" 10 c.Trace.ts;
+     Tutil.check_int "complete dur" 70 c.Trace.dur
+   | l -> Alcotest.failf "expected 2 records, got %d" (List.length l));
+  (* A [since] in the future clamps to a zero-length span, never negative. *)
+  Trace.complete node ~since:max_int ev_poll;
+  let last = List.nth (Trace.records ()) 2 in
+  Tutil.check_int "clamped dur" 0 last.Trace.dur
+
+let test_ring_wraparound () =
+  Trace.enable ~capacity:4 ();
+  let sim = Engine.Sim.create () in
+  let node = Simnet.Node.create sim ~id:0 ~name:"n0" in
+  for i = 1 to 10 do
+    Engine.Sim.at sim i (fun () -> Trace.instant node ev_poll)
+  done;
+  Engine.Sim.run sim;
+  Tutil.check_int "length" 4 (Trace.length ());
+  Tutil.check_int "dropped" 6 (Trace.dropped ());
+  let rs = Trace.records () in
+  Tutil.check_int "records" 4 (List.length rs);
+  (* Only the newest records survive, still in chronological order. *)
+  Tutil.check_int "oldest surviving ts" 7 (List.hd rs).Trace.ts;
+  List.iteri
+    (fun i r -> Tutil.check_int "ts in order" (7 + i) r.Trace.ts)
+    rs;
+  (* Re-enabling resets both occupancy and drop accounting. *)
+  Trace.enable ~capacity:4 ();
+  Tutil.check_int "cleared" 0 (Trace.length ());
+  Tutil.check_int "dropped cleared" 0 (Trace.dropped ())
+
+(* ---------- metrics registry ---------- *)
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  let c1 = Metrics.counter (Metrics.Node "a") "x" in
+  Engine.Stats.Counter.add c1 5;
+  (* Get-or-create: the same instrument comes back. *)
+  let c2 = Metrics.counter (Metrics.Node "a") "x" in
+  Engine.Stats.Counter.incr c2;
+  Tutil.check_int "shared counter" 6 (Engine.Stats.Counter.value c1);
+  (* fresh_* rebinds the name to a zeroed instrument. *)
+  let c3 = Metrics.fresh_counter (Metrics.Node "a") "x" in
+  Tutil.check_int "fresh starts at 0" 0 (Engine.Stats.Counter.value c3);
+  (match Metrics.find (Metrics.Node "a") "x" with
+   | Some (Metrics.Counter c) ->
+     Tutil.check_bool "registry holds the fresh one" true (c == c3)
+   | _ -> Alcotest.fail "counter not found");
+  (* Kind mismatch is a programming error, not a silent shadow. *)
+  (try
+     ignore (Metrics.summary (Metrics.Node "a") "x");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  ignore (Metrics.summary Metrics.Global "s");
+  ignore (Metrics.histogram (Metrics.Link "a->b") "h");
+  (* Enumeration is sorted: Global, then nodes, then links. *)
+  let order =
+    List.map (fun (s, n, _) -> Metrics.scope_name s ^ "/" ^ n) (Metrics.all ())
+  in
+  Alcotest.(check (list string)) "sorted enumeration"
+    [ "global/s"; "node:a/x"; "link:a->b/h" ]
+    order;
+  Metrics.reset ();
+  Tutil.check_int "reset empties" 0 (List.length (Metrics.all ()))
+
+(* ---------- a real scenario: ping over a grid ---------- *)
+
+let run_ping () =
+  let grid, a, b, _seg = Tutil.grid_pair Simnet.Presets.myrinet2000 in
+  Padico.listen grid b ~port:4000 (fun vl ->
+      ignore
+        (Padico.spawn grid b ~name:"echo" (fun () ->
+             let buf = Bb.create 4 in
+             if Vio.read_exact vl buf then ignore (Vio.write vl buf))));
+  let h =
+    Padico.spawn grid a ~name:"ping" (fun () ->
+        let vl = Padico.connect grid ~src:a ~dst:b ~port:4000 in
+        (match Vio.connect_wait vl with
+         | Ok () -> ()
+         | Error e -> failwith e);
+        let buf = Bb.create 4 in
+        ignore (Vio.write vl buf);
+        ignore (Vio.read_exact vl buf))
+  in
+  Tutil.run_grid grid;
+  Tutil.assert_done h
+
+let test_export_json_well_formed () =
+  fresh ();
+  run_ping ();
+  Trace.disable ();
+  let s = Obs.Export_chrome.to_string () in
+  match Json.parse s with
+  | Error msg -> Alcotest.failf "exported JSON does not parse: %s" msg
+  | Ok doc ->
+    let events =
+      match Json.member "traceEvents" doc with
+      | Some (Json.List l) -> l
+      | _ -> Alcotest.fail "no traceEvents array"
+    in
+    Tutil.check_bool "has events" true (List.length events > 0);
+    let cats =
+      List.filter_map (fun e ->
+          match Json.member "cat" e with
+          | Some (Json.Str c) -> Some c
+          | _ -> None)
+        events
+    in
+    (* The ping exercises the whole stack: all three layers show up. *)
+    List.iter
+      (fun layer ->
+         Tutil.check_bool ("layer " ^ layer) true (List.mem layer cats))
+      [ "arbitration"; "abstraction"; "selection" ];
+    (* Every non-metadata event is well-formed: name, ts, pid, and a phase
+       among X (with dur) and i (with scope). *)
+    List.iter
+      (fun e ->
+         (match Json.member "ph" e with
+          | Some (Json.Str "M") -> ()
+          | Some (Json.Str "X") ->
+            Tutil.check_bool "X has dur" true (Json.member "dur" e <> None)
+          | Some (Json.Str "i") ->
+            Tutil.check_bool "i has scope" true
+              (Json.member "s" e = Some (Json.Str "t"))
+          | _ -> Alcotest.fail "event without known ph");
+         match (Json.member "name" e, Json.member "pid" e) with
+         | Some (Json.Str _), Some (Json.Int _) -> ()
+         | _ -> Alcotest.fail "event missing name/pid")
+      events;
+    (* Both nodes got a process_name metadata record. *)
+    let metas =
+      List.filter (fun e -> Json.member "ph" e = Some (Json.Str "M")) events
+    in
+    Tutil.check_int "two processes" 2 (List.length metas)
+
+let test_metrics_after_scenario () =
+  fresh ();
+  run_ping ();
+  Trace.disable ();
+  let find scope name =
+    match Metrics.find scope name with
+    | Some (Metrics.Counter c) -> Engine.Stats.Counter.value c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  (* Arbitration-layer counters made it into the registry, and the selector
+     recorded its decision. *)
+  Tutil.check_bool "a sent madio msgs" true
+    (find (Metrics.Node "a") "madio.sent" > 0);
+  Tutil.check_bool "b dispatched madio work" true
+    (find (Metrics.Node "b") "na.madio.dispatched" > 0);
+  Tutil.check_int "selector chose madio once" 1
+    (find Metrics.Global "selector.choice.madio")
+
+let test_determinism () =
+  let export () =
+    fresh ();
+    run_ping ();
+    Trace.disable ();
+    let s = Obs.Export_chrome.to_string () in
+    Metrics.reset ();
+    s
+  in
+  let first = export () in
+  let second = export () in
+  Tutil.check_bool "two identical runs produce identical traces" true
+    (String.equal first second);
+  (* Not vacuous: the trace really contains records. *)
+  Tutil.check_bool "trace non-trivial" true (String.length first > 1000)
+
+(* ---------- json corner cases ---------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.Str "a\"b\\c\n\t\x01");
+        ("l", Json.List [ Json.Int (-3); Json.Float 1.5; Json.Bool true ]);
+        ("n", Json.Null); ("e", Json.Obj []) ]
+  in
+  (match Json.parse (Json.to_string v) with
+   | Ok v' -> Tutil.check_bool "roundtrip" true (v = v')
+   | Error e -> Alcotest.failf "roundtrip parse failed: %s" e);
+  (match Json.parse "{\"a\": [1, 2" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "truncated input must not parse");
+  match Json.parse "[] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage must not parse"
+
+let () =
+  Alcotest.run "obs"
+    [ ("trace",
+       [ Alcotest.test_case "disabled flag" `Quick test_disabled_is_off;
+         Alcotest.test_case "span nesting" `Quick test_span_nesting;
+         Alcotest.test_case "instant + complete" `Quick
+           test_instant_and_complete;
+         Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound ]);
+      ("metrics",
+       [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+         Alcotest.test_case "after scenario" `Quick
+           test_metrics_after_scenario ]);
+      ("export",
+       [ Alcotest.test_case "chrome JSON parses back" `Quick
+           test_export_json_well_formed;
+         Alcotest.test_case "determinism" `Quick test_determinism;
+         Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip ]) ]
