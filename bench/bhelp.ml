@@ -1,1 +1,26 @@
 include Scenario
+
+(* Machine-readable results: experiments record named metrics as they print
+   them; the harness writes the accumulated set to BENCH_results.json so CI
+   and regression tooling can diff numbers without scraping stdout. *)
+
+let results : (string * float) list ref = ref []
+
+let record ~experiment key value =
+  results := (experiment ^ "." ^ key, value) :: !results
+
+let write_results ?(file = "BENCH_results.json") () =
+  let oc = open_out file in
+  let entries = List.rev !results in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+       Printf.fprintf oc "  %S: %s%s\n" k
+         (if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.sprintf "%.0f" v
+          else Printf.sprintf "%.6g" v)
+         (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\n%d metrics -> %s\n" (List.length entries) file

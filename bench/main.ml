@@ -11,6 +11,7 @@ let experiments =
     ("adoc", "E7: adaptive online compression", Adoc_bench.run);
     ("copies", "E8: marshalling-copies ablation", Copies_bench.run);
     ("obs", "E9: tracing overhead on the MadIO hot path", Obs_bench.run);
+    ("fault", "E10: fault injection and failover resilience", Fault_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 let usage () =
@@ -25,9 +26,12 @@ let () =
   Printexc.record_backtrace true;
   match Sys.argv with
   | [| _ |] | [| _; "all" |] ->
-    List.iter (fun (_, _, run) -> run ()) experiments
+    List.iter (fun (_, _, run) -> run ()) experiments;
+    Bhelp.write_results ()
   | [| _; name |] ->
     (match List.find_opt (fun (n, _, _) -> n = name) experiments with
-     | Some (_, _, run) -> run ()
+     | Some (_, _, run) ->
+       run ();
+       Bhelp.write_results ()
      | None -> usage ())
   | _ -> usage ()

@@ -200,9 +200,148 @@ let trace_cmd =
     Term.(const run $ net_arg $ prefs_term $ mw_arg $ iters_arg $ out_arg
           $ capacity_arg)
 
+(* ---------- fault ---------- *)
+
+let fault_cmd =
+  let plan_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"PLAN"
+           ~doc:"Fault plan file (one event per line, e.g. \
+                 $(b,at 2ms link-down san)). Omit it for a clean run.")
+  in
+  let expr_arg =
+    Arg.(value & opt_all string []
+         & info [ "e"; "event" ] ~docv:"EVENT"
+           ~doc:"Inline plan event (repeatable), e.g. \
+                 $(b,-e 'at 2ms link-down san'). Appended after $(i,PLAN).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Simulation seed: same seed and plan replay identically.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Also write a Chrome trace-event JSON of the run.")
+  in
+  let run plan_file exprs mbytes chunk seed out =
+    let parse_part = function
+      | `File f -> Padico_fault.Plan.parse_file f
+      | `Inline e -> Padico_fault.Plan.parse e
+    in
+    let parts =
+      (match plan_file with Some f -> [ `File f ] | None -> [])
+      @ List.map (fun e -> `Inline e) exprs
+    in
+    let plan =
+      List.fold_left
+        (fun acc part ->
+           match parse_part part with
+           | Ok evs -> acc @ evs
+           | Error msg ->
+             prerr_endline ("fault plan: " ^ msg);
+             exit 2)
+        [] parts
+    in
+    if out <> None then begin
+      Padico_obs.Metrics.reset ();
+      Padico_obs.Trace.enable ()
+    end;
+    (* Two nodes sharing a Myrinet SAN ("san") and a fallback Fast-Ethernet
+       LAN ("lan"): the topology every failover example in DESIGN.md uses. *)
+    let grid = Padico.create ~seed () in
+    let a = Padico.add_node grid "a" in
+    let b = Padico.add_node grid "b" in
+    ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 ~name:"san"
+              [ a; b ]);
+    ignore (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan"
+              [ a; b ]);
+    let inj = Padico_fault.Inject.apply (Padico.net grid) plan in
+    Resilient.listen grid b ~port:9000 (fun vl ->
+        ignore
+          (Padico.spawn grid b ~name:"echo" (fun () ->
+               let buf = Engine.Bytebuf.create 65_536 in
+               let rec loop () =
+                 match Vlink.Vl.await (Vlink.Vl.post_read vl buf) with
+                 | Vlink.Vl.Done n ->
+                   (match
+                      Vlink.Vl.await
+                        (Vlink.Vl.post_write vl (Engine.Bytebuf.sub buf 0 n))
+                    with
+                    | Vlink.Vl.Done _ -> loop ()
+                    | _ -> ())
+                 | _ -> ()
+               in
+               loop ())));
+    let conn = Resilient.connect grid ~src:a ~dst:b ~port:9000 in
+    let cvl = Resilient.vl conn in
+    let total = mbytes * 1_000_000 in
+    let received = ref 0 in
+    let t_start = ref 0 and t_end = ref 0 in
+    ignore
+      (Padico.spawn grid a ~name:"client" (fun () ->
+           (match Vlink.Vl.await_connected cvl with
+            | Ok () -> ()
+            | Error m -> failwith ("connect: " ^ m));
+           t_start := Padico.now grid;
+           let sent = ref 0 in
+           while !sent < total do
+             let n = min chunk (total - !sent) in
+             ignore
+               (Vlink.Vl.post_write cvl (Engine.Bytebuf.create n));
+             sent := !sent + n
+           done;
+           let buf = Engine.Bytebuf.create chunk in
+           let rec rd () =
+             if !received < total then
+               match Vlink.Vl.await (Vlink.Vl.post_read cvl buf) with
+               | Vlink.Vl.Done n ->
+                 received := !received + n;
+                 rd ()
+               | Vlink.Vl.Eof -> ()
+               | Vlink.Vl.Error m -> failwith ("read: " ^ m)
+           in
+           rd ();
+           t_end := Padico.now grid));
+    Padico.run grid;
+    let st = Resilient.stats conn in
+    if !received < total then
+      Printf.printf "TRANSFER INCOMPLETE: %d / %d bytes echoed\n" !received
+        total
+    else begin
+      let dt = !t_end - !t_start in
+      Printf.printf "echoed     : %d MB round-trip in %.3f ms virtual\n"
+        mbytes (float_of_int dt /. 1e6);
+      Printf.printf "goodput    : %.2f MB/s\n"
+        (float_of_int (2 * total) /. (float_of_int dt /. 1e9) /. 1e6)
+    end;
+    Printf.printf "faults     : %d injected (%d still pending)\n"
+      (Padico_fault.Inject.fired inj) (Padico_fault.Inject.pending inj);
+    Printf.printf "driver     : %s\n" st.Resilient.driver;
+    Printf.printf "switches   : %d\n" st.Resilient.switches;
+    Printf.printf "retries    : %d\n" st.Resilient.retries;
+    Printf.printf "downtime   : %.3f ms virtual\n"
+      (float_of_int st.Resilient.downtime_ns /. 1e6);
+    match out with
+    | None -> ()
+    | Some file ->
+      Padico_obs.Trace.disable ();
+      Padico_obs.Export_chrome.write_file file;
+      Printf.printf "trace      : %d records -> %s\n"
+        (Padico_obs.Trace.length ()) file
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Replay a fault plan against a resilient transfer on a SAN+LAN \
+             pair; print failover statistics (switches, retries, downtime).")
+    Term.(const run $ plan_arg $ expr_arg $ mbytes_arg $ chunk_arg $ seed_arg
+          $ out_arg)
+
 let () =
   let doc = "PadicoTM-style grid communication framework (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
-          [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd ]))
+          [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
+            fault_cmd ]))

@@ -53,6 +53,12 @@ val connect_choice :
   t -> src:Simnet.Node.t -> dst:Simnet.Node.t -> Selector.choice
 (** What [connect] would decide (introspection). *)
 
+val connect_with_choice :
+  t -> src:Simnet.Node.t -> dst:Simnet.Node.t -> port:int ->
+  Selector.choice -> Vlink.Vl.t
+(** Apply a specific selector decision — failover re-selection computes a
+    choice under exclusions ({!Selector.choose}) and connects with it. *)
+
 (** {1 Relay tunnels (future-work extension)} *)
 
 val start_relay : t -> Simnet.Node.t -> unit

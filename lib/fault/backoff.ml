@@ -1,0 +1,33 @@
+type t = {
+  base_ns : int;
+  factor : float;
+  max_ns : int;
+  jitter : float;
+  rng : Engine.Rng.t;
+  mutable attempt : int;
+}
+
+let create ?(base_ns = 1_000_000) ?(factor = 2.0) ?(max_ns = 1_000_000_000)
+    ?(jitter = 0.25) ~seed () =
+  if base_ns <= 0 then invalid_arg "Backoff: base_ns must be positive";
+  if max_ns <= 0 then invalid_arg "Backoff: max_ns must be positive";
+  if factor < 1.0 then invalid_arg "Backoff: factor must be >= 1";
+  if not (jitter >= 0.0 && jitter < 1.0) then
+    invalid_arg "Backoff: jitter must be in [0, 1)";
+  { base_ns; factor; max_ns; jitter; rng = Engine.Rng.create seed; attempt = 0 }
+
+let next t =
+  let raw =
+    float_of_int t.base_ns *. (t.factor ** float_of_int t.attempt)
+  in
+  let capped = Float.min raw (float_of_int t.max_ns) in
+  let scale =
+    if t.jitter = 0.0 then 1.0
+    else 1.0 -. t.jitter +. Engine.Rng.float t.rng (2.0 *. t.jitter)
+  in
+  t.attempt <- t.attempt + 1;
+  max 1 (int_of_float (capped *. scale))
+
+let attempt t = t.attempt
+
+let reset t = t.attempt <- 0

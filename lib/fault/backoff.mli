@@ -1,0 +1,34 @@
+(** Exponential backoff with deterministic jitter.
+
+    Reconnect schedules must spread retries (avoid thundering herds when a
+    shared link heals) yet replay identically under the same seed — so the
+    jitter comes from a private {!Engine.Rng.t} seeded explicitly, not from
+    wall-clock entropy. Two instances created with the same parameters and
+    seed produce the same delay sequence. *)
+
+type t
+
+val create :
+  ?base_ns:int ->
+  ?factor:float ->
+  ?max_ns:int ->
+  ?jitter:float ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: [base_ns] = 1 ms, [factor] = 2.0, [max_ns] = 1 s,
+    [jitter] = 0.25. Raises [Invalid_argument] for a factor < 1, jitter
+    outside [0, 1), or non-positive base/max. *)
+
+val next : t -> int
+(** Delay in ns for the next attempt:
+    [min max_ns (base_ns * factor^attempt)] scaled by a uniform factor in
+    [1 - jitter, 1 + jitter]. Increments the attempt counter. *)
+
+val attempt : t -> int
+(** Attempts drawn since creation or the last {!reset}. *)
+
+val reset : t -> unit
+(** Back to attempt 0 (a healthy connection clears its penalty). The RNG
+    stream is {e not} rewound, so determinism only requires the same
+    sequence of draws, not the same reset points. *)

@@ -1,0 +1,31 @@
+(** Deterministic fault injection: arm a {!Plan.t} against a grid.
+
+    [apply net plan] resolves every link / node name eagerly (so a typo
+    fails before the run starts) and schedules each event on the net's
+    virtual clock. Events mutate the {!Simnet.Segment} fault overlay and
+    {!Simnet.Node} up-state; nothing else in the stack knows the injector
+    exists. Windowed actions ([Loss_burst], [Latency_spike]) schedule their
+    own restore event at [at_ns + duration_ns].
+
+    Determinism: the injector draws no randomness, and fault-dropped frames
+    consume none either (see {!Simnet.Segment.send}), so two runs with the
+    same seed and the same plan are bit-identical — the property the
+    determinism test and the E10 bench rely on.
+
+    Every fired event is recorded as a [Padico_obs.Event.Fault] trace
+    instant (anchored on the lowest-id node attached to the target, a
+    deterministic choice) and counted in the global
+    ["fault.injected"] metric. *)
+
+type t
+
+val apply : Simnet.Net.t -> Plan.t -> t
+(** Raises [Invalid_argument] when a plan references an unknown link or
+    node name. Segment names must be unambiguous within the plan's targets. *)
+
+val fired : t -> int
+(** Number of plan events executed so far (restore events of windowed
+    actions included). *)
+
+val pending : t -> int
+(** Scheduled events (including window restores) not yet executed. *)

@@ -1,0 +1,166 @@
+type action =
+  | Link_down of string
+  | Link_up of string
+  | Loss_burst of { link : string; loss : float; duration_ns : int }
+  | Latency_spike of { link : string; add_ns : int; duration_ns : int }
+  | Node_crash of string
+  | Node_restart of string
+  | Partition of { group_a : string list; group_b : string list }
+  | Heal
+
+type event = { at_ns : int; action : action }
+
+type t = event list
+
+(* ---------- time literals ---------- *)
+
+let duration_of_string s =
+  let num, unit_ =
+    let n = String.length s in
+    let rec split i =
+      if i < n && (s.[i] = '.' || (s.[i] >= '0' && s.[i] <= '9')) then
+        split (i + 1)
+      else i
+    in
+    let cut = split 0 in
+    (String.sub s 0 cut, String.sub s cut (n - cut))
+  in
+  match (float_of_string_opt num, unit_) with
+  | None, _ -> Error (Printf.sprintf "bad duration %S" s)
+  | Some v, ("ns" | "") -> Ok (int_of_float v)
+  | Some v, "us" -> Ok (int_of_float (v *. 1e3))
+  | Some v, "ms" -> Ok (int_of_float (v *. 1e6))
+  | Some v, "s" -> Ok (int_of_float (v *. 1e9))
+  | Some _, u -> Error (Printf.sprintf "unknown time unit %S in %S" u s)
+
+let pp_duration fmt ns = Engine.Time.pp fmt ns
+
+(* ---------- parsing ---------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let group_of_string s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_action tokens =
+  match tokens with
+  | [ "link-down"; link ] -> Ok (Link_down link)
+  | [ "link-up"; link ] -> Ok (Link_up link)
+  | [ "loss-burst"; link; loss; "for"; dur ] | [ "loss-burst"; link; loss; dur ]
+    -> (
+      let* duration_ns = duration_of_string dur in
+      match float_of_string_opt loss with
+      | Some l when l >= 0.0 && l <= 1.0 ->
+        Ok (Loss_burst { link; loss = l; duration_ns })
+      | Some l -> Error (Printf.sprintf "loss %g not in [0, 1]" l)
+      | None -> Error (Printf.sprintf "bad loss %S" loss))
+  | [ "latency-spike"; link; add; "for"; dur ]
+  | [ "latency-spike"; link; add; dur ] ->
+    let add = if String.length add > 0 && add.[0] = '+' then
+        String.sub add 1 (String.length add - 1)
+      else add
+    in
+    let* add_ns = duration_of_string add in
+    let* duration_ns = duration_of_string dur in
+    Ok (Latency_spike { link; add_ns; duration_ns })
+  | [ "crash"; node ] -> Ok (Node_crash node)
+  | [ "restart"; node ] -> Ok (Node_restart node)
+  | "partition" :: rest ->
+    let spec = String.concat " " rest in
+    (match String.split_on_char '|' spec with
+     | [ a; b ] ->
+       let group_a = group_of_string a and group_b = group_of_string b in
+       if group_a = [] || group_b = [] then
+         Error "partition: both groups must be non-empty"
+       else Ok (Partition { group_a; group_b })
+     | _ -> Error "partition: expected  nodes | nodes")
+  | [ "heal" ] -> Ok Heal
+  | verb :: _ -> Error (Printf.sprintf "unknown action %S" verb)
+  | [] -> Error "empty action"
+
+let parse_line line =
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  with
+  | "at" :: time :: rest ->
+    let* at_ns = duration_of_string time in
+    let* action = parse_action rest in
+    Ok (Some { at_ns; action })
+  | [] -> Ok None
+  | _ -> Error "expected:  at <time> <action> ..."
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      (match parse_line (String.trim line) with
+       | Ok None -> go (lineno + 1) acc rest
+       | Ok (Some ev) -> go (lineno + 1) (ev :: acc) rest
+       | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    parse text
+
+(* ---------- printing ---------- *)
+
+let action_name = function
+  | Link_down _ -> "link-down"
+  | Link_up _ -> "link-up"
+  | Loss_burst _ -> "loss-burst"
+  | Latency_spike _ -> "latency-spike"
+  | Node_crash _ -> "crash"
+  | Node_restart _ -> "restart"
+  | Partition _ -> "partition"
+  | Heal -> "heal"
+
+let target_name = function
+  | Link_down l | Link_up l | Loss_burst { link = l; _ }
+  | Latency_spike { link = l; _ } ->
+    l
+  | Node_crash n | Node_restart n -> n
+  | Partition { group_a; group_b } ->
+    String.concat "," group_a ^ "|" ^ String.concat "," group_b
+  | Heal -> ""
+
+let pp_action fmt = function
+  | Link_down l -> Format.fprintf fmt "link-down %s" l
+  | Link_up l -> Format.fprintf fmt "link-up %s" l
+  | Loss_burst { link; loss; duration_ns } ->
+    Format.fprintf fmt "loss-burst %s %g for %a" link loss pp_duration
+      duration_ns
+  | Latency_spike { link; add_ns; duration_ns } ->
+    Format.fprintf fmt "latency-spike %s +%a for %a" link pp_duration add_ns
+      pp_duration duration_ns
+  | Node_crash n -> Format.fprintf fmt "crash %s" n
+  | Node_restart n -> Format.fprintf fmt "restart %s" n
+  | Partition { group_a; group_b } ->
+    Format.fprintf fmt "partition %s | %s"
+      (String.concat "," group_a)
+      (String.concat "," group_b)
+  | Heal -> Format.fprintf fmt "heal"
+
+let pp fmt plan =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun { at_ns; action } ->
+       Format.fprintf fmt "at %a %a@," pp_duration at_ns pp_action action)
+    plan;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,51 @@
+(** Typed fault plans: a schedule of events on the virtual clock.
+
+    A plan is data — building one has no effect; {!Inject.apply} arms it
+    against a {!Simnet.Net}. Links and nodes are referenced by name so plans
+    can be written before (or independently of) topology construction, and
+    round-trip through a line-oriented text format for the CLI:
+
+    {v
+    # comment; times accept ns / us / ms / s suffixes
+    at 5ms   link-down san
+    at 60ms  link-up san
+    at 1ms   loss-burst wan 0.3 for 10ms
+    at 1ms   latency-spike wan +8ms for 5ms
+    at 2ms   crash b
+    at 4ms   restart b
+    at 2ms   partition a1,a2 | b1,b2
+    at 6ms   heal
+    v} *)
+
+type action =
+  | Link_down of string  (** carrier loss on the named segment *)
+  | Link_up of string
+  | Loss_burst of { link : string; loss : float; duration_ns : int }
+      (** extra frame-loss probability for a window, then back to clean *)
+  | Latency_spike of { link : string; add_ns : int; duration_ns : int }
+      (** extra one-way latency for a window (congestion) *)
+  | Node_crash of string
+  | Node_restart of string
+  | Partition of { group_a : string list; group_b : string list }
+      (** bipartition: block all traffic between the two node sets *)
+  | Heal  (** remove every partition block on every segment *)
+
+type event = { at_ns : int; action : action }
+
+type t = event list
+
+val parse : string -> (t, string) result
+(** Parse the text format above. Errors name the offending line. The result
+    preserves file order; {!Inject.apply} sorts by time (stable). *)
+
+val parse_file : string -> (t, string) result
+
+val pp_action : Format.formatter -> action -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val action_name : action -> string
+(** Short machine name ("link-down", "loss-burst", ...) used in traces. *)
+
+val target_name : action -> string
+(** The link / node / group the action applies to ("" for [Heal]). *)

@@ -1,0 +1,73 @@
+type timer = {
+  mutable cb : (unit -> unit) option; (* None once fired or cancelled *)
+  wheel : t;
+}
+
+and t = {
+  sim : Engine.Sim.t;
+  slot_ns : int;
+  slots : (int, timer list ref) Hashtbl.t;
+  mutable live : int;
+}
+
+let create ?(slot_ns = 65_536) sim =
+  if slot_ns <= 0 then invalid_arg "Timewheel: slot_ns must be positive";
+  { sim; slot_ns; slots = Hashtbl.create 64; live = 0 }
+
+(* One shared wheel per simulator. Sim.t is mutable, so key by physical
+   identity; the list stays tiny (one entry per live simulation). *)
+let shared : (Engine.Sim.t * t) list ref = ref []
+
+let for_sim sim =
+  match List.find_opt (fun (s, _) -> s == sim) !shared with
+  | Some (_, w) -> w
+  | None ->
+    let w = create sim in
+    shared := (sim, w) :: !shared;
+    (* Keep the registry from growing across many short-lived simulations
+       (tests): drop entries whose sim is not the one being asked for once
+       the list gets long. Correctness is unaffected — a dropped wheel is
+       simply recreated if its sim is ever used again. *)
+    if List.length !shared > 64 then
+      shared := List.filteri (fun i _ -> i < 32) !shared;
+    w
+
+let fire_slot t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | None -> ()
+  | Some timers ->
+    Hashtbl.remove t.slots slot;
+    List.iter
+      (fun timer ->
+         match timer.cb with
+         | None -> ()
+         | Some f ->
+           timer.cb <- None;
+           t.live <- t.live - 1;
+           f ())
+      (List.rev !timers)
+
+let arm t ~after_ns f =
+  let after_ns = max 0 after_ns in
+  let deadline = Engine.Sim.now t.sim + after_ns in
+  (* Round up to the next slot boundary: never fire early. *)
+  let slot = (deadline + t.slot_ns - 1) / t.slot_ns in
+  let timer = { cb = Some f; wheel = t } in
+  (match Hashtbl.find_opt t.slots slot with
+   | Some timers -> timers := timer :: !timers
+   | None ->
+     Hashtbl.replace t.slots slot (ref [ timer ]);
+     Engine.Sim.at t.sim
+       (max (Engine.Sim.now t.sim) (slot * t.slot_ns))
+       (fun () -> fire_slot t slot));
+  t.live <- t.live + 1;
+  timer
+
+let cancel timer =
+  match timer.cb with
+  | None -> ()
+  | Some _ ->
+    timer.cb <- None;
+    timer.wheel.live <- timer.wheel.live - 1
+
+let pending t = t.live

@@ -1,0 +1,34 @@
+(** A slotted timeout wheel over the virtual clock.
+
+    Request deadlines are armed in huge numbers and almost always
+    cancelled (the request completes first). Pushing each one into the
+    simulator's event heap would grow it with dead entries; the wheel
+    instead buckets timers into fixed-width slots and schedules {e one}
+    simulator event per occupied slot. Cancellation is O(1) (flip a flag);
+    a fired slot skips cancelled entries.
+
+    Deadlines round {e up} to the slot boundary: a timeout fires at or
+    slightly after the requested instant, never before — the right bias for
+    "give up after at least this long". *)
+
+type t
+
+type timer
+
+val create : ?slot_ns:int -> Engine.Sim.t -> t
+(** A fresh wheel; [slot_ns] (default 65536 ns ≈ 66 µs) is the firing
+    granularity. Raises [Invalid_argument] when non-positive. *)
+
+val for_sim : Engine.Sim.t -> t
+(** The per-simulator shared wheel (created on first use with the default
+    granularity). VLink request deadlines all go through this one. *)
+
+val arm : t -> after_ns:int -> (unit -> unit) -> timer
+(** Schedule a callback at least [after_ns] from now ([after_ns] clamps
+    to 0). *)
+
+val cancel : timer -> unit
+(** Idempotent; a cancelled timer never fires. *)
+
+val pending : t -> int
+(** Armed, not-yet-fired, not-cancelled timers. *)

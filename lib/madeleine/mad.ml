@@ -6,6 +6,8 @@ type unpack_mode = Receive_express | Receive_cheaper
 
 exception No_channel_left
 
+exception Link_down of string
+
 type channel = { mad : t; gm_chan : Drivers.Gm.channel }
 
 and t = {
@@ -74,8 +76,14 @@ let pack out ?(mode = Send_cheaper) buf =
 
 let end_packing out =
   if out.closed then invalid_arg "Mad.end_packing: message already sent";
-  out.closed <- true;
   let t = out.chan.mad in
+  (* Parallel-oriented fail-fast: a SAN either works or the job aborts.
+     Detect a dead link synchronously at send time instead of letting the
+     message vanish and the peer hang. The message is left unsent (not
+     marked closed) so a caller that survives may retry after link-up. *)
+  if Simnet.Segment.is_down t.seg then
+    raise (Link_down (Simnet.Segment.name t.seg));
+  out.closed <- true;
   t.sent <- t.sent + 1;
   Simnet.Node.cpu_async t.mnode Calib.mad_send_ns (fun () ->
       Drivers.Gm.sendv out.chan.gm_chan ~dst:out.dst (List.rev out.pieces))

@@ -26,6 +26,11 @@ type unpack_mode =
 
 exception No_channel_left
 
+exception Link_down of string
+(** Raised by {!end_packing} when the underlying segment's carrier is down
+    (fault injection) — Madeleine is fail-fast, it never retries. The
+    argument is the segment name. *)
+
 val init : Simnet.Segment.t -> Simnet.Node.t -> t
 (** Bring Madeleine up on a SAN (or loopback) segment. Idempotent. *)
 

@@ -1,4 +1,4 @@
-type layer = Arbitration | Abstraction | Selection
+type layer = Arbitration | Abstraction | Selection | Resilience
 
 type vl_op = Read | Write
 
@@ -25,6 +25,15 @@ type t =
       adoc : bool;
       crypto : bool;
     }
+  | Fault of { action : string; target : string }
+  | Vl_timeout of { op : vl_op; after_ns : int }
+  | Retry of { attempt : int; delay_ns : int; target : string }
+  | Failover of {
+      from_ : string;
+      to_ : string;
+      retries : int;
+      downtime_ns : int;
+    }
 
 let layer = function
   | Dispatch _ | Poll _ | Header _ | Madio_recv _ | Sysio_event _ ->
@@ -33,11 +42,13 @@ let layer = function
   | Adapter _ ->
     Abstraction
   | Choice _ -> Selection
+  | Fault _ | Vl_timeout _ | Retry _ | Failover _ -> Resilience
 
 let layer_name = function
   | Arbitration -> "arbitration"
   | Abstraction -> "abstraction"
   | Selection -> "selection"
+  | Resilience -> "resilience"
 
 let op_name = function Read -> "read" | Write -> "write"
 
@@ -56,6 +67,10 @@ let name = function
   | Ct_recv _ -> "ct.recv"
   | Adapter { adapter; dir; _ } -> adapter ^ "." ^ dir_name dir
   | Choice _ -> "selector.choice"
+  | Fault { action; _ } -> "fault." ^ action
+  | Vl_timeout { op; _ } -> "vl.timeout." ^ op_name op
+  | Retry _ -> "resilience.retry"
+  | Failover _ -> "resilience.failover"
 
 type arg = I of int | S of string | B of bool
 
@@ -82,6 +97,14 @@ let args = function
     [ ("src", S src); ("dst", S dst); ("driver", S driver);
       ("rule", S rule); ("streams", I streams); ("adoc", B adoc);
       ("crypto", B crypto) ]
+  | Fault { action; target } -> [ ("action", S action); ("target", S target) ]
+  | Vl_timeout { op; after_ns } ->
+    [ ("op", S (op_name op)); ("after_ns", I after_ns) ]
+  | Retry { attempt; delay_ns; target } ->
+    [ ("attempt", I attempt); ("delay_ns", I delay_ns); ("target", S target) ]
+  | Failover { from_; to_; retries; downtime_ns } ->
+    [ ("from", S from_); ("to", S to_); ("retries", I retries);
+      ("downtime_ns", I downtime_ns) ]
 
 let pp fmt t =
   Format.fprintf fmt "%s[%s" (name t) (layer_name (layer t));

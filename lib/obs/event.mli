@@ -1,13 +1,15 @@
-(** Typed trace-event taxonomy covering the three layers of the stack.
+(** Typed trace-event taxonomy covering the layers of the stack.
 
     Arbitration events come from the NetAccess core (the single per-node
     dispatcher) and its two subsystems; abstraction events from the VLink /
     Circuit APIs and the method adapters stacked on them; selection events
-    from the strategy selector. The taxonomy is closed on purpose: every
-    event an exporter can meet is listed here, so exporters never need a
-    fallback case and traces stay comparable across runs. *)
+    from the strategy selector; resilience events from the fault injector
+    (Padico_fault) and the failover machinery built on it. The taxonomy is
+    closed on purpose: every event an exporter can meet is listed here, so
+    exporters never need a fallback case and traces stay comparable across
+    runs. *)
 
-type layer = Arbitration | Abstraction | Selection
+type layer = Arbitration | Abstraction | Selection | Resilience
 
 type vl_op = Read | Write
 
@@ -53,11 +55,29 @@ type t =
       (** The selector picked [driver] for the [src]->[dst] link because
           [rule] fired ("loopback" | "forced" | "san" | "vrp-lossy" |
           "pstream-wan" | "default"). *)
+  (* -- resilience (fault injection / recovery) -- *)
+  | Fault of { action : string; target : string }
+      (** The injector fired a plan event ([action] is
+          [Plan.action_name], [target] the link/node/group). *)
+  | Vl_timeout of { op : vl_op; after_ns : int }
+      (** A posted VLink request hit its deadline and completed with
+          [Error "timeout"]. *)
+  | Retry of { attempt : int; delay_ns : int; target : string }
+      (** A reconnect attempt was scheduled after a backoff delay. *)
+  | Failover of {
+      from_ : string;
+      to_ : string;
+      retries : int;
+      downtime_ns : int;
+    }
+      (** A resilient link re-established on a different adapter stack:
+          the switch, the retry count and the measured downtime. *)
 
 val layer : t -> layer
 
 val layer_name : layer -> string
-(** "arbitration" | "abstraction" | "selection" — the Chrome trace [cat]. *)
+(** "arbitration" | "abstraction" | "selection" | "resilience" — the Chrome
+    trace [cat]. *)
 
 val name : t -> string
 (** Stable dotted event name, e.g. ["na.dispatch"], ["vl.post"]. *)

@@ -1,0 +1,84 @@
+(** Resilient VLinks: failover re-selection on top of the selector.
+
+    A plain VLink is bound to the adapter the selector chose at connect
+    time; when fault injection kills that link, the VLink dies with it
+    (MadIO is fail-fast by design). This module interposes a small
+    session layer that makes the {e link} survive the {e connection}:
+
+    - application bytes are sequenced and buffered until acknowledged by
+      the peer, so nothing is lost when a connection dies mid-transfer;
+    - on failure (link-down interrupt, connection reset, or an
+      acknowledgement watchdog expiring), the connector re-consults
+      {!Selector.choose} {e excluding the failed segment} — a dead SAN
+      falls back to sysio/TCP on the LAN — and redials with exponential
+      backoff and deterministic jitter ({!Padico_fault.Backoff});
+    - on reconnect the two sides exchange HELLO frames carrying their
+      receive positions, the sender rewinds to the peer's position, and
+      the transfer resumes exactly where it stopped (duplicates from the
+      old link are discarded by sequence number).
+
+    Retries, adapter switches and downtime are recorded as
+    {!Padico_obs.Event.Retry} / {!Padico_obs.Event.Failover} trace events
+    and summarized in {!stats}. Everything runs on the virtual clock: two
+    runs with the same seed replay identically.
+
+    The wire protocol (inside the inner VLink byte stream) is:
+    {v
+      HELLO [u8 0 | u32 session | u32 ack]   session 0 = new session
+      DATA  [u8 1 | u32 offset  | u32 len | bytes]
+      ACK   [u8 2 | u32 offset]
+      FIN   [u8 3]
+    v}
+    Offsets are per-direction cumulative byte counts (u32: transfers are
+    capped at 4 GiB per direction, plenty for simulation). *)
+
+type config = {
+  retry_base_ns : int;  (** first reconnect delay (default 1 ms) *)
+  retry_factor : float;  (** backoff growth (default 2.0) *)
+  retry_max_ns : int;  (** backoff cap (default 200 ms) *)
+  retry_jitter : float;  (** +/- fraction of the delay (default 0.25) *)
+  max_retries : int;  (** consecutive failed dials before giving up *)
+  ack_timeout_ns : int;
+  (** watchdog: no connect/ack progress for this long declares the link
+      dead — this is what detects partitions, where frames vanish without
+      any error event (default 50 ms) *)
+  seed : int;  (** jitter stream seed *)
+}
+
+val default_config : config
+
+type conn
+(** Connector-side handle: the session plus its failover machinery. *)
+
+val connect :
+  ?config:config -> Padico.t -> src:Simnet.Node.t -> dst:Simnet.Node.t ->
+  port:int -> conn
+(** Open a resilient session to [dst]. Dialing, failure detection and
+    redialing all happen asynchronously on the virtual clock; use
+    {!Vlink.Vl.await_connected} on {!vl} to wait for establishment. After
+    [max_retries] consecutive failed dials the outer VLink fails with
+    ["failover exhausted"] and every pending request completes [Error]. *)
+
+val vl : conn -> Vlink.Vl.t
+(** The stable application-facing VLink. It stays [Connected] across
+    failovers; reads and writes posted during an outage are buffered and
+    resume on the next link. *)
+
+type stats = {
+  switches : int;  (** adapter changes (e.g. madio -> sysio) *)
+  retries : int;  (** reconnect attempts over the session lifetime *)
+  downtime_ns : int;  (** total virtual time with no established link *)
+  driver : string;  (** current inner driver, "(none)" during an outage *)
+  established : bool;
+}
+
+val stats : conn -> stats
+
+val listen :
+  ?config:config -> Padico.t -> Simnet.Node.t -> port:int ->
+  (Vlink.Vl.t -> unit) -> unit
+(** Accept resilient sessions on [port] (binds every adapter, like
+    {!Padico.listen}). [accept] runs once per {e session} — a reconnecting
+    peer is rebound to its existing session by id, the application VLink
+    does not change. The acceptor side is passive: it keeps the session
+    alive and waits for the connector to redial. *)

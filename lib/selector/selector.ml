@@ -29,15 +29,35 @@ let observe ~src ~dst ~rule choice =
            adoc = choice.wrap_adoc; crypto = choice.wrap_crypto });
   choice
 
-let choose ?(prefs = Prefs.default) net ~src ~dst =
+let choose ?(prefs = Prefs.default) ?(exclude = []) net ~src ~dst =
   if Simnet.Node.uid src = Simnet.Node.uid dst then
     observe ~src ~dst ~rule:"loopback" (plain "loopback")
   else begin
-    match Simnet.Net.links_between net src dst with
+    let all = Simnet.Net.links_between net src dst in
+    (* Dynamic re-selection: a segment whose carrier is down, or that the
+       caller has blacklisted after a failure, is not a candidate. *)
+    let usable =
+      List.filter
+        (fun s ->
+           (not (Simnet.Segment.is_down s))
+           && not
+                (List.exists
+                   (fun e -> Simnet.Segment.uid e = Simnet.Segment.uid s)
+                   exclude))
+        all
+    in
+    match usable with
     | [] ->
-      failwith
-        (Printf.sprintf "Selector: no common network between %s and %s"
-           (Simnet.Node.name src) (Simnet.Node.name dst))
+      if all = [] then
+        failwith
+          (Printf.sprintf "Selector: no common network between %s and %s"
+             (Simnet.Node.name src) (Simnet.Node.name dst))
+      else
+        failwith
+          (Printf.sprintf
+             "Selector: no usable network between %s and %s (all links \
+              down or excluded)"
+             (Simnet.Node.name src) (Simnet.Node.name dst))
     | best :: _ as links ->
       let model s = Simnet.Segment.model s in
       (match prefs.Prefs.forced_driver with

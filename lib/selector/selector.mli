@@ -18,8 +18,8 @@ type choice = {
 }
 
 val choose :
-  ?prefs:Prefs.t -> Simnet.Net.t -> src:Simnet.Node.t -> dst:Simnet.Node.t ->
-  choice
+  ?prefs:Prefs.t -> ?exclude:Simnet.Segment.t list -> Simnet.Net.t ->
+  src:Simnet.Node.t -> dst:Simnet.Node.t -> choice
 (** Decision rules, in order:
     - same node → loopback;
     - best common segment is a SAN → MadIO (straight parallel path);
@@ -28,6 +28,10 @@ val choose :
     - otherwise → SysIO/TCP.
     AdOC wraps slow links when enabled; the cipher wraps untrusted links
     (security adaptation: trusted links are never ciphered).
-    Raises [Failure] when no common network exists. *)
+
+    Segments listed in [exclude], and segments whose carrier is currently
+    down, are not candidates — this is how failover re-selection asks for
+    "the best link that is {e not} the one that just died".
+    Raises [Failure] when no common network exists, or none is usable. *)
 
 val pp_choice : Format.formatter -> choice -> unit

@@ -13,6 +13,25 @@ type t = {
   trusted : bool;
 }
 
+let validate m =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> invalid_arg (Printf.sprintf "Linkmodel %s: %s" m.name msg))
+      fmt
+  in
+  if not (m.loss >= 0.0 && m.loss <= 1.0) then
+    fail "loss probability %g not in [0, 1]" m.loss;
+  if m.mtu <= 0 then fail "mtu %d must be positive" m.mtu;
+  if not (m.bandwidth_bps > 0.0) then
+    fail "bandwidth %g B/s must be positive" m.bandwidth_bps;
+  if m.latency_ns < 0 then fail "latency %d ns is negative" m.latency_ns;
+  if m.jitter_ns < 0 then fail "jitter %d ns is negative" m.jitter_ns;
+  if m.frame_overhead < 0 then
+    fail "frame overhead %d is negative" m.frame_overhead;
+  if m.turnaround_ns < 0 then
+    fail "turnaround %d ns is negative" m.turnaround_ns;
+  m
+
 let serialization_ns m bytes =
   let wire_bytes = bytes + m.frame_overhead in
   int_of_float ((float_of_int wire_bytes /. m.bandwidth_bps *. 1e9) +. 0.5)

@@ -29,6 +29,13 @@ type t = {
   trusted : bool;  (** true when the selector may skip ciphering *)
 }
 
+val validate : t -> t
+(** Check the model invariants (0 ≤ loss ≤ 1, mtu > 0, bandwidth > 0,
+    non-negative delays/overheads) and return the model unchanged, or raise
+    [Invalid_argument] naming the model and the violated bound. All
+    {!Presets} go through this, so a mistyped custom model fails loudly at
+    construction instead of silently misbehaving. *)
+
 val serialization_ns : t -> int -> int
 (** [serialization_ns m bytes] is the port occupancy time of a frame of
     [bytes] payload bytes (framing overhead included). *)

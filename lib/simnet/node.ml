@@ -4,13 +4,14 @@ type t = {
   name : string;
   sim : Engine.Sim.t;
   mutable busy_until : int;
+  mutable up : bool;
 }
 
 let next_uid = ref 0
 
 let create sim ~id ~name =
   incr next_uid;
-  { id; uid = !next_uid; name; sim; busy_until = 0 }
+  { id; uid = !next_uid; name; sim; busy_until = 0; up = true }
 
 let id t = t.id
 let uid t = t.uid
@@ -29,6 +30,10 @@ let cpu t cost =
   Engine.Proc.suspend (fun resume -> cpu_async t cost (fun () -> resume ()))
 
 let cpu_busy_until t = t.busy_until
+
+let is_up t = t.up
+
+let set_up t up = t.up <- up
 
 let spawn t ?name f =
   let name =

@@ -30,6 +30,15 @@ val cpu : t -> int -> unit
 val cpu_busy_until : t -> int
 (** Instant at which already-queued CPU work completes. *)
 
+val is_up : t -> bool
+(** False while the node is crashed (fault injection). A down node neither
+    sends nor receives frames on any segment; its already-scheduled CPU work
+    still drains, modelling in-flight interrupts. *)
+
+val set_up : t -> bool -> unit
+(** Crash ([false]) or restart ([true]) the node. Used by the fault
+    injector; idempotent. *)
+
 val spawn : t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle
 (** Spawn a process "running on" this node (naming/logging convenience). *)
 

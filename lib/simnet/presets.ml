@@ -1,43 +1,54 @@
 open Linkmodel
 
+(* Every preset goes through [validate] so the invariants (loss in [0,1],
+   positive mtu/bandwidth, non-negative delays) hold by construction. *)
+
 let myrinet2000 =
-  { name = "Myrinet-2000"; class_ = San; bandwidth_bps = 250e6;
-    latency_ns = 1_500; jitter_ns = 0; loss = 0.0; mtu = 32_768;
-    frame_overhead = 8; turnaround_ns = 5_400; trusted = true }
+  validate
+    { name = "Myrinet-2000"; class_ = San; bandwidth_bps = 250e6;
+      latency_ns = 1_500; jitter_ns = 0; loss = 0.0; mtu = 32_768;
+      frame_overhead = 8; turnaround_ns = 5_400; trusted = true }
 
 let sci =
-  { name = "SCI"; class_ = San; bandwidth_bps = 85e6; latency_ns = 900;
-    jitter_ns = 0; loss = 0.0; mtu = 8_192; frame_overhead = 16; turnaround_ns = 2_000;
-    trusted = true }
+  validate
+    { name = "SCI"; class_ = San; bandwidth_bps = 85e6; latency_ns = 900;
+      jitter_ns = 0; loss = 0.0; mtu = 8_192; frame_overhead = 16;
+      turnaround_ns = 2_000; trusted = true }
 
 let ethernet100 =
-  { name = "Ethernet-100"; class_ = Lan; bandwidth_bps = 12.5e6;
-    latency_ns = 30_000; jitter_ns = 2_000; loss = 0.0; mtu = 1_500;
-    frame_overhead = 58; turnaround_ns = 960; trusted = true }
+  validate
+    { name = "Ethernet-100"; class_ = Lan; bandwidth_bps = 12.5e6;
+      latency_ns = 30_000; jitter_ns = 2_000; loss = 0.0; mtu = 1_500;
+      frame_overhead = 58; turnaround_ns = 960; trusted = true }
 
 let gigabit_lan =
-  { name = "Gigabit-LAN"; class_ = Lan; bandwidth_bps = 125e6;
-    latency_ns = 15_000; jitter_ns = 1_000; loss = 0.0; mtu = 1_500;
-    frame_overhead = 58; turnaround_ns = 960; trusted = true }
+  validate
+    { name = "Gigabit-LAN"; class_ = Lan; bandwidth_bps = 125e6;
+      latency_ns = 15_000; jitter_ns = 1_000; loss = 0.0; mtu = 1_500;
+      frame_overhead = 58; turnaround_ns = 960; trusted = true }
 
 let vthd =
-  { name = "VTHD"; class_ = Wan; bandwidth_bps = 12.5e6;
-    latency_ns = 4_000_000; jitter_ns = 80_000; loss = 6e-4; mtu = 1_500;
-    frame_overhead = 58; turnaround_ns = 0; trusted = false }
+  validate
+    { name = "VTHD"; class_ = Wan; bandwidth_bps = 12.5e6;
+      latency_ns = 4_000_000; jitter_ns = 80_000; loss = 6e-4; mtu = 1_500;
+      frame_overhead = 58; turnaround_ns = 0; trusted = false }
 
 let transcontinental_loss loss =
-  { name = "Transcontinental"; class_ = Lossy_wan; bandwidth_bps = 600e3;
-    latency_ns = 25_000_000; jitter_ns = 2_000_000; loss; mtu = 1_500;
-    frame_overhead = 58; turnaround_ns = 0; trusted = false }
+  validate
+    { name = "Transcontinental"; class_ = Lossy_wan; bandwidth_bps = 600e3;
+      latency_ns = 25_000_000; jitter_ns = 2_000_000; loss; mtu = 1_500;
+      frame_overhead = 58; turnaround_ns = 0; trusted = false }
 
 let transcontinental = transcontinental_loss 0.05
 
 let modem =
-  { name = "Modem"; class_ = Lossy_wan; bandwidth_bps = 56e3 /. 8.0;
-    latency_ns = 80_000_000; jitter_ns = 10_000_000; loss = 0.01; mtu = 576;
-    frame_overhead = 48; turnaround_ns = 0; trusted = false }
+  validate
+    { name = "Modem"; class_ = Lossy_wan; bandwidth_bps = 56e3 /. 8.0;
+      latency_ns = 80_000_000; jitter_ns = 10_000_000; loss = 0.01; mtu = 576;
+      frame_overhead = 48; turnaround_ns = 0; trusted = false }
 
 let loopback =
-  { name = "loopback"; class_ = Loop; bandwidth_bps = 4e9;
-    latency_ns = 200; jitter_ns = 0; loss = 0.0; mtu = 65_536;
-    frame_overhead = 0; turnaround_ns = 0; trusted = true }
+  validate
+    { name = "loopback"; class_ = Loop; bandwidth_bps = 4e9;
+      latency_ns = 200; jitter_ns = 0; loss = 0.0; mtu = 65_536;
+      frame_overhead = 0; turnaround_ns = 0; trusted = true }

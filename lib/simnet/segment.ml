@@ -19,6 +19,14 @@ type t = {
   mutable delivered : int;
   mutable unclaimed : int;
   mutable bytes : int;
+  (* Dynamic fault overlay (see Padico_fault.Inject): the static Linkmodel
+     stays immutable; faults are transient deltas consulted per frame. *)
+  mutable down : bool;
+  mutable extra_loss : float;
+  mutable extra_latency_ns : int;
+  blocked : (int * int, unit) Hashtbl.t; (* partition: (lo, hi) node ids *)
+  mutable faulted : int;
+  mutable link_watchers : (bool -> unit) list;
 }
 
 let log = Logs.Src.create "simnet.segment"
@@ -27,9 +35,12 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 let create sim model ~name =
   incr next_uid;
+  let model = Linkmodel.validate model in
   { uid = !next_uid; name; sim; model; rng = Engine.Rng.split (Engine.Sim.rng sim);
     ports = Hashtbl.create 16; sent = 0; lost = 0; delivered = 0;
-    unclaimed = 0; bytes = 0 }
+    unclaimed = 0; bytes = 0;
+    down = false; extra_loss = 0.0; extra_latency_ns = 0;
+    blocked = Hashtbl.create 4; faulted = 0; link_watchers = [] }
 
 let uid t = t.uid
 let name t = t.name
@@ -71,6 +82,44 @@ let deliver t (dst : port) (pkt : Packet.t) =
     Log.debug (fun m ->
         m "%s: no handler for %a at %a" t.name Packet.pp pkt Node.pp dst.node)
 
+(* ---------- dynamic fault overlay ---------- *)
+
+let is_down t = t.down
+
+let set_down t down =
+  if t.down <> down then begin
+    t.down <- down;
+    List.iter (fun f -> f (not down)) (List.rev t.link_watchers)
+  end
+
+let on_link_state t f = t.link_watchers <- f :: t.link_watchers
+
+let set_extra_loss t p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Segment %s: extra loss %g not in [0, 1]" t.name p);
+  t.extra_loss <- p
+
+let extra_loss t = t.extra_loss
+
+let set_extra_latency t ns =
+  if ns < 0 then
+    invalid_arg
+      (Printf.sprintf "Segment %s: extra latency %d is negative" t.name ns);
+  t.extra_latency_ns <- ns
+
+let extra_latency_ns t = t.extra_latency_ns
+
+let pair_key a b = if a <= b then (a, b) else (b, a)
+
+let block_pair t a b = Hashtbl.replace t.blocked (pair_key a b) ()
+
+let unblock_pair t a b = Hashtbl.remove t.blocked (pair_key a b)
+
+let clear_blocked t = Hashtbl.reset t.blocked
+
+let pair_blocked t a b = Hashtbl.mem t.blocked (pair_key a b)
+
 let send t (pkt : Packet.t) =
   let src = port_exn t pkt.src "send source" in
   let dst = port_exn t pkt.dst "send destination" in
@@ -80,6 +129,16 @@ let send t (pkt : Packet.t) =
          pkt.size t.model.Linkmodel.mtu);
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + pkt.size;
+  if t.down || pair_blocked t pkt.src pkt.dst
+     || not (Node.is_up src.node) || not (Node.is_up dst.node)
+  then begin
+    (* Fault overlay: the frame never reaches the wire. No egress time is
+       charged (the NIC rejects immediately) and no randomness is consumed,
+       so a healed link resumes with an unperturbed loss/jitter stream. *)
+    t.faulted <- t.faulted + 1;
+    Log.debug (fun m -> m "%s: fault-dropped %a" t.name Packet.pp pkt)
+  end
+  else begin
   let now = Engine.Sim.now t.sim in
   (* Back-to-back frames pay the port turnaround gap; an isolated frame on
      an idle port does not (see Linkmodel.turnaround_ns). *)
@@ -90,7 +149,8 @@ let send t (pkt : Packet.t) =
   in
   let start = if busy then src.egress_busy_until else now in
   src.egress_busy_until <- start + ser;
-  if Engine.Rng.bool t.rng t.model.Linkmodel.loss then begin
+  let loss = Float.min 1.0 (t.model.Linkmodel.loss +. t.extra_loss) in
+  if Engine.Rng.bool t.rng loss then begin
     t.lost <- t.lost + 1;
     Log.debug (fun m -> m "%s: lost %a" t.name Packet.pp pkt)
   end
@@ -99,7 +159,9 @@ let send t (pkt : Packet.t) =
       if t.model.Linkmodel.jitter_ns = 0 then 0
       else Engine.Rng.int t.rng (t.model.Linkmodel.jitter_ns + 1)
     in
-    let arrival = start + ser + t.model.Linkmodel.latency_ns + jitter in
+    let arrival =
+      start + ser + t.model.Linkmodel.latency_ns + t.extra_latency_ns + jitter
+    in
     (* Ingress contention: the receiving port absorbs at most one frame per
        serialization slot; concurrent senders queue behind each other. *)
     let rx_start =
@@ -109,8 +171,10 @@ let send t (pkt : Packet.t) =
     dst.ingress_busy_until <- rx_start + ser;
     Engine.Sim.at t.sim rx_start (fun () -> deliver t dst pkt)
   end
+  end
 
 let frames_sent t = t.sent
+let frames_faulted t = t.faulted
 let frames_lost t = t.lost
 let frames_delivered t = t.delivered
 let frames_unclaimed t = t.unclaimed

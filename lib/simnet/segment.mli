@@ -36,8 +36,52 @@ val send : t -> Packet.t -> unit
     or destination is not attached, or when the frame exceeds the MTU. The
     frame is delivered asynchronously (or lost). *)
 
+(** {1 Dynamic fault overlay}
+
+    Transient faults layered over the immutable {!Linkmodel}: link up/down,
+    extra loss (bursts), extra latency (spikes) and blocked node pairs
+    (partitions). Driven by [Padico_fault.Inject]; consulted per frame by
+    {!send}. A fault-dropped frame consumes no randomness, so a healed link
+    resumes with the same loss/jitter stream as an unfaulted run. *)
+
+val is_down : t -> bool
+
+val set_down : t -> bool -> unit
+(** Take the link down / bring it up. On every change the {!on_link_state}
+    watchers fire with the new carrier state ([true] = up). *)
+
+val on_link_state : t -> (bool -> unit) -> unit
+(** Subscribe to carrier changes (the simulated NIC link-status interrupt).
+    Watchers stack and cannot be removed; guard stale subscriptions with a
+    generation check on the caller side. *)
+
+val set_extra_loss : t -> float -> unit
+(** Additional frame-loss probability added to the model's during a burst
+    window. Raises [Invalid_argument] outside [0, 1]. *)
+
+val extra_loss : t -> float
+
+val set_extra_latency : t -> int -> unit
+(** Additional one-way latency in ns (a congestion spike). Raises
+    [Invalid_argument] when negative. *)
+
+val extra_latency_ns : t -> int
+
+val block_pair : t -> int -> int -> unit
+(** Drop every frame between the two node ids (either direction) — the
+    per-segment building block of a network bipartition. *)
+
+val unblock_pair : t -> int -> int -> unit
+val clear_blocked : t -> unit
+val pair_blocked : t -> int -> int -> bool
+
 (** Observability for tests and benchmarks. *)
 val frames_sent : t -> int
+
+val frames_faulted : t -> int
+(** Frames dropped by the fault overlay (down link, blocked pair, crashed
+    endpoint) — counted separately from random {!frames_lost}. *)
+
 val frames_lost : t -> int
 val frames_delivered : t -> int
 val frames_unclaimed : t -> int

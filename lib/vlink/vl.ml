@@ -27,6 +27,7 @@ type req = {
   mutable progress : int;
   mutable result : completion option;
   mutable handler : (completion -> unit) option;
+  mutable timer : Padico_fault.Timewheel.timer option;
   owner : t;
 }
 
@@ -66,6 +67,11 @@ let op_of_kind = function
 let complete req c =
   if req.result = None then begin
     req.result <- Some c;
+    (match req.timer with
+     | Some tm ->
+       Padico_fault.Timewheel.cancel tm;
+       req.timer <- None
+     | None -> ());
     if Trace.on () then begin
       let result, bytes =
         match c with
@@ -91,6 +97,11 @@ let pump_reads t =
       progress := false;
       match Queue.peek_opt t.reads with
       | None -> ()
+      | Some req when req.result <> None ->
+        (* Already completed while queued (timeout): drop it so it cannot
+           swallow bytes meant for its successors. *)
+        ignore (Queue.pop t.reads);
+        progress := true
       | Some req ->
         let want = Bytebuf.length req.buf in
         (match o.o_read ~max:want with
@@ -120,6 +131,9 @@ let pump_writes t =
       progress := false;
       match Queue.peek_opt t.writes with
       | None -> ()
+      | Some req when req.result <> None ->
+        ignore (Queue.pop t.writes);
+        progress := true
       | Some req ->
         let len = Bytebuf.length req.buf in
         let remaining = len - req.progress in
@@ -157,7 +171,16 @@ let notify t ev =
    | Writable -> pump_writes t
    | Peer_closed ->
      t.peer_closed <- true;
-     pump_reads t
+     pump_reads t;
+     (match t.ops with
+      | Some o when o.o_write_space () = 0 && not (Queue.is_empty t.writes) ->
+        (* The driver's write path died with the peer (MadIO reports zero
+           write space once closed): a pending write can never flush — fail
+           it rather than leave it hanging forever. TCP keeps write space
+           across a half-close, so it is unaffected. *)
+        Queue.iter (fun req -> complete req (Error "peer closed")) t.writes;
+        Queue.clear t.writes
+      | _ -> ())
    | Failed msg ->
      t.st <- Failed_st msg;
      fail_all t msg);
@@ -179,11 +202,36 @@ let create_connected vnode ops =
   attach_ops t ops;
   t
 
-let post_read t buf =
+(* A deadline rides on the per-simulator timeout wheel: armed in numbers,
+   cancelled by {!complete} in the common case. On expiry the request
+   completes [Error "timeout"] and the pump drops its corpse from the queue
+   so followers are not blocked behind it. *)
+let arm_timeout t req timeout_ns =
+  match timeout_ns with
+  | None -> ()
+  | Some after_ns ->
+    if after_ns <= 0 then invalid_arg "Vlink: timeout_ns must be positive";
+    let wheel = Padico_fault.Timewheel.for_sim (Simnet.Node.sim t.vnode) in
+    req.timer <-
+      Some
+        (Padico_fault.Timewheel.arm wheel ~after_ns (fun () ->
+             if req.result = None then begin
+               req.timer <- None;
+               if Trace.on () then
+                 Trace.instant t.vnode
+                   (Padico_obs.Event.Vl_timeout
+                      { op = op_of_kind req.kind; after_ns });
+               complete req (Error "timeout");
+               match req.kind with
+               | `Read -> pump_reads t
+               | `Write -> pump_writes t
+             end))
+
+let post_read ?timeout_ns t buf =
   if Bytebuf.length buf = 0 then invalid_arg "Vlink.post_read: empty buffer";
   let req =
     { kind = `Read; buf; progress = 0; result = None; handler = None;
-      owner = t }
+      timer = None; owner = t }
   in
   if Trace.on () then
     Trace.instant t.vnode
@@ -194,13 +242,14 @@ let post_read t buf =
    | Closed -> complete req (Error "closed")
    | Connecting | Connected_st ->
      Queue.push req t.reads;
+     arm_timeout t req timeout_ns;
      Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () -> pump_reads t));
   req
 
-let post_write t buf =
+let post_write ?timeout_ns t buf =
   let req =
     { kind = `Write; buf; progress = 0; result = None; handler = None;
-      owner = t }
+      timer = None; owner = t }
   in
   if Trace.on () then
     Trace.instant t.vnode
@@ -210,9 +259,19 @@ let post_write t buf =
    | Failed_st msg -> complete req (Error msg)
    | Closed -> complete req (Error "closed")
    | Connecting | Connected_st ->
-     Queue.push req t.writes;
-     (* Post machinery cost: on the send latency path. *)
-     Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () -> pump_writes t));
+     if t.peer_closed
+        && (match t.ops with Some o -> o.o_write_space () = 0 | None -> false)
+     then
+       (* Same dead-write-path rule as the [Peer_closed] notification:
+          accepting the request would strand it forever. *)
+       complete req (Error "peer closed")
+     else begin
+       Queue.push req t.writes;
+       arm_timeout t req timeout_ns;
+       (* Post machinery cost: on the send latency path. *)
+       Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () ->
+           pump_writes t)
+     end);
   req
 
 let poll req = req.result

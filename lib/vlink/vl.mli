@@ -58,13 +58,18 @@ type completion =
   | Eof
   | Error of string
 
-val post_read : t -> Engine.Bytebuf.t -> req
+val post_read : ?timeout_ns:int -> t -> Engine.Bytebuf.t -> req
 (** Post a read into the buffer. Completes with [Done n] (1 ≤ n ≤ length,
-    partial reads allowed, POSIX-style), [Eof] at end of stream. *)
+    partial reads allowed, POSIX-style), [Eof] at end of stream.
 
-val post_write : t -> Engine.Bytebuf.t -> req
+    [timeout_ns] arms a deadline on the per-simulator {!Padico_fault}
+    timeout wheel: if the request has not completed after at least that
+    long, it completes with [Error "timeout"] (and a [vl.timeout] trace
+    event). Raises [Invalid_argument] when non-positive. *)
+
+val post_write : ?timeout_ns:int -> t -> Engine.Bytebuf.t -> req
 (** Post a write of the whole buffer; completes when fully accepted by the
-    driver. *)
+    driver. [timeout_ns] as for {!post_read}. *)
 
 val poll : req -> completion option
 (** Non-blocking completion test. *)

@@ -45,7 +45,12 @@ let header ~kind ~conn_id ~extra =
   b
 
 let send_ctl t ~dst ~kind ~conn_id ~extra =
-  Madio.send t.lchan ~dst (header ~kind ~conn_id ~extra)
+  (* Control frames may be triggered from the receive dispatcher (an
+     incoming SYN answered while the carrier just dropped): swallow the
+     fail-fast signal here — connection teardown is driven by the link
+     watcher, not by a lost control frame. *)
+  try Madio.send t.lchan ~dst (header ~kind ~conn_id ~extra)
+  with Madeleine.Mad.Link_down _ -> ()
 
 let ops_of_conn t c =
   { Vl.o_write =
@@ -54,9 +59,15 @@ let ops_of_conn t c =
          else begin
            (* SAN is reliable and fast: a write becomes one MadIO message
               carrying the 9-byte data header combined with the payload. *)
-           Madio.sendv t.lchan ~dst:c.peer_node
-             [ header ~kind:4 ~conn_id:c.peer_id ~extra:0; buf ];
-           Bytebuf.length buf
+           match
+             Madio.sendv t.lchan ~dst:c.peer_node
+               [ header ~kind:4 ~conn_id:c.peer_id ~extra:0; buf ]
+           with
+           | () -> Bytebuf.length buf
+           | exception Madeleine.Mad.Link_down _ ->
+             (* Carrier just dropped; accept nothing — the link watcher is
+                about to fail this connection. *)
+             0
          end);
     o_read = (fun ~max -> Streamq.pop c.rx ~max);
     o_readable = (fun () -> Streamq.length c.rx);
@@ -135,6 +146,20 @@ let get mio =
         next_id = 0 }
     in
     Madio.set_recv lchan (fun ~src msg -> handle t ~src msg);
+    (* Simulated NIC link-status interrupt: MadIO stays fail-fast — when
+       the carrier drops, every open connection dies immediately (the
+       resilience layer above may then re-select another adapter) instead
+       of hanging on a silent link. *)
+    Simnet.Segment.on_link_state (Madeleine.Mad.segment (Madio.mad mio))
+      (fun up ->
+         if not up then
+           Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+           |> List.sort (fun a b -> compare a.local_id b.local_id)
+           |> List.iter (fun c ->
+               if not c.closed then begin
+                 c.closed <- true;
+                 Vl.notify c.vl (Vl.Failed "link down")
+               end));
     Hashtbl.replace instances key t;
     t
 
