@@ -91,7 +91,7 @@ let resilient_echo ~plan () =
             | Vl.Done n ->
               received := !received + n;
               rd ()
-            | Vl.Eof -> ()
+            | Vl.Eof | Vl.Again -> ()
             | Vl.Error m -> failwith ("read: " ^ m)
         in
         rd ();

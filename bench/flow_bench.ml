@@ -1,0 +1,144 @@
+(* Flow — E11: end-to-end flow control and overload protection.
+
+   A fast producer streams into a consumer that drains two orders of
+   magnitude slower (the 100:1 mismatch that, without flow control, turns
+   every queue in the stack into an unbounded buffer). Three runs:
+
+   1. unbounded: watermarks and windows disabled — the receive queue
+      absorbs nearly the whole transfer (memory grows with the mismatch);
+   2. bounded: default Resilient windows + a MadIO credit window — peak
+      queued bytes stay pinned near the configured watermark while
+      goodput is unchanged (the consumer was the bottleneck all along);
+   3. bounded + fault: same flow-control settings composed with the E10
+      SAN-kill plan — failover still completes, no credit/window
+      deadlock across the adapter switch.
+
+   All numbers are virtual-time and deterministic. Recorded in
+   EXPERIMENTS.md (experiment E11). *)
+
+module Bb = Engine.Bytebuf
+module Vl = Vlink.Vl
+module Time = Engine.Time
+module Proc = Engine.Proc
+module Plan = Padico_fault.Plan
+module Inject = Padico_fault.Inject
+module Madio = Netaccess.Madio
+
+let total = 4_000_000
+
+let chunk = 16_384
+
+(* Consumer pace: Myrinet-2000 moves ~250 MB/s, so reading one chunk per
+   ~6.5 ms is a ~100:1 producer/consumer mismatch. *)
+let consumer_delay_ns = Time.us 6_500
+
+let credit_window = 131_072
+
+let san_lan_pair () =
+  let grid = Padico.create () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  let san =
+    Padico.add_segment grid Simnet.Presets.myrinet2000 ~name:"san" [ a; b ]
+  in
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan" [ a; b ]);
+  (grid, a, b, san)
+
+(* One slow-consumer transfer; returns (goodput MB/s, consumer-side peak
+   queued bytes, producer-side MadIO credit stalls). The producer lives on
+   the listening node so the measuring side (client conn) is the consumer
+   and [Resilient.stats] reports its exact receive-queue high-water mark. *)
+let slow_consumer ~bounded ~plan () =
+  let grid, a, b, san = san_lan_pair () in
+  if bounded then begin
+    Madio.set_credit_window (Padico.madio grid a san) credit_window;
+    Madio.set_credit_window (Padico.madio grid b san) credit_window
+  end;
+  (match plan with
+   | [] -> ()
+   | plan -> ignore (Inject.apply (Padico.net grid) plan));
+  let config =
+    if bounded then Resilient.default_config
+    else
+      { Resilient.default_config with
+        tx_window = max_int; rx_high = max_int; rx_low = max_int }
+  in
+  (* Producer: full speed, but through the EAGAIN discipline — a write
+     that would overrun the windows parks on [wait_writable] instead of
+     growing a queue. *)
+  Resilient.listen ~config grid b ~port:9100 (fun vl ->
+      ignore
+        (Padico.spawn grid b ~name:"producer" (fun () ->
+             let sent = ref 0 in
+             while !sent < total do
+               let n = min chunk (total - !sent) in
+               match Personalities.Vio.try_write vl (Bb.create n) with
+               | `Ok k -> sent := !sent + k
+               | `Again -> Personalities.Vio.wait_writable vl
+             done)));
+  let conn = Resilient.connect ~config grid ~src:a ~dst:b ~port:9100 in
+  let cvl = Resilient.vl conn in
+  let t0 = ref 0 and t1 = ref 0 in
+  let h =
+    Padico.spawn grid a ~name:"consumer" (fun () ->
+        (match Vl.await_connected cvl with
+         | Ok () -> ()
+         | Error m -> failwith ("connect: " ^ m));
+        t0 := Padico.now grid;
+        let buf = Bb.create chunk in
+        let received = ref 0 in
+        while !received < total do
+          (match Vl.await (Vl.post_read cvl buf) with
+           | Vl.Done n -> received := !received + n
+           | Vl.Eof | Vl.Again -> failwith "consumer: premature eof"
+           | Vl.Error m -> failwith ("read: " ^ m));
+          if !received < total then
+            Proc.sleep (Simnet.Node.sim a) consumer_delay_ns
+        done;
+        t1 := Padico.now grid)
+  in
+  Bhelp.run grid;
+  Bhelp.fail_on_error h;
+  let st = Resilient.stats conn in
+  let stalls = Madio.credit_stalls (Padico.madio grid b san) in
+  (Bhelp.mb_s total (!t1 - !t0), st, stalls)
+
+let run () =
+  Bhelp.print_header "E11 — flow control and overload protection";
+  let rec_ = Bhelp.record ~experiment:"e11" in
+
+  let un_bw, un_st, _ = slow_consumer ~bounded:false ~plan:[] () in
+  Printf.printf "%-42s %10.2f MB/s  (rx peak %d bytes)\n"
+    "4 MB @ 100:1 mismatch, unbounded" un_bw un_st.Resilient.rx_peak;
+  rec_ "unbounded_goodput_mb_s" un_bw;
+  rec_ "unbounded_rx_peak_bytes" (float_of_int un_st.Resilient.rx_peak);
+
+  let bo_bw, bo_st, bo_stalls = slow_consumer ~bounded:true ~plan:[] () in
+  Printf.printf "%-42s %10.2f MB/s  (rx peak %d bytes)\n"
+    "4 MB @ 100:1 mismatch, bounded" bo_bw bo_st.Resilient.rx_peak;
+  Printf.printf "%-42s %10d\n" "  MadIO credit stalls (producer)" bo_stalls;
+  rec_ "bounded_goodput_mb_s" bo_bw;
+  rec_ "bounded_rx_peak_bytes" (float_of_int bo_st.Resilient.rx_peak);
+  rec_ "bounded_credit_stalls" (float_of_int bo_stalls);
+  rec_ "goodput_ratio" (bo_bw /. un_bw);
+
+  let rx_high = Resilient.default_config.Resilient.rx_high in
+  let slack = 65_536 (* one in-flight frame may land past the watermark *) in
+  if bo_st.Resilient.rx_peak > rx_high + slack then
+    Printf.printf
+      "WARNING: bounded rx peak %d exceeds watermark %d (+%d slack)\n"
+      bo_st.Resilient.rx_peak rx_high slack;
+  if bo_bw < 0.95 *. un_bw then
+    print_endline "WARNING: flow control cost more than 5% goodput!";
+
+  let plan = [ { Plan.at_ns = Time.ms 5; action = Plan.Link_down "san" } ] in
+  let fc_bw, fc_st, _ = slow_consumer ~bounded:true ~plan () in
+  Printf.printf "%-42s %10.2f MB/s  (switches %d, rx peak %d)\n"
+    "bounded + SAN down at 5 ms" fc_bw fc_st.Resilient.switches
+    fc_st.Resilient.rx_peak;
+  rec_ "fault_goodput_mb_s" fc_bw;
+  rec_ "fault_switches" (float_of_int fc_st.Resilient.switches);
+  rec_ "fault_rx_peak_bytes" (float_of_int fc_st.Resilient.rx_peak);
+  if fc_st.Resilient.switches < 1 then
+    print_endline "WARNING: no failover happened — check the plan!"

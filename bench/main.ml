@@ -12,6 +12,7 @@ let experiments =
     ("copies", "E8: marshalling-copies ablation", Copies_bench.run);
     ("obs", "E9: tracing overhead on the MadIO hot path", Obs_bench.run);
     ("fault", "E10: fault injection and failover resilience", Fault_bench.run);
+    ("flow", "E11: flow control and overload protection", Flow_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 let usage () =
@@ -24,14 +25,24 @@ let usage () =
 
 let () =
   Printexc.record_backtrace true;
-  match Sys.argv with
-  | [| _ |] | [| _; "all" |] ->
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] ->
     List.iter (fun (_, _, run) -> run ()) experiments;
     Bhelp.write_results ()
-  | [| _; name |] ->
-    (match List.find_opt (fun (n, _, _) -> n = name) experiments with
-     | Some (_, _, run) ->
-       run ();
-       Bhelp.write_results ()
-     | None -> usage ())
-  | _ -> usage ()
+  | names ->
+    (* Several experiment names run in one invocation so the accumulated
+       BENCH_results.json keeps every metric (e.g. `fault flow` in CI). *)
+    let runs =
+      List.map
+        (fun name ->
+           match List.find_opt (fun (n, _, _) -> n = name) experiments with
+           | Some (_, _, run) -> Some run
+           | None -> None)
+        names
+    in
+    if List.exists Option.is_none runs then usage ()
+    else begin
+      List.iter (function Some run -> run () | None -> ()) runs;
+      Bhelp.write_results ()
+    end

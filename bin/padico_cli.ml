@@ -299,7 +299,7 @@ let fault_cmd =
                | Vlink.Vl.Done n ->
                  received := !received + n;
                  rd ()
-               | Vlink.Vl.Eof -> ()
+               | Vlink.Vl.Eof | Vlink.Vl.Again -> ()
                | Vlink.Vl.Error m -> failwith ("read: " ^ m)
            in
            rd ();
@@ -338,10 +338,156 @@ let fault_cmd =
     Term.(const run $ plan_arg $ expr_arg $ mbytes_arg $ chunk_arg $ seed_arg
           $ out_arg)
 
+
+(* ---------- flow ---------- *)
+
+let flow_cmd =
+  let mismatch_arg =
+    Arg.(value & opt int 100
+         & info [ "mismatch" ] ~docv:"N"
+           ~doc:"Producer/consumer rate mismatch: the consumer drains N \
+                 times slower than the SAN can deliver.")
+  in
+  let window_arg =
+    Arg.(value & opt int 131072
+         & info [ "credit-window" ] ~docv:"BYTES"
+           ~doc:"MadIO per-flow credit window; 0 disables credits.")
+  in
+  let rx_high_arg =
+    Arg.(value & opt int 1048576
+         & info [ "rx-high" ] ~docv:"BYTES"
+           ~doc:"Resilient receive-queue high watermark.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  let run mbytes chunk mismatch window rx_high seed =
+    Padico_obs.Metrics.reset ();
+    Padico_obs.Trace.enable ();
+    let grid = Padico.create ~seed () in
+    let a = Padico.add_node grid "a" in
+    let b = Padico.add_node grid "b" in
+    let san =
+      Padico.add_segment grid Simnet.Presets.myrinet2000 ~name:"san" [ a; b ]
+    in
+    ignore (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan"
+              [ a; b ]);
+    if window > 0 then begin
+      Netaccess.Madio.set_credit_window (Padico.madio grid a san) window;
+      Netaccess.Madio.set_credit_window (Padico.madio grid b san) window
+    end;
+    let config =
+      { Resilient.default_config with
+        Resilient.rx_high; rx_low = rx_high / 4 }
+    in
+    let total = mbytes * 1_000_000 in
+    (* Consumer pace: chunk bytes per wakeup, [mismatch] times slower than
+       Myrinet-2000's ~250 MB/s. *)
+    let delay_ns =
+      int_of_float (float_of_int (chunk * mismatch) /. 250e6 *. 1e9)
+    in
+    Resilient.listen ~config grid b ~port:9100 (fun vl ->
+        ignore
+          (Padico.spawn grid b ~name:"producer" (fun () ->
+               let sent = ref 0 in
+               while !sent < total do
+                 let n = min chunk (total - !sent) in
+                 match
+                   Personalities.Vio.try_write vl (Engine.Bytebuf.create n)
+                 with
+                 | `Ok k -> sent := !sent + k
+                 | `Again -> Personalities.Vio.wait_writable vl
+               done)));
+    let conn = Resilient.connect ~config grid ~src:a ~dst:b ~port:9100 in
+    let cvl = Resilient.vl conn in
+    let t0 = ref 0 and t1 = ref 0 in
+    ignore
+      (Padico.spawn grid a ~name:"consumer" (fun () ->
+           (match Vlink.Vl.await_connected cvl with
+            | Ok () -> ()
+            | Error m -> failwith ("connect: " ^ m));
+           t0 := Padico.now grid;
+           let buf = Engine.Bytebuf.create chunk in
+           let received = ref 0 in
+           while !received < total do
+             (match Vlink.Vl.await (Vlink.Vl.post_read cvl buf) with
+              | Vlink.Vl.Done n -> received := !received + n
+              | Vlink.Vl.Eof | Vlink.Vl.Again -> failwith "premature eof"
+              | Vlink.Vl.Error m -> failwith ("read: " ^ m));
+             if !received < total then
+               Engine.Proc.sleep (Simnet.Node.sim a) delay_ns
+           done;
+           t1 := Padico.now grid));
+    Padico.run grid;
+    Padico_obs.Trace.disable ();
+    let st = Resilient.stats conn in
+    let dt = !t1 - !t0 in
+    Printf.printf "transferred  : %d MB in %.3f ms virtual (%.2f MB/s)\n"
+      mbytes (float_of_int dt /. 1e6)
+      (float_of_int total /. (float_of_int dt /. 1e9) /. 1e6);
+    Printf.printf "rx peak      : %d bytes (high watermark %d)\n"
+      st.Resilient.rx_peak rx_high;
+    Printf.printf "tx peak      : %d bytes (window %d)\n" st.Resilient.tx_peak
+      config.Resilient.tx_window;
+    let mio_b = Padico.madio grid b san in
+    Printf.printf "credit       : window %d, stalls %d, credit-only msgs %d\n"
+      (Netaccess.Madio.credit_window mio_b)
+      (Netaccess.Madio.credit_stalls mio_b)
+      (Netaccess.Madio.credit_messages mio_b);
+    List.iter
+      (fun (node, name) ->
+         let core = Netaccess.Na_core.get node in
+         List.iter
+           (fun kind ->
+              let kname =
+                match kind with
+                | Netaccess.Na_core.Madio_work -> "madio"
+                | Netaccess.Na_core.Sysio_work -> "sysio"
+              in
+              Printf.printf
+                "dispatch %s/%-5s: depth peak %d, deferred %d, shed %d\n"
+                name kname
+                (Netaccess.Na_core.queue_peak core kind)
+                (Netaccess.Na_core.deferred_count core kind)
+                (Netaccess.Na_core.shed_count core kind))
+           [ Netaccess.Na_core.Madio_work; Netaccess.Na_core.Sysio_work ])
+      [ (a, "a"); (b, "b") ];
+    (* Per-place flow.* event counts out of the trace ring. *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+         match r.Padico_obs.Trace.ev with
+         | Padico_obs.Event.Flow { action; place; _ } ->
+           let key = (r.Padico_obs.Trace.node, place, action) in
+           Hashtbl.replace tbl key
+             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+         | _ -> ())
+      (Padico_obs.Trace.records ());
+    let rows =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort compare
+    in
+    if rows = [] then print_endline "no flow.* events (no backpressure hit)"
+    else begin
+      print_endline "backpressure events:";
+      List.iter
+        (fun ((node, place, action), n) ->
+           Printf.printf "  %-4s %-16s %-14s %6d\n" node place action n)
+        rows
+    end
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Run a fast-producer/slow-consumer transfer on a SAN+LAN pair \
+             with credit flow control and watermarks; print per-link \
+             backpressure statistics (queue peaks, credits, flow events).")
+    Term.(const run $ mbytes_arg $ chunk_arg $ mismatch_arg $ window_arg
+          $ rx_high_arg $ seed_arg)
+
 let () =
   let doc = "PadicoTM-style grid communication framework (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
           [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
-            fault_cmd ]))
+            fault_cmd; flow_cmd ]))

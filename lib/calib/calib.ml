@@ -25,7 +25,11 @@ let mad_recv_ns = 1_200
 
 let madio_combined_ns = 25
 let madio_separate_ns = 400
-let madio_header_bytes = 10
+(* 14 since the flow-control PR: magic u16, lchannel u16, length u32,
+   combined u8, credit-grant u32, one spare byte. Still under the paper's
+   16-byte multiplexing header, and the credit grant piggybacks at zero
+   extra messages. *)
+let madio_header_bytes = 14
 
 let sysio_poll_ns = 500
 let sysio_callback_ns = 300

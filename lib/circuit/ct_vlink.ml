@@ -29,7 +29,8 @@ let rec read_loop ct ~dst vl pending want =
           else continue := false
       done;
       read_loop ct ~dst vl pending want
-    | Vl.Eof | Vl.Error _ -> ())
+    (* Again never surfaces from blocking posts; treated as EOF-ish stop. *)
+    | Vl.Again | Vl.Eof | Vl.Error _ -> ())
 
 let bind_link ct ~dst vl =
   let pending = Streamq.create () in

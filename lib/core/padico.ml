@@ -176,8 +176,8 @@ let splice node src dst =
                 Vl.await (Vl.post_write dst (Engine.Bytebuf.sub buf 0 n))
               with
               | Vl.Done _ -> pump ()
-              | Vl.Eof | Vl.Error _ -> Vl.close src)
-           | Vl.Eof | Vl.Error _ -> Vl.close dst
+              | Vl.Again | Vl.Eof | Vl.Error _ -> Vl.close src)
+           | Vl.Again | Vl.Eof | Vl.Error _ -> Vl.close dst
          in
          pump ()))
 
@@ -219,7 +219,7 @@ and start_relay t node =
                           (Engine.Bytebuf.sub hdr filled (8 - filled)))
                    with
                    | Vl.Done n -> read_hdr (filled + n)
-                   | Vl.Eof | Vl.Error _ -> false
+                   | Vl.Again | Vl.Eof | Vl.Error _ -> false
                in
                if read_hdr 0 then begin
                  let dst_id = Engine.Bytebuf.get_u32 hdr 0 in

@@ -100,26 +100,60 @@ end
 module Mailbox = struct
   type 'a t = {
     items : 'a Queue.t;
+    capacity : int;
+    mutable peak : int;
     mutable readers : ('a -> unit) list;
+    mutable writers : (unit -> unit) list;
   }
 
-  let create () = { items = Queue.create (); readers = [] }
+  let create ?(capacity = max_int) () =
+    if capacity < 1 then invalid_arg "Mailbox.create: capacity < 1";
+    { items = Queue.create (); capacity; peak = 0; readers = []; writers = [] }
+
+  let enqueue t v =
+    Queue.push v t.items;
+    if Queue.length t.items > t.peak then t.peak <- Queue.length t.items
 
   let send t v =
     match t.readers with
-    | [] -> Queue.push v t.items
+    | [] ->
+      if Queue.length t.items >= t.capacity then
+        suspend (fun resume ->
+            t.writers <- t.writers @ [ (fun () -> resume ()) ]);
+      enqueue t v
     | k :: rest ->
       t.readers <- rest;
       k v
 
+  let wake_writer t =
+    match t.writers with
+    | [] -> ()
+    | k :: rest ->
+      t.writers <- rest;
+      k ()
+
   let recv t =
     if Queue.is_empty t.items then
       suspend (fun resume -> t.readers <- t.readers @ [ resume ])
-    else Queue.pop t.items
+    else begin
+      let v = Queue.pop t.items in
+      wake_writer t;
+      v
+    end
 
-  let recv_opt t = if Queue.is_empty t.items then None else Some (Queue.pop t.items)
+  let recv_opt t =
+    if Queue.is_empty t.items then None
+    else begin
+      let v = Queue.pop t.items in
+      wake_writer t;
+      Some v
+    end
 
   let length t = Queue.length t.items
+
+  let peak t = t.peak
+
+  let capacity t = t.capacity
 end
 
 module Semaphore = struct

@@ -58,8 +58,17 @@ end
 module Mailbox : sig
   type 'a t
 
-  val create : unit -> 'a t
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] bounds the queue (default: unbounded). Raises
+      [Invalid_argument] when [capacity < 1]. *)
+
   val send : 'a t -> 'a -> unit
+  (** Deliver a message. When the mailbox holds [capacity] messages and no
+      reader is waiting, the calling process suspends until a receiver
+      drains one slot — so [send] on a bounded mailbox must run in process
+      context. The message is enqueued after the wakeup, preserving send
+      order per sender. *)
+
   val recv : 'a t -> 'a
   (** Blocks the calling process until a message is available. *)
 
@@ -67,6 +76,11 @@ module Mailbox : sig
   (** Non-blocking receive. *)
 
   val length : 'a t -> int
+
+  val peak : 'a t -> int
+  (** Highest [length] ever observed. *)
+
+  val capacity : 'a t -> int
 end
 
 (** Counting semaphore. *)

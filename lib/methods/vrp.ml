@@ -47,6 +47,9 @@ type sender = {
   mutable pacer_running : bool;
   mutable partial : Bytebuf.t list; (* sub-chunk leftovers, reversed *)
   mutable partial_len : int;
+  mutable backlog : int; (* bytes accepted but not yet paced onto the wire *)
+  mutable on_drain : (unit -> unit) option;
+      (* one-shot: fired when the pacer dequeues, i.e. backlog shrank *)
 }
 
 type receiver = {
@@ -145,6 +148,12 @@ let rec pacer s () =
   end
   else if not (Queue.is_empty s.pending) then begin
     let chunk = Queue.pop s.pending in
+    s.backlog <- s.backlog - Bytebuf.length chunk;
+    (match s.on_drain with
+     | Some f ->
+       s.on_drain <- None;
+       f ()
+     | None -> ());
     let seq = s.next_seq in
     s.next_seq <- seq + 1;
     Hashtbl.replace s.store seq chunk;
@@ -247,7 +256,7 @@ let create_sender sio udp ~dst ~dst_port ~tolerance ~rate_bps =
       retransmitted = 0; abandoned = 0; abandoned_set = Hashtbl.create 16;
       counted_missing = Hashtbl.create 64; sent_since_fb = 0;
       rate_max = rate_bps; pacer_running = false; partial = [];
-      partial_len = 0 }
+      partial_len = 0; backlog = 0; on_drain = None }
   in
   Netaccess.Sysio.watch_udp sio udp ~port:src_port
     (fun ~src:_ ~src_port:_ buf -> handle_sender_dgram s buf);
@@ -259,6 +268,7 @@ let push_chunk s chunk =
 
 let send s buf =
   if s.finished then invalid_arg "Vrp.send: stream finished";
+  s.backlog <- s.backlog + Bytebuf.length buf;
   s.partial <- buf :: s.partial;
   s.partial_len <- s.partial_len + Bytebuf.length buf;
   if s.partial_len >= s.chunk then begin
@@ -285,6 +295,11 @@ let finish s =
     s.finished <- true;
     kick_pacer s
   end
+
+let backlog_bytes s = s.backlog
+
+let on_backlog_drain s f =
+  if s.backlog = 0 then f () else s.on_drain <- Some f
 
 (* ---------- receiver ---------- *)
 

@@ -42,6 +42,16 @@ val create_receiver :
 
 (** {1 Statistics} *)
 
+val backlog_bytes : sender -> int
+(** Bytes accepted by {!send} that the pacer has not yet put on the wire
+    (sub-chunk leftovers included). The basis for sender-side
+    backpressure: a rate-limited stream otherwise buffers without bound. *)
+
+val on_backlog_drain : sender -> (unit -> unit) -> unit
+(** One-shot hook run the next time the pacer dequeues a chunk (i.e. the
+    backlog shrank) — immediately if the backlog is already empty. Only
+    one hook is retained; the last registration wins. *)
+
 val sender_rate_bps : sender -> float
 val chunks_sent : sender -> int
 val chunks_retransmitted : sender -> int

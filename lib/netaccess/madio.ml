@@ -15,6 +15,7 @@ type lchannel = {
   id : int;
   mutable recv : (src:int -> Bytebuf.t -> unit) option;
   mutable open_ : bool;
+  mutable manual_grant : bool;
 }
 
 and t = {
@@ -27,8 +28,18 @@ and t = {
      message from the same source. *)
   pending_header : (int, int) Hashtbl.t; (* src -> logical channel *)
   mutable combining : bool;
+  (* Credit-based flow control (0 = disabled). Credits count payload
+     bytes per (peer, logical channel) flow; grants ride in the combined
+     header, so steady bidirectional traffic pays zero extra messages. *)
+  mutable window : int;
+  credits : (int * int, int ref) Hashtbl.t; (* (dst, lchan) -> sendable *)
+  grants : (int * int, int ref) Hashtbl.t; (* (src, lchan) -> ungranted *)
+  credit_waiters : (int * int, (int * (unit -> unit)) Queue.t) Hashtbl.t;
+      (* (min space required, one-shot callback) *)
   sent : Stats.Counter.t;
   received : Stats.Counter.t;
+  credit_msgs : Stats.Counter.t;
+  credit_stalls : Stats.Counter.t;
 }
 
 let instances : (int * int, t) Hashtbl.t = Hashtbl.create 16
@@ -38,13 +49,89 @@ let mad t = t.mio_mad
 
 let header_len = Calib.madio_header_bytes
 
-let encode_header ~lchan ~len ~combined =
+let encode_header ~lchan ~len ~combined ~credit =
   let h = Bytebuf.create header_len in
   Bytebuf.set_u16 h 0 magic;
   Bytebuf.set_u16 h 2 lchan;
   Bytebuf.set_u32 h 4 len;
   Bytebuf.set_u8 h 8 (if combined then 1 else 0);
+  Bytebuf.set_u32 h 9 credit;
   h
+
+(* -- credit bookkeeping ------------------------------------------------- *)
+
+let enabled t = t.window > 0
+
+let cell tbl key ~init =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref init in
+    Hashtbl.replace tbl key r;
+    r
+
+(* Sender-side balance for the flow to [dst] on [lchan]; starts at the
+   local window (configurations are assumed symmetric). *)
+let credit_cell t ~dst ~lchan = cell t.credits (dst, lchan) ~init:t.window
+
+let grant_cell t ~src ~lchan = cell t.grants (src, lchan) ~init:0
+
+let flow_event t action ~lchan bytes =
+  if Trace.on () then
+    Trace.instant t.mio_node
+      (Padico_obs.Event.Flow
+         { action; place = Printf.sprintf "madio.lchan%d" lchan; bytes })
+
+(* Take the accumulated grant for the reverse flow, to piggyback it on an
+   outgoing header. *)
+let take_grant t ~dst ~lchan =
+  if not (enabled t) then 0
+  else begin
+    let g = grant_cell t ~src:dst ~lchan in
+    let v = !g in
+    g := 0;
+    v
+  end
+
+let credit_arrived t ~src ~lchan n =
+  if n > 0 && enabled t then begin
+    let c = credit_cell t ~dst:src ~lchan in
+    c := !c + n;
+    flow_event t "credit.grant" ~lchan n;
+    match Hashtbl.find_opt t.credit_waiters (src, lchan) with
+    | None -> ()
+    | Some q ->
+      (* One-shot waiters: run those whose space threshold is now met
+         (re-registration re-checks); keep the rest parked — waking a
+         waiter below its threshold would spin it in a notify loop. *)
+      let keep = Queue.create () in
+      while not (Queue.is_empty q) do
+        let ((min_space, f) as w) = Queue.pop q in
+        if !c >= min_space then f () else Queue.push w keep
+      done;
+      Queue.transfer keep q
+  end
+
+(* Queue the accumulated grant and flush it explicitly when it gets large.
+   Normally grants piggyback on reverse traffic for free; the explicit
+   credit-only message (no payload) is the fallback for one-way flows, sent
+   at half-window so the sender never quite runs dry. *)
+let rec add_grant t lc ~src n =
+  if n > 0 && enabled t then begin
+    let g = grant_cell t ~src ~lchan:lc.id in
+    g := !g + n;
+    if !g >= t.window / 2 then send_credit_only t lc ~dst:src
+  end
+
+and send_credit_only t lc ~dst =
+  let credit = take_grant t ~dst ~lchan:lc.id in
+  if credit > 0 then begin
+    Stats.Counter.incr t.credit_msgs;
+    let out = Mad.begin_packing t.hw_chan ~dst in
+    Mad.pack out (encode_header ~lchan:lc.id ~len:0 ~combined:true ~credit);
+    Simnet.Node.cpu_async t.mio_node Calib.madio_combined_ns (fun () -> ());
+    Mad.end_packing out
+  end
 
 let deliver t ~src ~lchan payload =
   match Hashtbl.find_opt t.lchannels lchan with
@@ -60,8 +147,15 @@ let deliver t ~src ~lchan payload =
            { lchannel = lchan; bytes = Bytebuf.length payload });
     (match lc.recv with
      | Some f ->
-       (* Arbitrated delivery: through the NetAccess dispatcher. *)
-       Na_core.post t.core Na_core.Madio_work (fun () -> f ~src payload)
+       (* Arbitrated delivery: through the NetAccess dispatcher. In the
+          default (automatic) grant mode the credit returns once the
+          dispatcher has drained the message — so a backed-up dispatcher
+          withholds credit and stalls the sender. Manual-grant channels
+          (vl_madio) return credit themselves as the application reads. *)
+       Na_core.post t.core Na_core.Madio_work (fun () ->
+           f ~src payload;
+           if not lc.manual_grant then
+             add_grant t lc ~src (Bytebuf.length payload))
      | None ->
        Log.warn (fun m ->
            m "%s: no receiver on logical channel %d"
@@ -84,10 +178,16 @@ let handle_incoming t inc =
       let lchan = Bytebuf.get_u16 h 2 in
       let len = Bytebuf.get_u32 h 4 in
       let combined = Bytebuf.get_u8 h 8 = 1 in
+      credit_arrived t ~src ~lchan (Bytebuf.get_u32 h 9);
       if combined then begin
-        let payload = Mad.unpack inc len in
-        Simnet.Node.cpu_async t.mio_node Calib.madio_combined_ns (fun () ->
-            deliver t ~src ~lchan payload)
+        if len = 0 then
+          (* Credit-only message: the header already did its job. *)
+          ()
+        else begin
+          let payload = Mad.unpack inc len in
+          Simnet.Node.cpu_async t.mio_node Calib.madio_combined_ns (fun () ->
+              deliver t ~src ~lchan payload)
+        end
       end
       else
         (* Header-only message: remember which channel the next message
@@ -106,8 +206,12 @@ let init m =
       { mio_mad = m; mio_node = Mad.node m; core = Na_core.get (Mad.node m);
         hw_chan; lchannels = Hashtbl.create 16;
         pending_header = Hashtbl.create 4; combining = true;
+        window = 0; credits = Hashtbl.create 8; grants = Hashtbl.create 8;
+        credit_waiters = Hashtbl.create 8;
         sent = Metrics.fresh_counter scope "madio.sent";
-        received = Metrics.fresh_counter scope "madio.received" }
+        received = Metrics.fresh_counter scope "madio.received";
+        credit_msgs = Metrics.fresh_counter scope "madio.credit_msgs";
+        credit_stalls = Metrics.fresh_counter scope "madio.credit_stalls" }
     in
     Mad.set_recv hw_chan (fun inc -> handle_incoming t inc);
     Hashtbl.replace instances key t;
@@ -118,7 +222,7 @@ let open_lchannel t ~id =
   if Hashtbl.mem t.lchannels id then
     invalid_arg
       (Printf.sprintf "Madio.open_lchannel: channel %d already open" id);
-  let lc = { owner = t; id; recv = None; open_ = true } in
+  let lc = { owner = t; id; recv = None; open_ = true; manual_grant = false } in
   Hashtbl.replace t.lchannels id lc;
   lc
 
@@ -143,11 +247,24 @@ let sendv lc ~dst iov =
     Trace.instant t.mio_node
       (Padico_obs.Event.Header
          { lchannel = lc.id; bytes = len; combined = t.combining });
+  (* Consume sender credit. Enforcement is soft — sendv itself never
+     blocks or fails (control traffic must always get through) — so the
+     balance can dip negative; polite bulk senders consult [send_space]
+     first and wait on [on_credit]. *)
+  if enabled t then begin
+    let c = credit_cell t ~dst ~lchan:lc.id in
+    if !c < len then begin
+      Stats.Counter.incr t.credit_stalls;
+      flow_event t "credit.stall" ~lchan:lc.id (len - !c)
+    end;
+    c := !c - len
+  end;
+  let credit = take_grant t ~dst ~lchan:lc.id in
   if t.combining then begin
     (* Header combining: the multiplexing header rides in the first packet
        of the payload message (one Madeleine message, one DMA post). *)
     let out = Mad.begin_packing t.hw_chan ~dst in
-    Mad.pack out (encode_header ~lchan:lc.id ~len ~combined:true);
+    Mad.pack out (encode_header ~lchan:lc.id ~len ~combined:true ~credit);
     List.iter (Mad.pack out) iov;
     Simnet.Node.cpu_async t.mio_node Calib.madio_combined_ns (fun () -> ());
     Mad.end_packing out
@@ -156,7 +273,7 @@ let sendv lc ~dst iov =
     (* Ablation: header as its own message — a full extra message through
        the whole driver stack. *)
     let hdr = Mad.begin_packing t.hw_chan ~dst in
-    Mad.pack hdr (encode_header ~lchan:lc.id ~len ~combined:false);
+    Mad.pack hdr (encode_header ~lchan:lc.id ~len ~combined:false ~credit);
     Mad.end_packing hdr;
     let out = Mad.begin_packing t.hw_chan ~dst in
     List.iter (Mad.pack out) iov;
@@ -165,6 +282,55 @@ let sendv lc ~dst iov =
   end
 
 let send lc ~dst buf = sendv lc ~dst [ buf ]
+
+(* -- credit API --------------------------------------------------------- *)
+
+let set_credit_window t n =
+  if n < 0 then invalid_arg "Madio.set_credit_window: negative window";
+  t.window <- n;
+  Hashtbl.reset t.credits;
+  Hashtbl.reset t.grants;
+  if n > 0 then begin
+    let scope = Metrics.Node (Simnet.Node.name t.mio_node) in
+    Metrics.gauge scope "madio.credit_window" (fun () ->
+        float_of_int t.window);
+    Metrics.gauge scope "madio.send_space_min" (fun () ->
+        Hashtbl.fold (fun _ c acc -> Float.min acc (float_of_int !c))
+          t.credits (float_of_int t.window))
+  end
+
+let credit_window t = t.window
+
+let send_space lc ~dst =
+  let t = lc.owner in
+  if not (enabled t) then max_int
+  else max 0 !(credit_cell t ~dst ~lchan:lc.id)
+
+let on_credit lc ~dst ?(min_space = 1) f =
+  if min_space < 1 then invalid_arg "Madio.on_credit: min_space must be >= 1";
+  let t = lc.owner in
+  if (not (enabled t)) || send_space lc ~dst >= min_space then f ()
+  else begin
+    let q =
+      match Hashtbl.find_opt t.credit_waiters (dst, lc.id) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.credit_waiters (dst, lc.id) q;
+        q
+    in
+    Queue.push (min_space, f) q
+  end
+
+let set_manual_grant lc v = lc.manual_grant <- v
+
+let grant lc ~src n =
+  if n < 0 then invalid_arg "Madio.grant: negative grant";
+  add_grant lc.owner lc ~src n
+
+let credit_stalls t = Stats.Counter.value t.credit_stalls
+
+let credit_messages t = Stats.Counter.value t.credit_msgs
 
 let set_header_combining t v = t.combining <- v
 

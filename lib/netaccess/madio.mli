@@ -43,5 +43,54 @@ val set_header_combining : t -> bool -> unit
 
 val header_combining : t -> bool
 
+(** {2 Credit-based flow control}
+
+    Per-(peer, logical channel) byte credits, MPICH-G2 style. Disabled by
+    default ([window = 0]): the pre-flow-control semantics are unchanged.
+    When enabled (symmetrically on both peers, before traffic starts) a
+    sender starts with [window] bytes of credit per flow; each [sendv]
+    consumes payload-length credit, and the receiver grants credit back as
+    the message is {e drained} — automatically when the dispatcher has run
+    the recv callback, or explicitly via {!grant} on manual-grant channels
+    where the real consumer sits above (vl_madio grants as the application
+    reads). Grants piggyback on the combined header (zero extra messages
+    under bidirectional traffic); one-way flows fall back to an explicit
+    credit-only message at half-window.
+
+    Enforcement is {e soft}: [sendv] itself never blocks or refuses — a
+    stack that must emit control traffic always can, at worst driving the
+    balance negative (counted in {!credit_stalls}). Polite bulk senders
+    check {!send_space} and park on {!on_credit}. *)
+
+val set_credit_window : t -> int -> unit
+(** Set the per-flow credit window in bytes; [0] disables. Resets all
+    credit balances — call before traffic flows. *)
+
+val credit_window : t -> int
+
+val send_space : lchannel -> dst:int -> int
+(** Payload bytes sendable to [dst] right now without over-running the
+    receiver; [max_int] when flow control is disabled. Never negative. *)
+
+val on_credit : lchannel -> dst:int -> ?min_space:int -> (unit -> unit) -> unit
+(** One-shot: run [f] as soon as [send_space lc ~dst >= min_space]
+    (default 1) — immediately if it already is. Senders whose messages
+    carry a fixed header should pass [~min_space:(header + 1)]: waking on
+    any nonzero balance would spin them without ever fitting a payload
+    byte. *)
+
+val set_manual_grant : lchannel -> bool -> unit
+(** [true]: the automatic grant-on-dispatch is suppressed; the channel
+    owner must call {!grant} as the payload is actually consumed. *)
+
+val grant : lchannel -> src:int -> int -> unit
+(** Return [n] bytes of credit to the sender [src] (manual-grant mode). *)
+
+val credit_stalls : t -> int
+(** Sends that over-ran the available credit (soft-enforcement debt). *)
+
+val credit_messages : t -> int
+(** Explicit credit-only messages sent (piggybacking misses). *)
+
 val messages_sent : t -> int
 val messages_received : t -> int

@@ -10,6 +10,8 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 type kind = Madio_work | Sysio_work
 
+type prio = Normal | Low
+
 type policy = { madio_quantum : int; sysio_quantum : int }
 
 let default_policy = { madio_quantum = 4; sysio_quantum = 4 }
@@ -19,8 +21,14 @@ type item = { work : unit -> unit; posted_at : int }
 type queue_state = {
   kname : string;
   items : item Queue.t;
+  deferred : item Queue.t; (* Low-prio items parked while overloaded *)
+  mutable qhigh : int; (* defer/shed above this depth *)
+  mutable qlow : int; (* re-admit deferred work at/below this depth *)
+  mutable peak : int;
   count : Stats.Counter.t; (* dispatched *)
   wait : Stats.Summary.t; (* queueing time per item, ns *)
+  deferred_c : Stats.Counter.t;
+  shed_c : Stats.Counter.t;
 }
 
 type t = {
@@ -45,6 +53,32 @@ let policy t = t.pol
 
 let qstate t = function Madio_work -> t.madio | Sysio_work -> t.sysio
 
+let set_admission t kind ~high ~low =
+  if high < 1 || low < 0 || low > high then
+    invalid_arg "Na_core.set_admission: need 0 <= low <= high, high >= 1";
+  let q = qstate t kind in
+  q.qhigh <- high;
+  q.qlow <- low
+
+let flow t action q =
+  if Trace.on () then
+    Trace.instant t.dnode
+      (Padico_obs.Event.Flow
+         { action; place = "na." ^ q.kname; bytes = Queue.length q.items })
+
+(* Move parked low-priority work back to the live queue once the backlog
+   has drained to the low watermark. *)
+let readmit t q =
+  if (not (Queue.is_empty q.deferred)) && Queue.length q.items <= q.qlow
+  then begin
+    while
+      (not (Queue.is_empty q.deferred)) && Queue.length q.items < q.qhigh
+    do
+      Queue.push (Queue.pop q.deferred) q.items
+    done;
+    flow t "resume" q
+  end
+
 let run_item t q =
   match Queue.take_opt q.items with
   | None -> false
@@ -68,6 +102,8 @@ let run_item t q =
    to the policy, then sleep until new work is posted. *)
 let dispatcher_loop t () =
   let rec wait_for_work () =
+    readmit t t.madio;
+    readmit t t.sysio;
     if Queue.is_empty t.madio.items && Queue.is_empty t.sysio.items then begin
       Proc.suspend (fun resume -> t.waker <- Some resume);
       wait_for_work ()
@@ -87,15 +123,27 @@ let dispatcher_loop t () =
       Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
       drain t.sysio t.pol.sysio_quantum
     end;
+    readmit t t.madio;
+    readmit t t.sysio;
     (* Yield so co-located processes make progress between rounds. *)
     Proc.yield t.sim
   done
 
 let make_queue node kname =
   let scope = Metrics.Node (Simnet.Node.name node) in
-  { kname; items = Queue.create ();
-    count = Metrics.fresh_counter scope ("na." ^ kname ^ ".dispatched");
-    wait = Metrics.fresh_summary scope ("na." ^ kname ^ ".wait_ns") }
+  let q =
+    { kname; items = Queue.create (); deferred = Queue.create ();
+      qhigh = max_int; qlow = max_int; peak = 0;
+      count = Metrics.fresh_counter scope ("na." ^ kname ^ ".dispatched");
+      wait = Metrics.fresh_summary scope ("na." ^ kname ^ ".wait_ns");
+      deferred_c = Metrics.fresh_counter scope ("na." ^ kname ^ ".deferred");
+      shed_c = Metrics.fresh_counter scope ("na." ^ kname ^ ".shed") }
+  in
+  Metrics.gauge scope ("na." ^ kname ^ ".depth") (fun () ->
+      float_of_int (Queue.length q.items));
+  Metrics.gauge scope ("na." ^ kname ^ ".depth_peak") (fun () ->
+      float_of_int q.peak);
+  q
 
 let get dnode =
   let id = Simnet.Node.uid dnode in
@@ -112,18 +160,55 @@ let get dnode =
     ignore (Simnet.Node.spawn dnode ~name:"netaccess" (dispatcher_loop t));
     t
 
-let post t kind work =
-  let q = qstate t kind in
-  Queue.push { work; posted_at = Sim.now t.sim } q.items;
+let wake t =
   match t.waker with
   | Some resume ->
     t.waker <- None;
     resume ()
   | None -> ()
 
+let admit t q item =
+  Queue.push item q.items;
+  if Queue.length q.items > q.peak then q.peak <- Queue.length q.items;
+  wake t
+
+let post ?(prio = Normal) t kind work =
+  let q = qstate t kind in
+  let item = { work; posted_at = Sim.now t.sim } in
+  match prio with
+  | Low when Queue.length q.items >= q.qhigh ->
+    (* Overloaded: park the item rather than let the backlog grow. It runs
+       once the live queue drains to the low watermark; meanwhile the
+       producer behind it (a socket's receive buffer, say) fills up and
+       pushes back on the wire. *)
+    Queue.push item q.deferred;
+    Stats.Counter.incr q.deferred_c;
+    flow t "defer" q
+  | Normal | Low -> admit t q item
+
+let post_droppable t kind work =
+  let q = qstate t kind in
+  if Queue.length q.items >= q.qhigh then begin
+    Stats.Counter.incr q.shed_c;
+    flow t "shed" q;
+    false
+  end
+  else begin
+    admit t q { work; posted_at = Sim.now t.sim };
+    true
+  end
+
 let dispatched t kind = Stats.Counter.value (qstate t kind).count
 
 let queue_depth t kind = Queue.length (qstate t kind).items
+
+let deferred_depth t kind = Queue.length (qstate t kind).deferred
+
+let queue_peak t kind = (qstate t kind).peak
+
+let shed_count t kind = Stats.Counter.value (qstate t kind).shed_c
+
+let deferred_count t kind = Stats.Counter.value (qstate t kind).deferred_c
 
 let mean_wait_ns t kind =
   let q = qstate t kind in

@@ -17,6 +17,11 @@ type t
 
 type kind = Madio_work | Sysio_work
 
+type prio = Normal | Low
+(** Admission class. [Low] work (bulk socket readiness, droppable
+    datagrams) is deferred when the queue is over its high watermark;
+    [Normal] work is always admitted. *)
+
 type policy = {
   madio_quantum : int;  (** MadIO items dispatched per round *)
   sysio_quantum : int;  (** SysIO items dispatched per round *)
@@ -32,14 +37,41 @@ val node : t -> Simnet.Node.t
 val set_policy : t -> policy -> unit
 val policy : t -> policy
 
-val post : t -> kind -> (unit -> unit) -> unit
+val post : ?prio:prio -> t -> kind -> (unit -> unit) -> unit
 (** Enqueue a work item; the dispatcher wakes if idle. Exceptions raised by
-    items are caught and logged, never propagated. *)
+    items are caught and logged, never propagated.
+
+    With [~prio:Low] (default [Normal]) and the queue at or above its high
+    watermark, the item is {e deferred} to a side queue instead, and only
+    re-admitted once the live queue drains to the low watermark — never
+    dropped, but arbitrarily delayed under overload. *)
+
+val post_droppable : t -> kind -> (unit -> unit) -> bool
+(** Like [post], but when the queue is at or above its high watermark the
+    item is {e shed}: dropped on the floor ([false] returned, shed counter
+    bumped, [flow.shed] traced). Use only for work whose loss the protocol
+    already tolerates (e.g. unreliable datagram delivery). *)
+
+val set_admission : t -> kind -> high:int -> low:int -> unit
+(** Queue-depth watermarks (in items) for defer/shed admission control.
+    Default: unbounded (no deferral, no shedding). Raises
+    [Invalid_argument] unless [0 <= low <= high] and [high >= 1]. *)
 
 val dispatched : t -> kind -> int
 (** Items dispatched so far (fairness observability, experiment E6). *)
 
 val queue_depth : t -> kind -> int
+
+val deferred_depth : t -> kind -> int
+(** Low-priority items currently parked by admission control. *)
+
+val queue_peak : t -> kind -> int
+(** Highest live-queue depth ever observed. *)
+
+val shed_count : t -> kind -> int
+
+val deferred_count : t -> kind -> int
+(** Total items ever shed / deferred by admission control. *)
 
 val mean_wait_ns : t -> kind -> float
 (** Average virtual time items of [kind] spent queued before dispatch. *)

@@ -41,11 +41,22 @@ let event_name = function
 
 (* Route an event through the arbitration core, charging the callback
    dispatch cost. *)
-let dispatch t f =
-  Na_core.post t.core Na_core.Sysio_work (fun () ->
+let dispatch ?prio t f =
+  Na_core.post ?prio t.core Na_core.Sysio_work (fun () ->
       Stats.Counter.incr t.dispatched;
       Simnet.Node.cpu_async t.sio_node Calib.sysio_callback_ns (fun () -> ());
       f ())
+
+(* Readable events carry bulk data and are the receive-window pushback
+   point: deferring one under overload leaves the bytes in the TCP receive
+   buffer, which closes the advertised window and stalls the sender — the
+   classic "stop reading and let the transport push back". Everything else
+   (connection lifecycle, writability) stays Normal so control traffic is
+   never starved by a data flood. *)
+let event_prio = function
+  | Tcp.Readable -> Na_core.Low
+  | Tcp.Established | Tcp.Writable | Tcp.Peer_closed | Tcp.Reset ->
+    Na_core.Normal
 
 let trace_event t name =
   if Trace.on () then
@@ -53,7 +64,7 @@ let trace_event t name =
 
 let watch t conn cb =
   Tcp.set_event_cb conn (fun ev ->
-      dispatch t (fun () ->
+      dispatch ~prio:(event_prio ev) t (fun () ->
           trace_event t (event_name ev);
           cb ev))
 
@@ -68,15 +79,22 @@ let listen t stack ~port cb =
 let connect t stack ~dst ~port cb =
   let conn = Tcp.connect stack ~dst ~port in
   Tcp.set_event_cb conn (fun ev ->
-      dispatch t (fun () ->
+      dispatch ~prio:(event_prio ev) t (fun () ->
           trace_event t (event_name ev);
           cb conn ev));
   conn
 
 let watch_udp t udp ~port cb =
   Drivers.Udp.bind udp ~port (fun ~src ~src_port buf ->
-      dispatch t (fun () ->
-          trace_event t "udp-datagram";
-          cb ~src ~src_port buf))
+      (* Datagrams are unreliable by contract: under overload they are shed
+         rather than queued, and the datagram protocol's own retransmission
+         (VRP) recovers. *)
+      ignore
+        (Na_core.post_droppable t.core Na_core.Sysio_work (fun () ->
+             Stats.Counter.incr t.dispatched;
+             Simnet.Node.cpu_async t.sio_node Calib.sysio_callback_ns
+               (fun () -> ());
+             trace_event t "udp-datagram";
+             cb ~src ~src_port buf)))
 
 let events_dispatched t = Stats.Counter.value t.dispatched

@@ -16,6 +16,7 @@ type t =
   | Ct_pack of { circuit : string; dst : int; bytes : int }
   | Ct_recv of { circuit : string; src : int; bytes : int }
   | Adapter of { adapter : string; dir : adapter_dir; bytes : int }
+  | Flow of { action : string; place : string; bytes : int }
   | Choice of {
       src : string;
       dst : string;
@@ -41,6 +42,7 @@ let layer = function
   | Vl_connect _ | Vl_post _ | Vl_complete _ | Ct_pack _ | Ct_recv _
   | Adapter _ ->
     Abstraction
+  | Flow _ -> Arbitration
   | Choice _ -> Selection
   | Fault _ | Vl_timeout _ | Retry _ | Failover _ -> Resilience
 
@@ -66,6 +68,7 @@ let name = function
   | Ct_pack _ -> "ct.pack"
   | Ct_recv _ -> "ct.recv"
   | Adapter { adapter; dir; _ } -> adapter ^ "." ^ dir_name dir
+  | Flow { action; _ } -> "flow." ^ action
   | Choice _ -> "selector.choice"
   | Fault { action; _ } -> "fault." ^ action
   | Vl_timeout { op; _ } -> "vl.timeout." ^ op_name op
@@ -97,6 +100,8 @@ let args = function
     [ ("src", S src); ("dst", S dst); ("driver", S driver);
       ("rule", S rule); ("streams", I streams); ("adoc", B adoc);
       ("crypto", B crypto) ]
+  | Flow { action; place; bytes } ->
+    [ ("action", S action); ("place", S place); ("bytes", I bytes) ]
   | Fault { action; target } -> [ ("action", S action); ("target", S target) ]
   | Vl_timeout { op; after_ns } ->
     [ ("op", S (op_name op)); ("after_ns", I after_ns) ]

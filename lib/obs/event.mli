@@ -42,6 +42,11 @@ type t =
   | Adapter of { adapter : string; dir : adapter_dir; bytes : int }
       (** A method adapter (adoc / crypto / vrp / pstream) transformed
           [bytes] of payload on the way down ([Wrap]) or up ([Unwrap]). *)
+  | Flow of { action : string; place : string; bytes : int }
+      (** Flow-control transition at [place] (a queue, channel or link
+          name): [action] is "pause" | "resume" | "credit.stall" |
+          "credit.grant" | "defer" | "shed" | "window.full"; [bytes] the
+          queue depth or credit amount involved. *)
   (* -- selection -- *)
   | Choice of {
       src : string;

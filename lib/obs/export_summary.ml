@@ -14,6 +14,11 @@ let pp_value fmt = function
       Format.fprintf fmt "n=%d p50<=%d p99<=%d" (Stats.Histogram.count h)
         (Stats.Histogram.percentile h 0.5)
         (Stats.Histogram.percentile h 0.99)
+  | Metrics.Gauge f ->
+    let v = f () in
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Format.fprintf fmt "%.0f" v
+    else Format.fprintf fmt "%g" v
 
 let pp_metrics fmt () =
   let items = Metrics.all () in

@@ -6,6 +6,7 @@ type value =
   | Counter of Stats.Counter.t
   | Summary of Stats.Summary.t
   | Histogram of Stats.Histogram.t
+  | Gauge of (unit -> float)
 
 let scope_name = function
   | Global -> "global"
@@ -67,6 +68,8 @@ let fresh_histogram scope name =
   let h = Stats.Histogram.create () in
   Hashtbl.replace tbl (key scope name) (Histogram h);
   h
+
+let gauge scope name f = Hashtbl.replace tbl (key scope name) (Gauge f)
 
 let scope_rank s =
   (* Global first, then nodes, then links. *)

@@ -26,6 +26,9 @@ type value =
   | Counter of Engine.Stats.Counter.t
   | Summary of Engine.Stats.Summary.t
   | Histogram of Engine.Stats.Histogram.t
+  | Gauge of (unit -> float)
+      (** Sampled on enumeration: the callback reads live state (queue
+          depth, credit balance) so the registry never holds stale copies. *)
 
 val scope_name : scope -> string
 
@@ -36,6 +39,10 @@ val histogram : scope -> string -> Engine.Stats.Histogram.t
 val fresh_counter : scope -> string -> Engine.Stats.Counter.t
 val fresh_summary : scope -> string -> Engine.Stats.Summary.t
 val fresh_histogram : scope -> string -> Engine.Stats.Histogram.t
+
+val gauge : scope -> string -> (unit -> float) -> unit
+(** Register (or rebind) a sampled gauge. Always-rebind semantics like the
+    [fresh_*] family: a new simulation's instance shadows the previous one. *)
 
 val find : scope -> string -> value option
 

@@ -13,10 +13,17 @@ let aio_write vl buf =
   charge vl;
   { req = Vl.post_write vl buf; vl }
 
+(* Non-blocking post: the control block is already complete — either
+   [Done n] or the EAGAIN marker observable via [aio_error]. *)
+let aio_write_nb vl buf =
+  charge vl;
+  { req = Vl.post_write ~nonblock:true vl buf; vl }
+
 let aio_error cb =
   match Vl.poll cb.req with
   | None -> `In_progress
   | Some (Vl.Done _) | Some Vl.Eof -> `Ok
+  | Some Vl.Again -> `Err "EAGAIN"
   | Some (Vl.Error e) -> `Err e
 
 let aio_return cb =
@@ -24,6 +31,7 @@ let aio_return cb =
   | None -> invalid_arg "Aio.aio_return: operation in progress"
   | Some (Vl.Done n) -> n
   | Some Vl.Eof -> 0
+  | Some Vl.Again -> failwith "Aio.aio_return: EAGAIN"
   | Some (Vl.Error e) -> failwith ("Aio.aio_return: " ^ e)
 
 let aio_suspend cbs =

@@ -10,7 +10,16 @@ type aiocb
 val aio_read : Vlink.Vl.t -> Engine.Bytebuf.t -> aiocb
 val aio_write : Vlink.Vl.t -> Engine.Bytebuf.t -> aiocb
 
+val aio_write_nb : Vlink.Vl.t -> Engine.Bytebuf.t -> aiocb
+(** Non-blocking variant: never queued; the returned control block is
+    already complete. [aio_error] reports [`Err "EAGAIN"] when the link
+    had no write space, [`Ok] with [aio_return] giving the (possibly
+    partial) byte count otherwise. *)
+
 val aio_error : aiocb -> [ `In_progress | `Ok | `Err of string ]
+(** [`Err "EAGAIN"] marks a would-block non-blocking write. *)
+
+
 val aio_return : aiocb -> int
 (** Bytes transferred (0 at EOF). Raises [Invalid_argument] while still in
     progress, [Failure] on error. *)

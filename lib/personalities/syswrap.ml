@@ -15,6 +15,7 @@ type t = {
   grid : Padico.t;
   wnode : Simnet.Node.t;
   fds : (int, fd_state) Hashtbl.t;
+  nonblock : (int, bool) Hashtbl.t;
   mutable next_fd : int;
 }
 
@@ -25,7 +26,10 @@ let attach grid node =
   match Hashtbl.find_opt instances key with
   | Some t -> t
   | None ->
-    let t = { grid; wnode = node; fds = Hashtbl.create 32; next_fd = 3 } in
+    let t =
+      { grid; wnode = node; fds = Hashtbl.create 32;
+        nonblock = Hashtbl.create 8; next_fd = 3 }
+    in
     Hashtbl.replace instances key t;
     t
 
@@ -84,6 +88,13 @@ let accept t fd =
     nfd
   | Fresh | Connected _ | Closed_fd -> raise (Unix_error "EINVAL")
 
+(* O_NONBLOCK emulation (fcntl-style). *)
+let set_nonblock t fd v =
+  ignore (state t fd);
+  Hashtbl.replace t.nonblock fd v
+
+let is_nonblock t fd = Hashtbl.find_opt t.nonblock fd = Some true
+
 let conn t fd =
   match state t fd with
   | Connected vl -> vl
@@ -92,9 +103,13 @@ let conn t fd =
 
 let recv t fd buf =
   charge t;
-  match Vl.await (Vl.post_read (conn t fd) buf) with
+  let vl = conn t fd in
+  if is_nonblock t fd && Vl.readable_bytes vl = 0 && not (Vl.is_closed vl)
+  then raise (Unix_error "EAGAIN");
+  match Vl.await (Vl.post_read vl buf) with
   | Vl.Done n -> n
   | Vl.Eof -> 0
+  | Vl.Again -> raise (Unix_error "EAGAIN")
   | Vl.Error e -> raise (Unix_error e)
 
 let recv_exact t fd buf =
@@ -110,12 +125,16 @@ let recv_exact t fd buf =
 
 let send t fd buf =
   charge t;
-  match Vl.await (Vl.post_write (conn t fd) buf) with
+  let vl = conn t fd in
+  let nonblock = is_nonblock t fd in
+  match Vl.await (Vl.post_write ~nonblock vl buf) with
   | Vl.Done n -> n
   | Vl.Eof -> raise (Unix_error "EPIPE")
+  | Vl.Again -> raise (Unix_error "EAGAIN")
   | Vl.Error e -> raise (Unix_error e)
 
 let close t fd =
+  Hashtbl.remove t.nonblock fd;
   (match Hashtbl.find_opt t.fds fd with
    | Some (Connected vl) -> Vl.close vl
    | Some (Fresh | Listening _ | Closed_fd) | None -> ());

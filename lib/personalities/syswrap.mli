@@ -29,7 +29,13 @@ val accept : t -> int -> int
 (** Blocking accept; returns a new descriptor. *)
 
 val recv : t -> int -> Engine.Bytebuf.t -> int
-(** ≥ 1 bytes, 0 at EOF. *)
+(** ≥ 1 bytes, 0 at EOF. On a non-blocking descriptor with no data
+    buffered, raises {!Unix_error} ["EAGAIN"] instead of blocking. *)
+
+val set_nonblock : t -> int -> bool -> unit
+(** O_NONBLOCK emulation: non-blocking descriptors make [recv] and [send]
+    raise {!Unix_error} ["EAGAIN"] instead of blocking when the link would
+    make them wait (no buffered data / no write space). *)
 
 val recv_exact : t -> int -> Engine.Bytebuf.t -> bool
 val send : t -> int -> Engine.Bytebuf.t -> int

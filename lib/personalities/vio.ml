@@ -12,6 +12,7 @@ let read vl buf =
   match Vl.await (Vl.post_read vl buf) with
   | Vl.Done n -> n
   | Vl.Eof -> 0
+  | Vl.Again -> failwith "Vio.read: EAGAIN on blocking read"
   | Vl.Error e -> failwith ("Vio.read: " ^ e)
 
 let read_exact vl buf =
@@ -30,7 +31,20 @@ let write vl buf =
   match Vl.await (Vl.post_write vl buf) with
   | Vl.Done n -> n
   | Vl.Eof -> failwith "Vio.write: stream closed"
+  | Vl.Again -> failwith "Vio.write: EAGAIN on blocking write"
   | Vl.Error e -> failwith ("Vio.write: " ^ e)
+
+(* Non-blocking write: one driver attempt, no queueing. *)
+let try_write vl buf =
+  charge vl;
+  match Vl.await (Vl.post_write ~nonblock:true vl buf) with
+  | Vl.Done n -> `Ok n
+  | Vl.Again -> `Again
+  | Vl.Eof -> failwith "Vio.try_write: stream closed"
+  | Vl.Error e -> failwith ("Vio.try_write: " ^ e)
+
+let wait_writable vl =
+  Engine.Proc.suspend (fun resume -> Vl.on_writable vl resume)
 
 let write_string vl s = write vl (Bytebuf.of_string s)
 

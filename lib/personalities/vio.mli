@@ -18,6 +18,16 @@ val write : Vlink.Vl.t -> Engine.Bytebuf.t -> int
 
 val write_string : Vlink.Vl.t -> string -> int
 
+val try_write : Vlink.Vl.t -> Engine.Bytebuf.t -> [ `Ok of int | `Again ]
+(** Non-blocking write (EAGAIN semantics): one driver attempt; [`Ok n] for
+    the bytes accepted (possibly fewer than posted), [`Again] when the
+    link has no write space — nothing is queued. Pair with
+    {!wait_writable} to retry. *)
+
+val wait_writable : Vlink.Vl.t -> unit
+(** Block (process context) until the link reports write space (or reaches
+    a terminal state — re-try and observe the error). *)
+
 val read_line : Vlink.Vl.t -> string option
 (** Read up to a ['\n'] (consumed, not returned); [None] at EOF. Intended
     for text protocols (SOAP). *)

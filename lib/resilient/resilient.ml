@@ -20,12 +20,16 @@ type config = {
   max_retries : int;
   ack_timeout_ns : int;
   seed : int;
+  tx_window : int;
+  rx_high : int;
+  rx_low : int;
 }
 
 let default_config =
   { retry_base_ns = 1_000_000; retry_factor = 2.0; retry_max_ns = 200_000_000;
     retry_jitter = 0.25; max_retries = 10; ack_timeout_ns = 50_000_000;
-    seed = 0x5e55 }
+    seed = 0x5e55; tx_window = 4 * 1024 * 1024; rx_high = 1024 * 1024;
+    rx_low = 256 * 1024 }
 
 (* ---------- wire frames ---------- *)
 
@@ -73,6 +77,7 @@ type link = {
   lrq : Streamq.t;  (* reassembly buffer for frame parsing *)
   mutable lparse : parse_state;
   mutable ldead : bool;
+  mutable lpaused : bool;  (* inner reads parked: session rx over high *)
   mutable lsess : sess option;  (* acceptor side: None until HELLO *)
   lln : listener option;  (* acceptor side: who accepted this transport *)
 }
@@ -117,6 +122,7 @@ and sess = {
   mutable una_off : int;
   mutable snd_nxt : int;
   mutable buf_end : int;
+  mutable tx_peak : int;  (* high-water mark of buf_end - una_off *)
   (* receive side *)
   rx : Streamq.t;
   mutable rcv_nxt : int;
@@ -139,7 +145,14 @@ let now s = Engine.Sim.now (sim_of s)
 
 let tx_append s buf =
   s.txbuf <- s.txbuf @ [ Bytebuf.copy buf ];
-  s.buf_end <- s.buf_end + Bytebuf.length buf
+  s.buf_end <- s.buf_end + Bytebuf.length buf;
+  s.tx_peak <- Stdlib.max s.tx_peak (s.buf_end - s.una_off)
+
+let tx_used s = s.buf_end - s.una_off
+
+let tx_space s =
+  if s.cfg.tx_window = max_int then max_int
+  else Stdlib.max 0 (s.cfg.tx_window - tx_used s)
 
 (* Drop everything the peer has acknowledged. *)
 let ack_advance s ack =
@@ -203,6 +216,7 @@ let rec write_frame l frame =
     let req = Vl.post_write l.lvl frame in
     Vl.set_handler req (function
       | Vl.Done _ -> ()
+      | Vl.Again -> () (* blocking posts never yield Again *)
       | Vl.Eof -> link_failed l "write eof"
       | Vl.Error msg -> link_failed l ("write: " ^ msg))
   end
@@ -357,7 +371,8 @@ and dial s =
           let l =
             { lvl = vl; lseg = ch.Selector.segment;
               ldriver = ch.Selector.driver; lrq = Streamq.create ();
-              lparse = P_kind; ldead = false; lsess = Some s; lln = None }
+              lparse = P_kind; ldead = false; lpaused = false;
+              lsess = Some s; lln = None }
           in
           s.link <- Some l;
           let hello () =
@@ -381,17 +396,36 @@ and read_loop l =
   let buf = Bytebuf.create frame_max in
   let rec again () =
     if not l.ldead then begin
-      let req = Vl.post_read l.lvl buf in
-      Vl.set_handler req (function
-        | Vl.Done n ->
-          Streamq.push l.lrq (Bytebuf.copy (Bytebuf.sub buf 0 n));
-          parse l;
-          again ()
-        | Vl.Eof ->
-          (* Clean inner EOF without FIN: connection died politely (e.g.
-             remote runtime closed the transport) — same as a failure. *)
-          link_failed l "eof"
-        | Vl.Error msg -> link_failed l msg)
+      (* Receive-side pushback: when the application lets the session's
+         receive queue climb past the high watermark, park the inner read
+         loop — unread bytes back up in the transport (closing a TCP
+         receive window, stalling MadIO credits) instead of growing rx
+         without bound. [resume_rx] restarts us when the app drains.
+         Note the shared-stream tradeoff: ACKs for our own transmissions
+         ride the same inner stream, so a parked reader also stalls its
+         own send window until the application reads — flow control
+         couples the two directions, exactly like a real socket. *)
+      match l.lsess with
+      | Some s when Streamq.length s.rx >= s.cfg.rx_high ->
+        l.lpaused <- true;
+        if Trace.on () then
+          Trace.instant s.snode
+            (Padico_obs.Event.Flow
+               { action = "pause"; place = "resilient.rx";
+                 bytes = Streamq.length s.rx })
+      | _ ->
+        let req = Vl.post_read l.lvl buf in
+        Vl.set_handler req (function
+          | Vl.Done n ->
+            Streamq.push l.lrq (Bytebuf.copy (Bytebuf.sub buf 0 n));
+            parse l;
+            again ()
+          | Vl.Again -> again ()
+          | Vl.Eof ->
+            (* Clean inner EOF without FIN: connection died politely (e.g.
+               remote runtime closed the transport) — same as a failure. *)
+            link_failed l "eof"
+          | Vl.Error msg -> link_failed l msg)
     end
   in
   again ()
@@ -536,7 +570,11 @@ and handle_ack l ack =
   match l.lsess with
   | None -> link_failed l "ACK before HELLO"
   | Some s ->
+    let before = tx_space s in
     ack_advance s ack;
+    (* Freed window space: let queued outer writes back in. *)
+    if tx_space s > before && not s.closed then
+      Vl.notify s.outer Vl.Writable;
     (* Progress: let the watchdog take a fresh snapshot. *)
     cancel_watchdog s;
     arm_watchdog s
@@ -582,11 +620,24 @@ and bind_link s l =
   s.link <- Some l
 
 and make_sess cfg node role =
+  if cfg.tx_window < frame_max then
+    invalid_arg "Resilient: tx_window must be >= 64 KiB";
+  if cfg.rx_low < 0 || cfg.rx_low > cfg.rx_high then
+    invalid_arg "Resilient: need 0 <= rx_low <= rx_high";
+  let s =
   { cfg; snode = node; role; outer = Vl.create node; sid = 0; link = None;
     established = false; closed = false; finished = false; txbuf = [];
+    tx_peak = 0;
     una_off = 0; snd_nxt = 0; buf_end = 0; rx = Streamq.create ();
     rcv_nxt = 0; switches = 0; total_retries = 0; total_downtime = 0;
     cur_driver = "(none)"; ops_attached = false; wd = None }
+  in
+  let scope = Metrics.Node (Node.name node) in
+  Metrics.gauge scope "resilient.txbuf_bytes" (fun () ->
+      float_of_int (tx_used s));
+  Metrics.gauge scope "resilient.rx_bytes" (fun () ->
+      float_of_int (Streamq.length s.rx));
+  s
 
 and close_sess s =
   if not s.closed then begin
@@ -612,19 +663,49 @@ and outer_ops s =
       (fun buf ->
          if s.closed || s.finished then 0
          else begin
-           let n = Bytebuf.length buf in
+           (* The rewind buffer is bounded against the peer's acked offset:
+              accept only what fits in the remaining window. The rest stays
+              queued in the outer VLink and is retried when an ACK reopens
+              space (ack_advance notifies Writable). *)
+           let n = min (Bytebuf.length buf) (tx_space s) in
            if n > 0 then begin
-             tx_append s buf;
+             tx_append s (Bytebuf.sub buf 0 n);
              transmit s;
              arm_watchdog s
-           end;
+           end
+           else if Bytebuf.length buf > 0 && Trace.on () then
+             Trace.instant s.snode
+               (Padico_obs.Event.Flow
+                  { action = "window.full"; place = "resilient.tx";
+                    bytes = tx_used s });
            n
          end);
-    o_read = (fun ~max -> Streamq.pop s.rx ~max);
+    o_read =
+      (fun ~max ->
+         let r = Streamq.pop s.rx ~max in
+         resume_rx s;
+         r);
     o_readable = (fun () -> Streamq.length s.rx);
-    o_write_space = (fun () -> if s.closed then 0 else max_int);
+    o_write_space = (fun () -> if s.closed then 0 else tx_space s);
     o_close = (fun () -> close_sess s);
     o_driver = "resilient" }
+
+(* Restart a parked inner read loop once the application has drained the
+   session's receive queue to the low watermark. The pause state lives on
+   the link, so a failover mid-pause starts the new link's loop afresh
+   (which re-parks immediately if the queue is still high). *)
+and resume_rx s =
+  match s.link with
+  | Some l
+    when l.lpaused && (not l.ldead) && Streamq.length s.rx <= s.cfg.rx_low ->
+    l.lpaused <- false;
+    if Trace.on () then
+      Trace.instant s.snode
+        (Padico_obs.Event.Flow
+           { action = "resume"; place = "resilient.rx";
+             bytes = Streamq.length s.rx });
+    read_loop l
+  | _ -> ()
 
 (* ---------- public API ---------- *)
 
@@ -649,6 +730,8 @@ type stats = {
   downtime_ns : int;
   driver : string;
   established : bool;
+  tx_peak : int;
+  rx_peak : int;
 }
 
 let stats s =
@@ -661,7 +744,8 @@ let stats s =
   { switches = s.switches; retries = s.total_retries;
     downtime_ns = downtime;
     driver = (if s.established then s.cur_driver else "(none)");
-    established = s.established }
+    established = s.established; tx_peak = s.tx_peak;
+    rx_peak = Streamq.peak s.rx }
 
 let listen ?(config = default_config) pad node ~port accept =
   let ln =
@@ -672,7 +756,7 @@ let listen ?(config = default_config) pad node ~port accept =
       let l =
         { lvl = inbound; lseg = None; ldriver = Vl.driver_name inbound;
           lrq = Streamq.create (); lparse = P_kind; ldead = false;
-          lsess = None; lln = Some ln }
+          lpaused = false; lsess = None; lln = Some ln }
       in
       Vl.on_event inbound (function
         | Vl.Failed m -> link_failed l m

@@ -43,6 +43,24 @@ type config = {
       dead — this is what detects partitions, where frames vanish without
       any error event (default 50 ms) *)
   seed : int;  (** jitter stream seed *)
+  tx_window : int;
+  (** Rewind-buffer bound: unacked bytes the session will hold for
+      retransmission after failover (default 4 MiB). Once [buf_end -
+      acked_offset] reaches the window, outer writes stop accepting bytes
+      ([o_write] returns a partial count or 0) until an ACK advances; a
+      [Writable] event on the outer VLink signals reopened space. Must be
+      at least one frame (64 KiB). *)
+  rx_high : int;
+  (** Receive-queue high watermark (default 1 MiB): when the application
+      leaves this many reassembled bytes unread, the inner read loop
+      parks and bytes back up in the transport (closing its window /
+      stalling its credits). Because ACKs for our own transmissions ride
+      the same inner stream, a parked reader also freezes its send
+      window until the application reads — the two directions couple,
+      as on a real socket. *)
+  rx_low : int;
+  (** Resume reading once the receive queue drains to this (default
+      256 KiB). Needs [0 <= rx_low <= rx_high]. *)
 }
 
 val default_config : config
@@ -70,6 +88,12 @@ type stats = {
   downtime_ns : int;  (** total virtual time with no established link *)
   driver : string;  (** current inner driver, "(none)" during an outage *)
   established : bool;
+  tx_peak : int;
+  (** high-water mark of the rewind buffer (unacked bytes); stays under
+      [tx_window] when flow control is on *)
+  rx_peak : int;
+  (** high-water mark of the reassembled receive queue; bounded near
+      [rx_high] when the inner read loop pushes back *)
 }
 
 val stats : conn -> stats

@@ -17,7 +17,7 @@ type ops = {
   o_driver : string;
 }
 
-type completion = Done of int | Eof | Error of string
+type completion = Done of int | Eof | Again | Error of string
 
 type state = Connecting | Connected_st | Closed | Failed_st of string
 
@@ -39,11 +39,13 @@ and t = {
   writes : req Queue.t;
   mutable evt_handlers : (event -> unit) list;
   mutable peer_closed : bool;
+  writable_waiters : (unit -> unit) Queue.t;
 }
 
 let create vnode =
   { vnode; ops = None; st = Connecting; reads = Queue.create ();
-    writes = Queue.create (); evt_handlers = []; peer_closed = false }
+    writes = Queue.create (); evt_handlers = []; peer_closed = false;
+    writable_waiters = Queue.create () }
 
 let node t = t.vnode
 
@@ -77,6 +79,7 @@ let complete req c =
         match c with
         | Done n -> ("done", n)
         | Eof -> ("eof", 0)
+        | Again -> ("again", 0)
         | Error _ -> ("error", 0)
       in
       Trace.instant req.owner.vnode
@@ -163,12 +166,25 @@ let fail_all t msg =
   fail_queue t.reads;
   fail_queue t.writes
 
+(* One-shot writable waiters fire after the queued writes have had first
+   claim on the space — and unconditionally on terminal events, so a waiter
+   re-polls and meets the error instead of hanging forever. *)
+let fire_writable_waiters t =
+  while not (Queue.is_empty t.writable_waiters) do
+    (Queue.pop t.writable_waiters) ()
+  done
+
 let notify t ev =
   (match ev with
    | Connected ->
-     if t.st = Connecting then t.st <- Connected_st
+     if t.st = Connecting then t.st <- Connected_st;
+     fire_writable_waiters t
    | Readable -> pump_reads t
-   | Writable -> pump_writes t
+   | Writable ->
+     pump_writes t;
+     (match t.ops with
+      | Some o when o.o_write_space () > 0 -> fire_writable_waiters t
+      | _ -> ())
    | Peer_closed ->
      t.peer_closed <- true;
      pump_reads t;
@@ -180,10 +196,12 @@ let notify t ev =
            across a half-close, so it is unaffected. *)
         Queue.iter (fun req -> complete req (Error "peer closed")) t.writes;
         Queue.clear t.writes
-      | _ -> ())
+      | _ -> ());
+     fire_writable_waiters t
    | Failed msg ->
      t.st <- Failed_st msg;
-     fail_all t msg);
+     fail_all t msg;
+     fire_writable_waiters t);
   fire t ev
 
 let attach_ops t ops =
@@ -246,7 +264,7 @@ let post_read ?timeout_ns t buf =
      Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () -> pump_reads t));
   req
 
-let post_write ?timeout_ns t buf =
+let post_write ?timeout_ns ?(nonblock = false) t buf =
   let req =
     { kind = `Write; buf; progress = 0; result = None; handler = None;
       timer = None; owner = t }
@@ -265,6 +283,20 @@ let post_write ?timeout_ns t buf =
        (* Same dead-write-path rule as the [Peer_closed] notification:
           accepting the request would strand it forever. *)
        complete req (Error "peer closed")
+     else if nonblock then begin
+       (* EAGAIN semantics: one driver attempt, never queued. A partial
+          acceptance completes [Done n] with n < length; no space at all
+          (or not yet connected) completes [Again]. *)
+       Simnet.Node.cpu_async t.vnode Calib.vlink_op_ns (fun () -> ());
+       match t.ops with
+       | None -> complete req Again
+       | Some o ->
+         if Bytebuf.length buf = 0 then complete req (Done 0)
+         else begin
+           let n = o.o_write buf in
+           if n > 0 then complete req (Done n) else complete req Again
+         end
+     end
      else begin
        Queue.push req t.writes;
        arm_timeout t req timeout_ns;
@@ -273,6 +305,15 @@ let post_write ?timeout_ns t buf =
            pump_writes t)
      end);
   req
+
+let on_writable t f =
+  match t.st with
+  | Closed | Failed_st _ -> f ()
+  | Connecting -> Queue.push f t.writable_waiters
+  | Connected_st ->
+    (match t.ops with
+     | Some o when o.o_write_space () > 0 && Queue.is_empty t.writes -> f ()
+     | _ -> Queue.push f t.writable_waiters)
 
 let poll req = req.result
 
@@ -296,7 +337,8 @@ let close t =
     Queue.iter (fun req -> complete req Eof) t.reads;
     Queue.clear t.reads;
     Queue.iter (fun req -> complete req (Error "closed")) t.writes;
-    Queue.clear t.writes
+    Queue.clear t.writes;
+    fire_writable_waiters t
 
 let on_event t f = t.evt_handlers <- f :: t.evt_handlers
 

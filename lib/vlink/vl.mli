@@ -56,6 +56,10 @@ type req
 type completion =
   | Done of int  (** bytes transferred *)
   | Eof
+  | Again
+      (** Would block: only produced by [post_write ~nonblock:true] when
+          the driver has no write space (or the link is still connecting).
+          Nothing was queued — retry after {!on_writable} fires. *)
   | Error of string
 
 val post_read : ?timeout_ns:int -> t -> Engine.Bytebuf.t -> req
@@ -67,9 +71,24 @@ val post_read : ?timeout_ns:int -> t -> Engine.Bytebuf.t -> req
     long, it completes with [Error "timeout"] (and a [vl.timeout] trace
     event). Raises [Invalid_argument] when non-positive. *)
 
-val post_write : ?timeout_ns:int -> t -> Engine.Bytebuf.t -> req
+val post_write :
+  ?timeout_ns:int -> ?nonblock:bool -> t -> Engine.Bytebuf.t -> req
 (** Post a write of the whole buffer; completes when fully accepted by the
-    driver. [timeout_ns] as for {!post_read}. *)
+    driver. [timeout_ns] as for {!post_read}.
+
+    With [~nonblock:true] (default [false]) the request is {e never
+    queued}: the driver gets one shot, and the returned request is already
+    complete — [Done n] for the [n] bytes accepted (possibly fewer than
+    posted), or [Again] when the driver is full or the link still
+    connecting. This is the EAGAIN building block for flow-control-aware
+    senders: combine with {!on_writable} to retry without buffering. *)
+
+val on_writable : t -> (unit -> unit) -> unit
+(** One-shot readiness hook: run [f] once the driver reports write space
+    {e and} no earlier queued write is waiting for it — immediately if that
+    already holds. Also fired (spuriously) on close/failure/peer-close so a
+    parked writer re-polls and observes the terminal state instead of
+    hanging: treat a callback as "re-try", not "guaranteed space". *)
 
 val poll : req -> completion option
 (** Non-blocking completion test. *)

@@ -9,6 +9,11 @@ let trace_adapter node dir bytes =
     Trace.instant node
       (Padico_obs.Event.Adapter { adapter = driver_name; dir; bytes })
 
+let trace_flow node action bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Flow { action; place = driver_name; bytes })
+
 type st = {
   inner : Vl.t;
   codec : Adoc.t;
@@ -17,6 +22,7 @@ type st = {
   node : Simnet.Node.t;
   mutable outer : Vl.t option;
   mutable closed : bool;
+  mutable rx_paused : bool;
 }
 
 let charge st per_byte n k =
@@ -24,34 +30,51 @@ let charge st per_byte n k =
     (int_of_float (per_byte *. float_of_int n))
     k
 
-(* Keep one inner read posted at all times; decode into the rx queue. *)
+(* Keep one inner read posted while the rx queue is under its high
+   watermark; decode into the rx queue. Above the watermark the loop
+   parks ([rx_paused]) and the unread bytes back up in the inner driver —
+   backpressure propagates down instead of hiding here. *)
 let rec read_loop st =
   if not st.closed then begin
-    let buf = Bytebuf.create 65_536 in
-    let req = Vl.post_read st.inner buf in
-    Vl.set_handler req (function
-      | Vl.Done n ->
-        let chunks = Adoc.Decoder.feed st.decoder (Bytebuf.sub buf 0 n) in
-        let decompressed =
-          List.fold_left (fun acc c -> acc + Bytebuf.length c) 0 chunks
-        in
-        trace_adapter st.node Padico_obs.Event.Unwrap decompressed;
-        (* Decompression CPU, then deliver. *)
-        charge st Calib.decompress_per_byte_ns decompressed (fun () ->
-            List.iter (Streamq.push st.rx) chunks;
-            (match st.outer with
-             | Some vl when not (Streamq.is_empty st.rx) ->
-               Vl.notify vl Vl.Readable
-             | _ -> ());
-            read_loop st)
-      | Vl.Eof ->
-        (match st.outer with
-         | Some vl -> Vl.notify vl Vl.Peer_closed
-         | None -> ())
-      | Vl.Error e ->
-        (match st.outer with
-         | Some vl -> Vl.notify vl (Vl.Failed e)
-         | None -> ()))
+    if Streamq.above_high st.rx then begin
+      st.rx_paused <- true;
+      trace_flow st.node "pause" (Streamq.length st.rx)
+    end
+    else begin
+      let buf = Bytebuf.create 65_536 in
+      let req = Vl.post_read st.inner buf in
+      Vl.set_handler req (function
+        | Vl.Done n ->
+          let chunks = Adoc.Decoder.feed st.decoder (Bytebuf.sub buf 0 n) in
+          let decompressed =
+            List.fold_left (fun acc c -> acc + Bytebuf.length c) 0 chunks
+          in
+          trace_adapter st.node Padico_obs.Event.Unwrap decompressed;
+          (* Decompression CPU, then deliver. *)
+          charge st Calib.decompress_per_byte_ns decompressed (fun () ->
+              List.iter (Streamq.push st.rx) chunks;
+              (match st.outer with
+               | Some vl when not (Streamq.is_empty st.rx) ->
+                 Vl.notify vl Vl.Readable
+               | _ -> ());
+              read_loop st)
+        | Vl.Again -> read_loop st
+        | Vl.Eof ->
+          (match st.outer with
+           | Some vl -> Vl.notify vl Vl.Peer_closed
+           | None -> ())
+        | Vl.Error e ->
+          (match st.outer with
+           | Some vl -> Vl.notify vl (Vl.Failed e)
+           | None -> ()))
+    end
+  end
+
+let resume_reads st =
+  if st.rx_paused && Streamq.below_low st.rx then begin
+    st.rx_paused <- false;
+    trace_flow st.node "resume" (Streamq.length st.rx);
+    read_loop st
   end
 
 let ops st =
@@ -60,52 +83,78 @@ let ops st =
          if st.closed then 0
          else begin
            let total = Bytebuf.length buf in
-           trace_adapter st.node Padico_obs.Event.Wrap total;
+           (* Accept only what the inner driver has room for (worst case:
+              an uncompressible chunk costs its length plus the frame
+              header) so backpressure is forwarded instead of absorbed in
+              an unbounded inner write queue. *)
+           let budget = ref (Stdlib.max 0 (Vl.write_space st.inner)) in
            let pos = ref 0 in
-           while !pos < total do
-             let n = min (Adoc.chunk_size st.codec) (total - !pos) in
-             let chunk = Bytebuf.sub buf !pos n in
-             let frame, decision = Adoc.encode st.codec chunk in
-             (* Compression CPU precedes the wire. *)
-             (match decision with
-              | Adoc.Compress -> charge st Calib.compress_per_byte_ns n (fun () -> ())
-              | Adoc.Pass -> ());
-             ignore (Vl.post_write st.inner frame);
-             pos := !pos + n
+           let continue = ref true in
+           while !continue && !pos < total do
+             let n =
+               min
+                 (min (Adoc.chunk_size st.codec) (total - !pos))
+                 (!budget - Adoc.frame_header_len)
+             in
+             if n <= 0 then continue := false
+             else begin
+               let chunk = Bytebuf.sub buf !pos n in
+               let frame, decision = Adoc.encode st.codec chunk in
+               (* Compression CPU precedes the wire. *)
+               (match decision with
+                | Adoc.Compress ->
+                  charge st Calib.compress_per_byte_ns n (fun () -> ())
+                | Adoc.Pass -> ());
+               ignore (Vl.post_write st.inner frame);
+               budget := !budget - Bytebuf.length frame;
+               pos := !pos + n
+             end
            done;
-           total
+           if !pos > 0 then trace_adapter st.node Padico_obs.Event.Wrap !pos;
+           !pos
          end);
-    o_read = (fun ~max -> Streamq.pop st.rx ~max);
+    o_read =
+      (fun ~max ->
+         let r = Streamq.pop st.rx ~max in
+         resume_reads st;
+         r);
     o_readable = (fun () -> Streamq.length st.rx);
     o_write_space =
-      (fun () -> if st.closed then 0 else Stdlib.max 0 (Vl.write_space st.inner));
+      (fun () ->
+         if st.closed then 0
+         else
+           Stdlib.max 0
+             (Vl.write_space st.inner - Adoc.frame_header_len));
     o_close =
       (fun () ->
          st.closed <- true;
          Vl.close st.inner);
     o_driver = driver_name }
 
-let wrap ?chunk ~link_bandwidth_bps inner =
+let wrap ?chunk ?(rx_high = 262_144) ?rx_low ~link_bandwidth_bps inner =
+  let rx_low = match rx_low with Some l -> l | None -> rx_high / 4 in
   let st =
     { inner; codec = Adoc.create ?chunk ~link_bandwidth_bps ();
-      decoder = Adoc.Decoder.create (); rx = Streamq.create ();
-      node = Vl.node inner; outer = None; closed = false }
+      decoder = Adoc.Decoder.create ();
+      rx = Streamq.create ~high:rx_high ~low:rx_low ();
+      node = Vl.node inner; outer = None; closed = false; rx_paused = false }
   in
+  let connected_now = Vl.is_connected inner in
   let vl =
-    if Vl.is_connected inner then Vl.create_connected (Vl.node inner) (ops st)
-    else begin
-      let vl = Vl.create (Vl.node inner) in
-      Vl.on_event inner (function
-        | Vl.Connected -> Vl.attach_ops vl (ops st)
-        | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
-        | Vl.Readable | Vl.Writable | Vl.Peer_closed -> ());
-      vl
-    end
+    if connected_now then Vl.create_connected (Vl.node inner) (ops st)
+    else Vl.create (Vl.node inner)
   in
   st.outer <- Some vl;
-  if Vl.is_connected inner then read_loop st
-  else
-    Vl.on_event inner (function
-      | Vl.Connected -> read_loop st
-      | _ -> ());
+  (* One forwarding handler for both connect paths: backpressure release
+     (inner Writable), peer death and failures all propagate up instead of
+     being swallowed while the read loop is parked. *)
+  Vl.on_event inner (function
+    | Vl.Connected ->
+      if not connected_now then Vl.attach_ops vl (ops st);
+      read_loop st
+    | Vl.Writable -> Vl.notify vl Vl.Writable
+    | Vl.Peer_closed -> Vl.notify vl Vl.Peer_closed
+    | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
+    | Vl.Readable -> ());
+  if connected_now then read_loop st;
   vl

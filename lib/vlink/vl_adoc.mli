@@ -3,9 +3,21 @@
     adapter. Compression CPU time is charged; the decision to compress is
     re-evaluated per chunk (see {!Methods.Adoc}). *)
 
-val wrap : ?chunk:int -> link_bandwidth_bps:float -> Vl.t -> Vl.t
+val wrap :
+  ?chunk:int ->
+  ?rx_high:int ->
+  ?rx_low:int ->
+  link_bandwidth_bps:float ->
+  Vl.t ->
+  Vl.t
 (** [wrap inner] returns a descriptor whose writes are compressed
     (adaptively) and whose reads are decompressed. Closing the wrapper
-    closes [inner]. *)
+    closes [inner].
+
+    Backpressure propagates both ways: writes are accepted only up to the
+    inner link's write space (never absorbed into a hidden queue), and the
+    decode loop pauses when more than [rx_high] decompressed bytes
+    (default 256 KiB) sit unread, resuming below [rx_low] (default
+    [rx_high / 4]). *)
 
 val driver_name : string

@@ -28,7 +28,17 @@ type st = {
   node : Simnet.Node.t;
   mutable outer : Vl.t option;
   mutable closed : bool;
+  mutable rx_paused : bool;
 }
+
+let trace_flow node action bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Flow { action; place = driver_name; bytes })
+
+(* Worst-case wire bytes for one plaintext chunk: frame length word plus
+   the cipher's constant authentication overhead. *)
+let frame_overhead = 4 + Crypto.overhead
 
 let charge st n k =
   Simnet.Node.cpu_async st.node
@@ -63,27 +73,44 @@ let parse st =
   done;
   List.rev !out
 
+(* Keep one inner read posted while the rx queue is under its high
+   watermark; above it the loop parks and unread ciphertext backs up in
+   the inner driver (backpressure, not hidden buffering). *)
 let rec read_loop st =
   if not st.closed then begin
-    let buf = Bytebuf.create 65_536 in
-    let req = Vl.post_read st.inner buf in
-    Vl.set_handler req (function
-      | Vl.Done n ->
-        Streamq.push st.pending (Bytebuf.sub buf 0 n);
-        let chunks = parse st in
-        let bytes = List.fold_left (fun a c -> a + Bytebuf.length c) 0 chunks in
-        if bytes > 0 then trace_adapter st.node Padico_obs.Event.Unwrap bytes;
-        charge st bytes (fun () ->
-            List.iter (Streamq.push st.rx) chunks;
-            (match st.outer with
-             | Some vl when not (Streamq.is_empty st.rx) ->
-               Vl.notify vl Vl.Readable
-             | _ -> ());
-            read_loop st)
-      | Vl.Eof ->
-        (match st.outer with Some vl -> Vl.notify vl Vl.Peer_closed | None -> ())
-      | Vl.Error e ->
-        (match st.outer with Some vl -> Vl.notify vl (Vl.Failed e) | None -> ()))
+    if Streamq.above_high st.rx then begin
+      st.rx_paused <- true;
+      trace_flow st.node "pause" (Streamq.length st.rx)
+    end
+    else begin
+      let buf = Bytebuf.create 65_536 in
+      let req = Vl.post_read st.inner buf in
+      Vl.set_handler req (function
+        | Vl.Done n ->
+          Streamq.push st.pending (Bytebuf.sub buf 0 n);
+          let chunks = parse st in
+          let bytes = List.fold_left (fun a c -> a + Bytebuf.length c) 0 chunks in
+          if bytes > 0 then trace_adapter st.node Padico_obs.Event.Unwrap bytes;
+          charge st bytes (fun () ->
+              List.iter (Streamq.push st.rx) chunks;
+              (match st.outer with
+               | Some vl when not (Streamq.is_empty st.rx) ->
+                 Vl.notify vl Vl.Readable
+               | _ -> ());
+              read_loop st)
+        | Vl.Again -> read_loop st
+        | Vl.Eof ->
+          (match st.outer with Some vl -> Vl.notify vl Vl.Peer_closed | None -> ())
+        | Vl.Error e ->
+          (match st.outer with Some vl -> Vl.notify vl (Vl.Failed e) | None -> ()))
+    end
+  end
+
+let resume_reads st =
+  if st.rx_paused && Streamq.below_low st.rx then begin
+    st.rx_paused <- false;
+    trace_flow st.node "resume" (Streamq.length st.rx);
+    read_loop st
   end
 
 let ops st =
@@ -92,49 +119,71 @@ let ops st =
          if st.closed then 0
          else begin
            let total = Bytebuf.length buf in
-           trace_adapter st.node Padico_obs.Event.Wrap total;
+           (* Accept only what the inner link has room for, counting the
+              per-frame overhead, so backpressure is forwarded instead of
+              absorbed in an unbounded inner write queue. *)
+           let budget = ref (Stdlib.max 0 (Vl.write_space st.inner)) in
            let pos = ref 0 in
-           while !pos < total do
-             let n = min chunk_max (total - !pos) in
-             let body = Crypto.encrypt st.key (Bytebuf.sub buf !pos n) in
-             let frame = Bytebuf.create (4 + Bytebuf.length body) in
-             Bytebuf.set_u32 frame 0 (Bytebuf.length body);
-             Bytebuf.blit ~src:body ~src_off:0 ~dst:frame ~dst_off:4
-               ~len:(Bytebuf.length body);
-             charge st n (fun () -> ());
-             ignore (Vl.post_write st.inner frame);
-             pos := !pos + n
+           let continue = ref true in
+           while !continue && !pos < total do
+             let n =
+               min (min chunk_max (total - !pos)) (!budget - frame_overhead)
+             in
+             if n <= 0 then continue := false
+             else begin
+               let body = Crypto.encrypt st.key (Bytebuf.sub buf !pos n) in
+               let frame = Bytebuf.create (4 + Bytebuf.length body) in
+               Bytebuf.set_u32 frame 0 (Bytebuf.length body);
+               Bytebuf.blit ~src:body ~src_off:0 ~dst:frame ~dst_off:4
+                 ~len:(Bytebuf.length body);
+               charge st n (fun () -> ());
+               ignore (Vl.post_write st.inner frame);
+               budget := !budget - Bytebuf.length frame;
+               pos := !pos + n
+             end
            done;
-           total
+           if !pos > 0 then trace_adapter st.node Padico_obs.Event.Wrap !pos;
+           !pos
          end);
-    o_read = (fun ~max -> Streamq.pop st.rx ~max);
+    o_read =
+      (fun ~max ->
+         let r = Streamq.pop st.rx ~max in
+         resume_reads st;
+         r);
     o_readable = (fun () -> Streamq.length st.rx);
     o_write_space =
-      (fun () -> if st.closed then 0 else Stdlib.max 0 (Vl.write_space st.inner));
+      (fun () ->
+         if st.closed then 0
+         else Stdlib.max 0 (Vl.write_space st.inner - frame_overhead));
     o_close =
       (fun () ->
          st.closed <- true;
          Vl.close st.inner);
     o_driver = driver_name }
 
-let wrap ~key inner =
+let wrap ?(rx_high = 262_144) ?rx_low ~key inner =
+  let rx_low = match rx_low with Some l -> l | None -> rx_high / 4 in
   let st =
-    { inner; key; rx = Streamq.create (); pending = Streamq.create ();
-      want = None; node = Vl.node inner; outer = None; closed = false }
+    { inner; key; rx = Streamq.create ~high:rx_high ~low:rx_low ();
+      pending = Streamq.create (); want = None; node = Vl.node inner;
+      outer = None; closed = false; rx_paused = false }
   in
+  let connected_now = Vl.is_connected inner in
   let vl =
-    if Vl.is_connected inner then Vl.create_connected (Vl.node inner) (ops st)
-    else begin
-      let vl = Vl.create (Vl.node inner) in
-      Vl.on_event inner (function
-        | Vl.Connected -> Vl.attach_ops vl (ops st)
-        | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
-        | Vl.Readable | Vl.Writable | Vl.Peer_closed -> ());
-      vl
-    end
+    if connected_now then Vl.create_connected (Vl.node inner) (ops st)
+    else Vl.create (Vl.node inner)
   in
   st.outer <- Some vl;
-  if Vl.is_connected inner then read_loop st
-  else
-    Vl.on_event inner (function Vl.Connected -> read_loop st | _ -> ());
+  (* One forwarding handler for both connect paths: backpressure release
+     (inner Writable), peer death and failures all propagate up instead of
+     being swallowed while the read loop is parked. *)
+  Vl.on_event inner (function
+    | Vl.Connected ->
+      if not connected_now then Vl.attach_ops vl (ops st);
+      read_loop st
+    | Vl.Writable -> Vl.notify vl Vl.Writable
+    | Vl.Peer_closed -> Vl.notify vl Vl.Peer_closed
+    | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
+    | Vl.Readable -> ());
+  if connected_now then read_loop st;
   vl

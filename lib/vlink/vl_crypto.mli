@@ -2,6 +2,10 @@
     other VLink. The selector inserts it automatically on untrusted links
     ("if the network is secure, it is useless to cipher data"). *)
 
-val wrap : key:Methods.Crypto.key -> Vl.t -> Vl.t
+val wrap : ?rx_high:int -> ?rx_low:int -> key:Methods.Crypto.key -> Vl.t -> Vl.t
+(** Backpressure-aware: writes are accepted only up to the inner link's
+    write space (counting frame overhead), and the decrypt loop pauses
+    when more than [rx_high] plaintext bytes (default 256 KiB) sit unread,
+    resuming below [rx_low] (default [rx_high / 4]). *)
 
 val driver_name : string

@@ -25,6 +25,8 @@ type conn = {
   mutable peer_id : int; (* -1 until SYNACK *)
   rx : Streamq.t;
   mutable closed : bool;
+  mutable rx_released : bool;
+      (* remaining rx credits returned in bulk at teardown *)
 }
 
 type inst = {
@@ -36,6 +38,13 @@ type inst = {
 }
 
 let instances : (int * int, inst) Hashtbl.t = Hashtbl.create 16
+
+(* Every message on the control lchannel starts with this header; under
+   credit flow control its cost is granted back the moment the dispatcher
+   runs, while DATA payload bytes are granted only when the application
+   drains them from the connection's rx queue (manual-grant mode: the
+   dispatcher is not the real consumer here). *)
+let ctl_header_len = 9
 
 let header ~kind ~conn_id ~extra =
   let b = Bytebuf.create 9 in
@@ -52,30 +61,71 @@ let send_ctl t ~dst ~kind ~conn_id ~extra =
   try Madio.send t.lchan ~dst (header ~kind ~conn_id ~extra)
   with Madeleine.Mad.Link_down _ -> ()
 
+(* Teardown: whatever sits unread in the rx queue will never be drained
+   through o_read's grant path, so return those credits in one go —
+   otherwise the per-peer window (shared by every conn on this node pair)
+   shrinks permanently. *)
+let release_rx t c =
+  if not c.rx_released then begin
+    c.rx_released <- true;
+    if c.peer_node >= 0 then
+      Madio.grant t.lchan ~src:c.peer_node (Streamq.length c.rx)
+  end
+
+(* Bytes of credit one payload byte costs on the wire. *)
+let data_space t c =
+  if c.closed then 0
+  else
+    let s = Madio.send_space t.lchan ~dst:c.peer_node in
+    if s = max_int then max_int else Stdlib.max 0 (s - ctl_header_len)
+
 let ops_of_conn t c =
   { Vl.o_write =
       (fun buf ->
          if c.closed then 0
          else begin
            (* SAN is reliable and fast: a write becomes one MadIO message
-              carrying the 9-byte data header combined with the payload. *)
-           match
-             Madio.sendv t.lchan ~dst:c.peer_node
-               [ header ~kind:4 ~conn_id:c.peer_id ~extra:0; buf ]
-           with
-           | () -> Bytebuf.length buf
-           | exception Madeleine.Mad.Link_down _ ->
-             (* Carrier just dropped; accept nothing — the link watcher is
-                about to fail this connection. *)
+              carrying the 9-byte data header combined with the payload.
+              Under credit flow control accept only what the per-peer
+              window covers; when the window is shut, park until the
+              receiver's grant arrives and resurface as [Writable]. *)
+           let n = min (Bytebuf.length buf) (data_space t c) in
+           if n <= 0 then begin
+             (* Wake only once a payload byte fits past the data header. *)
+             Madio.on_credit t.lchan ~dst:c.peer_node
+               ~min_space:(ctl_header_len + 1) (fun () ->
+                 if not c.closed then Vl.notify c.vl Vl.Writable);
              0
+           end
+           else
+             match
+               Madio.sendv t.lchan ~dst:c.peer_node
+                 [ header ~kind:4 ~conn_id:c.peer_id ~extra:0;
+                   (if n = Bytebuf.length buf then buf else Bytebuf.sub buf 0 n) ]
+             with
+             | () -> n
+             | exception Madeleine.Mad.Link_down _ ->
+               (* Carrier just dropped; accept nothing — the link watcher
+                  is about to fail this connection. *)
+               0
          end);
-    o_read = (fun ~max -> Streamq.pop c.rx ~max);
+    o_read =
+      (fun ~max ->
+         match Streamq.pop c.rx ~max with
+         | Some b as r ->
+           (* The application consumed payload bytes: hand the credits
+              back to the sender (manual-grant mode). *)
+           if not c.rx_released then
+             Madio.grant t.lchan ~src:c.peer_node (Bytebuf.length b);
+           r
+         | None -> None);
     o_readable = (fun () -> Streamq.length c.rx);
-    o_write_space = (fun () -> if c.closed then 0 else max_int);
+    o_write_space = (fun () -> data_space t c);
     o_close =
       (fun () ->
          if not c.closed then begin
            c.closed <- true;
+           release_rx t c;
            if c.peer_id >= 0 then
              send_ctl t ~dst:c.peer_node ~kind:5 ~conn_id:c.peer_id ~extra:0
          end);
@@ -85,7 +135,8 @@ let fresh_conn t ~vl ~peer_node ~peer_id =
   let local_id = t.next_id in
   t.next_id <- local_id + 1;
   let c =
-    { vl; local_id; peer_node; peer_id; rx = Streamq.create (); closed = false }
+    { vl; local_id; peer_node; peer_id; rx = Streamq.create ();
+      closed = false; rx_released = false }
   in
   Hashtbl.replace t.conns local_id c;
   c
@@ -93,6 +144,9 @@ let fresh_conn t ~vl ~peer_node ~peer_id =
 let handle t ~src (msg : Bytebuf.t) =
   let kind = Bytebuf.get_u8 msg 0 in
   let conn_id = Bytebuf.get_u32 msg 1 in
+  (* Manual-grant mode: return the control-header cost now; DATA payload
+     credits come back from o_read as the application drains. *)
+  Madio.grant t.lchan ~src (min ctl_header_len (Bytebuf.length msg));
   match kind with
   | 1 ->
     (* SYN: conn_id is the initiator's id, extra is the port. *)
@@ -116,14 +170,19 @@ let handle t ~src (msg : Bytebuf.t) =
     (match Hashtbl.find_opt t.conns conn_id with
      | Some c ->
        Hashtbl.remove t.conns conn_id;
+       release_rx t c;
        Vl.notify c.vl (Vl.Failed "connection refused")
      | None -> ())
   | 4 ->
+    let payload = Bytebuf.sub msg 9 (Bytebuf.length msg - 9) in
     (match Hashtbl.find_opt t.conns conn_id with
-     | Some c ->
-       Streamq.push c.rx (Bytebuf.sub msg 9 (Bytebuf.length msg - 9));
+     | Some c when not c.rx_released ->
+       Streamq.push c.rx payload;
        Vl.notify c.vl Vl.Readable
-     | None -> ())
+     | _ ->
+       (* No live consumer: the payload is dropped, so its credits go
+          straight back. *)
+       Madio.grant t.lchan ~src (Bytebuf.length payload))
   | 5 ->
     (match Hashtbl.find_opt t.conns conn_id with
      | Some c ->
@@ -141,6 +200,10 @@ let get mio =
   | Some t -> t
   | None ->
     let lchan = Madio.open_lchannel mio ~id:control_lchannel in
+    (* The dispatcher only parks payload in per-connection queues; the
+       real consumer is the application above, so credits are granted
+       manually (header now, payload on drain). *)
+    Madio.set_manual_grant lchan true;
     let t =
       { mio; lchan; conns = Hashtbl.create 16; listeners = Hashtbl.create 8;
         next_id = 0 }
@@ -158,6 +221,7 @@ let get mio =
            |> List.iter (fun c ->
                if not c.closed then begin
                  c.closed <- true;
+                 release_rx t c;
                  Vl.notify c.vl (Vl.Failed "link down")
                end));
     Hashtbl.replace instances key t;

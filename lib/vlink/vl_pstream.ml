@@ -40,9 +40,20 @@ type link = {
   rx : Streamq.t;
   mutable closed : bool;
   mutable peer_closed_members : int;
+  mutable rx_paused : bool;
+      (* member draining parked: reassembled bytes over the high
+         watermark. Unread bytes stay in each member's TCP receive queue,
+         so every member's advertised window closes — backpressure across
+         all stripes at once. *)
 }
 
 let notify l ev = match l.vl with Some vl -> Vl.notify vl ev | None -> ()
+
+let trace_flow l action =
+  if Trace.on () then
+    Trace.instant l.lnode
+      (Padico_obs.Event.Flow
+         { action; place = driver_name; bytes = Streamq.length l.rx })
 
 let deliver_in_order l =
   let progress = ref true in
@@ -83,15 +94,30 @@ let parse_member l m =
   end
 
 let drain_member l m =
-  let rec drain () =
-    match Tcp.read m.conn ~max:65_536 with
-    | Some data ->
-      Streamq.push m.pending data;
-      drain ()
-    | None -> ()
-  in
-  drain ();
-  parse_member l m
+  if Streamq.above_high l.rx then begin
+    if not l.rx_paused then begin
+      l.rx_paused <- true;
+      trace_flow l "pause"
+    end
+  end
+  else begin
+    let rec drain () =
+      match Tcp.read m.conn ~max:65_536 with
+      | Some data ->
+        Streamq.push m.pending data;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    parse_member l m
+  end
+
+let resume_members l =
+  if l.rx_paused && Streamq.below_low l.rx then begin
+    l.rx_paused <- false;
+    trace_flow l "resume";
+    Array.iter (fun m -> drain_member l m) l.members
+  end
 
 let member_event l m = function
   | Tcp.Readable -> drain_member l m
@@ -103,10 +129,13 @@ let member_event l m = function
   | Tcp.Reset -> notify l (Vl.Failed "stream member reset")
   | Tcp.Established -> ()
 
+let default_rx_high = 262_144
+
 let make_link lnode members =
   { lnode; members; vl = None; next_tx_seq = 0; rr = 0; next_rx_seq = 0;
-    reorder = Hashtbl.create 64; rx = Streamq.create (); closed = false;
-    peer_closed_members = 0 }
+    reorder = Hashtbl.create 64;
+    rx = Streamq.create ~high:default_rx_high ~low:(default_rx_high / 4) ();
+    closed = false; peer_closed_members = 0; rx_paused = false }
 
 let aggregate_write_space l =
   Array.fold_left
@@ -143,7 +172,11 @@ let ops l =
            done;
            !sent
          end);
-    o_read = (fun ~max -> Streamq.pop l.rx ~max);
+    o_read =
+      (fun ~max ->
+         let r = Streamq.pop l.rx ~max in
+         resume_members l;
+         r);
     o_readable = (fun () -> Streamq.length l.rx);
     o_write_space = (fun () -> if l.closed then 0 else aggregate_write_space l);
     o_close =
@@ -204,7 +237,7 @@ let listen sio stack ~port accept =
   let sessions : (int, pending_session) Hashtbl.t = Hashtbl.create 8 in
   Sysio.listen sio stack ~port (fun conn ->
       let hello = ref None in
-      Sysio.watch sio conn (fun ev ->
+      let handle ev =
           match (ev, !hello) with
           | Tcp.Readable, None when Tcp.readable_bytes conn >= hello_len ->
             (match Tcp.read conn ~max:hello_len with
@@ -246,4 +279,11 @@ let listen sio stack ~port accept =
                  accept vl
                end
              | None -> ())
-          | _ -> ()))
+          | _ -> ()
+      in
+      Sysio.watch sio conn handle;
+      (* The accept callback is dispatched through the arbitration core,
+         so the HELLO's [Readable] edge may have fired before the watch
+         was registered. Poll once: a bundle must form even if the peer
+         sends nothing after its HELLOs. *)
+      if Tcp.readable_bytes conn >= hello_len then handle Tcp.Readable)

@@ -23,3 +23,8 @@ val driver_name : string
 
 val default_block : int
 (** Striping block size (bytes). *)
+
+val default_rx_high : int
+(** Reassembly high watermark (bytes): when this many in-order bytes sit
+    unread, member draining parks and every stripe's TCP receive window
+    closes; draining resumes below a quarter of this. *)

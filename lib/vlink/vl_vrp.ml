@@ -21,25 +21,54 @@ let sender_of vl =
 let receiver_of vl =
   List.find_opt (fun (v, _) -> v == vl) !receivers |> Option.map snd
 
-let connect sio udp ~dst ~port ~tolerance ~rate_bps =
+let trace_flow node action bytes =
+  if Trace.on () then
+    Trace.instant node
+      (Padico_obs.Event.Flow { action; place = driver_name; bytes })
+
+let connect ?(sndbuf = 262_144) sio udp ~dst ~port ~tolerance ~rate_bps =
+  if sndbuf < 1 then invalid_arg "Vl_vrp.connect: sndbuf must be positive";
   let sender =
     Vrp.create_sender sio udp ~dst ~dst_port:port ~tolerance ~rate_bps
   in
   let closed = ref false in
+  let vl_cell = ref None in
+  let space () =
+    if !closed then 0 else Stdlib.max 0 (sndbuf - Vrp.backlog_bytes sender)
+  in
   let ops =
     { Vl.o_write =
         (fun buf ->
            if !closed then 0
            else begin
-             trace_adapter (Drivers.Udp.node udp) Padico_obs.Event.Wrap
-               (Bytebuf.length buf);
-             Vrp.send sender buf;
-             Bytebuf.length buf
+             (* The pacer, not the wire, is the bottleneck: accept only up
+                to [sndbuf] unpaced bytes, then resurface as [Writable]
+                when the pacer drains — the classic rate-limited-sender
+                backpressure, instead of an unbounded protocol queue. *)
+             let n = min (Bytebuf.length buf) (space ()) in
+             if n <= 0 then begin
+               trace_flow (Drivers.Udp.node udp) "pause"
+                 (Vrp.backlog_bytes sender);
+               Vrp.on_backlog_drain sender (fun () ->
+                   match !vl_cell with
+                   | Some vl when not !closed ->
+                     trace_flow (Drivers.Udp.node udp) "resume"
+                       (Vrp.backlog_bytes sender);
+                     Vl.notify vl Vl.Writable
+                   | _ -> ());
+               0
+             end
+             else begin
+               trace_adapter (Drivers.Udp.node udp) Padico_obs.Event.Wrap n;
+               Vrp.send sender
+                 (if n = Bytebuf.length buf then buf else Bytebuf.sub buf 0 n);
+               n
+             end
            end);
       (* A VRP stream is unidirectional: the connecting side only writes. *)
       o_read = (fun ~max:_ -> None);
       o_readable = (fun () -> 0);
-      o_write_space = (fun () -> if !closed then 0 else max_int);
+      o_write_space = space;
       o_close =
         (fun () ->
            closed := true;
@@ -47,6 +76,7 @@ let connect sio udp ~dst ~port ~tolerance ~rate_bps =
       o_driver = driver_name }
   in
   let vl = Vl.create_connected (Drivers.Udp.node udp) ops in
+  vl_cell := Some vl;
   senders := (vl, sender) :: !senders;
   vl
 

@@ -6,6 +6,7 @@
     protocols that need exact bytes. *)
 
 val connect :
+  ?sndbuf:int ->
   Netaccess.Sysio.t ->
   Drivers.Udp.t ->
   dst:int ->
@@ -13,7 +14,12 @@ val connect :
   tolerance:float ->
   rate_bps:float ->
   Vl.t
-(** Datagram transport: the descriptor is connected immediately. *)
+(** Datagram transport: the descriptor is connected immediately.
+
+    The sender is rate-paced, so it — not the wire — is the bottleneck:
+    at most [sndbuf] bytes (default 256 KiB) sit unpaced before writes
+    stop being accepted ([o_write] returns 0, [write_space] reaches 0);
+    a [Writable] event fires when the pacer drains. *)
 
 val listen :
   Netaccess.Sysio.t ->

@@ -292,7 +292,7 @@ let test_vl_read_timeout () =
           check_bool "not before the deadline" true
             (Padico.now grid - t0 >= Time.ms 5)
         | Vl.Error m -> Alcotest.failf "unexpected error %s" m
-        | Vl.Done _ | Vl.Eof -> Alcotest.fail "read should time out")
+        | Vl.Done _ | Vl.Eof | Vl.Again -> Alcotest.fail "read should time out")
   in
   Tutil.run_grid grid;
   Tutil.assert_done h
@@ -311,7 +311,7 @@ let test_vl_timeout_not_fired_when_served () =
           Vl.await (Vl.post_read ~timeout_ns:(Time.sec 1) vl (Bb.create 64))
         with
         | Vl.Done n -> check_bool "got data" true (n > 0)
-        | Vl.Eof -> Alcotest.fail "eof"
+        | Vl.Eof | Vl.Again -> Alcotest.fail "eof"
         | Vl.Error m -> Alcotest.failf "error %s" m)
   in
   Tutil.run_grid grid;
@@ -366,7 +366,7 @@ let test_madio_write_after_peer_close () =
         (* The old bug: this write sat in the queue forever. *)
         match Vl.await (Vl.post_write vl (Tutil.pattern_buf ~seed:3 128)) with
         | Vl.Error _ -> ()
-        | Vl.Done _ | Vl.Eof ->
+        | Vl.Done _ | Vl.Eof | Vl.Again ->
           Alcotest.fail "write after peer close must fail")
   in
   Tutil.run_grid grid;
@@ -383,8 +383,8 @@ let echo_server grid node vl =
            | Vl.Done n ->
              (match Vl.await (Vl.post_write vl (Bb.sub buf 0 n)) with
               | Vl.Done _ -> loop ()
-              | Vl.Eof | Vl.Error _ -> ())
-           | Vl.Eof | Vl.Error _ -> ()
+              | Vl.Eof | Vl.Again | Vl.Error _ -> ())
+           | Vl.Eof | Vl.Again | Vl.Error _ -> ()
          in
          loop ()))
 
@@ -413,7 +413,7 @@ let run_failover_transfer ~seed ~total ~plan_text () =
             | Vl.Done n ->
               received := !received + n;
               rd ()
-            | Vl.Eof -> ()
+            | Vl.Eof | Vl.Again -> ()
             | Vl.Error m -> Alcotest.failf "read: %s" m
         in
         rd ())
