@@ -339,6 +339,152 @@ let fault_cmd =
           $ out_arg)
 
 
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 10
+         & info [ "seeds" ] ~docv:"N"
+           ~doc:"Random schedule permutations per case, on top of the \
+                 fifo/lifo/starve policies (seeds 0..N-1).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"TOKEN"
+           ~doc:"Replay one failing run from its $(b,PCHK:v1:...) token \
+                 instead of exploring.")
+  in
+  let plan_arg =
+    Arg.(value & opt (some file) None
+         & info [ "plan" ] ~docv:"FILE"
+           ~doc:"Fault plan applied to every case's grid (and digested \
+                 into failure tokens).")
+  in
+  let case_arg =
+    Arg.(value & opt_all string []
+         & info [ "case" ] ~docv:"NAME"
+           ~doc:"Restrict to a case (repeatable): exact name \
+                 ($(b,madio/no-loss)) or fixture prefix ($(b,madio/)).")
+  in
+  let demo_arg =
+    Arg.(value & flag
+         & info [ "demo-bug" ]
+           ~doc:"Also run $(b,demo/ordering), a deliberately planted \
+                 register-after-dispatch bug that FIFO masks — \
+                 demonstrates what exploration catches.")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+           ~doc:"Greedily minimise each failure's fault plan and policy \
+                 before reporting.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"With $(b,--replay): write a Chrome trace-event JSON of \
+                 the replayed run.")
+  in
+  let pp_policy p = Engine.Sim.policy_to_string p in
+  let load_plan = function
+    | None -> None
+    | Some f -> (
+        match Padico_fault.Plan.parse_file f with
+        | Ok p -> Some p
+        | Error msg ->
+          prerr_endline ("fault plan: " ^ msg);
+          exit 2)
+  in
+  let run seeds replay plan_file names demo shrink out =
+    let plan = load_plan plan_file in
+    match replay with
+    | Some token ->
+      if out <> None then begin
+        Padico_obs.Metrics.reset ();
+        Padico_obs.Trace.enable ()
+      end;
+      let outcome = Padico_check.Explore.replay ?plan token in
+      (match out with
+       | None -> ()
+       | Some file ->
+         Padico_obs.Trace.disable ();
+         Padico_obs.Export_chrome.write_file file;
+         Printf.printf "trace: %d records -> %s\n"
+           (Padico_obs.Trace.length ()) file);
+      (match outcome with
+       | Error msg ->
+         prerr_endline msg;
+         exit 2
+       | Ok None ->
+         Printf.printf "PASS %s (failure did not reproduce)\n" token;
+         exit 1
+       | Ok (Some f) ->
+         Printf.printf "FAIL %s\n  %s\n" f.Padico_check.Explore.token
+           f.Padico_check.Explore.message)
+    | None ->
+      let policies = Padico_check.Explore.default_policies ~seeds in
+      let names = if names = [] then None else Some names in
+      let summary =
+        Padico_check.Explore.explore ?plan ~demo ?names ~policies ()
+      in
+      Printf.printf
+        "conformance: %d cases x %d policies (%d interleavings run)\n"
+        summary.Padico_check.Explore.cases_run (List.length policies)
+        summary.Padico_check.Explore.interleavings;
+      (match summary.Padico_check.Explore.failures with
+       | [] -> print_endline "all obligations hold under every schedule"
+       | failures ->
+         List.iter
+           (fun f ->
+              let f =
+                if not shrink then f
+                else begin
+                  let plan', policy', token' =
+                    Padico_check.Explore.shrink ?plan f
+                  in
+                  Printf.printf
+                    "shrunk %s: %d plan events, policy %s\n"
+                    f.Padico_check.Explore.case
+                    (match plan' with
+                     | None -> 0
+                     | Some p -> List.length p)
+                    (pp_policy policy');
+                  { f with Padico_check.Explore.token = token';
+                    policy = policy' }
+                end
+              in
+              Printf.printf "FAIL %s [%s]\n  %s\n  replay: padico_cli \
+                             check --replay '%s'%s\n"
+                f.Padico_check.Explore.case
+                (pp_policy f.Padico_check.Explore.policy)
+                f.Padico_check.Explore.message
+                f.Padico_check.Explore.token
+                (* The shrinker may have stripped the plan entirely: only
+                   point at the plan file while the token still digests
+                   one, or the replay's digest guard would reject it. *)
+                (match plan_file with
+                 | Some file
+                   when not
+                          (String.length f.Padico_check.Explore.token >= 2
+                           && String.sub f.Padico_check.Explore.token
+                                (String.length f.Padico_check.Explore.token
+                                 - 2)
+                                2
+                              = ":-") ->
+                   " --plan " ^ file
+                 | Some _ | None -> ""))
+           failures;
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the adapter conformance kit under schedule exploration: \
+             every VLink/Circuit obligation against every adapter, under \
+             fifo/lifo/starve plus N seeded random same-timestamp \
+             permutations. Failures print a replay token.")
+    Term.(const run $ seeds_arg $ replay_arg $ plan_arg $ case_arg
+          $ demo_arg $ shrink_arg $ out_arg)
+
 (* ---------- flow ---------- *)
 
 let flow_cmd =
@@ -490,4 +636,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
           [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
-            fault_cmd; flow_cmd ]))
+            fault_cmd; flow_cmd; check_cmd ]))

@@ -1,0 +1,599 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Proc = Engine.Proc
+module Bb = Engine.Bytebuf
+module Node = Simnet.Node
+module Presets = Simnet.Presets
+module Prefs = Selector.Prefs
+module Vl = Vlink.Vl
+module Ct = Circuit.Ct
+
+exception Failed of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Failed s)) fmt
+
+let comp_name = function
+  | Vl.Done n -> Printf.sprintf "Done %d" n
+  | Vl.Eof -> "Eof"
+  | Vl.Again -> "Again"
+  | Vl.Error m -> Printf.sprintf "Error %S" m
+
+(* ---------- VLink fixtures ---------- *)
+
+(* One adapter under test: a fresh grid whose topology and preferences make
+   the selector pick exactly that adapter for [dial]. *)
+type env = {
+  grid : Padico.t;
+  client : Node.t;
+  server : Node.t;
+  dial : port:int -> Vl.t;
+  bind : port:int -> (Vl.t -> unit) -> unit;
+  oneway : bool;  (* client-to-server byte stream only (VRP) *)
+  strict_eof : bool;  (* peer close must read as [Eof], never [Error] *)
+  expect_driver : string option;
+  xfer : int;  (* bulk-transfer size, scaled to the link speed *)
+}
+
+type fixture = {
+  fname : string;
+  skip : string list;  (* obligation names not applicable to this adapter *)
+  build : unit -> env;
+}
+
+(* Wrapper preferences isolated per fixture so [expect_driver] is exact. *)
+let bare_prefs =
+  { Prefs.default with Prefs.adoc_on_slow = false; cipher_untrusted = false }
+
+let pair_env ~model ~prefs ?(oneway = false) ?(strict_eof = true)
+    ?expect_driver ?(xfer = 65_536) () =
+  let grid = Padico.create ~prefs () in
+  let c = Padico.add_node grid "c" in
+  let s = Padico.add_node grid "s" in
+  ignore (Padico.add_segment grid model ~name:"link" [ c; s ]);
+  { grid; client = c; server = s;
+    dial = (fun ~port -> Padico.connect grid ~src:c ~dst:s ~port);
+    bind = (fun ~port accept -> Padico.listen grid s ~port accept);
+    oneway; strict_eof; expect_driver; xfer }
+
+let loopback_env () =
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let n = Padico.add_node grid "c" in
+  { grid; client = n; server = n;
+    dial = (fun ~port -> Padico.connect grid ~src:n ~dst:n ~port);
+    bind = (fun ~port accept -> Padico.listen grid n ~port accept);
+    oneway = false; strict_eof = true; expect_driver = Some "loopback";
+    xfer = 65_536 }
+
+let resilient_env () =
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let c = Padico.add_node grid "c" in
+  let s = Padico.add_node grid "s" in
+  ignore (Padico.add_segment grid Presets.myrinet2000 ~name:"san" [ c; s ]);
+  ignore (Padico.add_segment grid Presets.ethernet100 ~name:"lan" [ c; s ]);
+  { grid; client = c; server = s;
+    dial =
+      (fun ~port -> Resilient.vl (Resilient.connect grid ~src:c ~dst:s ~port));
+    bind = (fun ~port accept -> Resilient.listen grid s ~port accept);
+    oneway = false; strict_eof = true; expect_driver = Some "resilient";
+    xfer = 65_536 }
+
+let vlink_fixtures =
+  [ { fname = "loopback"; skip = []; build = loopback_env };
+    { fname = "sysio"; skip = [];
+      build =
+        (fun () ->
+           pair_env ~model:Presets.ethernet100 ~prefs:bare_prefs
+             ~expect_driver:"sysio" ()) };
+    { fname = "madio"; skip = [];
+      build =
+        (fun () ->
+           pair_env ~model:Presets.myrinet2000 ~prefs:bare_prefs
+             ~expect_driver:"madio" ()) };
+    { fname = "pstream"; skip = [];
+      build =
+        (fun () ->
+           pair_env ~model:Presets.vthd
+             ~prefs:
+               { bare_prefs with
+                 Prefs.pstream_on_wan = true; pstream_streams = 2 }
+             ~expect_driver:"pstream" ()) };
+    { fname = "adoc"; skip = [];
+      build =
+        (fun () ->
+           pair_env ~model:Presets.modem
+             ~prefs:{ bare_prefs with Prefs.adoc_on_slow = true }
+             ~expect_driver:"adoc" ~xfer:8_192 ()) };
+    { fname = "crypto"; skip = [];
+      build =
+        (fun () ->
+           pair_env
+             ~model:(Presets.transcontinental_loss 0.0)
+             ~prefs:{ bare_prefs with Prefs.cipher_untrusted = true }
+             ~expect_driver:"crypto" ~xfer:16_384 ()) };
+    (* No "timeout" for VRP: its pacer flushes sub-chunk residue only at
+       [finish], so the accept (first datagram) arrives together with the
+       stream end — a silent-but-open connection cannot be posed. *)
+    { fname = "vrp"; skip = [ "timeout" ];
+      build =
+        (fun () ->
+           pair_env
+             ~model:(Presets.transcontinental_loss 0.0)
+             ~prefs:
+               { bare_prefs with Prefs.vrp_on_lossy = true;
+                 vrp_tolerance = 0.0 }
+             ~oneway:true ~strict_eof:false ~expect_driver:"vrp"
+             ~xfer:16_384 ()) };
+    { fname = "resilient"; skip = []; build = resilient_env } ]
+
+(* ---------- obligation scaffolding ---------- *)
+
+let port = 6100
+
+let probe_len = 16
+
+let pattern ~seed n =
+  let b = Bb.create n in
+  Bb.fill_pattern b ~seed;
+  b
+
+let wait_writable vl =
+  Proc.suspend (fun resume -> Vl.on_writable vl (fun () -> resume ()))
+
+(* Blocking-read [total] bytes into a fresh buffer; any non-[Done]
+   completion is a violation. The generous deadline converts a hang under
+   an adversarial schedule into a reportable failure. *)
+let read_exact ?(deadline = Time.sec 120) vl total =
+  let into = Bb.create total in
+  let got = ref 0 in
+  while !got < total do
+    (* Never offer more window than we still expect: a read may legally
+       fill the whole buffer, and overflow past [total] would steal bytes
+       belonging to the caller's next message. *)
+    let window = Bb.create (min 16_384 (total - !got)) in
+    (match Vl.await (Vl.post_read ~timeout_ns:deadline vl window) with
+     | Vl.Done n ->
+       if n <= 0 || n > Bb.length window then
+         failf "read completed Done %d with a %d-byte buffer" n
+           (Bb.length window);
+       Bb.blit ~src:window ~src_off:0 ~dst:into ~dst_off:!got ~len:n;
+       got := !got + n
+     | c -> failf "read at %d/%d completed %s" !got total (comp_name c))
+  done;
+  into
+
+let write_all vl buf =
+  match Vl.await (Vl.post_write vl buf) with
+  | Vl.Done n when n = Bb.length buf -> ()
+  | c -> failf "write of %d bytes completed %s" (Bb.length buf) (comp_name c)
+
+let connect_or_fail vl =
+  match Vl.await_connected vl with
+  | Ok () -> ()
+  | Error m -> failf "connect failed: %s" m
+
+(* Dial + accept + client-to-server probe (the probe also triggers accept on
+   drivers whose server side materialises on first data, e.g. VRP), then run
+   [client]/[server] as processes and re-raise any violation they recorded. *)
+let scaffold env ~client ~server =
+  let handles = ref [] in
+  let accepted = ref false in
+  env.bind ~port (fun vl ->
+      if not !accepted then begin
+        accepted := true;
+        handles :=
+          ( "server",
+            Padico.spawn env.grid env.server ~name:"server" (fun () ->
+                if not (Vl.is_connected vl) then
+                  failf "accepted descriptor not connected";
+                let got = read_exact vl probe_len in
+                if not (Bb.equal got (pattern ~seed:7 probe_len)) then
+                  failf "probe bytes corrupted";
+                server vl) )
+          :: !handles
+      end);
+  let cvl = env.dial ~port in
+  handles :=
+    ( "client",
+      Padico.spawn env.grid env.client ~name:"client" (fun () ->
+          connect_or_fail cvl;
+          if not (Vl.is_connected cvl) then
+            failf "connected descriptor reports not connected";
+          write_all cvl (pattern ~seed:7 probe_len);
+          client cvl) )
+    :: !handles;
+  Padico.run env.grid ~until:(Time.sec 600);
+  if not !accepted then failf "server never accepted";
+  List.iter
+    (fun (what, h) ->
+       match Proc.result h with
+       | Some (Ok ()) -> ()
+       | Some (Error (Failed _ as e)) -> raise e
+       | Some (Error e) ->
+         failf "%s process raised %s" what (Printexc.to_string e)
+       | None -> failf "%s process did not finish (stuck request?)" what)
+    !handles
+
+let expect_end ~strict vl =
+  match Vl.await (Vl.post_read ~timeout_ns:(Time.sec 120) vl (Bb.create 64))
+  with
+  | Vl.Eof -> ()
+  | Vl.Error m when not strict -> ignore m
+  | c -> failf "peer close read as %s, want Eof" (comp_name c)
+
+(* ---------- the VLink obligations ---------- *)
+
+type obligation = { oname : string; run : env -> unit }
+
+let ob_connect =
+  { oname = "connect";
+    run =
+      (fun env ->
+         scaffold env
+           ~client:(fun cvl ->
+               (match env.expect_driver with
+                | Some d when Vl.driver_name cvl <> d ->
+                  failf "selector picked %S, fixture expects %S"
+                    (Vl.driver_name cvl) d
+                | _ -> ());
+               Vl.close cvl)
+           ~server:(fun svl -> Vl.close svl)) }
+
+let ob_no_loss =
+  { oname = "no-loss";
+    run =
+      (fun env ->
+         let total = env.xfer in
+         scaffold env
+           ~client:(fun cvl ->
+               let out = pattern ~seed:11 total in
+               let chunk = max 1 (total / 8) in
+               let off = ref 0 in
+               while !off < total do
+                 let n = min chunk (total - !off) in
+                 write_all cvl (Bb.sub out !off n);
+                 off := !off + n
+               done;
+               if not env.oneway then begin
+                 let back = read_exact cvl total in
+                 if not (Bb.equal back (pattern ~seed:13 total)) then
+                   failf "return stream corrupted or reordered"
+               end;
+               Vl.close cvl)
+           ~server:(fun svl ->
+               let got = read_exact svl total in
+               if not (Bb.equal got (pattern ~seed:11 total)) then
+                 failf "stream corrupted or reordered";
+               if not env.oneway then write_all svl (pattern ~seed:13 total);
+               expect_end ~strict:env.strict_eof svl;
+               Vl.close svl)) }
+
+let ob_eof =
+  { oname = "eof";
+    run =
+      (fun env ->
+         let total = min env.xfer 16_384 in
+         scaffold env
+           ~client:(fun cvl ->
+               write_all cvl (pattern ~seed:19 total);
+               Vl.close cvl)
+           ~server:(fun svl ->
+               let got = read_exact svl total in
+               if not (Bb.equal got (pattern ~seed:19 total)) then
+                 failf "bytes before close corrupted";
+               (* End of stream is [Eof], stably: never [Error], and a
+                  second read does not un-end the stream. *)
+               expect_end ~strict:env.strict_eof svl;
+               expect_end ~strict:env.strict_eof svl;
+               Vl.close svl)) }
+
+let ob_close =
+  { oname = "close";
+    run =
+      (fun env ->
+         scaffold env
+           ~client:(fun cvl ->
+               Vl.close cvl;
+               (* Idempotent: a second close must not raise. *)
+               Vl.close cvl;
+               (match
+                  Vl.await
+                    (Vl.post_write ~timeout_ns:(Time.sec 120) cvl
+                       (Bb.create 64))
+                with
+                | Vl.Error _ | Vl.Eof -> ()
+                | c -> failf "write after close completed %s" (comp_name c));
+               match
+                 Vl.await
+                   (Vl.post_read ~timeout_ns:(Time.sec 120) cvl
+                      (Bb.create 64))
+               with
+               | Vl.Eof | Vl.Error _ -> ()
+               | c -> failf "read after close completed %s" (comp_name c))
+           ~server:(fun svl ->
+               expect_end ~strict:env.strict_eof svl;
+               Vl.close svl;
+               Vl.close svl)) }
+
+let ob_again =
+  { oname = "again";
+    run =
+      (fun env ->
+         let total = env.xfer in
+         scaffold env
+           ~client:(fun cvl ->
+               let out = pattern ~seed:23 total in
+               let rec push off =
+                 if off < total then begin
+                   let n = min 16_384 (total - off) in
+                   match
+                     Vl.await
+                       (Vl.post_write ~nonblock:true cvl (Bb.sub out off n))
+                   with
+                   | Vl.Done 0 | Vl.Again ->
+                     (* Progress contract: a parked writer woken by
+                        [on_writable] retries and eventually drains. *)
+                     wait_writable cvl;
+                     push off
+                   | Vl.Done k -> push (off + k)
+                   | c -> failf "nonblock write completed %s" (comp_name c)
+                 end
+               in
+               push 0;
+               Vl.close cvl)
+           ~server:(fun svl ->
+               (* Slow consumer: small reads with pauses, to push the
+                  writer into its EAGAIN path on bounded drivers. *)
+               let into = Bb.create total in
+               let window = Bb.create 4_096 in
+               let got = ref 0 in
+               while !got < total do
+                 (match
+                    Vl.await
+                      (Vl.post_read ~timeout_ns:(Time.sec 120) svl window)
+                  with
+                  | Vl.Done n ->
+                    Bb.blit ~src:window ~src_off:0 ~dst:into ~dst_off:!got
+                      ~len:n;
+                    got := !got + n
+                  | c ->
+                    failf "read at %d/%d completed %s" !got total
+                      (comp_name c));
+                 if !got < total then
+                   Proc.sleep (Node.sim env.server) (Time.us 200)
+               done;
+               if not (Bb.equal into (pattern ~seed:23 total)) then
+                 failf "stream corrupted under backpressure";
+               expect_end ~strict:env.strict_eof svl;
+               Vl.close svl)) }
+
+let ob_timeout =
+  { oname = "timeout";
+    run =
+      (fun env ->
+         scaffold env
+           ~client:(fun cvl ->
+               (* Stay silent — and open — far past the server's deadline,
+                  measured from whenever the probe finally lands (paced
+                  transports deliver it 100+ ms in), so the only possible
+                  completion is the timeout. *)
+               Proc.sleep (Node.sim env.client) (Time.sec 1);
+               Vl.close cvl)
+           ~server:(fun svl ->
+               let sim = Node.sim env.server in
+               let t0 = Sim.now sim in
+               (match
+                  Vl.await
+                    (Vl.post_read ~timeout_ns:(Time.ms 5) svl (Bb.create 64))
+                with
+                | Vl.Error "timeout" ->
+                  if Sim.now sim - t0 < Time.ms 5 then
+                    failf "timeout fired %d ns early"
+                      (Time.ms 5 - (Sim.now sim - t0))
+                | c -> failf "silent read completed %s" (comp_name c));
+               Vl.close svl)) }
+
+let vlink_obligations =
+  [ ob_connect; ob_no_loss; ob_eof; ob_close; ob_again; ob_timeout ]
+
+(* ---------- Circuit counterpart ---------- *)
+
+type ct_env = { cgrid : Padico.t; cts : Ct.t array }
+
+type ct_fixture = {
+  cname : string;
+  cbuild : unit -> ct_env;
+}
+
+let ct_pair model () =
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let a = Padico.add_node grid "c" in
+  let b = Padico.add_node grid "s" in
+  ignore (Padico.add_segment grid model ~name:"link" [ a; b ]);
+  { cgrid = grid; cts = Padico.circuit grid ~name:"kit" [ a; b ] }
+
+let ct_mixed () =
+  (* Three ranks on two nodes: rank 0 <-> rank 2 is an intra-node loopback
+     link, rank 0 <-> rank 1 crosses the LAN — one circuit mixing
+     adapters. *)
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let a = Padico.add_node grid "c" in
+  let b = Padico.add_node grid "s" in
+  ignore (Padico.add_segment grid Presets.ethernet100 ~name:"link" [ a; b ]);
+  { cgrid = grid; cts = Padico.circuit grid ~name:"kit" [ a; b; a ] }
+
+let ct_fixtures =
+  [ { cname = "circuit-lan"; cbuild = ct_pair Presets.ethernet100 };
+    { cname = "circuit-san"; cbuild = ct_pair Presets.myrinet2000 };
+    { cname = "circuit-mixed"; cbuild = ct_mixed } ]
+
+type ct_obligation = { ct_oname : string; ct_run : ct_env -> unit }
+
+let ct_membership =
+  { ct_oname = "membership";
+    ct_run =
+      (fun env ->
+         let n = Array.length env.cts in
+         Array.iteri
+           (fun i ct ->
+              if Ct.rank ct <> i then
+                failf "rank %d reports rank %d" i (Ct.rank ct);
+              if Ct.size ct <> n then
+                failf "rank %d reports group size %d, want %d" i (Ct.size ct)
+                  n;
+              if Ct.name ct <> "kit" then
+                failf "rank %d reports circuit name %S" i (Ct.name ct);
+              for j = 0 to n - 1 do
+                if
+                  Node.uid (Ct.node_of_rank ct j)
+                  <> Node.uid (Ct.node env.cts.(j))
+                then failf "rank %d maps rank %d to the wrong node" i j
+              done)
+           env.cts) }
+
+(* Each rank-0 message must arrive as its own [incoming] with exact
+   boundaries, in send order, at every destination rank. *)
+let ct_boundaries =
+  { ct_oname = "boundaries";
+    ct_run =
+      (fun env ->
+         let n = Array.length env.cts in
+         let got = Array.make n [] in
+         for j = 1 to n - 1 do
+           Ct.set_recv env.cts.(j) (fun inc ->
+               let len = Ct.remaining inc in
+               let body = Ct.unpack inc len in
+               got.(j) <-
+                 (Ct.incoming_src inc, len, Bb.to_string body) :: got.(j))
+         done;
+         for j = 1 to n - 1 do
+           let m1 = Ct.begin_packing env.cts.(0) ~dst:j in
+           Ct.pack m1 (pattern ~seed:(100 + j) 96);
+           Ct.end_packing m1;
+           let m2 = Ct.begin_packing env.cts.(0) ~dst:j in
+           Ct.pack m2 (pattern ~seed:(200 + j) 40);
+           Ct.end_packing m2
+         done;
+         Padico.run env.cgrid ~until:(Time.sec 600);
+         for j = 1 to n - 1 do
+           match List.rev got.(j) with
+           | [ (s1, l1, b1); (s2, l2, b2) ] ->
+             if s1 <> 0 || s2 <> 0 then
+               failf "rank %d saw wrong source ranks %d, %d" j s1 s2;
+             if l1 <> 96 || l2 <> 40 then
+               failf
+                 "rank %d message boundaries broken: got %d, %d want 96, 40"
+                 j l1 l2;
+             if
+               b1 <> Bb.to_string (pattern ~seed:(100 + j) 96)
+               || b2 <> Bb.to_string (pattern ~seed:(200 + j) 40)
+             then failf "rank %d payloads corrupted or reordered" j
+           | l ->
+             failf "rank %d received %d messages, want 2" j (List.length l)
+         done) }
+
+let ct_packing =
+  { ct_oname = "packing";
+    ct_run =
+      (fun env ->
+         let dst = Array.length env.cts - 1 in
+         let seen = ref None in
+         Ct.set_recv env.cts.(dst) (fun inc ->
+             let a = Ct.unpack_int inc in
+             let b = Ct.unpack_int inc in
+             let rem = Ct.remaining inc in
+             let body = Bb.to_string (Ct.unpack inc rem) in
+             seen := Some (a, b, rem, body, Ct.remaining inc));
+         let out = Ct.begin_packing env.cts.(0) ~dst in
+         Ct.pack_int out 42;
+         Ct.pack_int out (-7);
+         Ct.pack out (pattern ~seed:31 64);
+         Ct.end_packing out;
+         Padico.run env.cgrid ~until:(Time.sec 600);
+         match !seen with
+         | None -> failf "packed message never delivered"
+         | Some (a, b, rem, body, after) ->
+           if a <> 42 || b <> -7 then
+             failf "unpack_int got %d, %d want 42, -7" a b;
+           if rem <> 64 then failf "remaining %d after ints, want 64" rem;
+           if body <> Bb.to_string (pattern ~seed:31 64) then
+             failf "packed bytes corrupted";
+           if after <> 0 then failf "remaining %d at end, want 0" after) }
+
+let ct_obligations = [ ct_membership; ct_boundaries; ct_packing ]
+
+(* ---------- demo ordering bug (guarded) ---------- *)
+
+(* A deliberate register-after-dispatch bug in miniature, compiled in but
+   only registered when [demo] is requested: handler registration and
+   message delivery are scheduled at the same instant, so any non-FIFO
+   schedule can dispatch the delivery first and drop the message. Used to
+   prove the harness catches this bug class and that its replay token
+   reproduces the failure. *)
+let demo_ordering policy =
+  let sim = Sim.create () in
+  Sim.set_policy sim policy;
+  let delivered = ref false in
+  let handler = ref None in
+  Sim.after sim (Time.us 10) (fun () ->
+      Sim.after sim 0 (fun () ->
+          handler := Some (fun () -> delivered := true));
+      Sim.after sim 0 (fun () ->
+          match !handler with Some f -> f () | None -> ()));
+  Sim.run sim;
+  if not !delivered then
+    failf "message dispatched before its handler was registered"
+
+(* ---------- case registry ---------- *)
+
+type case = {
+  case_name : string;
+  run : plan:Padico_fault.Plan.t option -> Engine.Sim.policy -> unit;
+}
+
+let apply_plan grid = function
+  | None -> ()
+  | Some p -> ignore (Padico_fault.Inject.apply (Padico.net grid) p)
+
+let cases ?(demo = false) () =
+  let vlink =
+    List.concat_map
+      (fun fx ->
+         List.filter_map
+           (fun ob ->
+              if List.mem ob.oname fx.skip then None
+              else
+                Some
+                  { case_name = fx.fname ^ "/" ^ ob.oname;
+                    run =
+                      (fun ~plan policy ->
+                         let env = fx.build () in
+                         Sim.set_policy (Padico.sim env.grid) policy;
+                         apply_plan env.grid plan;
+                         ob.run env) })
+           vlink_obligations)
+      vlink_fixtures
+  in
+  let circuit =
+    List.concat_map
+      (fun fx ->
+         List.map
+           (fun ob ->
+              { case_name = fx.cname ^ "/" ^ ob.ct_oname;
+                run =
+                  (fun ~plan policy ->
+                     let env = fx.cbuild () in
+                     Sim.set_policy (Padico.sim env.cgrid) policy;
+                     apply_plan env.cgrid plan;
+                     ob.ct_run env) })
+           ct_obligations)
+      ct_fixtures
+  in
+  let demo_cases =
+    if demo then
+      [ { case_name = "demo/ordering";
+          run = (fun ~plan:_ policy -> demo_ordering policy) } ]
+    else []
+  in
+  vlink @ circuit @ demo_cases
+
+let adapters_covered = List.length vlink_fixtures

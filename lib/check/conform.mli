@@ -1,0 +1,38 @@
+(** Adapter conformance kit: one suite of semantic obligations, every
+    adapter.
+
+    Each VLink adapter (loopback, MadIO, SysIO/TCP, pstream, AdOC, crypto,
+    VRP, resilient) must honour the same contract — connect/accept
+    symmetry, no byte loss or reordering, [Eof] vs [Error] discipline on
+    peer close, [Again]/{!Vlink.Vl.on_writable} progress under
+    backpressure, close idempotence and timeout behaviour. The kit states
+    each obligation once and instantiates it against a fixture per
+    adapter: a fresh grid whose topology and preferences make the selector
+    pick exactly that adapter. A Circuit counterpart checks message
+    boundaries, incremental packing and group membership per adapter mix.
+
+    Cases are pure: each run builds a fresh grid, so the same case can be
+    executed under any schedule {!Engine.Sim.policy} and fault plan —
+    that's what {!Explore} does. A violation raises {!Failed}. *)
+
+exception Failed of string
+(** An obligation was violated; the message says which invariant and how. *)
+
+(** One runnable conformance case, named ["<fixture>/<obligation>"]. *)
+type case = {
+  case_name : string;
+  run : plan:Padico_fault.Plan.t option -> Engine.Sim.policy -> unit;
+      (** Build the fixture's grid, set the schedule policy, apply the
+          fault plan (if any) and execute the obligation. Raises {!Failed}
+          on violation; deterministic for fixed (plan, policy). *)
+}
+
+val cases : ?demo:bool -> unit -> case list
+(** The full kit: every obligation against every applicable adapter
+    fixture, plus the Circuit cases. [~demo:true] (default false) also
+    registers ["demo/ordering"], a deliberately planted
+    register-after-dispatch bug that FIFO masks — used to demonstrate (and
+    test) that schedule exploration catches this bug class. *)
+
+val adapters_covered : int
+(** Number of VLink adapter fixtures in the kit. *)

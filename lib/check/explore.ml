@@ -1,0 +1,147 @@
+module Sim = Engine.Sim
+module Plan = Padico_fault.Plan
+
+type failure = {
+  token : string;
+  case : string;
+  policy : Sim.policy;
+  message : string;
+}
+
+type summary = {
+  cases_run : int;
+  interleavings : int;
+  failures : failure list;
+}
+
+let mk_failure ?plan (case : Conform.case) policy message =
+  let token =
+    Replay.to_string
+      { Replay.case = case.Conform.case_name; policy;
+        plan_digest = Replay.digest_plan plan }
+  in
+  { token; case = case.Conform.case_name; policy; message }
+
+let exec ?plan (case : Conform.case) policy =
+  match case.Conform.run ~plan policy with
+  | () -> None
+  | exception Conform.Failed msg -> Some (mk_failure ?plan case policy msg)
+  | exception e ->
+    Some (mk_failure ?plan case policy (Printexc.to_string e))
+
+let default_policies ~seeds =
+  Sim.Fifo :: Sim.Lifo :: Sim.Starve_oldest
+  :: List.init (max 0 seeds) (fun i -> Sim.Random i)
+
+let select_cases ?(demo = false) ?names () =
+  let all = Conform.cases ~demo () in
+  match names with
+  | None -> all
+  | Some names ->
+    let matches c =
+      List.exists
+        (fun n ->
+           n = c.Conform.case_name
+           || String.length n > 0
+              && n.[String.length n - 1] = '/'
+              && String.length c.Conform.case_name >= String.length n
+              && String.sub c.Conform.case_name 0 (String.length n) = n)
+        names
+    in
+    List.filter matches all
+
+let explore ?plan ?demo ?names ~policies () =
+  let cases = select_cases ?demo ?names () in
+  let interleavings = ref 0 in
+  let failures =
+    List.filter_map
+      (fun case ->
+         let rec first = function
+           | [] -> None
+           | p :: rest -> (
+               incr interleavings;
+               match exec ?plan case p with
+               | None -> first rest
+               | Some f -> Some f)
+         in
+         first policies)
+      cases
+  in
+  { cases_run = List.length cases; interleavings = !interleavings; failures }
+
+let replay ?plan token_str =
+  match Replay.of_string token_str with
+  | Error _ as e -> e
+  | Ok token ->
+    let supplied = Replay.digest_plan plan in
+    if supplied <> token.Replay.plan_digest then
+      Error
+        (Printf.sprintf
+           "replay: token was recorded with fault-plan digest %s but the \
+            supplied plan digests to %s — pass the original plan file"
+           token.Replay.plan_digest supplied)
+    else (
+      match
+        List.find_opt
+          (fun c -> c.Conform.case_name = token.Replay.case)
+          (Conform.cases ~demo:true ())
+      with
+      | None ->
+        Error (Printf.sprintf "replay: unknown case %S" token.Replay.case)
+      | Some case -> Ok (exec ?plan case token.Replay.policy))
+
+let still_fails ?plan (case : Conform.case) policy =
+  match exec ?plan case policy with Some _ -> true | None -> false
+
+let shrink ?plan failure =
+  match
+    List.find_opt
+      (fun c -> c.Conform.case_name = failure.case)
+      (Conform.cases ~demo:true ())
+  with
+  | None -> (plan, failure.policy, failure.token)
+  | Some case ->
+    (* Phase 1: drop fault-plan events one at a time while the case still
+       fails; loop until a fixed point (dropping one event can make
+       another droppable). *)
+    let drop_one events =
+      let n = List.length events in
+      let rec try_at i =
+        if i >= n then None
+        else
+          let smaller = List.filteri (fun j _ -> j <> i) events in
+          let candidate = if smaller = [] then None else Some smaller in
+          if still_fails ?plan:candidate case failure.policy then
+            Some candidate
+          else try_at (i + 1)
+      in
+      try_at 0
+    in
+    let rec minimise plan =
+      match plan with
+      | None -> None
+      | Some events -> (
+          match drop_one events with
+          | Some smaller -> minimise smaller
+          | None -> plan)
+    in
+    let plan = minimise plan in
+    (* Phase 2: prefer a seedless policy when one also exposes the bug —
+       "lifo" in a token reads better than "random-173". *)
+    let policy =
+      match failure.policy with
+      | Sim.Fifo | Sim.Lifo -> failure.policy
+      | Sim.Starve_oldest | Sim.Random _ ->
+        let simpler =
+          List.find_opt
+            (fun p -> p <> failure.policy && still_fails ?plan case p)
+            [ Sim.Lifo; Sim.Starve_oldest ]
+        in
+        Option.value simpler ~default:failure.policy
+    in
+    let token =
+      Replay.to_string
+        { Replay.case = failure.case; policy;
+          plan_digest = Replay.digest_plan plan }
+    in
+    (plan, policy, token)

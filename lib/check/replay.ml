@@ -1,0 +1,34 @@
+type token = {
+  case : string;
+  policy : Engine.Sim.policy;
+  plan_digest : string;
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let digest_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let digest_plan = function
+  | None -> "-"
+  | Some plan -> digest_string (Format.asprintf "%a" Padico_fault.Plan.pp plan)
+
+let to_string t =
+  Printf.sprintf "PCHK:v1:%s:%s:%s" t.case
+    (Engine.Sim.policy_to_string t.policy)
+    t.plan_digest
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "PCHK"; "v1"; case; policy; digest ] when case <> "" && digest <> "" ->
+    (match Engine.Sim.policy_of_string policy with
+     | Some policy -> Ok { case; policy; plan_digest = digest }
+     | None -> Error (Printf.sprintf "replay token: unknown policy %S" policy))
+  | _ -> Error "replay token: expected PCHK:v1:<case>:<policy>:<plan-digest>"

@@ -1,0 +1,25 @@
+(** Replay tokens: the coordinates of one schedule-exploration run.
+
+    A failing conformance case is fully determined by three things — the
+    case name, the schedule {!Engine.Sim.policy} (including a random
+    policy's seed), and the fault plan applied to the grid. A token packs
+    all three into one line, [PCHK:v1:<case>:<policy>:<plan-digest>], that
+    {!Explore.replay} (and [padico_cli check --replay]) turns back into a
+    byte-identical re-run. The plan itself is not embedded — only its
+    digest, so a replay supplies the same plan file and the digest check
+    catches a mismatch before a confusing non-reproduction. *)
+
+type token = {
+  case : string;  (** conformance case name, ["<fixture>/<obligation>"] *)
+  policy : Engine.Sim.policy;
+  plan_digest : string;  (** {!digest_plan} of the fault plan; ["-"] if none *)
+}
+
+val digest_plan : Padico_fault.Plan.t option -> string
+(** FNV-1a 64 digest over the plan's canonical rendering; ["-"] for [None].
+    Two textual plans that parse to the same events digest identically. *)
+
+val to_string : token -> string
+
+val of_string : string -> (token, string) result
+(** Inverse of {!to_string}; the error names what is malformed. *)

@@ -15,6 +15,9 @@ type t = {
   (* Messages packed before the link adapter is bound (e.g. while a WAN
      VLink bundle is still connecting) wait here. *)
   unbound : (int, Bytebuf.t list Queue.t) Hashtbl.t;
+  (* Receive-side mirror of [unbound]: messages delivered before the
+     member installed its receiver wait here and flush on [set_recv]. *)
+  pending_rx : (int * Bytebuf.t) Queue.t;
   mutable recv : (incoming -> unit) option;
   sent : Stats.Counter.t;
   received : Stats.Counter.t;
@@ -33,7 +36,7 @@ let create ~group ~rank ~name =
   let scope = Metrics.Node (Simnet.Node.name group.(rank)) in
   { cname = name; crank = rank; group;
     links = Array.make (Array.length group) None; unbound = Hashtbl.create 4;
-    recv = None;
+    pending_rx = Queue.create (); recv = None;
     sent = Metrics.fresh_counter scope ("ct." ^ name ^ ".sent");
     received = Metrics.fresh_counter scope ("ct." ^ name ^ ".received") }
 
@@ -118,7 +121,12 @@ let remaining inc = Bytebuf.length inc.payload - inc.pos
 
 let incoming_src inc = inc.src
 
-let set_recv t f = t.recv <- Some f
+let set_recv t f =
+  t.recv <- Some f;
+  while not (Queue.is_empty t.pending_rx) do
+    let src, payload = Queue.pop t.pending_rx in
+    f { payload; src; pos = 0 }
+  done
 
 let deliver t ~src payload =
   Stats.Counter.incr t.received;
@@ -129,7 +137,7 @@ let deliver t ~src payload =
   Simnet.Node.cpu_async (node t) Calib.circuit_op_ns (fun () ->
       match t.recv with
       | Some f -> f { payload; src; pos = 0 }
-      | None -> ())
+      | None -> Queue.push (src, payload) t.pending_rx)
 
 let messages_sent t = Stats.Counter.value t.sent
 

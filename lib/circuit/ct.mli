@@ -63,7 +63,8 @@ val incoming_src : incoming -> int
 
 val set_recv : t -> (incoming -> unit) -> unit
 (** Single message handler per instance (parallel runtimes do their own
-    matching above). *)
+    matching above). Messages delivered before the handler was installed
+    are buffered and flushed, in order, when it appears. *)
 
 val deliver : t -> src:int -> Engine.Bytebuf.t -> unit
 (** Adapter-side: hand a complete received message to the circuit. *)

@@ -124,6 +124,7 @@ let conn_node c = c.stack.snode
 let peer c = (c.rnode, c.rport)
 let local_port c = c.lport
 let set_event_cb c cb = c.cb <- cb
+let peer_closed c = c.peer_closed_delivered
 let cwnd c = c.cwnd
 let ssthresh c = c.ssthresh
 let srtt_ns c = int_of_float c.srtt

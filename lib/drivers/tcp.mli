@@ -77,6 +77,12 @@ val read : conn -> max:int -> Engine.Bytebuf.t option
 
 val readable_bytes : conn -> int
 
+val peer_closed : conn -> bool
+(** [true] once the peer's FIN has been processed. The [Peer_closed] event
+    is edge-triggered and fires exactly once, into whatever callback was
+    registered at that instant — a callback registered later must poll this
+    to catch up on the missed edge. *)
+
 val close : conn -> unit
 (** Graceful close: FIN once the send buffer drains. *)
 

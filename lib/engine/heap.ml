@@ -77,6 +77,77 @@ let pop h =
 
 let peek_prio h = if h.size = 0 then None else Some h.arr.(0).prio
 
+(* Arbitrary-entry removal below serves the non-FIFO schedule policies
+   (see Sim.policy). [push]/[pop] above are the hot path and stay
+   untouched: the default FIFO schedule must remain bit-identical. *)
+
+let swap h i j =
+  let tmp = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- tmp
+
+let sift_up h start =
+  let i = ref start in
+  while !i > 0 && lt h.arr.(!i) h.arr.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    swap h !i parent;
+    i := parent
+  done
+
+let sift_down h start =
+  let i = ref start in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+    if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      swap h !i !smallest;
+      i := !smallest
+    end
+  done
+
+let min_count h =
+  if h.size = 0 then 0
+  else begin
+    let p = h.arr.(0).prio in
+    let n = ref 0 in
+    for i = 0 to h.size - 1 do
+      if h.arr.(i).prio = p then incr n
+    done;
+    !n
+  end
+
+let pop_min_nth h n =
+  if h.size = 0 then None
+  else begin
+    let p = h.arr.(0).prio in
+    (* Seqs of the smallest-priority bucket, ascending = insertion order. *)
+    let seqs = ref [] in
+    for i = 0 to h.size - 1 do
+      if h.arr.(i).prio = p then seqs := h.arr.(i).seq :: !seqs
+    done;
+    let seqs = List.sort compare !seqs in
+    let len = List.length seqs in
+    let n = if n < 0 then 0 else if n >= len then len - 1 else n in
+    let target = List.nth seqs n in
+    let idx = ref (-1) in
+    for i = 0 to h.size - 1 do
+      if !idx < 0 && h.arr.(i).prio = p && h.arr.(i).seq = target then idx := i
+    done;
+    let i = !idx in
+    let e = h.arr.(i) in
+    h.size <- h.size - 1;
+    if i < h.size then begin
+      h.arr.(i) <- h.arr.(h.size);
+      sift_down h i;
+      sift_up h i
+    end;
+    Some (e.prio, e.value)
+  end
+
 let clear h =
   h.size <- 0;
   h.arr <- [||]

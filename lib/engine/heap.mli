@@ -24,4 +24,14 @@ val pop : 'a t -> (int * 'a) option
 val peek_prio : 'a t -> int option
 (** [peek_prio h] is the smallest priority without removing its entry. *)
 
+val min_count : 'a t -> int
+(** [min_count h] is the number of entries sharing the smallest priority
+    (the same-instant bucket); [0] when empty. O(n) scan — used only by
+    non-FIFO schedule policies, never on the default path. *)
+
+val pop_min_nth : 'a t -> int -> (int * 'a) option
+(** [pop_min_nth h n] removes and returns the [n]-th entry — 0-based, in
+    insertion order — of the smallest-priority bucket. [n] is clamped to
+    the bucket, so [pop_min_nth h 0] behaves like {!pop}. O(n). *)
+
 val clear : 'a t -> unit

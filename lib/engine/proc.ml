@@ -19,7 +19,13 @@ let result h = h.status
 
 let name h = h.proc_name
 
-let suspend setup = perform (Suspend setup)
+let suspend setup =
+  try perform (Suspend setup)
+  with Effect.Unhandled (Suspend _) ->
+    invalid_arg
+      "Proc.suspend: called outside a process — no Proc.spawn handler on \
+       the stack; blocking operations (sleep, join, Mailbox.recv, …) must \
+       run inside a spawned process"
 
 let finish h st =
   h.status <- Some st;
@@ -44,8 +50,20 @@ let spawn sim ?(name = "proc") f =
                (fun (k : (a, _) continuation) ->
                   let resumed = ref false in
                   let resume v =
-                    if !resumed then
-                      invalid_arg "Proc: continuation resumed twice";
+                    if !resumed then begin
+                      let state =
+                        match h.status with
+                        | None -> "running"
+                        | Some (Ok ()) -> "finished"
+                        | Some (Error e) ->
+                          "failed: " ^ Printexc.to_string e
+                      in
+                      invalid_arg
+                        (Printf.sprintf
+                           "Proc: continuation of process %S resumed twice \
+                            (process state: %s)"
+                           h.proc_name state)
+                    end;
                     resumed := true;
                     continue k v
                   in

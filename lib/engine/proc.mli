@@ -25,8 +25,9 @@ val suspend : ((('a -> unit) -> unit)) -> 'a
 (** [suspend setup] suspends the calling process and invokes
     [setup resume]. The process continues — with the value passed to
     [resume] — from wherever [resume] is called (typically a simulator
-    event). Calling [resume] twice raises. Must be called from inside a
-    process. *)
+    event). Calling [resume] twice raises [Invalid_argument] naming the
+    process and its state. Calling [suspend] outside a process raises
+    [Invalid_argument] explaining that no spawn handler is on the stack. *)
 
 val sleep : Sim.t -> int -> unit
 (** [sleep sim dt] suspends the calling process for [dt] virtual ns. *)

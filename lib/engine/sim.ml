@@ -1,17 +1,51 @@
+type policy =
+  | Fifo
+  | Lifo
+  | Random of int
+  | Starve_oldest
+
+let policy_to_string = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Random seed -> Printf.sprintf "random-%d" seed
+  | Starve_oldest -> "starve"
+
+let policy_of_string s =
+  match s with
+  | "fifo" -> Some Fifo
+  | "lifo" -> Some Lifo
+  | "starve" -> Some Starve_oldest
+  | _ ->
+    (match String.index_opt s '-' with
+     | Some i when String.sub s 0 i = "random" ->
+       (try
+          Some (Random (int_of_string (String.sub s (i + 1)
+                                         (String.length s - i - 1))))
+        with Failure _ -> None)
+     | _ -> None)
+
 type t = {
   mutable clock : int;
   events : (unit -> unit) Heap.t;
   root_rng : Rng.t;
   mutable stopped : bool;
+  mutable policy : policy;
+  mutable sched_rng : Rng.t; (* consulted only under [Random] *)
 }
 
 let create ?(seed = 42) () =
   { clock = 0; events = Heap.create (); root_rng = Rng.create seed;
-    stopped = false }
+    stopped = false; policy = Fifo; sched_rng = Rng.create 0 }
 
 let now t = t.clock
 
 let rng t = t.root_rng
+
+let policy t = t.policy
+
+let set_policy t p =
+  t.policy <- p;
+  match p with Random seed -> t.sched_rng <- Rng.create seed | _ -> ()
 
 let at t time f =
   if time < t.clock then
@@ -25,13 +59,34 @@ let after t dt f =
 
 let pending t = Heap.length t.events
 
+let pick_index t n =
+  match t.policy with
+  | Fifo -> 0
+  | Lifo -> n - 1
+  | Random _ -> Rng.int t.sched_rng n
+  | Starve_oldest -> if n > 1 then 1 else 0
+
 let step t =
-  match Heap.pop t.events with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    f ();
-    true
+  match t.policy with
+  | Fifo ->
+    (* Default path, byte-identical to the pre-policy simulator. *)
+    (match Heap.pop t.events with
+     | None -> false
+     | Some (time, f) ->
+       t.clock <- time;
+       f ();
+       true)
+  | _ ->
+    let n = Heap.min_count t.events in
+    if n = 0 then false
+    else begin
+      match Heap.pop_min_nth t.events (pick_index t n) with
+      | None -> false
+      | Some (time, f) ->
+        t.clock <- time;
+        f ();
+        true
+    end
 
 let run ?until t =
   t.stopped <- false;

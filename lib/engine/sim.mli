@@ -1,20 +1,50 @@
 (** Discrete-event simulator core: a virtual clock and an event queue.
 
     All times are integer {e nanoseconds} of virtual time. The simulator is
-    single-threaded and deterministic: events scheduled for the same instant
-    fire in scheduling order. *)
+    single-threaded and deterministic: under the default {!Fifo} policy,
+    events scheduled for the same instant fire in scheduling order. A
+    non-default {!policy} permutes dispatch order {e within} a timestamp —
+    never across timestamps — which is how Padico_check explores
+    interleavings while keeping time semantics intact. *)
+
+type policy =
+  | Fifo  (** Same-instant events fire in scheduling order (default). *)
+  | Lifo  (** Same-instant events fire newest-first. *)
+  | Random of int
+      (** Uniform choice among same-instant events, driven by a dedicated
+          generator seeded with the payload — independent of the root
+          {!Rng.t}, so exploration does not perturb modelled randomness. *)
+  | Starve_oldest
+      (** Always defers the oldest same-instant event while any other is
+          ready — a pathological scheduler that starves whoever queued
+          first. *)
+
+val policy_to_string : policy -> string
+(** ["fifo"], ["lifo"], ["random-<seed>"], ["starve"] — the format embedded
+    in Padico_check replay tokens. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_to_string}. *)
 
 type t
 
 val create : ?seed:int -> unit -> t
-(** [create ?seed ()] is a fresh simulator with its clock at 0. [seed]
-    (default 42) seeds the root {!Rng.t}. *)
+(** [create ?seed ()] is a fresh simulator with its clock at 0 and the
+    {!Fifo} policy. [seed] (default 42) seeds the root {!Rng.t}. *)
 
 val now : t -> int
 (** Current virtual time in nanoseconds. *)
 
 val rng : t -> Rng.t
 (** The simulator's root random generator. *)
+
+val policy : t -> policy
+(** The active schedule policy. *)
+
+val set_policy : t -> policy -> unit
+(** [set_policy t p] switches same-instant dispatch to [p]. Setting
+    [Random seed] (re)creates the dedicated schedule generator, so setting
+    the same policy twice replays the same choices. *)
 
 val at : t -> int -> (unit -> unit) -> unit
 (** [at t time f] schedules [f] to run at absolute virtual [time]. Scheduling
@@ -31,7 +61,8 @@ val run : ?until:int -> t -> unit
     clock passes [until] (events strictly after [until] stay queued). *)
 
 val step : t -> bool
-(** [step t] dispatches one event; [false] if the queue was empty. *)
+(** [step t] dispatches one event — chosen by the active policy among the
+    earliest-timestamp bucket; [false] if the queue was empty. *)
 
 val stop : t -> unit
 (** [stop t] makes the current [run] return after the ongoing event. *)

@@ -16,6 +16,11 @@ type lchannel = {
   mutable recv : (src:int -> Bytebuf.t -> unit) option;
   mutable open_ : bool;
   mutable manual_grant : bool;
+  pending_rx : (int * Bytebuf.t) Queue.t;
+      (* Messages that arrived on the open channel before [set_recv]
+         installed a receiver — dispatch order is arbitrated, so a peer's
+         first message can overtake the local registration. Flushed, in
+         order, when the receiver appears. *)
 }
 
 and t = {
@@ -156,10 +161,7 @@ let deliver t ~src ~lchan payload =
            f ~src payload;
            if not lc.manual_grant then
              add_grant t lc ~src (Bytebuf.length payload))
-     | None ->
-       Log.warn (fun m ->
-           m "%s: no receiver on logical channel %d"
-             (Simnet.Node.name t.mio_node) lchan))
+     | None -> Queue.push (src, payload) lc.pending_rx)
 
 let handle_incoming t inc =
   let src = Mad.incoming_src inc in
@@ -222,7 +224,10 @@ let open_lchannel t ~id =
   if Hashtbl.mem t.lchannels id then
     invalid_arg
       (Printf.sprintf "Madio.open_lchannel: channel %d already open" id);
-  let lc = { owner = t; id; recv = None; open_ = true; manual_grant = false } in
+  let lc =
+    { owner = t; id; recv = None; open_ = true; manual_grant = false;
+      pending_rx = Queue.create () }
+  in
   Hashtbl.replace t.lchannels id lc;
   lc
 
@@ -236,7 +241,15 @@ let lchannel_id lc = lc.id
 
 let lchannels_open t = Hashtbl.length t.lchannels
 
-let set_recv lc f = lc.recv <- Some f
+let set_recv lc f =
+  lc.recv <- Some f;
+  let t = lc.owner in
+  while not (Queue.is_empty lc.pending_rx) do
+    let src, payload = Queue.pop lc.pending_rx in
+    Na_core.post t.core Na_core.Madio_work (fun () ->
+        f ~src payload;
+        if not lc.manual_grant then add_grant t lc ~src (Bytebuf.length payload))
+  done
 
 let sendv lc ~dst iov =
   if not lc.open_ then invalid_arg "Madio.sendv: logical channel closed";

@@ -35,7 +35,10 @@ val send : lchannel -> dst:int -> Engine.Bytebuf.t -> unit
 
 val set_recv : lchannel -> (src:int -> Engine.Bytebuf.t -> unit) -> unit
 (** Delivery happens through the NetAccess dispatcher (arbitrated). The
-    callback must not block. *)
+    callback must not block. Messages that arrived on the open channel
+    before a receiver was installed are buffered and flushed, in order,
+    when [set_recv] runs — a peer's first message can legally overtake the
+    local registration. *)
 
 val set_header_combining : t -> bool -> unit
 (** Default [true]. [false] sends the multiplexing header as its own

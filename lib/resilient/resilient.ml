@@ -116,6 +116,13 @@ and sess = {
   mutable established : bool;
   mutable closed : bool;  (* we closed *)
   mutable finished : bool;  (* peer sent FIN *)
+  (* The goodbye occupies one virtual byte of sequence space at [buf_end]:
+     a closing session lingers — failover machinery and all — until the
+     peer has acknowledged every data byte and the FIN itself
+     (ack > buf_end). Otherwise a close right after a write tears the
+     carrier down under in-flight data, and nobody is left to redial. *)
+  mutable fin_sent : bool;  (* FIN written on the current link *)
+  mutable fin_acked : bool;
   (* send side: bytes [una_off, buf_end) are buffered, [una_off, snd_nxt)
      are in flight on the current link. *)
   mutable txbuf : Bytebuf.t list;
@@ -192,6 +199,13 @@ let tx_copy s ~off ~len ~dst ~dst_off =
 
 let outstanding s = s.buf_end > s.una_off
 
+(* A closing session still owes the peer its FIN (and the data before it). *)
+let fin_owed s = s.closed && not s.fin_acked
+
+(* Nothing left to drive: the peer said goodbye, or our own goodbye has
+   been acknowledged end to end. *)
+let sess_done s = s.finished || (s.closed && s.fin_acked)
+
 (* ---------- obs ---------- *)
 
 let count name =
@@ -234,7 +248,13 @@ and transmit s =
       tx_copy s ~off:s.snd_nxt ~len ~dst:frame ~dst_off:9;
       s.snd_nxt <- s.snd_nxt + len;
       write_frame l frame
-    done
+    done;
+    (* The FIN rides the same ordered stream, after the last data byte;
+       re-sent on each link incarnation until the peer acknowledges it. *)
+    if fin_owed s && (not s.fin_sent) && s.snd_nxt = s.buf_end then begin
+      s.fin_sent <- true;
+      write_frame l (fin_frame ())
+    end
   | _ -> ()
 
 (* ---------- watchdog (connector side) ----------
@@ -248,8 +268,8 @@ and arm_watchdog s =
   | Server _ -> ()
   | Client _ ->
     if (match s.wd with None -> true | Some _ -> false)
-       && (not s.closed) && not s.finished
-       && ((not s.established) || outstanding s)
+       && (not (sess_done s))
+       && ((not s.established) || outstanding s || fin_owed s)
     then begin
       let snap_est = s.established and snap_una = s.una_off in
       let wheel = Timewheel.for_sim (sim_of s) in
@@ -257,8 +277,8 @@ and arm_watchdog s =
         Some
           (Timewheel.arm wheel ~after_ns:s.cfg.ack_timeout_ns (fun () ->
                s.wd <- None;
-               if (not s.closed) && not s.finished then
-                 if (not s.established) || outstanding s then
+               if not (sess_done s) then
+                 if (not s.established) || outstanding s || fin_owed s then
                    if s.established = snap_est && s.una_off = snap_una then (
                      match s.link with
                      | Some l -> link_failed l "timeout (no ack progress)"
@@ -286,7 +306,7 @@ and link_failed l msg =
   end
 
 and session_link_failed s l msg =
-  if (not s.closed) && not s.finished then begin
+  if not (sess_done s) then begin
     Log.debug (fun m ->
         m "%s: link %s failed: %s" (Node.name s.snode) l.ldriver msg);
     (match s.link with
@@ -314,6 +334,7 @@ and session_link_failed s l msg =
 
 and give_up s msg =
   s.closed <- true;
+  s.fin_acked <- true;  (* stop lingering: there is no link left to drive *)
   cancel_watchdog s;
   (match s.link with Some l -> l.ldead <- true; Vl.close l.lvl | None -> ());
   s.link <- None;
@@ -331,8 +352,7 @@ and schedule_redial s msg =
       let delay_ns = Backoff.next c.backoff in
       emit_retry s ~attempt:c.attempts ~delay_ns ~target:(Node.name c.cdst);
       Engine.Sim.after (sim_of s) delay_ns (fun () ->
-          if (not s.closed) && not s.finished && not s.established then
-            dial s)
+          if (not (sess_done s)) && not s.established then dial s)
     end
 
 (* ---------- dialing (connector side) ---------- *)
@@ -430,8 +450,14 @@ and read_loop l =
   in
   again ()
 
+(* Keep parsing a dead link as long as it has a bound session: a clean FIN
+   (and the DATA frames before it) often arrives in the same flight as the
+   carrier teardown it caused, so bytes received before the drop are still
+   valid session stream. Only a pre-HELLO link discards its backlog. *)
+and parse_on l = (not l.ldead) || l.lsess <> None
+
 and parse l =
-  if not l.ldead then begin
+  if parse_on l then begin
     let q = l.lrq in
     let continue = ref true in
     while !continue do
@@ -443,7 +469,7 @@ and parse l =
           let kind = Bytebuf.get_u8 b 0 in
           if kind = k_fin then begin
             handle_fin l;
-            continue := not l.ldead
+            continue := parse_on l
           end
           else begin
             l.lparse <- P_hdr kind;
@@ -473,14 +499,14 @@ and parse l =
             l.lparse <- P_kind;
             handle_ack l (Bytebuf.get_u32 h 0)
           end;
-          continue := not l.ldead
+          continue := parse_on l
         end
       | P_payload { offset; len } ->
         if Streamq.length q >= len then begin
           let payload = Streamq.pop_exact q len in
           l.lparse <- P_kind;
           handle_data l ~offset payload;
-          continue := not l.ldead
+          continue := parse_on l
         end
     done
   end
@@ -524,6 +550,7 @@ and handle_hello l ~session ~ack =
           bind_link s l;
           ack_advance s ack;
           s.snd_nxt <- s.una_off;
+          s.fin_sent <- false;
           s.established <- true;
           s.cur_driver <- l.ldriver;
           write_frame l (hello_frame ~session ~ack:s.rcv_nxt);
@@ -541,6 +568,7 @@ and session_established s l ~session ~ack =
     c.session_id <- session;
     ack_advance s ack;
     s.snd_nxt <- s.una_off;
+    s.fin_sent <- false;
     s.established <- true;
     let t_now = now s in
     if not s.ops_attached then begin
@@ -575,9 +603,17 @@ and handle_ack l ack =
     (* Freed window space: let queued outer writes back in. *)
     if tx_space s > before && not s.closed then
       Vl.notify s.outer Vl.Writable;
-    (* Progress: let the watchdog take a fresh snapshot. *)
-    cancel_watchdog s;
-    arm_watchdog s
+    (* ack > buf_end acknowledges the FIN: the whole stream arrived, the
+       lingering close can finally drop the carrier. *)
+    if fin_owed s && ack > s.buf_end then begin
+      s.fin_acked <- true;
+      finish_close s
+    end
+    else begin
+      (* Progress: let the watchdog take a fresh snapshot. *)
+      cancel_watchdog s;
+      arm_watchdog s
+    end
 
 and handle_data l ~offset payload =
   match l.lsess with
@@ -606,12 +642,18 @@ and handle_fin l =
   match l.lsess with
   | None -> link_failed l "FIN before HELLO"
   | Some s ->
+    let first = not s.finished in
     s.finished <- true;
-    cancel_watchdog s;
-    (match s.role with
-     | Server ln -> Hashtbl.remove ln.sessions s.sid
-     | Client _ -> ());
-    Vl.notify s.outer Vl.Peer_closed
+    (* Acknowledge the FIN's virtual byte so the closer knows the whole
+       stream made it and stops lingering. A FIN retransmitted over a
+       failover is re-acked; [Peer_closed] still fires exactly once. The
+       session stays in the acceptor's table until the closer drops the
+       carrier, so a redial racing a lost FIN-ack can still rebind. *)
+    write_frame l (ack_frame ~ack:(s.rcv_nxt + 1));
+    if first then begin
+      cancel_watchdog s;
+      Vl.notify s.outer Vl.Peer_closed
+    end
 
 (* ---------- session plumbing ---------- *)
 
@@ -626,7 +668,8 @@ and make_sess cfg node role =
     invalid_arg "Resilient: need 0 <= rx_low <= rx_high";
   let s =
   { cfg; snode = node; role; outer = Vl.create node; sid = 0; link = None;
-    established = false; closed = false; finished = false; txbuf = [];
+    established = false; closed = false; finished = false;
+    fin_sent = false; fin_acked = false; txbuf = [];
     tx_peak = 0;
     una_off = 0; snd_nxt = 0; buf_end = 0; rx = Streamq.create ();
     rcv_nxt = 0; switches = 0; total_retries = 0; total_downtime = 0;
@@ -642,21 +685,45 @@ and make_sess cfg node role =
 and close_sess s =
   if not s.closed then begin
     s.closed <- true;
-    cancel_watchdog s;
-    (match s.role with
-     | Server ln -> Hashtbl.remove ln.sessions s.sid
-     | Client _ -> ());
-    match s.link with
-    | Some l when not l.ldead ->
-      (* Flush the goodbye, then drop the transport: FIN rides the same
-         ordered stream as the data, so the peer drains everything first. *)
-      let fin = fin_frame () in
-      let req = Vl.post_write l.lvl fin in
-      Vl.set_handler req (fun _ ->
-          l.ldead <- true;
-          Vl.close l.lvl)
-    | _ -> ()
+    if s.finished then begin
+      (* The peer already said goodbye: its session is winding down and
+         will never ack a FIN, so say ours best-effort and drop. *)
+      cancel_watchdog s;
+      (match s.role with
+       | Server ln -> Hashtbl.remove ln.sessions s.sid
+       | Client _ -> ());
+      s.fin_acked <- true;
+      match s.link with
+      | Some l when not l.ldead ->
+        let req = Vl.post_write l.lvl (fin_frame ()) in
+        Vl.set_handler req (fun _ ->
+            l.ldead <- true;
+            Vl.close l.lvl)
+      | _ -> ()
+    end
+    else begin
+      (* Linger: the FIN rides the ordered stream behind any buffered
+         data, and the session — watchdog, redial, retransmit — stays
+         alive until the peer acknowledges it ({!handle_ack}). A close
+         right after a burst of writes must not strand in-flight bytes
+         when the carrier dies: with the session still live, the failover
+         machinery replays them on the next link. *)
+      transmit s;
+      arm_watchdog s
+    end
   end
+
+and finish_close s =
+  cancel_watchdog s;
+  (match s.role with
+   | Server ln -> Hashtbl.remove ln.sessions s.sid
+   | Client _ -> ());
+  (match s.link with
+   | Some l when not l.ldead ->
+     l.ldead <- true;
+     Vl.close l.lvl
+   | _ -> ());
+  s.link <- None
 
 and outer_ops s =
   { Vl.o_write =
@@ -762,7 +829,10 @@ let listen ?(config = default_config) pad node ~port accept =
         | Vl.Failed m -> link_failed l m
         | Vl.Peer_closed ->
           (match l.lsess with
-           | Some s when s.finished -> ()
+           | Some s when s.finished ->
+             (* Orderly teardown: the closer got our FIN-ack and dropped
+                the carrier — the session can leave the table now. *)
+             Hashtbl.remove ln.sessions s.sid
            | _ -> link_failed l "peer closed")
         | Vl.Connected | Vl.Readable | Vl.Writable -> ());
       read_loop l)

@@ -23,6 +23,9 @@ type st = {
   mutable outer : Vl.t option;
   mutable closed : bool;
   mutable rx_paused : bool;
+  mutable inner_eof : bool;  (* inner stream fully drained to Eof *)
+  mutable inflight : int;  (* decompress cpu charges not yet landed *)
+  mutable wr_inflight : int;  (* coded frames posted, not yet accepted *)
 }
 
 let charge st per_byte n k =
@@ -30,12 +33,29 @@ let charge st per_byte n k =
     (int_of_float (per_byte *. float_of_int n))
     k
 
+(* End of stream is only surfaced once every coded byte has been
+   decompressed and queued: the inner Eof (or Peer_closed event) races
+   with frames still in the decode/charge pipeline, and forwarding it
+   eagerly would discard data the peer sent before closing. *)
+let maybe_eof st =
+  if st.inner_eof && st.inflight = 0 then
+    match st.outer with
+    | Some vl -> Vl.notify vl Vl.Peer_closed
+    | None -> ()
+
+(* Closing must not guillotine coded frames already accepted by [o_write]
+   but still queued in the inner driver — the peer would see silent
+   truncation. The inner close waits for the last frame. *)
+let flush_close st =
+  if st.closed && st.wr_inflight = 0 && not (Vl.is_closed st.inner) then
+    Vl.close st.inner
+
 (* Keep one inner read posted while the rx queue is under its high
    watermark; decode into the rx queue. Above the watermark the loop
    parks ([rx_paused]) and the unread bytes back up in the inner driver —
    backpressure propagates down instead of hiding here. *)
 let rec read_loop st =
-  if not st.closed then begin
+  if (not st.closed) && not st.inner_eof then begin
     if Streamq.above_high st.rx then begin
       st.rx_paused <- true;
       trace_flow st.node "pause" (Streamq.length st.rx)
@@ -51,18 +71,20 @@ let rec read_loop st =
           in
           trace_adapter st.node Padico_obs.Event.Unwrap decompressed;
           (* Decompression CPU, then deliver. *)
+          st.inflight <- st.inflight + 1;
           charge st Calib.decompress_per_byte_ns decompressed (fun () ->
+              st.inflight <- st.inflight - 1;
               List.iter (Streamq.push st.rx) chunks;
               (match st.outer with
                | Some vl when not (Streamq.is_empty st.rx) ->
                  Vl.notify vl Vl.Readable
                | _ -> ());
-              read_loop st)
+              read_loop st;
+              maybe_eof st)
         | Vl.Again -> read_loop st
         | Vl.Eof ->
-          (match st.outer with
-           | Some vl -> Vl.notify vl Vl.Peer_closed
-           | None -> ())
+          st.inner_eof <- true;
+          maybe_eof st
         | Vl.Error e ->
           (match st.outer with
            | Some vl -> Vl.notify vl (Vl.Failed e)
@@ -105,7 +127,11 @@ let ops st =
                 | Adoc.Compress ->
                   charge st Calib.compress_per_byte_ns n (fun () -> ())
                 | Adoc.Pass -> ());
-               ignore (Vl.post_write st.inner frame);
+               st.wr_inflight <- st.wr_inflight + 1;
+               let req = Vl.post_write st.inner frame in
+               Vl.set_handler req (fun _ ->
+                   st.wr_inflight <- st.wr_inflight - 1;
+                   flush_close st);
                budget := !budget - Bytebuf.length frame;
                pos := !pos + n
              end
@@ -128,7 +154,7 @@ let ops st =
     o_close =
       (fun () ->
          st.closed <- true;
-         Vl.close st.inner);
+         flush_close st);
     o_driver = driver_name }
 
 let wrap ?chunk ?(rx_high = 262_144) ?rx_low ~link_bandwidth_bps inner =
@@ -137,7 +163,8 @@ let wrap ?chunk ?(rx_high = 262_144) ?rx_low ~link_bandwidth_bps inner =
     { inner; codec = Adoc.create ?chunk ~link_bandwidth_bps ();
       decoder = Adoc.Decoder.create ();
       rx = Streamq.create ~high:rx_high ~low:rx_low ();
-      node = Vl.node inner; outer = None; closed = false; rx_paused = false }
+      node = Vl.node inner; outer = None; closed = false; rx_paused = false;
+      inner_eof = false; inflight = 0; wr_inflight = 0 }
   in
   let connected_now = Vl.is_connected inner in
   let vl =
@@ -153,7 +180,11 @@ let wrap ?chunk ?(rx_high = 262_144) ?rx_low ~link_bandwidth_bps inner =
       if not connected_now then Vl.attach_ops vl (ops st);
       read_loop st
     | Vl.Writable -> Vl.notify vl Vl.Writable
-    | Vl.Peer_closed -> Vl.notify vl Vl.Peer_closed
+    | Vl.Peer_closed ->
+      (* FIN may precede coded bytes still buffered in the inner driver:
+         keep the read loop draining; {!maybe_eof} forwards end-of-stream
+         once the decode pipeline runs dry. *)
+      ()
     | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
     | Vl.Readable -> ());
   if connected_now then read_loop st;

@@ -29,6 +29,9 @@ type st = {
   mutable outer : Vl.t option;
   mutable closed : bool;
   mutable rx_paused : bool;
+  mutable inner_eof : bool;  (* inner stream fully drained to Eof *)
+  mutable inflight : int;  (* decrypt cpu charges not yet landed *)
+  mutable wr_inflight : int;  (* ciphered frames posted, not yet accepted *)
 }
 
 let trace_flow node action bytes =
@@ -73,11 +76,28 @@ let parse st =
   done;
   List.rev !out
 
+(* End of stream is only surfaced once every ciphered byte has been
+   decrypted and queued: the inner Eof (or Peer_closed event) races with
+   ciphertext still in the parse/charge pipeline, and forwarding it
+   eagerly would discard data the peer sent before closing. *)
+let maybe_eof st =
+  if st.inner_eof && st.inflight = 0 then
+    match st.outer with
+    | Some vl -> Vl.notify vl Vl.Peer_closed
+    | None -> ()
+
+(* Closing must not guillotine ciphered frames already accepted by
+   [o_write] but still queued in the inner driver — the peer would see
+   silent truncation. The inner close waits for the last frame. *)
+let flush_close st =
+  if st.closed && st.wr_inflight = 0 && not (Vl.is_closed st.inner) then
+    Vl.close st.inner
+
 (* Keep one inner read posted while the rx queue is under its high
    watermark; above it the loop parks and unread ciphertext backs up in
    the inner driver (backpressure, not hidden buffering). *)
 let rec read_loop st =
-  if not st.closed then begin
+  if (not st.closed) && not st.inner_eof then begin
     if Streamq.above_high st.rx then begin
       st.rx_paused <- true;
       trace_flow st.node "pause" (Streamq.length st.rx)
@@ -91,16 +111,20 @@ let rec read_loop st =
           let chunks = parse st in
           let bytes = List.fold_left (fun a c -> a + Bytebuf.length c) 0 chunks in
           if bytes > 0 then trace_adapter st.node Padico_obs.Event.Unwrap bytes;
+          st.inflight <- st.inflight + 1;
           charge st bytes (fun () ->
+              st.inflight <- st.inflight - 1;
               List.iter (Streamq.push st.rx) chunks;
               (match st.outer with
                | Some vl when not (Streamq.is_empty st.rx) ->
                  Vl.notify vl Vl.Readable
                | _ -> ());
-              read_loop st)
+              read_loop st;
+              maybe_eof st)
         | Vl.Again -> read_loop st
         | Vl.Eof ->
-          (match st.outer with Some vl -> Vl.notify vl Vl.Peer_closed | None -> ())
+          st.inner_eof <- true;
+          maybe_eof st
         | Vl.Error e ->
           (match st.outer with Some vl -> Vl.notify vl (Vl.Failed e) | None -> ()))
     end
@@ -137,7 +161,11 @@ let ops st =
                Bytebuf.blit ~src:body ~src_off:0 ~dst:frame ~dst_off:4
                  ~len:(Bytebuf.length body);
                charge st n (fun () -> ());
-               ignore (Vl.post_write st.inner frame);
+               st.wr_inflight <- st.wr_inflight + 1;
+               let req = Vl.post_write st.inner frame in
+               Vl.set_handler req (fun _ ->
+                   st.wr_inflight <- st.wr_inflight - 1;
+                   flush_close st);
                budget := !budget - Bytebuf.length frame;
                pos := !pos + n
              end
@@ -158,7 +186,7 @@ let ops st =
     o_close =
       (fun () ->
          st.closed <- true;
-         Vl.close st.inner);
+         flush_close st);
     o_driver = driver_name }
 
 let wrap ?(rx_high = 262_144) ?rx_low ~key inner =
@@ -166,7 +194,8 @@ let wrap ?(rx_high = 262_144) ?rx_low ~key inner =
   let st =
     { inner; key; rx = Streamq.create ~high:rx_high ~low:rx_low ();
       pending = Streamq.create (); want = None; node = Vl.node inner;
-      outer = None; closed = false; rx_paused = false }
+      outer = None; closed = false; rx_paused = false; inner_eof = false;
+      inflight = 0; wr_inflight = 0 }
   in
   let connected_now = Vl.is_connected inner in
   let vl =
@@ -182,7 +211,11 @@ let wrap ?(rx_high = 262_144) ?rx_low ~key inner =
       if not connected_now then Vl.attach_ops vl (ops st);
       read_loop st
     | Vl.Writable -> Vl.notify vl Vl.Writable
-    | Vl.Peer_closed -> Vl.notify vl Vl.Peer_closed
+    | Vl.Peer_closed ->
+      (* FIN may precede ciphertext still buffered in the inner driver:
+         keep the read loop draining; {!maybe_eof} forwards end-of-stream
+         once the decrypt pipeline runs dry. *)
+      ()
     | Vl.Failed e -> Vl.notify vl (Vl.Failed e)
     | Vl.Readable -> ());
   if connected_now then read_loop st;

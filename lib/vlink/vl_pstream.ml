@@ -276,6 +276,15 @@ let listen sio stack ~port accept =
                    ms;
                  (* Data may already sit behind the HELLOs. *)
                  Array.iter (fun m -> drain_member l m) ms;
+                 (* A member FIN processed while its watch still pointed
+                    at the HELLO parser was ignored there; [Peer_closed]
+                    fires exactly once, so count the missed edges now or
+                    the bundle never reports peer death. *)
+                 Array.iter
+                   (fun m ->
+                      if Tcp.peer_closed m.conn then
+                        member_event l m Tcp.Peer_closed)
+                   ms;
                  accept vl
                end
              | None -> ())

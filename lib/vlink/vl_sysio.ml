@@ -34,4 +34,10 @@ let listen sio stack ~port accept =
       let vl = Vl.create (Tcp.node stack) in
       Netaccess.Sysio.watch sio conn (wire vl conn);
       Vl.attach_ops vl (ops_of_conn conn);
-      accept vl)
+      accept vl;
+      (* The accept callback is dispatched through the arbitration core
+         and TCP events are edge-triggered: an edge fired before the watch
+         above went to the previous callback. A missed [Readable] heals
+         itself (VLink's read pump polls the descriptor) but [Peer_closed]
+         fires exactly once — catch up or a pending read hangs forever. *)
+      if Tcp.peer_closed conn then Vl.notify vl Vl.Peer_closed)

@@ -426,15 +426,11 @@ let run_failover_transfer ~seed ~total ~plan_text () =
   check_int "all bytes echoed" total !received;
   Resilient.stats conn
 
-let test_failover_san_to_lan () =
-  let st =
-    run_failover_transfer ~seed:42 ~total:1_000_000
-      ~plan_text:"at 2ms link-down san\n" ()
-  in
-  check_bool "switched adapters" true (st.Resilient.switches >= 1);
-  check_string "running on sysio" "sysio" st.Resilient.driver;
-  check_bool "retried" true (st.Resilient.retries >= 1);
-  check_bool "downtime measured" true (st.Resilient.downtime_ns > 0)
+(* The plain SAN->LAN transfer e2e moved to the conformance kit: the
+   resilient fixture's obligations run under a link-down plan in
+   test_check.ml (and under every schedule policy via `padico_cli check`).
+   What stays here is what the kit does not assert: the stats counters
+   and the trace/determinism contract. *)
 
 let test_resilient_clean_run_no_failover () =
   let st =
@@ -450,17 +446,22 @@ let test_failover_events_and_determinism () =
      fault plan, retries, failover and all. *)
   let run () =
     Obs.Trace.enable ();
-    ignore
-      (run_failover_transfer ~seed:11 ~total:300_000
-         ~plan_text:"at 1ms link-down san\n" ());
+    let st =
+      run_failover_transfer ~seed:11 ~total:300_000
+        ~plan_text:"at 1ms link-down san\n" ()
+    in
     let s = Obs.Export_chrome.to_string () in
     Obs.Trace.disable ();
     Obs.Trace.clear ();
-    s
+    (st, s)
   in
-  let t1 = run () in
-  let t2 = run () in
+  let st, t1 = run () in
+  let _, t2 = run () in
   check_bool "traces byte-identical" true (String.equal t1 t2);
+  check_bool "switched adapters" true (st.Resilient.switches >= 1);
+  check_string "running on sysio" "sysio" st.Resilient.driver;
+  check_bool "retried" true (st.Resilient.retries >= 1);
+  check_bool "downtime measured" true (st.Resilient.downtime_ns > 0);
   check_bool "has a failover event" true
     (try
        ignore (Str.search_forward (Str.regexp "resilience.failover") t1 0);
@@ -578,8 +579,7 @@ let () =
         [ Alcotest.test_case "madio write fails, not hangs" `Quick
             test_madio_write_after_peer_close ] );
       ( "failover",
-        [ Alcotest.test_case "san -> lan" `Quick test_failover_san_to_lan;
-          Alcotest.test_case "clean run" `Quick
+        [ Alcotest.test_case "clean run" `Quick
             test_resilient_clean_run_no_failover;
           Alcotest.test_case "events + determinism" `Quick
             test_failover_events_and_determinism ] );

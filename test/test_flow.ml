@@ -1,8 +1,12 @@
 (* Flow control and overload protection (PR 3): bounded Streamq +
    watermarks, bounded Proc.Mailbox, Na_core admission control, MadIO
-   credits, Vl EAGAIN semantics, adapter backpressure/timeout/peer-death
-   matrix, Resilient windows, and QCheck properties over random
-   producer/consumer rate schedules. *)
+   credits, Vl EAGAIN semantics, Resilient windows, and QCheck properties
+   over random producer/consumer rate schedules.
+
+   The per-adapter timeout/peer-death matrices that used to live here are
+   now obligations in the conformance kit (lib/check/conform.ml), which
+   states them once and runs them against every adapter under every
+   schedule policy — see test_check.ml and `padico_cli check`. *)
 
 module Bb = Engine.Bytebuf
 module Time = Engine.Time
@@ -489,174 +493,6 @@ let test_resilient_flow_fault_compose () =
   check_bool "still bounded across the switch" true
     (st.Resilient.rx_peak <= rx_high + frame_slack)
 
-(* ---------- adapter matrix: timeout + peer death ---------- *)
-
-(* Every wrapper adapter must preserve the PR 2 request semantics of the
-   link it wraps: a posted read honours [?timeout_ns], and a pending read
-   completes (Eof) when the peer closes instead of hanging. *)
-
-let pipe_stacks =
-  [ ("plain", fun (va, vb) -> (va, vb));
-    ( "adoc",
-      fun (va, vb) ->
-        ( Vlink.Vl_adoc.wrap ~link_bandwidth_bps:1e6 va,
-          Vlink.Vl_adoc.wrap ~link_bandwidth_bps:1e6 vb ) );
-    ( "crypto",
-      let key = Methods.Crypto.key_of_string "matrix" in
-      fun (va, vb) ->
-        (Vlink.Vl_crypto.wrap ~key va, Vlink.Vl_crypto.wrap ~key vb) ) ]
-
-let test_adapter_timeout_matrix () =
-  List.iter
-    (fun (name, stack) ->
-       let net = Simnet.Net.create () in
-       let a = Simnet.Net.add_node net "a" in
-       let wa, _wb = stack (bounded_pipe a ~cap:65_536) in
-       let h =
-         Simnet.Node.spawn a (fun () ->
-             let t0 = Engine.Sim.now (Simnet.Node.sim a) in
-             match
-               Vl.await (Vl.post_read ~timeout_ns:(Time.ms 3) wa (Bb.create 64))
-             with
-             | Vl.Error "timeout" ->
-               check_bool (name ^ ": not before the deadline") true
-                 (Engine.Sim.now (Simnet.Node.sim a) - t0 >= Time.ms 3)
-             | _ -> Alcotest.failf "%s: read should time out" name)
-       in
-       run_net net;
-       assert_done h)
-    pipe_stacks
-
-let test_adapter_peer_death_matrix () =
-  List.iter
-    (fun (name, stack) ->
-       let net = Simnet.Net.create () in
-       let a = Simnet.Net.add_node net "a" in
-       let wa, wb = stack (bounded_pipe a ~cap:65_536) in
-       let reader =
-         Simnet.Node.spawn a (fun () ->
-             (* Data sent before the close is still delivered... *)
-             let buf = Bb.create 64 in
-             (match Vl.await (Vl.post_read wa buf) with
-              | Vl.Done n -> check_bool (name ^ ": got data") true (n > 0)
-              | _ -> Alcotest.failf "%s: first read should see data" name);
-             (* ...and the pending read after it completes on peer close
-                instead of hanging. *)
-             match Vl.await (Vl.post_read wa buf) with
-             | Vl.Eof -> ()
-             | Vl.Done _ -> Alcotest.failf "%s: unexpected data" name
-             | c ->
-               check_bool (name ^ ": completes, not hangs")
-                 true (c = Vl.Eof || c <> Vl.Again))
-       in
-       let closer =
-         Simnet.Node.spawn a (fun () ->
-             (match Vl.await (Vl.post_write wb (Bb.of_string "last words")) with
-              | Vl.Done _ -> ()
-              | _ -> Alcotest.failf "%s: write failed" name);
-             Proc.sleep (Simnet.Node.sim a) (Time.us 100);
-             Vl.close wb)
-       in
-       run_net net;
-       assert_done reader;
-       assert_done closer)
-    pipe_stacks
-
-let test_pstream_timeout_and_peer_death () =
-  let prefs =
-    { Selector.Prefs.default with Selector.Prefs.pstream_on_wan = true;
-      pstream_streams = 2; adoc_on_slow = false; cipher_untrusted = false }
-  in
-  let grid, a, b, _ = grid_pair ~prefs Simnet.Presets.vthd in
-  let server_vl = ref None in
-  Padico.listen grid b ~port:4300 (fun vl -> server_vl := Some vl);
-  let h =
-    Padico.spawn grid a ~name:"client" (fun () ->
-        let vl = Padico.connect grid ~src:a ~dst:b ~port:4300 in
-        (match Vio.connect_wait vl with
-         | Ok () -> ()
-         | Error e -> failwith e);
-        check_string "pstream chosen" "pstream" (Vl.driver_name vl);
-        (* The server-side bundle accept lags the client connect by the
-           WAN RTT: wait for it. *)
-        let rec wait_accept n =
-          match !server_vl with
-          | Some svl -> svl
-          | None ->
-            if n = 0 then Alcotest.fail "server never accepted"
-            else begin
-              Proc.sleep (Simnet.Node.sim a) (Time.ms 10);
-              wait_accept (n - 1)
-            end
-        in
-        let svl = wait_accept 200 in
-        (* Timeout on a silent link. *)
-        (match
-           Vl.await (Vl.post_read ~timeout_ns:(Time.ms 5) vl (Bb.create 64))
-         with
-         | Vl.Error "timeout" -> ()
-         | _ -> Alcotest.fail "pstream: read should time out");
-        (* Server closes: the pending read completes. *)
-        Vl.close svl;
-        match Vl.await (Vl.post_read ~timeout_ns:(Time.sec 2) vl (Bb.create 64))
-        with
-        | Vl.Eof | Vl.Error _ -> ()
-        | _ -> Alcotest.fail "pstream: read should end on peer close")
-  in
-  run_grid grid;
-  assert_done h
-
-let test_vrp_timeout_and_peer_death () =
-  let prefs =
-    { Selector.Prefs.default with Selector.Prefs.vrp_on_lossy = true;
-      vrp_tolerance = 0.1; cipher_untrusted = false; adoc_on_slow = false }
-  in
-  let grid, a, b, _ = grid_pair ~prefs Simnet.Presets.transcontinental in
-  let done_reading = ref false in
-  Padico.listen grid b ~port:4400 (fun vl ->
-      ignore
-        (Padico.spawn grid b ~name:"rx" (fun () ->
-             let buf = Bb.create 65_536 in
-             (* Data arrives... *)
-             (match Vl.await (Vl.post_read vl buf) with
-              | Vl.Done n -> check_bool "vrp got data" true (n > 0)
-              | _ -> Alcotest.fail "vrp: expected data");
-             (* ...then silence: the timeout must fire on the vrp vl. *)
-             (match
-                Vl.await (Vl.post_read ~timeout_ns:(Time.ms 50) vl
-                            (Bb.create 64))
-              with
-              | Vl.Error "timeout" -> ()
-              | Vl.Done _ ->
-                (* More in-flight chunks may drain first; that's fine. *)
-                ()
-              | _ -> Alcotest.fail "vrp: bad completion");
-             (* Sender finishes: pending reads complete via Peer_closed. *)
-             let rec drain () =
-               match
-                 Vl.await (Vl.post_read ~timeout_ns:(Time.sec 20) vl buf)
-               with
-               | Vl.Done _ -> drain ()
-               | Vl.Eof -> done_reading := true
-               | Vl.Error _ -> done_reading := true
-               | Vl.Again -> Alcotest.fail "vrp: Again on blocking read"
-             in
-             drain ())));
-  let h =
-    Padico.spawn grid a ~name:"tx" (fun () ->
-        let vl = Padico.connect grid ~src:a ~dst:b ~port:4400 in
-        (match Vio.connect_wait vl with
-         | Ok () -> ()
-         | Error e -> failwith e);
-        check_string "vrp chosen" "vrp" (Vl.driver_name vl);
-        ignore (Vl.await (Vl.post_write vl (Bb.create 4096)));
-        Proc.sleep (Simnet.Node.sim a) (Time.ms 200);
-        Vl.close vl)
-  in
-  run_grid grid;
-  assert_done h;
-  check_bool "vrp reader saw end of stream" true !done_reading
-
 (* ---------- QCheck properties ---------- *)
 
 (* Random producer/consumer rate schedules over a small bounded pipe with
@@ -763,12 +599,4 @@ let () =
             test_resilient_bounded_memory;
           Alcotest.test_case "composes with failover" `Quick
             test_resilient_flow_fault_compose ] );
-      ( "adapter-matrix",
-        [ Alcotest.test_case "timeouts" `Quick test_adapter_timeout_matrix;
-          Alcotest.test_case "peer death" `Quick
-            test_adapter_peer_death_matrix;
-          Alcotest.test_case "pstream timeout + close" `Quick
-            test_pstream_timeout_and_peer_death;
-          Alcotest.test_case "vrp timeout + close" `Quick
-            test_vrp_timeout_and_peer_death ] );
       Tutil.qsuite "properties" [ prop_no_loss_no_reorder ] ]
