@@ -119,7 +119,8 @@ let run () =
     (fun (mq, sq) ->
        let m, c, _ =
          scenario ~with_corba:true ~with_hog:false
-           ~policy:{ Na.madio_quantum = mq; sysio_quantum = sq } ()
+           ~policy:(Na.Static { Na.madio_quantum = mq; sysio_quantum = sq })
+           ()
        in
        Printf.printf "    madio:sysio = %2d:%-2d   MPI %s   CORBA %s\n" mq sq
          (Bhelp.pp_mb m) (Bhelp.pp_mb c);

@@ -13,6 +13,8 @@ let experiments =
     ("obs", "E9: tracing overhead on the MadIO hot path", Obs_bench.run);
     ("fault", "E10: fault injection and failover resilience", Fault_bench.run);
     ("flow", "E11: flow control and overload protection", Flow_bench.run);
+    ("sched", "E12: adaptive arbitration and small-message aggregation",
+     Sched_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 let usage () =

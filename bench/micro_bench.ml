@@ -63,11 +63,39 @@ let test_base64 =
     (Staged.stage (fun () ->
          ignore (Mw_soap.Soap.base64_encode (Bb.to_string payload_64k))))
 
+(* Streamq.pop must be O(1) in the standing queue depth: the remainder
+   of a split head chunk lives in a dedicated front slot — re-inserting
+   it through the FIFO would cost a full-queue transfer per bounded
+   read. Steady state per run: one 128 B push, two 64 B split pops, so
+   the depth stays constant while every pop exercises the split path. *)
+let streamq_at_depth depth =
+  let q = Vlink.Streamq.create () in
+  for _ = 1 to depth do
+    Vlink.Streamq.push q (Bb.create 128)
+  done;
+  q
+
+let q_shallow = streamq_at_depth 1_000
+
+let q_deep = streamq_at_depth 64_000
+
+let streamq_test q name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Vlink.Streamq.push q (Bb.create 128);
+         ignore (Vlink.Streamq.pop q ~max:64);
+         ignore (Vlink.Streamq.pop q ~max:64)))
+
+let test_streamq_shallow = streamq_test q_shallow "streamq.pop depth=1k"
+
+let test_streamq_deep = streamq_test q_deep "streamq.pop depth=64k"
+
 let benchmark () =
   let tests =
     Test.make_grouped ~name:"padico"
       [ test_lz_compress; test_lz_decompress; test_cdr_encode_zero_copy;
-        test_cdr_encode_copying; test_crypto; test_heap; test_base64 ]
+        test_cdr_encode_copying; test_crypto; test_heap; test_base64;
+        test_streamq_shallow; test_streamq_deep ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -80,6 +108,11 @@ let benchmark () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   results
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let run () =
   Bhelp.print_header "Microbenchmarks (real wall-clock, Bechamel OLS)";
   let results = benchmark () in
@@ -88,4 +121,25 @@ let run () =
        match Analyze.OLS.estimates ols with
        | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
        | _ -> Printf.printf "%-32s (no estimate)\n" name)
-    results
+    results;
+  (* The O(1) claim, asserted: a 64x deeper queue must not make the
+     split-pop meaningfully slower (8x is far beyond measurement noise
+     but far below the O(depth) behaviour of front re-insertion). *)
+  let estimate sub =
+    Hashtbl.fold
+      (fun name ols acc ->
+         if acc <> None || not (contains name sub) then acc
+         else
+           match Analyze.OLS.estimates ols with
+           | Some [ est ] -> Some est
+           | _ -> None)
+      results None
+  in
+  match (estimate "streamq.pop depth=1k", estimate "streamq.pop depth=64k") with
+  | Some shallow, Some deep ->
+    Printf.printf
+      "streamq.pop O(1) check: %.1f ns at depth 1k vs %.1f ns at depth 64k\n"
+      shallow deep;
+    if deep > 8.0 *. Float.max shallow 1.0 then
+      failwith "Streamq.pop scales with queue depth (expected O(1))"
+  | _ -> failwith "streamq.pop estimates missing"

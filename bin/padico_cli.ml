@@ -630,10 +630,165 @@ let flow_cmd =
     Term.(const run $ mbytes_arg $ chunk_arg $ mismatch_arg $ window_arg
           $ rx_high_arg $ seed_arg)
 
+(* ---------- sched ---------- *)
+
+let sched_cmd =
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("static", `Static); ("adaptive", `Adaptive);
+                       ("adaptive-eager", `Eager) ])
+             `Adaptive
+         & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"NetAccess dispatcher policy: $(b,static) (fixed quanta), \
+                 $(b,adaptive) (EWMA quanta + idle-scan backoff) or \
+                 $(b,adaptive-eager) (EWMA quanta, no backoff).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 300
+         & info [ "iters" ] ~docv:"N" ~doc:"MadIO ping-pong round trips.")
+  in
+  let burst_arg =
+    Arg.(value & opt int 2000
+         & info [ "burst" ] ~docv:"N"
+           ~doc:"Small messages (64 B) in the one-way burst phase.")
+  in
+  let no_agg_arg =
+    Arg.(value & flag
+         & info [ "no-agg" ]
+           ~doc:"Disable small-message aggregation for the burst.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  let run policy iters burst no_agg seed =
+    let pol, pol_name =
+      match policy with
+      | `Static -> (Netaccess.Na_core.default_policy, "static")
+      | `Adaptive ->
+        (Netaccess.Na_core.(Adaptive default_adaptive), "adaptive")
+      | `Eager ->
+        (Netaccess.Na_core.(
+           Adaptive { default_adaptive with idle_backoff = false }),
+         "adaptive-eager")
+    in
+    Engine.Bytebuf.Pool.reset ();
+    let grid = Padico.create ~seed () in
+    let a = Padico.add_node grid "a" in
+    let b = Padico.add_node grid "b" in
+    let san =
+      Padico.add_segment grid Simnet.Presets.myrinet2000 ~name:"san" [ a; b ]
+    in
+    let lan =
+      Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan" [ a; b ]
+    in
+    Netaccess.Na_core.set_policy (Netaccess.Na_core.get a) pol;
+    Netaccess.Na_core.set_policy (Netaccess.Na_core.get b) pol;
+    (* One watched-but-silent LAN socket: the adaptive scheduler's
+       idle-scan accounting needs registered SysIO interest to model. *)
+    let sa = Netaccess.Sysio.get a and sb = Netaccess.Sysio.get b in
+    let stack_a = Netaccess.Sysio.stack_on sa lan in
+    let stack_b = Netaccess.Sysio.stack_on sb lan in
+    Netaccess.Sysio.listen sb stack_b ~port:80 (fun conn ->
+        Netaccess.Sysio.watch sb conn (fun _ -> ()));
+    ignore
+      (Netaccess.Sysio.connect sa stack_a ~dst:(Simnet.Node.id b) ~port:80
+         (fun _ _ -> ()));
+    let ma = Padico.madio grid a san and mb = Padico.madio grid b san in
+    if not no_agg then begin
+      Netaccess.Madio.set_aggregation ma true;
+      Netaccess.Madio.set_aggregation mb true
+    end;
+    let msg n seed =
+      let m = Engine.Bytebuf.create n in
+      Engine.Bytebuf.fill_pattern m ~seed;
+      m
+    in
+    (* Latency phase: ping-pong on lchannel 1 (explicitly flushed, the
+       latency-critical pattern). *)
+    let la = Netaccess.Madio.open_lchannel ma ~id:1 in
+    let lb = Netaccess.Madio.open_lchannel mb ~id:1 in
+    let rounds = ref 0 and t_pp = ref 0 in
+    Netaccess.Madio.set_recv lb (fun ~src buf ->
+        Netaccess.Madio.send lb ~dst:src buf;
+        Netaccess.Madio.flush lb ~dst:src);
+    Netaccess.Madio.set_recv la (fun ~src:_ _ ->
+        incr rounds;
+        if !rounds < iters then begin
+          Netaccess.Madio.send la ~dst:(Simnet.Node.id b) (msg 64 !rounds);
+          Netaccess.Madio.flush la ~dst:(Simnet.Node.id b)
+        end
+        else t_pp := Padico.now grid);
+    Netaccess.Madio.send la ~dst:(Simnet.Node.id b) (msg 64 0);
+    Netaccess.Madio.flush la ~dst:(Simnet.Node.id b);
+    (* Throughput phase: one-way 64 B burst on lchannel 2 (batchable). *)
+    let l2a = Netaccess.Madio.open_lchannel ma ~id:2 in
+    let l2b = Netaccess.Madio.open_lchannel mb ~id:2 in
+    let got = ref 0 and t0 = ref 0 and t1 = ref 0 in
+    Netaccess.Madio.set_recv l2b (fun ~src:_ _ ->
+        incr got;
+        if !got = burst then t1 := Padico.now grid);
+    ignore
+      (Padico.spawn grid a ~name:"burst-src" (fun () ->
+           t0 := Padico.now grid;
+           for i = 1 to burst do
+             Netaccess.Madio.send l2a ~dst:(Simnet.Node.id b) (msg 64 i)
+           done));
+    Padico.run grid;
+    Printf.printf "policy       : %s\n" pol_name;
+    Printf.printf "ping-pong    : %d round trips, %.1f us mean round trip\n"
+      !rounds
+      (float_of_int !t_pp /. float_of_int (max !rounds 1) /. 1e3);
+    Printf.printf "burst        : %d x 64 B in %.3f ms virtual (%.2f Mmsg/s)\n"
+      !got
+      (float_of_int (!t1 - !t0) /. 1e6)
+      (float_of_int !got /. (float_of_int (max (!t1 - !t0) 1) *. 1e-9) /. 1e6);
+    List.iter
+      (fun (node, name) ->
+         let core = Netaccess.Na_core.get node in
+         List.iter
+           (fun (kind, kname) ->
+              Printf.printf
+                "dispatch %s/%-5s: %6d dispatched, depth peak %3d, \
+                 work-EWMA %5.2f, quantum %2d\n"
+                name kname
+                (Netaccess.Na_core.dispatched core kind)
+                (Netaccess.Na_core.queue_peak core kind)
+                (Netaccess.Na_core.work_ewma core kind)
+                (Netaccess.Na_core.current_quantum core kind))
+           [ (Netaccess.Na_core.Madio_work, "madio");
+             (Netaccess.Na_core.Sysio_work, "sysio") ];
+         Printf.printf
+           "polling  %s      : busy %d, idle (charged) %d, saved %d, \
+            scan gap %d\n"
+           name
+           (Netaccess.Na_core.polls_busy core)
+           (Netaccess.Na_core.polls_idle core)
+           (Netaccess.Na_core.polls_saved core)
+           (Netaccess.Na_core.scan_gap core))
+      [ (a, "a"); (b, "b") ];
+    Printf.printf
+      "aggregation  : %s — %d messages batched, %d batches, %d packets saved\n"
+      (if Netaccess.Madio.aggregation_enabled ma then "on" else "off")
+      (Netaccess.Madio.messages_batched ma)
+      (Netaccess.Madio.batches_sent ma)
+      (Netaccess.Madio.packets_saved ma);
+    Printf.printf "header pool  : %d hits, %d misses\n"
+      (Engine.Bytebuf.Pool.pool_hits ())
+      (Engine.Bytebuf.Pool.pool_misses ())
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Run a latency ping-pong plus a small-message burst on a \
+             SAN+LAN pair under a chosen dispatcher policy; print \
+             per-subsystem dispatch/poll statistics and aggregation \
+             counters.")
+    Term.(const run $ policy_arg $ iters_arg $ burst_arg $ no_agg_arg
+          $ seed_arg)
+
 let () =
   let doc = "PadicoTM-style grid communication framework (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
           [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
-            fault_cmd; flow_cmd; check_cmd ]))
+            fault_cmd; flow_cmd; check_cmd; sched_cmd ]))

@@ -59,6 +59,23 @@ val sysio_poll_ns : int
 
 val sysio_callback_ns : int
 
+(** {2 Small-message aggregation (MadIO)} *)
+
+val madio_agg_threshold_bytes : int
+(** Default coalescing threshold: messages strictly smaller are eligible
+    for batching into one Madeleine packet. *)
+
+val madio_agg_budget_ns : int
+(** Default latency budget: a batch flushes at most this long after its
+    first message was queued. *)
+
+val madio_agg_max_batch_bytes : int
+(** Default cap on batched payload+sublength bytes per packet. *)
+
+val madio_agg_permsg_ns : int
+(** Per-sub-message cost of batch assembly/demux (cheap pointer walk),
+    charged on top of the one combined-header cost per packet. *)
+
 (** {1 Abstract interfaces} *)
 
 val circuit_op_ns : int

@@ -84,6 +84,44 @@ let checksum b =
   done;
   !h land max_int
 
+module Pool = struct
+  let slab = 64
+
+  let free : bytes list ref = ref []
+  let hits = ref 0
+  let misses = ref 0
+
+  let alloc n =
+    if n < 0 then invalid_arg "Bytebuf.Pool.alloc: negative length";
+    if n > slab then begin
+      incr misses;
+      { data = Bytes.create n; off = 0; len = n }
+    end
+    else
+      match !free with
+      | data :: rest ->
+        free := rest;
+        incr hits;
+        { data; off = 0; len = n }
+      | [] ->
+        incr misses;
+        { data = Bytes.create slab; off = 0; len = n }
+
+  let release b =
+    (* Only slabs we handed out come back: anything resized, sliced or
+       foreign is simply dropped for the GC. *)
+    if b.off = 0 && Bytes.length b.data = slab then free := b.data :: !free
+
+  let pool_hits () = !hits
+  let pool_misses () = !misses
+  let pooled () = List.length !free
+
+  let reset () =
+    free := [];
+    hits := 0;
+    misses := 0
+end
+
 let get b i =
   if i < 0 || i >= b.len then invalid_arg "Bytebuf.get";
   Bytes.get b.data (b.off + i)

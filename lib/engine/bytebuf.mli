@@ -68,3 +68,35 @@ val copies_performed : unit -> int
 (** Total bytes copied through this module since start (or last reset). *)
 
 val reset_copy_counter : unit -> unit
+
+(** {2 Small-buffer pool}
+
+    A free list of fixed-size slabs for short-lived small buffers on hot
+    paths (MadIO header encode is the motivating user: one 14-byte header
+    per message). Unlike {!create}, a pooled buffer's contents are
+    {e unspecified} — the previous user's bytes are still there — so
+    callers must overwrite every byte they will read. *)
+module Pool : sig
+  val slab : int
+  (** Slab size in bytes. Requests larger than this bypass the pool. *)
+
+  val alloc : int -> t
+  (** [alloc n] is a length-[n] buffer, reusing a pooled slab when
+      [n <= slab] and one is free. Contents are unspecified. *)
+
+  val release : t -> unit
+  (** Return a buffer to the pool. The caller asserts that no live slice
+      of it remains; the slab is handed to the next {!alloc} as-is.
+      Buffers that did not come from the pool are ignored. *)
+
+  val pool_hits : unit -> int
+  (** Allocations served by reusing a pooled slab. *)
+
+  val pool_misses : unit -> int
+  (** Allocations that had to take fresh memory. *)
+
+  val pooled : unit -> int
+  (** Slabs currently sitting in the free list. *)
+
+  val reset : unit -> unit
+end

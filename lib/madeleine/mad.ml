@@ -74,7 +74,7 @@ let pack out ?(mode = Send_cheaper) buf =
   in
   out.pieces <- piece :: out.pieces
 
-let end_packing out =
+let end_packing ?on_tx out =
   if out.closed then invalid_arg "Mad.end_packing: message already sent";
   let t = out.chan.mad in
   (* Parallel-oriented fail-fast: a SAN either works or the job aborts.
@@ -86,7 +86,11 @@ let end_packing out =
   out.closed <- true;
   t.sent <- t.sent + 1;
   Simnet.Node.cpu_async t.mnode Calib.mad_send_ns (fun () ->
-      Drivers.Gm.sendv out.chan.gm_chan ~dst:out.dst (List.rev out.pieces))
+      Drivers.Gm.sendv out.chan.gm_chan ~dst:out.dst (List.rev out.pieces);
+      (* Send completion: the driver has consumed (DMA-gathered) every
+         piece it does not reference by address, so callers reclaiming
+         pooled buffers they packed may do it here. *)
+      match on_tx with Some f -> f () | None -> ())
 
 let begin_unpacking (_ : incoming) = ()
 

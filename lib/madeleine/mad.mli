@@ -53,8 +53,16 @@ val pack : outgoing -> ?mode:pack_mode -> Engine.Bytebuf.t -> unit
 (** Append a piece to the message under construction. [Send_safer] pieces
     are copied (counted); other modes are referenced without copy. *)
 
-val end_packing : outgoing -> unit
-(** Emit the message. The pieces travel as one gathered wire message. *)
+val end_packing : ?on_tx:(unit -> unit) -> outgoing -> unit
+(** Emit the message. The pieces travel as one gathered wire message.
+    [on_tx] fires at send completion — once the driver has posted the
+    message (DMA-gathering the pieces it does not keep by reference), on
+    the send-side node's virtual timeline. Callers that packed pooled
+    buffers and pass [Send_cheaper] reclaim them there. Note that a piece
+    which exactly fills a driver fragment {e is} kept by reference until
+    delivery; [on_tx]-reclaimed buffers must always be packed alongside
+    other pieces in the same fragment (e.g. a small header followed by
+    payload), which forces the gather copy. *)
 
 (** {1 Receiving} *)
 

@@ -42,9 +42,53 @@ val set_recv : lchannel -> (src:int -> Engine.Bytebuf.t -> unit) -> unit
 
 val set_header_combining : t -> bool -> unit
 (** Default [true]. [false] sends the multiplexing header as its own
-    Madeleine message — the ablation measured by experiment E3. *)
+    Madeleine message — the ablation measured by experiment E3. Pending
+    aggregation batches are flushed first. *)
 
 val header_combining : t -> bool
+
+(** {2 Small-message aggregation}
+
+    A per-(peer, logical channel) coalescing queue: messages strictly
+    smaller than the threshold are packed into one Madeleine packet
+    instead of paying the fixed per-packet costs each. The combined
+    header's count byte announces a batch; its payload is a sequence of
+    [u16 sublen | bytes] records, demultiplexed on the receive side as
+    zero-copy sub-slices in order. A batch flushes when its latency
+    budget expires (engine timer), when an over-threshold message on the
+    same flow must keep its place in the stream, when the batch would
+    exceed the byte cap or 255 messages, on {!flush}/{!flush_all}, when
+    the channel closes, and on credit-only grants (the grant rides the
+    flush). Ordering within a logical channel is preserved; a batch of
+    one goes out in the legacy wire format. Disabled by default — the
+    wire format is then byte-identical to pre-aggregation builds. *)
+
+val set_aggregation :
+  t -> ?threshold:int -> ?budget_ns:int -> ?max_batch:int -> bool -> unit
+(** Enable/disable coalescing. [threshold] (default
+    [Calib.madio_agg_threshold_bytes]): messages strictly smaller
+    coalesce, in [2, 65535]. [budget_ns] (default
+    [Calib.madio_agg_budget_ns]): max virtual-time queueing delay.
+    [max_batch] (default [Calib.madio_agg_max_batch_bytes]): cap on
+    batched payload+sublength bytes per packet. Disabling flushes
+    everything pending. *)
+
+val aggregation_enabled : t -> bool
+
+val flush : lchannel -> dst:int -> unit
+(** Flush the pending batch of this (channel, peer) flow, if any. *)
+
+val flush_all : t -> unit
+
+val messages_batched : t -> int
+(** Messages that went through a coalescing batch. *)
+
+val batches_sent : t -> int
+(** Batch flushes (wire packets that carried batched messages). *)
+
+val packets_saved : t -> int
+(** Madeleine packets avoided by aggregation: sum over batches of
+    (messages - 1). *)
 
 (** {2 Credit-based flow control}
 

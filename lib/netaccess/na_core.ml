@@ -12,9 +12,26 @@ type kind = Madio_work | Sysio_work
 
 type prio = Normal | Low
 
-type policy = { madio_quantum : int; sysio_quantum : int }
+type quanta = { madio_quantum : int; sysio_quantum : int }
 
-let default_policy = { madio_quantum = 4; sysio_quantum = 4 }
+type adaptive = {
+  ewma_weight : float;
+  min_quantum : int;
+  max_quantum : int;
+  idle_backoff : bool;
+  max_scan_gap : int;
+  latency_boost : bool;
+}
+
+type policy = Static of quanta | Adaptive of adaptive
+
+let default_quanta = { madio_quantum = 4; sysio_quantum = 4 }
+
+let default_policy = Static default_quanta
+
+let default_adaptive =
+  { ewma_weight = 0.25; min_quantum = 1; max_quantum = 64;
+    idle_backoff = true; max_scan_gap = 64; latency_boost = true }
 
 type item = { work : unit -> unit; posted_at : int }
 
@@ -29,6 +46,7 @@ type queue_state = {
   wait : Stats.Summary.t; (* queueing time per item, ns *)
   deferred_c : Stats.Counter.t;
   shed_c : Stats.Counter.t;
+  mutable ewma : float; (* useful work per round (adaptive policy) *)
 }
 
 type t = {
@@ -38,6 +56,15 @@ type t = {
   madio : queue_state;
   sysio : queue_state;
   mutable waker : (unit -> unit) option; (* resumes the idle dispatcher *)
+  (* Adaptive-policy state. [sysio_interest] counts registered event
+     sources (watched sockets, listeners, UDP binds): with none, there is
+     nothing a SysIO scan could discover and the scan machinery is moot. *)
+  mutable sysio_interest : int;
+  mutable scan_gap : int; (* rounds between idle SysIO scans (backoff) *)
+  mutable rounds_since_scan : int;
+  polls_busy : Stats.Counter.t; (* scans with readiness events pending *)
+  polls_idle : Stats.Counter.t; (* charged scans that found nothing *)
+  polls_saved : Stats.Counter.t; (* idle scans elided by the backoff *)
 }
 
 let dispatchers : (int, t) Hashtbl.t = Hashtbl.create 16
@@ -45,9 +72,22 @@ let dispatchers : (int, t) Hashtbl.t = Hashtbl.create 16
 let node t = t.dnode
 
 let set_policy t p =
-  if p.madio_quantum < 1 || p.sysio_quantum < 1 then
-    invalid_arg "Na_core.set_policy: quanta must be >= 1";
-  t.pol <- p
+  (match p with
+   | Static q ->
+     if q.madio_quantum < 1 || q.sysio_quantum < 1 then
+       invalid_arg "Na_core.set_policy: quanta must be >= 1"
+   | Adaptive a ->
+     if not (a.ewma_weight > 0.0 && a.ewma_weight <= 1.0) then
+       invalid_arg "Na_core.set_policy: ewma_weight must be in (0, 1]";
+     if a.min_quantum < 1 || a.max_quantum < a.min_quantum then
+       invalid_arg "Na_core.set_policy: need 1 <= min_quantum <= max_quantum";
+     if a.max_scan_gap < 1 then
+       invalid_arg "Na_core.set_policy: max_scan_gap must be >= 1");
+  t.pol <- p;
+  t.scan_gap <- 1;
+  t.rounds_since_scan <- 0;
+  t.madio.ewma <- 0.0;
+  t.sysio.ewma <- 0.0
 
 let policy t = t.pol
 
@@ -98,6 +138,81 @@ let run_item t q =
              (Printexc.to_string e)));
     true
 
+let sched_event t action subsystem value =
+  if Trace.on () then
+    Trace.instant t.dnode (Padico_obs.Event.Sched { action; subsystem; value })
+
+(* Activity-driven quantum: track an EWMA of the useful work each
+   subsystem yields per round and size its quantum to ~1.5x that, so a
+   busy subsystem earns longer bursts (better batching) while an idle one
+   shrinks back to [min_quantum] (better latency for the other side). *)
+let quantum_of a ewma =
+  let q = int_of_float (Float.ceil (ewma *. 1.5)) in
+  max a.min_quantum (min a.max_quantum q)
+
+let update_ewma a q drained =
+  q.ewma <-
+    (a.ewma_weight *. float_of_int drained)
+    +. ((1.0 -. a.ewma_weight) *. q.ewma)
+
+(* One charged select()-style pass over registered-but-quiet sockets.
+   Only the adaptive policy models these: the legacy static path never
+   scans an empty queue, exactly as before this scheduler existed. *)
+let charge_idle_scan t a =
+  Stats.Counter.incr t.polls_idle;
+  sched_event t "scan" "sysio" t.scan_gap;
+  Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
+  t.rounds_since_scan <- 0;
+  if a.idle_backoff then begin
+    let g = min (t.scan_gap * 2) a.max_scan_gap in
+    if g <> t.scan_gap then begin
+      t.scan_gap <- g;
+      sched_event t "backoff" "sysio" g
+    end
+  end
+
+(* One adaptive interleaving round: MadIO first (SAN latency priority),
+   then SysIO — a charged productive poll when readiness events are
+   pending, otherwise the exponentially backed-off idle scan. *)
+let adaptive_round t a =
+  if not (Queue.is_empty t.madio.items) then begin
+    let base = quantum_of a t.madio.ewma in
+    let mq =
+      if a.latency_boost then begin
+        (* Latency-priority boost: pending SAN traffic drains entirely
+           this round rather than waiting out extra rounds' poll costs. *)
+        let pending = Queue.length t.madio.items in
+        if pending > base then begin
+          sched_event t "boost" "madio" pending;
+          pending
+        end
+        else base
+      end
+      else base
+    in
+    let rec go k = if k < mq && run_item t t.madio then go (k + 1) else k in
+    update_ewma a t.madio (go 0)
+  end
+  else update_ewma a t.madio 0;
+  if not (Queue.is_empty t.sysio.items) then begin
+    if Trace.on () then
+      Trace.instant t.dnode (Padico_obs.Event.Poll { kind = "sysio" });
+    Stats.Counter.incr t.polls_busy;
+    Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
+    let sq = quantum_of a t.sysio.ewma in
+    let rec go k = if k < sq && run_item t t.sysio then go (k + 1) else k in
+    update_ewma a t.sysio (go 0);
+    (* A productive scan resets the backoff: the socket side is live. *)
+    t.scan_gap <- 1;
+    t.rounds_since_scan <- 0
+  end
+  else if t.sysio_interest > 0 then begin
+    update_ewma a t.sysio 0;
+    t.rounds_since_scan <- t.rounds_since_scan + 1;
+    if t.rounds_since_scan >= t.scan_gap then charge_idle_scan t a
+    else Stats.Counter.incr t.polls_saved
+  end
+
 (* The unique receipt loop: alternate between the two subsystems according
    to the policy, then sleep until new work is posted. *)
 let dispatcher_loop t () =
@@ -115,14 +230,18 @@ let dispatcher_loop t () =
        pass (select()-like); MadIO completion polling is cheap and charged
        inside the MadIO costs, keeping the MadIO-over-Madeleine overhead at
        its measured < 0.1 us. *)
-    let rec drain q n = if n > 0 && run_item t q then drain q (n - 1) in
-    if not (Queue.is_empty t.madio.items) then drain t.madio t.pol.madio_quantum;
-    if not (Queue.is_empty t.sysio.items) then begin
-      if Trace.on () then
-        Trace.instant t.dnode (Padico_obs.Event.Poll { kind = "sysio" });
-      Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
-      drain t.sysio t.pol.sysio_quantum
-    end;
+    (match t.pol with
+     | Static pol ->
+       let rec drain q n = if n > 0 && run_item t q then drain q (n - 1) in
+       if not (Queue.is_empty t.madio.items) then
+         drain t.madio pol.madio_quantum;
+       if not (Queue.is_empty t.sysio.items) then begin
+         if Trace.on () then
+           Trace.instant t.dnode (Padico_obs.Event.Poll { kind = "sysio" });
+         Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
+         drain t.sysio pol.sysio_quantum
+       end
+     | Adaptive a -> adaptive_round t a);
     readmit t t.madio;
     readmit t t.sysio;
     (* Yield so co-located processes make progress between rounds. *)
@@ -137,7 +256,8 @@ let make_queue node kname =
       count = Metrics.fresh_counter scope ("na." ^ kname ^ ".dispatched");
       wait = Metrics.fresh_summary scope ("na." ^ kname ^ ".wait_ns");
       deferred_c = Metrics.fresh_counter scope ("na." ^ kname ^ ".deferred");
-      shed_c = Metrics.fresh_counter scope ("na." ^ kname ^ ".shed") }
+      shed_c = Metrics.fresh_counter scope ("na." ^ kname ^ ".shed");
+      ewma = 0.0 }
   in
   Metrics.gauge scope ("na." ^ kname ^ ".depth") (fun () ->
       float_of_int (Queue.length q.items));
@@ -150,12 +270,21 @@ let get dnode =
   match Hashtbl.find_opt dispatchers id with
   | Some t -> t
   | None ->
+    let scope = Metrics.Node (Simnet.Node.name dnode) in
     let t =
       { dnode; sim = Simnet.Node.sim dnode; pol = default_policy;
         madio = make_queue dnode "madio";
         sysio = make_queue dnode "sysio";
-        waker = None }
+        waker = None;
+        sysio_interest = 0; scan_gap = 1; rounds_since_scan = 0;
+        polls_busy = Metrics.fresh_counter scope "na.sysio.polls_busy";
+        polls_idle = Metrics.fresh_counter scope "na.sysio.polls_idle";
+        polls_saved = Metrics.fresh_counter scope "na.sysio.polls_saved" }
     in
+    Metrics.gauge scope "na.sched.scan_gap" (fun () ->
+        float_of_int t.scan_gap);
+    Metrics.gauge scope "na.madio.work_ewma" (fun () -> t.madio.ewma);
+    Metrics.gauge scope "na.sysio.work_ewma" (fun () -> t.sysio.ewma);
     Hashtbl.replace dispatchers id t;
     ignore (Simnet.Node.spawn dnode ~name:"netaccess" (dispatcher_loop t));
     t
@@ -213,3 +342,31 @@ let deferred_count t kind = Stats.Counter.value (qstate t kind).deferred_c
 let mean_wait_ns t kind =
   let q = qstate t kind in
   if Stats.Summary.n q.wait = 0 then 0.0 else Stats.Summary.mean q.wait
+
+(* -- adaptive-policy observability / SysIO interest --------------------- *)
+
+let add_sysio_interest t n =
+  t.sysio_interest <- max 0 (t.sysio_interest + n);
+  if t.sysio_interest = n && n > 0 then
+    (* First interest: start scanning eagerly again. *)
+    t.scan_gap <- 1
+
+let sysio_interest t = t.sysio_interest
+
+let polls_busy t = Stats.Counter.value t.polls_busy
+
+let polls_idle t = Stats.Counter.value t.polls_idle
+
+let polls_saved t = Stats.Counter.value t.polls_saved
+
+let scan_gap t = t.scan_gap
+
+let work_ewma t kind = (qstate t kind).ewma
+
+let current_quantum t kind =
+  match t.pol with
+  | Static q ->
+    (match kind with
+     | Madio_work -> q.madio_quantum
+     | Sysio_work -> q.sysio_quantum)
+  | Adaptive a -> quantum_of a (qstate t kind).ewma

@@ -22,12 +22,49 @@ type prio = Normal | Low
     datagrams) is deferred when the queue is over its high watermark;
     [Normal] work is always admitted. *)
 
-type policy = {
+type quanta = {
   madio_quantum : int;  (** MadIO items dispatched per round *)
   sysio_quantum : int;  (** SysIO items dispatched per round *)
 }
 
+type adaptive = {
+  ewma_weight : float;
+      (** Weight of the newest work sample in the per-subsystem EWMA,
+          in (0, 1]. *)
+  min_quantum : int;  (** Quantum floor (>= 1). *)
+  max_quantum : int;  (** Quantum ceiling (>= min_quantum). *)
+  idle_backoff : bool;
+      (** Exponentially back off the charged SysIO scan while watched
+          sockets stay quiet ([false] = eager: scan every round). *)
+  max_scan_gap : int;
+      (** Backoff ceiling, in rounds between idle scans (>= 1). *)
+  latency_boost : bool;
+      (** Drain all pending MadIO work in the current round (SAN traffic
+          never waits out extra rounds' poll costs). *)
+}
+
+type policy =
+  | Static of quanta
+      (** The fixed round-robin interleaving. The default
+          [Static {madio_quantum = 4; sysio_quantum = 4}] is
+          byte-identical to the pre-adaptive dispatcher: same costs, same
+          event stream, same timings. *)
+  | Adaptive of adaptive
+      (** Activity-driven interleaving: per-subsystem EWMA of useful work
+          per round sizes the quanta; the expensive select()-like SysIO
+          scan is charged even when sockets are quiet (modelling the real
+          receipt loop) but exponentially backed off, with posts waking
+          the dispatcher directly (wake-on-post) so backing off never
+          delays delivery. *)
+
 val default_policy : policy
+(** [Static {madio_quantum = 4; sysio_quantum = 4}]. *)
+
+val default_quanta : quanta
+
+val default_adaptive : adaptive
+(** [{ewma_weight = 0.25; min_quantum = 1; max_quantum = 64;
+    idle_backoff = true; max_scan_gap = 64; latency_boost = true}]. *)
 
 val get : Simnet.Node.t -> t
 (** The node's dispatcher; created (and its process spawned) on first use. *)
@@ -75,3 +112,38 @@ val deferred_count : t -> kind -> int
 
 val mean_wait_ns : t -> kind -> float
 (** Average virtual time items of [kind] spent queued before dispatch. *)
+
+(** {2 Adaptive-policy state and observability}
+
+    The scan counters only move under [Adaptive]; the static policy keeps
+    the original cost model (no scan is charged unless SysIO work is
+    actually pending). *)
+
+val add_sysio_interest : t -> int -> unit
+(** Register [n] (possibly negative) SysIO event sources — watched
+    connections, listeners, UDP binds. Called by [Sysio]; the adaptive
+    scheduler only models idle socket scans while interest is positive.
+    Clamped at zero. *)
+
+val sysio_interest : t -> int
+
+val polls_busy : t -> int
+(** Adaptive-policy SysIO scans that found readiness events pending. *)
+
+val polls_idle : t -> int
+(** Charged idle scans (sockets watched, nothing ready). *)
+
+val polls_saved : t -> int
+(** Idle scans elided by the exponential backoff — each one is
+    [Calib.sysio_poll_ns] of dispatcher CPU that eager polling would have
+    burned. *)
+
+val scan_gap : t -> int
+(** Current idle-scan backoff, in dispatcher rounds between scans. *)
+
+val work_ewma : t -> kind -> float
+(** The subsystem's EWMA of useful work per round. *)
+
+val current_quantum : t -> kind -> int
+(** The quantum the next round would grant [kind] (static: the policy
+    constant; adaptive: the EWMA-driven value before any boost). *)

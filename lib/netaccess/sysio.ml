@@ -63,20 +63,28 @@ let trace_event t name =
     Trace.instant t.sio_node (Padico_obs.Event.Sysio_event { event = name })
 
 let watch t conn cb =
+  (* Interest registration drives the adaptive scheduler's idle-scan
+     model: each watched source is one more reason a real receipt loop
+     would keep select()ing. [watch]/[unwatch] must pair. *)
+  Na_core.add_sysio_interest t.core 1;
   Tcp.set_event_cb conn (fun ev ->
       dispatch ~prio:(event_prio ev) t (fun () ->
           trace_event t (event_name ev);
           cb ev))
 
-let unwatch _t conn = Tcp.set_event_cb conn (fun _ -> ())
+let unwatch t conn =
+  Na_core.add_sysio_interest t.core (-1);
+  Tcp.set_event_cb conn (fun _ -> ())
 
 let listen t stack ~port cb =
+  Na_core.add_sysio_interest t.core 1;
   Tcp.listen stack ~port (fun conn ->
       dispatch t (fun () ->
           trace_event t "accept";
           cb conn))
 
 let connect t stack ~dst ~port cb =
+  Na_core.add_sysio_interest t.core 1;
   let conn = Tcp.connect stack ~dst ~port in
   Tcp.set_event_cb conn (fun ev ->
       dispatch ~prio:(event_prio ev) t (fun () ->
@@ -85,6 +93,7 @@ let connect t stack ~dst ~port cb =
   conn
 
 let watch_udp t udp ~port cb =
+  Na_core.add_sysio_interest t.core 1;
   Drivers.Udp.bind udp ~port (fun ~src ~src_port buf ->
       (* Datagrams are unreliable by contract: under overload they are shed
          rather than queued, and the datagram protocol's own retransmission

@@ -35,6 +35,8 @@ type t =
       retries : int;
       downtime_ns : int;
     }
+  | Sched of { action : string; subsystem : string; value : int }
+  | Agg of { action : string; lchannel : int; msgs : int; bytes : int }
 
 let layer = function
   | Dispatch _ | Poll _ | Header _ | Madio_recv _ | Sysio_event _ ->
@@ -42,7 +44,7 @@ let layer = function
   | Vl_connect _ | Vl_post _ | Vl_complete _ | Ct_pack _ | Ct_recv _
   | Adapter _ ->
     Abstraction
-  | Flow _ -> Arbitration
+  | Flow _ | Sched _ | Agg _ -> Arbitration
   | Choice _ -> Selection
   | Fault _ | Vl_timeout _ | Retry _ | Failover _ -> Resilience
 
@@ -74,6 +76,8 @@ let name = function
   | Vl_timeout { op; _ } -> "vl.timeout." ^ op_name op
   | Retry _ -> "resilience.retry"
   | Failover _ -> "resilience.failover"
+  | Sched { action; _ } -> "sched." ^ action
+  | Agg { action; _ } -> "agg." ^ action
 
 type arg = I of int | S of string | B of bool
 
@@ -110,6 +114,10 @@ let args = function
   | Failover { from_; to_; retries; downtime_ns } ->
     [ ("from", S from_); ("to", S to_); ("retries", I retries);
       ("downtime_ns", I downtime_ns) ]
+  | Sched { action = _; subsystem; value } ->
+    [ ("subsystem", S subsystem); ("value", I value) ]
+  | Agg { action = _; lchannel; msgs; bytes } ->
+    [ ("lchannel", I lchannel); ("msgs", I msgs); ("bytes", I bytes) ]
 
 let pp fmt t =
   Format.fprintf fmt "%s[%s" (name t) (layer_name (layer t));

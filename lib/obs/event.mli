@@ -77,6 +77,18 @@ type t =
     }
       (** A resilient link re-established on a different adapter stack:
           the switch, the retry count and the measured downtime. *)
+  | Sched of { action : string; subsystem : string; value : int }
+      (** Adaptive arbitration decision: [action] is "scan" (a charged
+          idle SysIO scan), "backoff" (idle-scan gap doubled), "boost"
+          (MadIO latency-priority quantum boost) or "quantum" (EWMA-driven
+          quantum change); [value] the new gap/quantum. Only the adaptive
+          policy emits these — the static policy's event stream is
+          byte-identical to pre-adaptive builds. *)
+  | Agg of { action : string; lchannel : int; msgs : int; bytes : int }
+      (** MadIO small-message aggregation: [action] is "queue" (message
+          coalesced into the pending batch) or "flush.<reason>" with
+          reason "budget" | "size" | "large" | "credit" | "explicit";
+          [msgs]/[bytes] the batch contents. *)
 
 val layer : t -> layer
 

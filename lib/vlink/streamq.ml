@@ -2,6 +2,10 @@ module Bytebuf = Engine.Bytebuf
 
 type t = {
   chunks : Bytebuf.t Queue.t;
+  (* Remainder of a split head chunk. Keeping it in a dedicated slot makes
+     [pop] O(1): reinserting it at the front of the queue would cost a
+     full-queue transfer per bounded read. *)
+  mutable front : Bytebuf.t option;
   mutable len : int;
   mutable peak : int;
   high : int;
@@ -12,7 +16,7 @@ let create ?(high = max_int) ?low () =
   let low = match low with Some l -> l | None -> if high = max_int then max_int else high / 2 in
   if high < 0 || low < 0 || low > high then
     invalid_arg "Streamq.create: need 0 <= low <= high";
-  { chunks = Queue.create (); len = 0; peak = 0; high; low }
+  { chunks = Queue.create (); front = None; len = 0; peak = 0; high; low }
 
 let push t b =
   if Bytebuf.length b > 0 then begin
@@ -24,17 +28,19 @@ let push t b =
 let pop t ~max =
   if t.len = 0 || max <= 0 then None
   else begin
-    let head = Queue.pop t.chunks in
+    let head =
+      match t.front with
+      | Some b ->
+        t.front <- None;
+        b
+      | None -> Queue.pop t.chunks
+    in
     let hlen = Bytebuf.length head in
     let out =
       if hlen <= max then head
       else begin
         let a, b = Bytebuf.split head max in
-        (* Reinsert the remainder at the front. *)
-        let rest = Queue.create () in
-        Queue.push b rest;
-        Queue.transfer t.chunks rest;
-        Queue.transfer rest t.chunks;
+        t.front <- Some b;
         a
       end
     in

@@ -107,7 +107,22 @@ let test_dispatcher_policy_validation () =
   let core = Na.get a in
   Alcotest.check_raises "bad quantum"
     (Invalid_argument "Na_core.set_policy: quanta must be >= 1") (fun () ->
-      Na.set_policy core { Na.madio_quantum = 0; sysio_quantum = 1 })
+      Na.set_policy core (Na.Static { Na.madio_quantum = 0; sysio_quantum = 1 }));
+  Alcotest.check_raises "bad ewma weight"
+    (Invalid_argument "Na_core.set_policy: ewma_weight must be in (0, 1]")
+    (fun () ->
+       Na.set_policy core
+         (Na.Adaptive { Na.default_adaptive with Na.ewma_weight = 0.0 }));
+  Alcotest.check_raises "bad quantum range"
+    (Invalid_argument "Na_core.set_policy: need 1 <= min_quantum <= max_quantum")
+    (fun () ->
+       Na.set_policy core
+         (Na.Adaptive { Na.default_adaptive with Na.max_quantum = 0 }));
+  Alcotest.check_raises "bad scan gap"
+    (Invalid_argument "Na_core.set_policy: max_scan_gap must be >= 1")
+    (fun () ->
+       Na.set_policy core
+         (Na.Adaptive { Na.default_adaptive with Na.max_scan_gap = 0 }))
 
 let test_dispatcher_survives_exceptions () =
   let net = Simnet.Net.create () in
@@ -125,7 +140,7 @@ let test_policy_interleaving () =
   let net = Simnet.Net.create () in
   let a = Simnet.Net.add_node net "a" in
   let core = Na.get a in
-  Na.set_policy core { Na.madio_quantum = 1; sysio_quantum = 4 };
+  Na.set_policy core (Na.Static { Na.madio_quantum = 1; sysio_quantum = 4 });
   let order = ref [] in
   for _ = 1 to 8 do
     Na.post core Na.Madio_work (fun () -> order := `M :: !order)
