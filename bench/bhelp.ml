@@ -9,9 +9,38 @@ let results : (string * float) list ref = ref []
 let record ~experiment key value =
   results := (experiment ^ "." ^ key, value) :: !results
 
+(* Metrics already on disk, so a partial run (CI smoke steps run a handful
+   of experiments) refreshes its own numbers without erasing the rest of
+   the perf trajectory. *)
+let previous_results file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Padico_obs.Json.parse s with
+    | Ok (Padico_obs.Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+           match v with
+           | Padico_obs.Json.Int i -> Some (k, float_of_int i)
+           | Padico_obs.Json.Float f -> Some (k, f)
+           | _ -> None)
+        kvs
+    | Ok _ | Error _ -> []
+  end
+
 let write_results ?(file = "BENCH_results.json") () =
   let oc = open_out file in
-  let entries = List.rev !results in
+  let fresh = List.rev !results in
+  let previous = previous_results file in
+  let entries =
+    List.map
+      (fun (k, v) ->
+         match List.assoc_opt k fresh with Some v' -> (k, v') | None -> (k, v))
+      previous
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k previous)) fresh
+  in
   output_string oc "{\n";
   List.iteri
     (fun i (k, v) ->

@@ -15,6 +15,8 @@ let experiments =
     ("flow", "E11: flow control and overload protection", Flow_bench.run);
     ("sched", "E12: adaptive arbitration and small-message aggregation",
      Sched_bench.run);
+    ("collect", "E13: topology-aware collectives at grid scale",
+     Coll_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 let usage () =

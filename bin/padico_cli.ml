@@ -785,10 +785,181 @@ let sched_cmd =
     Term.(const run $ policy_arg $ iters_arg $ burst_arg $ no_agg_arg
           $ seed_arg)
 
+(* ---------- collect ---------- *)
+
+let collect_cmd =
+  let clusters_arg =
+    Arg.(value & opt int 4
+         & info [ "clusters" ] ~docv:"N" ~doc:"SAN islands in the grid.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 8
+         & info [ "nodes" ] ~docv:"N" ~doc:"Nodes per island.")
+  in
+  let size_arg =
+    Arg.(value & opt int 4096
+         & info [ "size" ] ~docv:"BYTES"
+           ~doc:"Payload bytes (per rank for gather/scatter).")
+  in
+  let op_arg =
+    Arg.(value
+         & opt (enum [ ("all", `All); ("barrier", `Barrier);
+                       ("bcast", `Bcast); ("reduce", `Reduce);
+                       ("allreduce", `Allreduce); ("gather", `Gather);
+                       ("scatter", `Scatter) ])
+             `All
+         & info [ "op" ] ~docv:"OP" ~doc:"Collective to run (default all).")
+  in
+  let strategy_arg =
+    Arg.(value
+         & opt (enum [ ("both", `Both); ("flat", `Flat);
+                       ("multilevel", `Multilevel) ])
+             `Both
+         & info [ "strategy" ] ~docv:"S"
+           ~doc:"$(b,flat) (rank-0 star), $(b,multilevel) (topology-aware \
+                 trees) or $(b,both).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  let run clusters nodes size op strat seed =
+    let module Group = Collectives.Group in
+    let module Gridgen = Scenario.Gridgen in
+    let module Bb = Engine.Bytebuf in
+    let ops =
+      List.filter
+        (fun (name, _) ->
+           match op with
+           | `All -> true
+           | `Barrier -> name = "barrier"
+           | `Bcast -> name = "bcast"
+           | `Reduce -> name = "reduce"
+           | `Allreduce -> name = "allreduce"
+           | `Gather -> name = "gather"
+           | `Scatter -> name = "scatter")
+        [ ("barrier", `B); ("bcast", `Bc); ("reduce", `R);
+          ("allreduce", `A); ("gather", `G); ("scatter", `S) ]
+    in
+    let strategies =
+      match strat with
+      | `Both -> [ (Group.Flat, "flat"); (Group.Multilevel, "multilevel") ]
+      | `Flat -> [ (Group.Flat, "flat") ]
+      | `Multilevel -> [ (Group.Multilevel, "multilevel") ]
+    in
+    let pattern n s =
+      let b = Bb.create n in
+      Bb.fill_pattern b ~seed:s;
+      b
+    in
+    List.iter
+      (fun (strategy, sname) ->
+         let g = Gridgen.generate ~seed ~clusters ~nodes_per_cluster:nodes () in
+         let members = Array.of_list g.Gridgen.nodes in
+         let n = Array.length members in
+         let groups =
+           Group.create ~strategy g.Gridgen.grid ~name:("cli-" ^ sname)
+             g.Gridgen.nodes
+         in
+         let db = Group.netdb groups.(0) in
+         Printf.printf
+           "\n%s: %d ranks, %d clusters (%s intra, wan across)\n" sname n
+           (Selector.Netdb.cluster_count db)
+           (Selector.Netdb.level_name (Selector.Netdb.cluster_level db 0));
+         Printf.printf "%-10s %9s %12s %12s\n" "op" "wan msgs" "wan bytes"
+           "time (us)";
+         Padico_obs.Trace.enable ();
+         List.iter
+           (fun (op_name, tag) ->
+              let m0 = Group.wan_messages groups.(0) in
+              let b0 = Group.wan_bytes groups.(0) in
+              let t0 = Padico.now g.Gridgen.grid in
+              (* Completion = the last rank finishing, not simulator
+                 quiescence (stale transport timers run long past the op). *)
+              let t1 = ref t0 in
+              Array.iteri
+                (fun r node ->
+                   ignore
+                     (Padico.spawn g.Gridgen.grid node
+                        ~name:(op_name ^ "-" ^ string_of_int r)
+                        (fun () ->
+                           let gm = groups.(r) in
+                           (match tag with
+                           | `B -> Group.barrier gm
+                           | `Bc ->
+                             ignore
+                               (Group.bcast gm ~root:0
+                                  (if r = 0 then pattern size 7
+                                   else Bb.create 0))
+                           | `R ->
+                             ignore
+                               (Group.reduce gm ~root:0 ~op:Group.Sum
+                                  (pattern size (r + 1)))
+                           | `A ->
+                             ignore
+                               (Group.allreduce gm ~op:Group.Bxor
+                                  (pattern size (r + 1)))
+                           | `G ->
+                             ignore (Group.gather gm ~root:0
+                                       (pattern size (r + 1)))
+                           | `S ->
+                             ignore
+                               (Group.scatter gm ~root:0
+                                  (if r = 0 then
+                                     Array.init n (fun i ->
+                                         pattern size (i + 1))
+                                   else [||])));
+                           t1 := max !t1 (Padico.now g.Gridgen.grid))))
+                members;
+              Padico.run g.Gridgen.grid;
+              Printf.printf "%-10s %9d %12d %12.1f\n" op_name
+                (Group.wan_messages groups.(0) - m0)
+                (Group.wan_bytes groups.(0) - b0)
+                (float_of_int (!t1 - t0) /. 1e3))
+           ops;
+         Padico_obs.Trace.disable ();
+         (* Stage spans out of the trace ring: mean queue-to-completion time
+            of each (op, stage, level) across ranks. *)
+         let tbl = Hashtbl.create 32 in
+         List.iter
+           (fun r ->
+              match r.Padico_obs.Trace.ev with
+              | Padico_obs.Event.Coll_stage { op; stage; level; _ }
+                when r.Padico_obs.Trace.dur >= 0 ->
+                let key = (op, stage, level) in
+                let n, tot =
+                  Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key)
+                in
+                Hashtbl.replace tbl key (n + 1, tot + r.Padico_obs.Trace.dur)
+              | _ -> ())
+           (Padico_obs.Trace.records ());
+         let rows =
+           Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+           |> List.sort compare
+         in
+         if rows <> [] then begin
+           Printf.printf "stage spans (mean per rank):\n";
+           List.iter
+             (fun ((op, stage, level), (cnt, tot)) ->
+                Printf.printf "  %-10s %-5s %-5s %6d spans %10.1f us\n" op
+                  stage level cnt
+                  (float_of_int tot /. float_of_int cnt /. 1e3))
+             rows
+         end)
+      strategies
+  in
+  Cmd.v
+    (Cmd.info "collect"
+       ~doc:"Run group collectives (barrier/bcast/reduce/allreduce/gather/\
+             scatter) on a multi-cluster grid under the flat and \
+             topology-aware multilevel strategies; print WAN crossings, \
+             bytes and completion times, plus per-stage trace spans.")
+    Term.(const run $ clusters_arg $ nodes_arg $ size_arg $ op_arg
+          $ strategy_arg $ seed_arg)
+
 let () =
   let doc = "PadicoTM-style grid communication framework (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
           [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
-            fault_cmd; flow_cmd; check_cmd; sched_cmd ]))
+            fault_cmd; flow_cmd; check_cmd; sched_cmd; collect_cmd ]))

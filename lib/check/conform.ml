@@ -540,6 +540,293 @@ let ct_packing =
 
 let ct_obligations = [ ct_membership; ct_boundaries; ct_packing ]
 
+(* ---------- Collectives counterpart ---------- *)
+
+module Group = Collectives.Group
+module Netdb = Selector.Netdb
+
+(* A group fixture is a topology x strategy pair: the same semantic
+   obligations must hold whether the ranks share one segment (lan, san) or
+   split into SAN islands over a WAN backbone (mixed), and whether the
+   engine runs the flat star or the multilevel trees. *)
+type coll_env = {
+  ggrid : Padico.t;
+  gnodes : Node.t array;
+  groups : Group.t array;
+}
+
+type coll_fixture = {
+  gname : string;
+  gbuild : unit -> coll_env;
+}
+
+let coll_single model strategy () =
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let nodes =
+    Array.init 4 (fun i -> Padico.add_node grid (Printf.sprintf "n%d" i))
+  in
+  ignore (Padico.add_segment grid model ~name:"link" (Array.to_list nodes));
+  { ggrid = grid; gnodes = nodes;
+    groups = Group.create ~strategy grid ~name:"kit" (Array.to_list nodes) }
+
+(* Two 2-rank Myrinet islands joined only by a VTHD backbone: the smallest
+   topology where Netdb yields more than one cluster, so the multilevel
+   strategy actually routes through proxies. *)
+let coll_mixed ?deadline_ns strategy () =
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let mk c i = Padico.add_node grid (Printf.sprintf "c%d-%d" c i) in
+  let c0 = [ mk 0 0; mk 0 1 ] in
+  let c1 = [ mk 1 0; mk 1 1 ] in
+  ignore (Padico.add_segment grid Presets.myrinet2000 ~name:"san0" c0);
+  ignore (Padico.add_segment grid Presets.myrinet2000 ~name:"san1" c1);
+  ignore (Padico.add_segment grid Presets.vthd ~name:"wan" (c0 @ c1));
+  { ggrid = grid; gnodes = Array.of_list (c0 @ c1);
+    groups =
+      Group.create ~strategy ?deadline_ns grid ~name:"kit" (c0 @ c1) }
+
+let coll_fixtures =
+  [ { gname = "coll-lan-flat";
+      gbuild = coll_single Presets.ethernet100 Group.Flat };
+    { gname = "coll-lan-ml";
+      gbuild = coll_single Presets.ethernet100 Group.Multilevel };
+    { gname = "coll-san-flat";
+      gbuild = coll_single Presets.myrinet2000 Group.Flat };
+    { gname = "coll-san-ml";
+      gbuild = coll_single Presets.myrinet2000 Group.Multilevel };
+    { gname = "coll-mixed-flat"; gbuild = coll_mixed Group.Flat };
+    { gname = "coll-mixed-ml"; gbuild = coll_mixed Group.Multilevel } ]
+
+type coll_obligation = { coname : string; corun : coll_env -> unit }
+
+(* One process per rank running [body r member]; a rank that never finishes
+   (a hung collective) is a violation, as is any uncaught exception. *)
+let coll_scaffold env body =
+  let hs =
+    Array.mapi
+      (fun r node ->
+         Padico.spawn env.ggrid node ~name:(Printf.sprintf "coll-%d" r)
+           (fun () -> body r env.groups.(r)))
+      env.gnodes
+  in
+  Padico.run env.ggrid ~until:(Time.sec 600);
+  Array.iteri
+    (fun r h ->
+       match Proc.result h with
+       | Some (Ok ()) -> ()
+       | Some (Error (Failed _ as e)) -> raise e
+       | Some (Error e) ->
+         failf "rank %d raised %s" r (Printexc.to_string e)
+       | None -> failf "rank %d never finished (hung collective?)" r)
+    hs
+
+(* Reference byte-wise reduction over [n] contributions
+   (rank r contributes [pattern ~seed:(seed0 + r) len]). *)
+let coll_combine op ~seed0 n len =
+  let bufs =
+    Array.init n (fun r -> Bb.to_string (pattern ~seed:(seed0 + r) len))
+  in
+  let f =
+    match op with
+    | Group.Sum -> fun a b -> (a + b) land 0xff
+    | Group.Max -> max
+    | Group.Bxor -> ( lxor )
+  in
+  String.init len (fun i ->
+      Char.chr (Array.fold_left (fun a s -> f a (Char.code s.[i])) 0 bufs))
+
+let coll_barrier =
+  { coname = "barrier";
+    corun =
+      (fun env ->
+         let entered = Array.make (Array.length env.groups) false in
+         coll_scaffold env (fun r gm ->
+             (* Stagger the entries so the barrier has stragglers to hold
+                the early ranks back for. *)
+             Proc.sleep (Node.sim env.gnodes.(r)) (Time.us (r * 50));
+             entered.(r) <- true;
+             Group.barrier gm;
+             Array.iteri
+               (fun j e ->
+                  if not e then
+                    failf "rank %d left the barrier before rank %d entered"
+                      r j)
+               entered)) }
+
+let coll_bcast =
+  { coname = "bcast";
+    corun =
+      (fun env ->
+         let len = 512 in
+         let last = Array.length env.groups - 1 in
+         let want_a = Bb.to_string (pattern ~seed:41 len) in
+         let want_b = Bb.to_string (pattern ~seed:43 len) in
+         coll_scaffold env (fun r gm ->
+             (* Two broadcasts back to back, the second from the highest
+                rank: exercises both tree rotation to a non-zero root and
+                the per-member operation sequencing. *)
+             let got =
+               Group.bcast gm ~root:0
+                 (if r = 0 then pattern ~seed:41 len else Bb.create 0)
+             in
+             if Bb.to_string got <> want_a then
+               failf "rank %d: broadcast from rank 0 corrupted" r;
+             let got =
+               Group.bcast gm ~root:last
+                 (if r = last then pattern ~seed:43 len else Bb.create 0)
+             in
+             if Bb.to_string got <> want_b then
+               failf "rank %d: broadcast from rank %d corrupted" r last)) }
+
+let coll_reduce =
+  { coname = "reduce";
+    corun =
+      (fun env ->
+         let len = 256 in
+         let n = Array.length env.groups in
+         let want = coll_combine Group.Sum ~seed0:1 n len in
+         coll_scaffold env (fun r gm ->
+             match
+               Group.reduce gm ~root:0 ~op:Group.Sum
+                 (pattern ~seed:(1 + r) len)
+             with
+             | Some b when r = 0 ->
+               if Bb.to_string b <> want then
+                 failf "root: reduced bytes wrong"
+             | Some _ -> failf "rank %d: non-root received a reduce result" r
+             | None when r = 0 -> failf "root: reduce returned no result"
+             | None -> ())) }
+
+let coll_allreduce =
+  { coname = "allreduce";
+    corun =
+      (fun env ->
+         let len = 256 in
+         let n = Array.length env.groups in
+         let want = coll_combine Group.Bxor ~seed0:1 n len in
+         coll_scaffold env (fun r gm ->
+             let got =
+               Group.allreduce gm ~op:Group.Bxor (pattern ~seed:(1 + r) len)
+             in
+             if Bb.to_string got <> want then
+               failf "rank %d: allreduce bytes wrong" r)) }
+
+let coll_gather =
+  { coname = "gather";
+    corun =
+      (fun env ->
+         let len = 64 in
+         let n = Array.length env.groups in
+         coll_scaffold env (fun r gm ->
+             match Group.gather gm ~root:0 (pattern ~seed:(100 + r) len) with
+             | Some parts when r = 0 ->
+               if Array.length parts <> n then
+                 failf "root: gathered %d parts, want %d"
+                   (Array.length parts) n;
+               Array.iteri
+                 (fun j p ->
+                    if not (Bb.equal p (pattern ~seed:(100 + j) len)) then
+                      failf "root: contribution of rank %d corrupted" j)
+                 parts
+             | Some _ -> failf "rank %d: non-root received gathered parts" r
+             | None when r = 0 -> failf "root: gather returned no parts"
+             | None -> ())) }
+
+let coll_scatter =
+  { coname = "scatter";
+    corun =
+      (fun env ->
+         let len = 64 in
+         let n = Array.length env.groups in
+         coll_scaffold env (fun r gm ->
+             let parts =
+               if r = 0 then
+                 Array.init n (fun i -> pattern ~seed:(200 + i) len)
+               else [||]
+             in
+             let got = Group.scatter gm ~root:0 parts in
+             if not (Bb.equal got (pattern ~seed:(200 + r) len)) then
+               failf "rank %d: scattered chunk corrupted" r)) }
+
+(* The accounting the multilevel strategy exists for: a broadcast must
+   cross the WAN exactly [clusters - 1] times under [Multilevel] and once
+   per out-of-island rank under [Flat] (zero for single-cluster fixtures
+   under either). *)
+let coll_wan_frugal =
+  { coname = "wan-frugal";
+    corun =
+      (fun env ->
+         let gm0 = env.groups.(0) in
+         let db = Group.netdb gm0 in
+         let n = Array.length env.groups in
+         let expect =
+           match Group.strategy gm0 with
+           | Group.Multilevel -> Netdb.cluster_count db - 1
+           | Group.Flat ->
+             let c0 = Netdb.cluster_of db 0 in
+             let out = ref 0 in
+             for r = 1 to n - 1 do
+               if Netdb.cluster_of db r <> c0 then incr out
+             done;
+             !out
+         in
+         let m0 = Group.wan_messages gm0 in
+         coll_scaffold env (fun r gm ->
+             ignore
+               (Group.bcast gm ~root:0
+                  (if r = 0 then pattern ~seed:3 64 else Bb.create 0)));
+         let got = Group.wan_messages gm0 - m0 in
+         if got <> expect then
+           failf "broadcast crossed the WAN %d times, want %d" got expect) }
+
+let coll_obligations =
+  [ coll_barrier; coll_bcast; coll_reduce; coll_allreduce; coll_gather;
+    coll_scatter; coll_wan_frugal ]
+
+(* Fault story: the WAN backbone drops out from under a multilevel
+   broadcast. With a per-operation deadline armed, every rank must reach a
+   definite outcome — the payload, or a clean [Group.Failed] — before the
+   run drains; a rank stuck forever in the collective is the violation. *)
+let coll_wan_down ~plan policy =
+  let deadline_ns = Time.ms 200 in
+  let env = coll_mixed ~deadline_ns Group.Multilevel () in
+  Sim.set_policy (Padico.sim env.ggrid) policy;
+  (match plan with
+   | None -> ()
+   | Some p -> ignore (Padico_fault.Inject.apply (Padico.net env.ggrid) p));
+  ignore
+    (Padico_fault.Inject.apply (Padico.net env.ggrid)
+       [ { Padico_fault.Plan.at_ns = Time.ms 1;
+           action = Padico_fault.Plan.Link_down "wan" } ]);
+  let len = 512 in
+  let want = Bb.to_string (pattern ~seed:47 len) in
+  let outcomes = Array.make (Array.length env.groups) `Stuck in
+  coll_scaffold env (fun r gm ->
+      (* Start after the backbone is already dark. *)
+      Proc.sleep (Node.sim env.gnodes.(r)) (Time.ms 2);
+      match
+        Group.bcast gm ~root:0
+          (if r = 0 then pattern ~seed:47 len else Bb.create 0)
+      with
+      | got ->
+        if Bb.to_string got <> want then
+          failf "rank %d: payload corrupted during WAN outage" r;
+        outcomes.(r) <- `Done
+      | exception Group.Failed _ -> outcomes.(r) <- `Failed);
+  (* The other island can only be reached over the dead backbone: at least
+     one rank there must have failed (cleanly) rather than delivered. *)
+  let db = Group.netdb env.groups.(0) in
+  let c0 = Netdb.cluster_of db 0 in
+  let remote_failed = ref false and remote = ref 0 in
+  Array.iteri
+    (fun r o ->
+       if Netdb.cluster_of db r <> c0 then begin
+         incr remote;
+         if o = `Failed then remote_failed := true
+       end)
+    outcomes;
+  if !remote > 0 && not !remote_failed then
+    failf "WAN down, yet every remote rank claims delivery"
+
 (* ---------- demo ordering bug (guarded) ---------- *)
 
 (* A deliberate register-after-dispatch bug in miniature, compiled in but
@@ -607,12 +894,31 @@ let cases ?(demo = false) () =
            ct_obligations)
       ct_fixtures
   in
+  let coll =
+    List.concat_map
+      (fun fx ->
+         List.map
+           (fun ob ->
+              { case_name = fx.gname ^ "/" ^ ob.coname;
+                run =
+                  (fun ~plan policy ->
+                     let env = fx.gbuild () in
+                     Sim.set_policy (Padico.sim env.ggrid) policy;
+                     apply_plan env.ggrid plan;
+                     ob.corun env) })
+           coll_obligations)
+      coll_fixtures
+  in
+  let coll_fault =
+    [ { case_name = "coll-fault/wan-down";
+        run = (fun ~plan policy -> coll_wan_down ~plan policy) } ]
+  in
   let demo_cases =
     if demo then
       [ { case_name = "demo/ordering";
           run = (fun ~plan:_ policy -> demo_ordering policy) } ]
     else []
   in
-  vlink @ circuit @ demo_cases
+  vlink @ circuit @ coll @ coll_fault @ demo_cases
 
 let adapters_covered = List.length vlink_fixtures

@@ -11,6 +11,16 @@
     pick exactly that adapter. A Circuit counterpart checks message
     boundaries, incremental packing and group membership per adapter mix.
 
+    A Collectives counterpart instantiates every {!Collectives.Group}
+    operation (barrier, bcast, reduce, allreduce, gather, scatter) against
+    topology x strategy fixtures — one shared LAN or SAN segment, and two
+    SAN islands over a WAN backbone, each under both the flat and the
+    multilevel strategy — checking payload correctness, barrier
+    synchronisation and exact WAN-crossing counts. ["coll-fault/wan-down"]
+    drops the WAN backbone under a deadline-armed broadcast and requires
+    every rank to reach a definite outcome (delivery or a clean failure)
+    instead of hanging.
+
     Cases are pure: each run builds a fresh grid, so the same case can be
     executed under any schedule {!Engine.Sim.policy} and fault plan —
     that's what {!Explore} does. A violation raises {!Failed}. *)

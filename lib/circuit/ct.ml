@@ -13,8 +13,9 @@ type t = {
   group : Simnet.Node.t array;
   links : adapter option array;
   (* Messages packed before the link adapter is bound (e.g. while a WAN
-     VLink bundle is still connecting) wait here. *)
-  unbound : (int, Bytebuf.t list Queue.t) Hashtbl.t;
+     VLink bundle is still connecting) wait here, each with its optional
+     completion hook. *)
+  unbound : (int, (Bytebuf.t list * (unit -> unit) option) Queue.t) Hashtbl.t;
   (* Receive-side mirror of [unbound]: messages delivered before the
      member installed its receiver wait here and flush on [set_recv]. *)
   pending_rx : (int * Bytebuf.t) Queue.t;
@@ -57,11 +58,22 @@ let set_link t ~dst adapter =
   match Hashtbl.find_opt t.unbound dst with
   | Some q ->
     Hashtbl.remove t.unbound dst;
-    Queue.iter (fun iov -> adapter.a_sendv iov) q
+    Queue.iter
+      (fun (iov, on_sent) ->
+         adapter.a_sendv iov;
+         match on_sent with Some f -> f () | None -> ())
+      q
   | None -> ()
 
 let link_adapter_name t ~dst =
-  match t.links.(dst) with Some a -> a.a_name | None -> raise Not_found
+  match t.links.(dst) with
+  | Some a -> a.a_name
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Ct.link_adapter_name: circuit %s has no adapter bound for the \
+          link from rank %d to rank %d"
+         t.cname t.crank dst)
 
 let begin_packing t ~dst =
   if dst < 0 || dst >= Array.length t.group then
@@ -77,7 +89,7 @@ let pack_int out v =
   Bytebuf.set_i64 b 0 (Int64.of_int v);
   pack out b
 
-let end_packing out =
+let end_packing ?on_sent out =
   if out.closed then invalid_arg "Ct.end_packing: message already sent";
   out.closed <- true;
   let t = out.circuit in
@@ -99,10 +111,11 @@ let end_packing out =
         Hashtbl.replace t.unbound out.dst q;
         q
     in
-    Queue.push (List.rev out.pieces) q
+    Queue.push (List.rev out.pieces, on_sent) q
   | Some a ->
     Simnet.Node.cpu_async (node t) Calib.circuit_op_ns (fun () ->
-        a.a_sendv (List.rev out.pieces))
+        a.a_sendv (List.rev out.pieces);
+        match on_sent with Some f -> f () | None -> ())
 
 let unpack inc n =
   if n < 0 || inc.pos + n > Bytebuf.length inc.payload then

@@ -38,7 +38,8 @@ val set_link : t -> dst:int -> adapter -> unit
 (** Bind the link towards rank [dst]. *)
 
 val link_adapter_name : t -> dst:int -> string
-(** Raises [Not_found] when the link is unbound. *)
+(** Raises [Invalid_argument] — naming the circuit and the src/dst ranks —
+    when the link is unbound. *)
 
 (** {1 Sending: incremental packing} *)
 
@@ -49,9 +50,13 @@ val pack : outgoing -> Engine.Bytebuf.t -> unit
 val pack_int : outgoing -> int -> unit
 (** Convenience: pack a 63-bit integer (8 bytes). *)
 
-val end_packing : outgoing -> unit
+val end_packing : ?on_sent:(unit -> unit) -> outgoing -> unit
 (** Messages packed before the destination link is bound are buffered and
-    flushed when {!set_link} runs. *)
+    flushed when {!set_link} runs. [on_sent] fires once the message has
+    been handed to the link adapter (after the circuit-op CPU charge, or at
+    flush time for buffered messages) — a non-blocking local completion
+    hook so callers can pipeline multi-stage exchanges such as collective
+    tree rounds without suspending per send. *)
 
 (** {1 Receiving} *)
 

@@ -81,17 +81,28 @@ let bind ct sio stack ~port ~ranks =
          Sysio.watch sio conn (function
            | Tcp.Readable -> rx_pump ct st conn
            | Tcp.Established | Tcp.Writable | Tcp.Peer_closed | Tcp.Reset ->
-             ()))
+             ());
+         (* The accept callback is dispatched through the NetAccess queue,
+            so under a connection storm data segments can arrive — and fire
+            their Readable events into the not-yet-installed watcher —
+            before this handler runs. Drain whatever is already buffered. *)
+         rx_pump ct st conn)
    with Invalid_argument _ -> ());
   List.iter
     (fun dst ->
-       let tx =
-         { outq = Streamq.create (); conn = None; established = false }
-       in
-       let ensure_conn () =
-         match tx.conn with
-         | Some _ -> ()
+       (* Per-destination queue and connection materialize on first send:
+          grid-scale groups bind thousands of links per node while each
+          node actually talks to a handful of tree neighbours, so eager
+          allocation here dominated circuit construction. *)
+       let tx_ref = ref None in
+       let ensure_tx () =
+         match !tx_ref with
+         | Some tx -> tx
          | None ->
+           let tx =
+             { outq = Streamq.create (); conn = None; established = false }
+           in
+           tx_ref := Some tx;
            let dst_node = Simnet.Node.id (Ct.node_of_rank ct dst) in
            let conn =
              Sysio.connect sio stack ~dst:dst_node ~port (fun conn ev ->
@@ -105,13 +116,14 @@ let bind ct sio stack ~port ~ranks =
                  | Tcp.Writable -> tx_flush tx
                  | Tcp.Readable | Tcp.Peer_closed | Tcp.Reset -> ())
            in
-           tx.conn <- Some conn
+           tx.conn <- Some conn;
+           tx
        in
        Ct.set_link ct ~dst
          { Ct.a_name = adapter_name;
            a_sendv =
              (fun iov ->
-                ensure_conn ();
+                let tx = ensure_tx () in
                 let len =
                   List.fold_left (fun a b -> a + Bytebuf.length b) 0 iov
                 in

@@ -1,0 +1,666 @@
+module Bb = Engine.Bytebuf
+module Stats = Engine.Stats
+module Sim = Engine.Sim
+module Proc = Engine.Proc
+module Ct = Circuit.Ct
+module Netdb = Selector.Netdb
+module Trace = Padico_obs.Trace
+module Metrics = Padico_obs.Metrics
+module Event = Padico_obs.Event
+
+exception Failed of string
+
+type strategy = Flat | Multilevel
+
+type redop = Sum | Max | Bxor
+
+type opkind = Barrier | Bcast | Reduce | Allreduce | Gather | Scatter
+
+let op_name = function
+  | Barrier -> "barrier"
+  | Bcast -> "bcast"
+  | Reduce -> "reduce"
+  | Allreduce -> "allreduce"
+  | Gather -> "gather"
+  | Scatter -> "scatter"
+
+let op_index = function
+  | Barrier -> 0
+  | Bcast -> 1
+  | Reduce -> 2
+  | Allreduce -> 3
+  | Gather -> 4
+  | Scatter -> 5
+
+let op_of_index = function
+  | 0 -> Barrier
+  | 1 -> Bcast
+  | 2 -> Reduce
+  | 3 -> Allreduce
+  | 4 -> Gather
+  | 5 -> Scatter
+  | i -> invalid_arg (Printf.sprintf "Group: unknown opcode %d" i)
+
+(* Which phases an operation runs: "up" flows towards the root (reductions,
+   gathers, barrier arrival), "down" away from it (broadcasts, scatters,
+   barrier/allreduce release). *)
+let has_up = function
+  | Barrier | Reduce | Allreduce | Gather -> true
+  | Bcast | Scatter -> false
+
+let has_down = function
+  | Barrier | Bcast | Allreduce | Scatter -> true
+  | Reduce | Gather -> false
+
+type t = {
+  gname : string;
+  strategy : strategy;
+  deadline_ns : int option;
+  sim : Sim.t;
+  ct : Ct.t;
+  db : Netdb.t;
+  rank : int;
+  n : int;
+  wmsgs : Stats.Counter.t;  (* shared across members *)
+  wbytes : Stats.Counter.t;
+  (* Flat-array per-member state, allocated once at creation and reused by
+     every operation — no per-round allocation beyond outgoing buffers. *)
+  slots : Bb.t option array;  (* gather contributions / scatter entries *)
+  pending : (int * int * int * Bb.t) Queue.t;  (* seq, src, hdr, body *)
+  mutable on_sent : unit -> unit;  (* single hook, see create *)
+  mutable seq : int;  (* operation sequence number, shared semantics *)
+  mutable active : bool;
+  mutable op : opkind;
+  mutable root : int;
+  mutable rop : redop;
+  mutable expect_up : int;  (* child messages still awaited *)
+  mutable expect_down : int;  (* parent messages still awaited: 0 or 1 *)
+  mutable sends_pending : int;  (* local adapter handoffs outstanding *)
+  mutable acc : Bb.t option;  (* reduction accumulator / payload / result *)
+  mutable finish : (unit, string) result -> unit;
+  mutable poisoned : string option;
+  (* Tree coordinates of the current operation (root-dependent). *)
+  mutable c_root : int;  (* root's cluster *)
+  mutable c_me : int;  (* this member's cluster *)
+  mutable mc : int;  (* size of this member's cluster *)
+  mutable base : int;  (* cluster position of the cluster's tree root *)
+  mutable v_me : int;  (* intra-cluster virtual rank *)
+  (* Stage-span bookkeeping for coll.stage trace events. *)
+  mutable stage : string;
+  mutable stage_since : int;  (* -1 = no open stage *)
+  mutable stage_bytes : int;
+}
+
+(* ---------- tree navigation ----------
+
+   Multilevel: inside cluster [c], ranks form a binomial tree over virtual
+   ranks obtained by rotating the cluster's member list so the cluster's
+   tree root (the operation root in its own cluster, the Netdb leader
+   elsewhere) sits at vrank 0. Across clusters, the operation root plus the
+   other clusters' leaders form a top-level binomial tree over "top virtual
+   ranks": the root is top-vrank 0 and the remaining clusters keep their
+   Netdb order. All coordinates are integer arithmetic over Netdb's stored
+   arrays — navigation allocates nothing. *)
+
+let croot t c = if c = t.c_root then t.root else Netdb.leader t.db c
+
+let topv t c = if c = t.c_root then 0 else if c < t.c_root then c + 1 else c
+
+let cluster_of_topv t u =
+  if u = 0 then t.c_root else if u <= t.c_root then u - 1 else u
+
+(* Actual rank at intra-cluster vrank [v] of this member's cluster. *)
+let actual t v =
+  let mems = Netdb.members t.db t.c_me in
+  mems.((t.base + v) mod t.mc)
+
+let parent_of t =
+  if t.rank = t.root then -1
+  else
+    match t.strategy with
+    | Flat -> t.root
+    | Multilevel ->
+      if t.v_me > 0 then actual t (Tree.parent t.v_me)
+      else
+        (* cluster tree root of a non-root cluster: top-level parent *)
+        let pu = Tree.parent (topv t t.c_me) in
+        croot t (cluster_of_topv t pu)
+
+let iter_children_of t f =
+  match t.strategy with
+  | Flat ->
+    if t.rank = t.root then
+      for r = 0 to t.n - 1 do
+        if r <> t.root then f r
+      done
+  | Multilevel ->
+    (* Top-level (WAN) children first so inter-cluster messages leave the
+       node before the intra-cluster fan-out — the stages pipeline. *)
+    if t.v_me = 0 then begin
+      let cc = Netdb.cluster_count t.db in
+      Tree.iter_children ~m:cc (topv t t.c_me) (fun u ->
+          f (croot t (cluster_of_topv t u)))
+    end;
+    Tree.iter_children ~m:t.mc t.v_me (fun v -> f (actual t v))
+
+let child_count_of t =
+  let c = ref 0 in
+  iter_children_of t (fun _ -> incr c);
+  !c
+
+(* The child whose subtree contains [dst] — scatter routing. Only called
+   with destinations inside this member's subtree. *)
+let route_child t dst =
+  match t.strategy with
+  | Flat -> dst
+  | Multilevel ->
+    let c_dst = Netdb.cluster_of t.db dst in
+    if c_dst = t.c_me then
+      let v_dst =
+        (Netdb.position t.db dst - t.base + t.mc) mod t.mc
+      in
+      actual t (Tree.child_toward ~m:t.mc t.v_me ~target:v_dst)
+    else
+      let cc = Netdb.cluster_count t.db in
+      let u =
+        Tree.child_toward ~m:cc (topv t t.c_me) ~target:(topv t c_dst)
+      in
+      croot t (cluster_of_topv t u)
+
+(* ---------- observability ---------- *)
+
+let level_label t =
+  match t.strategy with
+  | Flat -> "flat"
+  | Multilevel ->
+    if t.v_me = 0 && Netdb.cluster_count t.db > 1 then "wan"
+    else Netdb.level_name (Netdb.cluster_level t.db t.c_me)
+
+let open_stage t stage =
+  t.stage <- stage;
+  t.stage_since <- Sim.now t.sim;
+  t.stage_bytes <- 0
+
+let close_stage t =
+  if t.stage_since >= 0 then begin
+    if Trace.on () then
+      Trace.complete (Ct.node t.ct) ~since:t.stage_since
+        (Event.Coll_stage
+           { group = t.gname; op = op_name t.op; stage = t.stage;
+             level = level_label t; bytes = t.stage_bytes });
+    t.stage_since <- -1
+  end
+
+(* ---------- failure ---------- *)
+
+let fail t msg =
+  let msg = Printf.sprintf "group %s rank %d: %s" t.gname t.rank msg in
+  t.poisoned <- Some msg;
+  if t.active then begin
+    t.active <- false;
+    close_stage t;
+    let k = t.finish in
+    t.finish <- (fun _ -> ());
+    k (Error msg)
+  end
+
+(* ---------- completion ---------- *)
+
+let maybe_complete t =
+  if
+    t.active && t.expect_up = 0 && t.expect_down = 0 && t.sends_pending = 0
+  then begin
+    t.active <- false;
+    close_stage t;
+    let k = t.finish in
+    t.finish <- (fun _ -> ());
+    k (Ok ())
+  end
+
+(* ---------- sending ----------
+
+   Wire format: [seq; opcode*2 + phase; body]. [fill] packs the body and
+   returns its byte count. WAN crossings (source and destination in
+   different Netdb clusters) feed the shared counters — the quantity the
+   multilevel strategy minimizes. *)
+
+let send t ~dst ~phase fill =
+  t.sends_pending <- t.sends_pending + 1;
+  let out = Ct.begin_packing t.ct ~dst in
+  Ct.pack_int out t.seq;
+  Ct.pack_int out ((op_index t.op * 2) + phase);
+  let body_bytes = fill out in
+  let total = 16 + body_bytes in
+  t.stage_bytes <- t.stage_bytes + total;
+  if Netdb.cluster_of t.db t.rank <> Netdb.cluster_of t.db dst then begin
+    Stats.Counter.incr t.wmsgs;
+    Stats.Counter.add t.wbytes total;
+    if Trace.on () then
+      Trace.instant (Ct.node t.ct)
+        (Event.Coll_wan
+           { group = t.gname; op = op_name t.op; dst; bytes = total })
+  end;
+  Ct.end_packing ~on_sent:t.on_sent out
+
+(* Byte-wise fold of a received contribution into the accumulator; the
+   operators are associative and commutative so tree shape cannot change
+   the result. *)
+let apply_rop rop acc body =
+  for i = 0 to Bb.length acc - 1 do
+    let x = Bb.get_u8 acc i and y = Bb.get_u8 body i in
+    Bb.set_u8 acc i
+      (match rop with
+       | Sum -> (x + y) land 0xff
+       | Max -> if y > x then y else x
+       | Bxor -> x lxor y)
+  done
+
+(* Body cursor for parsing stored message bodies. *)
+let read_int body pos =
+  let v = Int64.to_int (Bb.get_i64 body !pos) in
+  pos := !pos + 8;
+  v
+
+let read_buf body pos len =
+  let b = Bb.sub body !pos len in
+  pos := !pos + len;
+  b
+
+let pack_entries t out keep =
+  (* Pack the slot entries selected by [keep] as [count; (rank; len;
+     payload)...]. Returns body bytes. *)
+  let cnt = ref 0 in
+  for r = 0 to t.n - 1 do
+    match t.slots.(r) with Some _ when keep r -> incr cnt | _ -> ()
+  done;
+  Ct.pack_int out !cnt;
+  let bytes = ref 8 in
+  for r = 0 to t.n - 1 do
+    match t.slots.(r) with
+    | Some p when keep r ->
+      Ct.pack_int out r;
+      Ct.pack_int out (Bb.length p);
+      Ct.pack out p;
+      bytes := !bytes + 16 + Bb.length p
+    | _ -> ()
+  done;
+  !bytes
+
+(* ---------- phase machinery ---------- *)
+
+let forward_down t =
+  match t.op with
+  | Barrier ->
+    iter_children_of t (fun c -> send t ~dst:c ~phase:1 (fun _ -> 0))
+  | Bcast | Allreduce ->
+    (match t.acc with
+     | Some p ->
+       iter_children_of t (fun c ->
+           send t ~dst:c ~phase:1 (fun out ->
+               Ct.pack out p;
+               Bb.length p))
+     | None -> fail t "down phase without a payload")
+  | Scatter ->
+    iter_children_of t (fun child ->
+        let any = ref false in
+        for dst = 0 to t.n - 1 do
+          match t.slots.(dst) with
+          | Some _ when route_child t dst = child -> any := true
+          | _ -> ()
+        done;
+        if !any then begin
+          send t ~dst:child ~phase:1 (fun out ->
+              pack_entries t out (fun dst ->
+                  route_child t dst = child));
+          (* Entries now travel in the child's subtree: release them. *)
+          for dst = 0 to t.n - 1 do
+            match t.slots.(dst) with
+            | Some _ when route_child t dst = child -> t.slots.(dst) <- None
+            | _ -> ()
+          done
+        end)
+  | Reduce | Gather -> assert false
+
+let up_complete t =
+  if t.rank <> t.root then begin
+    let p = parent_of t in
+    (match t.op with
+     | Barrier -> send t ~dst:p ~phase:0 (fun _ -> 0)
+     | Reduce | Allreduce ->
+       (match t.acc with
+        | Some acc ->
+          send t ~dst:p ~phase:0 (fun out ->
+              Ct.pack out acc;
+              Bb.length acc)
+        | None -> fail t "up phase without an accumulator")
+     | Gather ->
+       send t ~dst:p ~phase:0 (fun out -> pack_entries t out (fun _ -> true))
+     | Bcast | Scatter -> assert false);
+    if t.active then begin
+      close_stage t;
+      if has_down t.op then open_stage t "down"
+    end
+  end
+  else begin
+    close_stage t;
+    if has_down t.op then begin
+      open_stage t "down";
+      forward_down t
+    end
+  end
+
+let handle_up t src body =
+  if (not (has_up t.op)) || t.expect_up <= 0 then
+    fail t
+      (Printf.sprintf "unexpected up-phase message from rank %d during %s"
+         src (op_name t.op))
+  else begin
+    (match t.op with
+     | Barrier -> ()
+     | Reduce | Allreduce ->
+       (match t.acc with
+        | Some acc when Bb.length body = Bb.length acc ->
+          apply_rop t.rop acc body
+        | Some acc ->
+          fail t
+            (Printf.sprintf
+               "rank %d contributed %d bytes to %s, expected %d" src
+               (Bb.length body) (op_name t.op) (Bb.length acc))
+        | None -> fail t "up phase without an accumulator")
+     | Gather ->
+       let pos = ref 0 in
+       let cnt = read_int body pos in
+       for _ = 1 to cnt do
+         let r = read_int body pos in
+         let len = read_int body pos in
+         let p = read_buf body pos len in
+         if r >= 0 && r < t.n then t.slots.(r) <- Some p
+       done
+     | Bcast | Scatter -> assert false);
+    if t.active then begin
+      t.expect_up <- t.expect_up - 1;
+      if t.expect_up = 0 then up_complete t;
+      maybe_complete t
+    end
+  end
+
+let handle_down t src body =
+  if (not (has_down t.op)) || t.expect_down <> 1 then
+    fail t
+      (Printf.sprintf "unexpected down-phase message from rank %d during %s"
+         src (op_name t.op))
+  else begin
+    t.expect_down <- 0;
+    (match t.op with
+     | Barrier -> ()
+     | Bcast | Allreduce -> t.acc <- Some body
+     | Scatter ->
+       let pos = ref 0 in
+       let cnt = read_int body pos in
+       for _ = 1 to cnt do
+         let r = read_int body pos in
+         let len = read_int body pos in
+         let p = read_buf body pos len in
+         if r = t.rank then t.acc <- Some p
+         else if r >= 0 && r < t.n then t.slots.(r) <- Some p
+       done
+     | Reduce | Gather -> assert false);
+    forward_down t;
+    maybe_complete t
+  end
+
+let dispatch t src hdr body =
+  let phase = hdr land 1 in
+  let idx = hdr asr 1 in
+  if idx <> op_index t.op then
+    fail t
+      (Printf.sprintf
+         "rank %d sent a %s message during %s — members disagree on the \
+          operation"
+         src
+         (op_name (op_of_index idx))
+         (op_name t.op))
+  else if phase = 0 then handle_up t src body
+  else handle_down t src body
+
+(* Replay buffered messages that match the current operation. Dispatching
+   may complete the operation and let the caller start the next one
+   reentrantly, so the queue length is only a rotation bound. *)
+let drain_pending t =
+  let rounds = Queue.length t.pending in
+  for _ = 1 to rounds do
+    if not (Queue.is_empty t.pending) then begin
+      let ((seq, src, hdr, body) as msg) = Queue.pop t.pending in
+      if t.active && seq = t.seq then dispatch t src hdr body
+      else if seq > t.seq then Queue.push msg t.pending
+      (* seq < t.seq: leftover from a failed operation — drop *)
+    end
+  done
+
+(* ---------- operation start ---------- *)
+
+let begin_op t op ~root finish =
+  match t.poisoned with
+  | Some msg ->
+    finish (Error msg);
+    false
+  | None ->
+    if t.active then
+      invalid_arg
+        (Printf.sprintf
+           "Group %s rank %d: %s started while %s is still running (one \
+            collective at a time)"
+           t.gname t.rank (op_name op) (op_name t.op));
+    if root < 0 || root >= t.n then
+      invalid_arg
+        (Printf.sprintf "Group %s: root %d out of range (size %d)" t.gname
+           root t.n);
+    t.seq <- t.seq + 1;
+    t.active <- true;
+    t.op <- op;
+    t.root <- root;
+    t.finish <- finish;
+    t.c_root <- Netdb.cluster_of t.db root;
+    t.c_me <- Netdb.cluster_of t.db t.rank;
+    t.mc <- Array.length (Netdb.members t.db t.c_me);
+    t.base <- Netdb.position t.db (croot t t.c_me);
+    t.v_me <- (Netdb.position t.db t.rank - t.base + t.mc) mod t.mc;
+    Array.fill t.slots 0 t.n None;
+    t.acc <- None;
+    t.expect_up <- (if has_up op then child_count_of t else 0);
+    t.expect_down <- (if has_down op && t.rank <> root then 1 else 0);
+    open_stage t (if has_up op then "up" else "down");
+    (match t.deadline_ns with
+     | None -> ()
+     | Some d ->
+       let s = t.seq in
+       Sim.after t.sim d (fun () ->
+           if t.active && t.seq = s then
+             fail t
+               (Printf.sprintf "%s exceeded its %d ns deadline" (op_name op)
+                  d)));
+    true
+
+let kickoff t =
+  if has_up t.op then begin
+    if t.expect_up = 0 then up_complete t
+  end
+  else if t.rank = t.root then forward_down t;
+  drain_pending t;
+  maybe_complete t
+
+(* ---------- public operations ---------- *)
+
+let ibarrier t k =
+  if begin_op t Barrier ~root:0 (fun r -> k r) then kickoff t
+
+let ibcast t ~root payload k =
+  if
+    begin_op t Bcast ~root (fun r ->
+        match r with
+        | Ok () ->
+          (match t.acc with
+           | Some p -> k (Ok p)
+           | None -> k (Error "bcast completed without a payload"))
+        | Error e -> k (Error e))
+  then begin
+    if t.rank = root then t.acc <- Some payload;
+    kickoff t
+  end
+
+let ireduce t ~root ~op payload k =
+  if
+    begin_op t Reduce ~root (fun r ->
+        match r with
+        | Ok () -> k (Ok (if t.rank = t.root then t.acc else None))
+        | Error e -> k (Error e))
+  then begin
+    t.rop <- op;
+    (* Private accumulator: combining must not scribble on the caller's
+       buffer. *)
+    t.acc <- Some (Bb.copy payload);
+    kickoff t
+  end
+
+let iallreduce t ~op payload k =
+  if
+    begin_op t Allreduce ~root:0 (fun r ->
+        match r with
+        | Ok () ->
+          (match t.acc with
+           | Some p -> k (Ok p)
+           | None -> k (Error "allreduce completed without a result"))
+        | Error e -> k (Error e))
+  then begin
+    t.rop <- op;
+    t.acc <- Some (Bb.copy payload);
+    kickoff t
+  end
+
+let igather t ~root payload k =
+  if
+    begin_op t Gather ~root (fun r ->
+        match r with
+        | Ok () ->
+          if t.rank <> t.root then k (Ok None)
+          else begin
+            let missing = ref (-1) in
+            for i = t.n - 1 downto 0 do
+              if t.slots.(i) = None then missing := i
+            done;
+            if !missing >= 0 then
+              k
+                (Error
+                   (Printf.sprintf
+                      "gather completed without rank %d's contribution"
+                      !missing))
+            else
+              k
+                (Ok
+                   (Some
+                      (Array.init t.n (fun i ->
+                           match t.slots.(i) with
+                           | Some p -> p
+                           | None -> assert false))))
+          end
+        | Error e -> k (Error e))
+  then begin
+    t.slots.(t.rank) <- Some payload;
+    kickoff t
+  end
+
+let iscatter t ~root payloads k =
+  if t.rank = root && Array.length payloads <> t.n then
+    invalid_arg
+      (Printf.sprintf "Group %s: scatter expects %d payloads, got %d"
+         t.gname t.n (Array.length payloads));
+  if
+    begin_op t Scatter ~root (fun r ->
+        match r with
+        | Ok () ->
+          (match t.acc with
+           | Some p -> k (Ok p)
+           | None -> k (Error "scatter completed without an entry"))
+        | Error e -> k (Error e))
+  then begin
+    if t.rank = root then
+      for i = 0 to t.n - 1 do
+        if i = t.rank then t.acc <- Some payloads.(i)
+        else t.slots.(i) <- Some payloads.(i)
+      done;
+    kickoff t
+  end
+
+(* ---------- blocking wrappers ---------- *)
+
+(* Completion may be synchronous (single-member group, poisoned group):
+   only suspend when the callback has not fired yet. *)
+let await f =
+  let cell = ref None in
+  let waiting = ref None in
+  f (fun r ->
+      match !waiting with
+      | Some resume -> resume r
+      | None -> cell := Some r);
+  match !cell with
+  | Some r -> r
+  | None -> Proc.suspend (fun resume -> waiting := Some resume)
+
+let ok = function Ok v -> v | Error e -> raise (Failed e)
+
+let barrier t = ok (await (fun k -> ibarrier t k))
+let bcast t ~root p = ok (await (fun k -> ibcast t ~root p k))
+let reduce t ~root ~op p = ok (await (fun k -> ireduce t ~root ~op p k))
+let allreduce t ~op p = ok (await (fun k -> iallreduce t ~op p k))
+let gather t ~root p = ok (await (fun k -> igather t ~root p k))
+let scatter t ~root ps = ok (await (fun k -> iscatter t ~root ps k))
+
+(* ---------- construction ---------- *)
+
+let create ?(strategy = Multilevel) ?deadline_ns padico ~name nodes =
+  let cts = Padico.circuit padico ~name:("coll." ^ name) nodes in
+  let group = Array.of_list nodes in
+  let db = Netdb.build (Padico.net padico) group in
+  let wmsgs =
+    Metrics.fresh_counter Metrics.Global ("coll." ^ name ^ ".wan_msgs")
+  in
+  let wbytes =
+    Metrics.fresh_counter Metrics.Global ("coll." ^ name ^ ".wan_bytes")
+  in
+  let n = Array.length group in
+  Array.mapi
+    (fun rank ct ->
+       let t =
+         { gname = name; strategy; deadline_ns; sim = Padico.sim padico; ct;
+           db; rank; n; wmsgs; wbytes; slots = Array.make n None;
+           pending = Queue.create (); on_sent = (fun () -> ()); seq = 0;
+           active = false; op = Barrier; root = 0; rop = Sum; expect_up = 0;
+           expect_down = 0; sends_pending = 0; acc = None;
+           finish = (fun _ -> ()); poisoned = None; c_root = 0; c_me = 0;
+           mc = 1; base = 0; v_me = 0; stage = ""; stage_since = -1;
+           stage_bytes = 0 }
+       in
+       t.on_sent <-
+         (fun () ->
+            t.sends_pending <- t.sends_pending - 1;
+            maybe_complete t);
+       Ct.set_recv ct (fun inc ->
+           let seq = Ct.unpack_int inc in
+           let hdr = Ct.unpack_int inc in
+           let src = Ct.incoming_src inc in
+           let body = Ct.unpack inc (Ct.remaining inc) in
+           if t.active && seq = t.seq then dispatch t src hdr body
+           else if seq > t.seq then Queue.push (seq, src, hdr, body) t.pending
+           (* seq <= t.seq while inactive: the operation failed locally
+              (deadline) — drop the late message *));
+       t)
+    cts
+
+let name t = t.gname
+let rank t = t.rank
+let size t = t.n
+let strategy t = t.strategy
+let netdb t = t.db
+let poisoned t = t.poisoned
+let wan_messages t = Stats.Counter.value t.wmsgs
+let wan_bytes t = Stats.Counter.value t.wbytes

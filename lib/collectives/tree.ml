@@ -1,0 +1,35 @@
+let lsb v = v land (-v)
+
+let parent v =
+  if v <= 0 then
+    invalid_arg
+      (Printf.sprintf "Tree.parent: vrank %d has no parent (root is 0)" v);
+  v - lsb v
+
+let iter_children ~m v f =
+  let limit = if v = 0 then m else lsb v in
+  let b = ref 1 in
+  while !b < limit && v + !b < m do
+    f (v + !b);
+    b := !b * 2
+  done
+
+let child_count ~m v =
+  let c = ref 0 in
+  iter_children ~m v (fun _ -> incr c);
+  !c
+
+let subtree_last ~m v = if v = 0 then m else min m (v + lsb v)
+
+let child_toward ~m v ~target =
+  if target <= v || target >= subtree_last ~m v then
+    invalid_arg
+      (Printf.sprintf
+         "Tree.child_toward: vrank %d is not a descendant of %d (m = %d)"
+         target v m);
+  let d = target - v in
+  let b = ref 1 in
+  while !b * 2 <= d do
+    b := !b * 2
+  done;
+  v + !b

@@ -1,0 +1,31 @@
+(** Binomial-tree navigation over virtual ranks.
+
+    A binomial tree over [m] virtual ranks rooted at vrank 0: the parent of
+    [v > 0] drops the least-significant set bit of [v]; the children of [v]
+    are [v + 1, v + 2, v + 4, ...] up to (exclusive) [v]'s own
+    least-significant bit (every power of two below [m] for the root). The
+    subtree of [v] is the contiguous vrank range [v, subtree_last v), which
+    is what makes the tree convenient for routing scatter payloads: every
+    destination lives in exactly one child's range.
+
+    All functions are pure and allocation-free — collectives call them per
+    message on the hot path. *)
+
+val parent : int -> int
+(** [parent v] for [v > 0]. Raises [Invalid_argument] on the root (or a
+    negative vrank), which has no parent. *)
+
+val iter_children : m:int -> int -> (int -> unit) -> unit
+(** [iter_children ~m v f] applies [f] to each child of [v], in ascending
+    vrank order. *)
+
+val child_count : m:int -> int -> int
+
+val subtree_last : m:int -> int -> int
+(** Exclusive end of [v]'s subtree range: the subtree is
+    [v, subtree_last ~m v). *)
+
+val child_toward : m:int -> int -> target:int -> int
+(** [child_toward ~m v ~target] is the child of [v] whose subtree contains
+    [target]. Raises [Invalid_argument] when [target] is not a strict
+    descendant of [v]. *)

@@ -73,8 +73,7 @@ let is_ip seg =
   | Linkmodel.Lan | Linkmodel.Wan | Linkmodel.Lossy_wan -> true
   | Linkmodel.San | Linkmodel.Loop -> false
 
-let node_segments t node =
-  List.filter (fun s -> Segment.attached s node) (Net.segments t.pnet)
+let node_segments t node = Net.segments_of t.pnet node
 
 let wrap_by_policy t seg vl =
   let m = Segment.model seg in
@@ -314,23 +313,24 @@ let circuit t ~name nodes =
       end
     done;
     (* Bind grouped adapters. *)
+    (* The segment is attached to [node_i] by construction: resolve its uid
+       through the node's own adjacency, not the whole grid. *)
+    let seg_of_uid uid =
+      List.find
+        (fun s -> Segment.uid s = uid)
+        (Net.segments_of t.pnet node_i)
+    in
     Hashtbl.iter
       (fun seg_uid ranks ->
-         let seg =
-           List.find
-             (fun s -> Segment.uid s = seg_uid)
-             (Net.segments t.pnet)
-         in
-         Circuit.Ct_madio.bind cts.(i) (madio t node_i seg) ~lchannel_id:lchan
-           ~ranks:!ranks)
+         Circuit.Ct_madio.bind cts.(i)
+           (madio t node_i (seg_of_uid seg_uid))
+           ~lchannel_id:lchan ~ranks:!ranks)
       madio_ranks;
     Hashtbl.iter
       (fun seg_uid ranks ->
-         let seg =
-           List.find (fun s -> Segment.uid s = seg_uid) (Net.segments t.pnet)
-         in
          let sio = sysio node_i in
-         Circuit.Ct_sysio.bind cts.(i) sio (Sysio.stack_on sio seg)
+         Circuit.Ct_sysio.bind cts.(i) sio
+           (Sysio.stack_on sio (seg_of_uid seg_uid))
            ~port:port_base ~ranks:!ranks)
       sysio_ranks
   done;

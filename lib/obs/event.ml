@@ -37,12 +37,20 @@ type t =
     }
   | Sched of { action : string; subsystem : string; value : int }
   | Agg of { action : string; lchannel : int; msgs : int; bytes : int }
+  | Coll_stage of {
+      group : string;
+      op : string;
+      stage : string;
+      level : string;
+      bytes : int;
+    }
+  | Coll_wan of { group : string; op : string; dst : int; bytes : int }
 
 let layer = function
   | Dispatch _ | Poll _ | Header _ | Madio_recv _ | Sysio_event _ ->
     Arbitration
   | Vl_connect _ | Vl_post _ | Vl_complete _ | Ct_pack _ | Ct_recv _
-  | Adapter _ ->
+  | Adapter _ | Coll_stage _ | Coll_wan _ ->
     Abstraction
   | Flow _ | Sched _ | Agg _ -> Arbitration
   | Choice _ -> Selection
@@ -78,6 +86,8 @@ let name = function
   | Failover _ -> "resilience.failover"
   | Sched { action; _ } -> "sched." ^ action
   | Agg { action; _ } -> "agg." ^ action
+  | Coll_stage _ -> "coll.stage"
+  | Coll_wan _ -> "coll.wan"
 
 type arg = I of int | S of string | B of bool
 
@@ -118,6 +128,11 @@ let args = function
     [ ("subsystem", S subsystem); ("value", I value) ]
   | Agg { action = _; lchannel; msgs; bytes } ->
     [ ("lchannel", I lchannel); ("msgs", I msgs); ("bytes", I bytes) ]
+  | Coll_stage { group; op; stage; level; bytes } ->
+    [ ("group", S group); ("op", S op); ("stage", S stage);
+      ("level", S level); ("bytes", I bytes) ]
+  | Coll_wan { group; op; dst; bytes } ->
+    [ ("group", S group); ("op", S op); ("dst", I dst); ("bytes", I bytes) ]
 
 let pp fmt t =
   Format.fprintf fmt "%s[%s" (name t) (layer_name (layer t));

@@ -89,6 +89,22 @@ type t =
           coalesced into the pending batch) or "flush.<reason>" with
           reason "budget" | "size" | "large" | "credit" | "explicit";
           [msgs]/[bytes] the batch contents. *)
+  | Coll_stage of {
+      group : string;
+      op : string;
+      stage : string;
+      level : string;
+      bytes : int;
+    }
+      (** One per-member stage of a collective operation on [group]:
+          [op] is the operation ("barrier" | "bcast" | ...), [stage] is
+          "up" (towards the root) or "down" (away from it), [level] the
+          topology level the member's sends travel at ("san" | "lan" |
+          "wan", or "flat" for the topology-blind strategy); [bytes] the
+          payload carried. Rendered as a span covering the stage. *)
+  | Coll_wan of { group : string; op : string; dst : int; bytes : int }
+      (** A collective message crossed a WAN boundary (source and
+          destination ranks live in different Netdb clusters). *)
 
 val layer : t -> layer
 

@@ -1,0 +1,35 @@
+(* Multi-cluster grid topology generator: [clusters] SAN islands of
+   [nodes_per_cluster] nodes each, every node also attached to one shared
+   WAN segment (the vthd/transcontinental backbone of the paper's testbed).
+   This is the scaled-up stage for topology-aware collectives — thousands
+   of simulated nodes in a shape where flat and multilevel strategies
+   differ by an order of magnitude in WAN crossings. *)
+
+type t = {
+  grid : Padico.t;
+  nodes : Simnet.Node.t list;  (* cluster-major rank order *)
+  clusters : Simnet.Node.t list list;
+  wan : Simnet.Segment.t;
+}
+
+let generate ?seed ?prefs ?(san = Simnet.Presets.myrinet2000)
+    ?(wan = Simnet.Presets.vthd) ~clusters ~nodes_per_cluster () =
+  if clusters < 1 then invalid_arg "Gridgen.generate: clusters < 1";
+  if nodes_per_cluster < 1 then
+    invalid_arg "Gridgen.generate: nodes_per_cluster < 1";
+  let grid = Padico.create ?seed ?prefs () in
+  let islands =
+    List.init clusters (fun c ->
+        List.init nodes_per_cluster (fun i ->
+            Padico.add_node grid (Printf.sprintf "c%d-n%d" c i)))
+  in
+  List.iteri
+    (fun c island ->
+       ignore
+         (Padico.add_segment grid san ~name:(Printf.sprintf "san%d" c) island))
+    islands;
+  let nodes = List.concat islands in
+  let wan_seg = Padico.add_segment grid wan ~name:"wan" nodes in
+  { grid; nodes; clusters = islands; wan = wan_seg }
+
+let size t = List.length t.nodes

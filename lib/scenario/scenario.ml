@@ -3,6 +3,8 @@
    benchmark harness (bench/) and the CLI (bin/padico_cli). All numbers
    are virtual-time measurements from the simulator. *)
 
+module Gridgen = Gridgen
+
 module Bb = Engine.Bytebuf
 module Vio = Personalities.Vio
 module Mpi = Mw_mpi.Mpi

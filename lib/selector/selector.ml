@@ -1,4 +1,5 @@
 module Prefs = Prefs
+module Netdb = Netdb
 
 type choice = {
   driver : string;

@@ -8,6 +8,10 @@
 
 module Prefs = Prefs
 
+module Netdb = Netdb
+(** Topology knowledge base: cluster / level enumeration for group
+    operations (consumed by [Collectives]). *)
+
 type choice = {
   driver : string;  (** "loopback" | "madio" | "sysio" | "pstream" | "vrp" *)
   segment : Simnet.Segment.t option;  (** chosen network, None = loopback *)

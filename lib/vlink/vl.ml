@@ -40,12 +40,20 @@ and t = {
   mutable evt_handlers : (event -> unit) list;
   mutable peer_closed : bool;
   writable_waiters : (unit -> unit) Queue.t;
+  (* Reentrancy guards: a pump's [o_read]/[o_write] can resume a peer
+     process synchronously, and that process may post or complete requests
+     on this very link — re-entering the pump mid-iteration would pop a
+     request out from under the outer loop. The outer loop's progress pass
+     picks up whatever the nested call would have handled. *)
+  mutable pumping_reads : bool;
+  mutable pumping_writes : bool;
 }
 
 let create vnode =
   { vnode; ops = None; st = Connecting; reads = Queue.create ();
     writes = Queue.create (); evt_handlers = []; peer_closed = false;
-    writable_waiters = Queue.create () }
+    writable_waiters = Queue.create (); pumping_reads = false;
+    pumping_writes = false }
 
 let node t = t.vnode
 
@@ -94,7 +102,9 @@ let fire t ev = List.iter (fun f -> f ev) (List.rev t.evt_handlers)
 let pump_reads t =
   match t.ops with
   | None -> ()
+  | Some _ when t.pumping_reads -> ()
   | Some o ->
+    t.pumping_reads <- true;
     let progress = ref true in
     while !progress do
       progress := false;
@@ -123,12 +133,15 @@ let pump_reads t =
              complete req Eof;
              progress := true
            end)
-    done
+    done;
+    t.pumping_reads <- false
 
 let pump_writes t =
   match t.ops with
   | None -> ()
+  | Some _ when t.pumping_writes -> ()
   | Some o ->
+    t.pumping_writes <- true;
     let progress = ref true in
     while !progress do
       progress := false;
@@ -156,7 +169,8 @@ let pump_writes t =
             progress := true
           end
         end
-    done
+    done;
+    t.pumping_writes <- false
 
 let fail_all t msg =
   let fail_queue q =

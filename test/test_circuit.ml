@@ -181,6 +181,14 @@ let test_errors () =
   Alcotest.check_raises "double end"
     (Invalid_argument "Ct.end_packing: message already sent") (fun () ->
       Ct.end_packing out);
+  (* A circuit created without binding adapters must say which link is
+     unbound, not leak a bare Not_found. *)
+  let bare = Ct.create ~group:[| a; b |] ~rank:0 ~name:"unbound" in
+  Alcotest.check_raises "unbound link"
+    (Invalid_argument
+       "Ct.link_adapter_name: circuit unbound has no adapter bound for the \
+        link from rank 0 to rank 1")
+    (fun () -> ignore (Ct.link_adapter_name bare ~dst:1));
   Tutil.run_grid grid
 
 let () =
