@@ -1,5 +1,11 @@
 include Scenario
 
+(* Execution backend for the whole bench invocation (set once by main from
+   --backend). Experiments that support the host backend consult it; their
+   metrics go under distinct keys so wall-clock numbers never overwrite the
+   virtual-time trajectory. *)
+let backend = ref Padico.Sim
+
 (* Machine-readable results: experiments record named metrics as they print
    them; the harness writes the accumulated set to BENCH_results.json so CI
    and regression tooling can diff numbers without scraping stdout. *)
@@ -31,9 +37,10 @@ let previous_results file =
   end
 
 let write_results ?(file = "BENCH_results.json") () =
-  let oc = open_out file in
   let fresh = List.rev !results in
+  (* Read the previous metrics *before* open_out truncates the file. *)
   let previous = previous_results file in
+  let oc = open_out file in
   let entries =
     List.map
       (fun (k, v) ->

@@ -1,5 +1,7 @@
 (* Benchmark harness: one experiment per table/figure of the paper (see
-   DESIGN.md section 4). Run all with no argument, or one by name. *)
+   DESIGN.md section 4). Run all with no argument, or one by name.
+   --backend host reruns the host-capable experiments over real Unix
+   sockets; their wall-clock metrics land under *_host keys. *)
 
 let experiments =
   [ ("fig3", "Figure 3: bandwidth vs message size over Myrinet", Fig3.run);
@@ -19,8 +21,12 @@ let experiments =
      Coll_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
+(* Experiments meaningful on real sockets (the rest model SAN hardware,
+   loss or virtual-time schedules the OS does not expose). *)
+let host_capable = [ "flow"; "micro" ]
+
 let usage () =
-  print_endline "usage: bench/main.exe [experiment]";
+  print_endline "usage: bench/main.exe [--backend sim|host] [experiment]";
   print_endline "experiments:";
   List.iter
     (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr)
@@ -30,6 +36,25 @@ let usage () =
 let () =
   Printexc.record_backtrace true;
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_backend = function
+    | "--backend" :: "host" :: rest ->
+      Bhelp.backend := Padico.Host;
+      strip_backend rest
+    | "--backend" :: "sim" :: rest ->
+      Bhelp.backend := Padico.Sim;
+      strip_backend rest
+    | "--backend" :: other :: _ ->
+      Printf.eprintf "unknown backend %S (sim|host)\n" other;
+      exit 2
+    | x :: rest -> x :: strip_backend rest
+    | [] -> []
+  in
+  let args = strip_backend args in
+  let experiments =
+    if !Bhelp.backend = Padico.Host then
+      List.filter (fun (n, _, _) -> List.mem n host_capable) experiments
+    else experiments
+  in
   match args with
   | [] | [ "all" ] ->
     List.iter (fun (_, _, run) -> run ()) experiments;

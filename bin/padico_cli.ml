@@ -6,7 +6,9 @@
      padico_cli bandwidth --net vthd --middleware vio --mbytes 16 [--pstream N]
      padico_cli trace     --net vthd --iters 50 -o trace.json
 
-   All measurements are virtual-time results from the simulator. *)
+   Measurements are virtual-time results from the simulator by default;
+   $(b,--backend host) (where accepted) runs the same program over real
+   Unix sockets and reports wall-clock numbers instead. *)
 
 open Cmdliner
 
@@ -26,6 +28,13 @@ let net_arg =
          ~doc:"Network between the two nodes: $(b,myrinet), $(b,sci), \
                $(b,ethernet), $(b,gigabit), $(b,vthd), $(b,lossy), \
                $(b,modem).")
+
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("sim", Padico.Sim); ("host", Padico.Host) ]) Padico.Sim
+       & info [ "backend" ] ~docv:"BACKEND"
+         ~doc:"Execution backend: $(b,sim) (virtual clock, default) or \
+               $(b,host) (real Unix sockets, wall-clock time).")
 
 type mw = Vio_mw | Mpi_mw | Corba of Mw_corba.Cdr.profile | Java_mw
 
@@ -102,8 +111,8 @@ let iters_arg =
   Arg.(value & opt int 1000 & info [ "iters" ] ~docv:"N" ~doc:"Ping-pong rounds.")
 
 let ping_cmd =
-  let run model prefs mw iters =
-    let grid, a, b = Scenario.pair model ~prefs () in
+  let run model prefs backend mw iters =
+    let grid, a, b = Scenario.pair model ~prefs ~backend () in
     let lat =
       match mw with
       | Vio_mw -> Scenario.vio_latency grid ~src:a ~dst:b ~port:4000 ~size:4 ~iters
@@ -113,10 +122,11 @@ let ping_cmd =
       | Corba profile -> Scenario.corba_latency ~profile grid ~a ~b ~port:3000 ~iters
       | Java_mw -> Scenario.java_latency grid ~a ~b ~port:7000 ~iters
     in
-    Printf.printf "one-way latency: %.2f us (%d iterations)\n" lat iters
+    Printf.printf "one-way latency: %.2f us (%d iterations%s)\n" lat iters
+      (if backend = Padico.Host then ", wall-clock" else "")
   in
   Cmd.v (Cmd.info "ping" ~doc:"One-way latency of a middleware over a network.")
-    Term.(const run $ net_arg $ prefs_term $ mw_arg $ iters_arg)
+    Term.(const run $ net_arg $ prefs_term $ backend_arg $ mw_arg $ iters_arg)
 
 (* ---------- bandwidth ---------- *)
 
@@ -127,8 +137,8 @@ let chunk_arg =
   Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"BYTES" ~doc:"Write size.")
 
 let bandwidth_cmd =
-  let run model prefs mw mbytes chunk =
-    let grid, a, b = Scenario.pair model ~prefs () in
+  let run model prefs backend mw mbytes chunk =
+    let grid, a, b = Scenario.pair model ~prefs ~backend () in
     let total = mbytes * 1_000_000 in
     let bw =
       match mw with
@@ -143,11 +153,12 @@ let bandwidth_cmd =
         Scenario.java_stream_bw grid ~a ~b ~port:7000 ~size:chunk
           ~count:(total / chunk)
     in
-    Printf.printf "bandwidth: %.2f MB/s (%d MB in %d-byte writes)\n" bw mbytes
-      chunk
+    Printf.printf "bandwidth: %.2f MB/s (%d MB in %d-byte writes%s)\n" bw
+      mbytes chunk (if backend = Padico.Host then ", wall-clock" else "")
   in
   Cmd.v (Cmd.info "bandwidth" ~doc:"Streaming bandwidth of a middleware over a network.")
-    Term.(const run $ net_arg $ prefs_term $ mw_arg $ mbytes_arg $ chunk_arg)
+    Term.(const run $ net_arg $ prefs_term $ backend_arg $ mw_arg $ mbytes_arg
+          $ chunk_arg)
 
 (* ---------- trace ---------- *)
 
@@ -395,8 +406,46 @@ let check_cmd =
           prerr_endline ("fault plan: " ^ msg);
           exit 2)
   in
-  let run seeds replay plan_file names demo shrink out =
+  let run seeds replay plan_file names demo shrink out backend =
     let plan = load_plan plan_file in
+    if backend = Padico.Host then begin
+      (* Real sockets: the OS supplies the schedule, so exploration's
+         policies and replay tokens do not apply — run the host subset
+         once, sequentially. *)
+      let cases = Padico_check.Conform.host_cases () in
+      let cases =
+        match names with
+        | [] -> cases
+        | names ->
+          List.filter
+            (fun c ->
+               List.exists
+                 (fun n ->
+                    n = c.Padico_check.Conform.case_name
+                    || (String.length n > 0
+                        && n.[String.length n - 1] = '/'
+                        && String.length c.Padico_check.Conform.case_name
+                           >= String.length n
+                        && String.sub c.Padico_check.Conform.case_name 0
+                             (String.length n)
+                           = n))
+                 names)
+            cases
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun c ->
+           match c.Padico_check.Conform.run ~plan Engine.Sim.Fifo with
+           | () -> Printf.printf "PASS %s\n" c.Padico_check.Conform.case_name
+           | exception Padico_check.Conform.Failed m ->
+             incr failures;
+             Printf.printf "FAIL %s\n  %s\n" c.Padico_check.Conform.case_name
+               m)
+        cases;
+      Printf.printf "host conformance: %d cases, %d failures\n"
+        (List.length cases) !failures;
+      exit (if !failures > 0 then 1 else 0)
+    end;
     match replay with
     | Some token ->
       if out <> None then begin
@@ -483,7 +532,7 @@ let check_cmd =
              fifo/lifo/starve plus N seeded random same-timestamp \
              permutations. Failures print a replay token.")
     Term.(const run $ seeds_arg $ replay_arg $ plan_arg $ case_arg
-          $ demo_arg $ shrink_arg $ out_arg)
+          $ demo_arg $ shrink_arg $ out_arg $ backend_arg)
 
 (* ---------- flow ---------- *)
 
@@ -956,10 +1005,100 @@ let collect_cmd =
     Term.(const run $ clusters_arg $ nodes_arg $ size_arg $ op_arg
           $ strategy_arg $ seed_arg)
 
+(* ---------- hostio ---------- *)
+
+let hostio_cmd =
+  let timers_arg =
+    Arg.(value & opt int 100
+         & info [ "timers" ] ~docv:"N"
+           ~doc:"Timers to arm (staggered sub-millisecond deadlines).")
+  in
+  let kbytes_arg =
+    Arg.(value & opt int 256
+         & info [ "kbytes" ] ~docv:"KB"
+           ~doc:"Payload echoed over a socketpair through the reactor.")
+  in
+  let run timers kbytes =
+    let module Loop = Hostio.Loop in
+    let module Stream = Hostio.Stream in
+    let module Bb = Engine.Bytebuf in
+    let loop = Loop.create () in
+    (* Timer workload: N staggered deadlines, every 10th cancelled. *)
+    let fired = ref 0 in
+    for i = 1 to timers do
+      let tm =
+        Engine.Clock.arm (Loop.clock loop)
+          (i * 5_000) (fun () -> incr fired)
+      in
+      if i mod 10 = 0 then Engine.Clock.cancel tm
+    done;
+    (* Socketpair echo: stream [kbytes] through the reactor and back. *)
+    let a, b = Stream.pair loop in
+    let total = kbytes * 1024 in
+    let chunk = Bb.create 8_192 in
+    Bb.fill_pattern chunk ~seed:11;
+    let sent = ref 0 and echoed = ref 0 and received = ref 0 in
+    let rec feed () =
+      if !sent < total then begin
+        let n = Stream.write a (Bb.sub chunk 0 (min 8_192 (total - !sent))) in
+        sent := !sent + n;
+        if n > 0 then feed ()
+      end
+    in
+    Stream.set_event_cb b (function
+      | Stream.Readable ->
+        let rec drain () =
+          match Stream.read b ~max:8_192 with
+          | Some buf ->
+            echoed := !echoed + Bb.length buf;
+            ignore (Stream.write b buf);
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      | Stream.Peer_closed -> Stream.close b
+      | _ -> ());
+    Stream.set_event_cb a (function
+      | Stream.Readable ->
+        let rec drain () =
+          match Stream.read a ~max:8_192 with
+          | Some buf ->
+            received := !received + Bb.length buf;
+            if !received >= total then Stream.close a else drain ()
+          | None -> ()
+        in
+        drain ()
+      | Stream.Writable -> feed ()
+      | _ -> ());
+    feed ();
+    let t0 = Loop.now_ns loop in
+    Loop.run loop;
+    let dt = Loop.now_ns loop - t0 in
+    Printf.printf "hostio reactor: %d iterations in %.2f ms\n"
+      (Loop.iterations loop) (float_of_int dt /. 1e6);
+    Printf.printf "  timers     : %d armed, %d fired, %d cancelled, %d live\n"
+      timers !fired (timers / 10) (Loop.live_timers loop);
+    Printf.printf "  fd events  : %d delivered on %d watched fds (%d active)\n"
+      (Loop.fd_events loop) (Loop.watched_fds loop) (Loop.active_fds loop);
+    Printf.printf "  echo       : %d KB sent, %d KB echoed back (%.1f MB/s \
+                   round-trip)\n"
+      (!sent / 1024) (!received / 1024)
+      (if dt > 0 then
+         Engine.Stats.bandwidth_mb_s ~bytes_transferred:(2 * !received)
+           ~elapsed_ns:dt
+       else 0.)
+  in
+  Cmd.v
+    (Cmd.info "hostio"
+       ~doc:"Exercise the real-OS reactor (timers + socketpair echo) and \
+             report loop, fd and timer statistics.")
+    Term.(const run $ timers_arg $ kbytes_arg)
+
 let () =
   let doc = "PadicoTM-style grid communication framework (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "padico_cli" ~doc)
           [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
-            fault_cmd; flow_cmd; check_cmd; sched_cmd; collect_cmd ]))
+            fault_cmd; flow_cmd; check_cmd; sched_cmd; collect_cmd;
+            hostio_cmd ]))

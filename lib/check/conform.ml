@@ -1,4 +1,5 @@
 module Sim = Engine.Sim
+module Clock = Engine.Clock
 module Time = Engine.Time
 module Proc = Engine.Proc
 module Bb = Engine.Bytebuf
@@ -44,9 +45,9 @@ type fixture = {
 let bare_prefs =
   { Prefs.default with Prefs.adoc_on_slow = false; cipher_untrusted = false }
 
-let pair_env ~model ~prefs ?(oneway = false) ?(strict_eof = true)
+let pair_env ~model ~prefs ?backend ?(oneway = false) ?(strict_eof = true)
     ?expect_driver ?(xfer = 65_536) () =
-  let grid = Padico.create ~prefs () in
+  let grid = Padico.create ~prefs ?backend () in
   let c = Padico.add_node grid "c" in
   let s = Padico.add_node grid "s" in
   ignore (Padico.add_segment grid model ~name:"link" [ c; s ]);
@@ -55,8 +56,8 @@ let pair_env ~model ~prefs ?(oneway = false) ?(strict_eof = true)
     bind = (fun ~port accept -> Padico.listen grid s ~port accept);
     oneway; strict_eof; expect_driver; xfer }
 
-let loopback_env () =
-  let grid = Padico.create ~prefs:bare_prefs () in
+let loopback_env ?backend () =
+  let grid = Padico.create ~prefs:bare_prefs ?backend () in
   let n = Padico.add_node grid "c" in
   { grid; client = n; server = n;
     dial = (fun ~port -> Padico.connect grid ~src:n ~dst:n ~port);
@@ -378,7 +379,7 @@ let ob_again =
                     failf "read at %d/%d completed %s" !got total
                       (comp_name c));
                  if !got < total then
-                   Proc.sleep (Node.sim env.server) (Time.us 200)
+                   Proc.sleep_on (Node.clock env.server) (Time.us 200)
                done;
                if not (Bb.equal into (pattern ~seed:23 total)) then
                  failf "stream corrupted under backpressure";
@@ -395,19 +396,19 @@ let ob_timeout =
                   measured from whenever the probe finally lands (paced
                   transports deliver it 100+ ms in), so the only possible
                   completion is the timeout. *)
-               Proc.sleep (Node.sim env.client) (Time.sec 1);
+               Proc.sleep_on (Node.clock env.client) (Time.sec 1);
                Vl.close cvl)
            ~server:(fun svl ->
-               let sim = Node.sim env.server in
-               let t0 = Sim.now sim in
+               let clk = Node.clock env.server in
+               let t0 = Clock.now clk in
                (match
                   Vl.await
                     (Vl.post_read ~timeout_ns:(Time.ms 5) svl (Bb.create 64))
                 with
                 | Vl.Error "timeout" ->
-                  if Sim.now sim - t0 < Time.ms 5 then
+                  if Clock.now clk - t0 < Time.ms 5 then
                     failf "timeout fired %d ns early"
-                      (Time.ms 5 - (Sim.now sim - t0))
+                      (Time.ms 5 - (Clock.now clk - t0))
                 | c -> failf "silent read completed %s" (comp_name c));
                Vl.close svl)) }
 
@@ -642,7 +643,7 @@ let coll_barrier =
          coll_scaffold env (fun r gm ->
              (* Stagger the entries so the barrier has stragglers to hold
                 the early ranks back for. *)
-             Proc.sleep (Node.sim env.gnodes.(r)) (Time.us (r * 50));
+             Proc.sleep_on (Node.clock env.gnodes.(r)) (Time.us (r * 50));
              entered.(r) <- true;
              Group.barrier gm;
              Array.iteri
@@ -802,7 +803,7 @@ let coll_wan_down ~plan policy =
   let outcomes = Array.make (Array.length env.groups) `Stuck in
   coll_scaffold env (fun r gm ->
       (* Start after the backbone is already dark. *)
-      Proc.sleep (Node.sim env.gnodes.(r)) (Time.ms 2);
+      Proc.sleep_on (Node.clock env.gnodes.(r)) (Time.ms 2);
       match
         Group.bcast gm ~root:0
           (if r = 0 then pattern ~seed:47 len else Bb.create 0)
@@ -920,5 +921,36 @@ let cases ?(demo = false) () =
     else []
   in
   vlink @ circuit @ coll @ coll_fault @ demo_cases
+
+(* The host-backend subset: the same obligations, real sockets. Only the
+   fixtures whose transports exist on the host qualify (loopback's
+   in-process rendezvous and SysIO over Hostio streams); schedule policies
+   belong to the simulator and are ignored — the OS provides the
+   nondeterminism instead. *)
+let host_fixtures =
+  [ { fname = "loopback"; skip = [];
+      build = (fun () -> loopback_env ~backend:Padico.Host ()) };
+    { fname = "sysio"; skip = [];
+      build =
+        (fun () ->
+           pair_env ~model:Presets.ethernet100 ~prefs:bare_prefs
+             ~backend:Padico.Host ~expect_driver:"sysio" ()) } ]
+
+let host_cases () =
+  List.concat_map
+    (fun fx ->
+       List.filter_map
+         (fun ob ->
+            if List.mem ob.oname fx.skip then None
+            else
+              Some
+                { case_name = "host/" ^ fx.fname ^ "/" ^ ob.oname;
+                  run =
+                    (fun ~plan _policy ->
+                       let env = fx.build () in
+                       apply_plan env.grid plan;
+                       ob.run env) })
+         vlink_obligations)
+    host_fixtures
 
 let adapters_covered = List.length vlink_fixtures

@@ -44,5 +44,11 @@ val cases : ?demo:bool -> unit -> case list
     register-after-dispatch bug that FIFO masks — used to demonstrate (and
     test) that schedule exploration catches this bug class. *)
 
+val host_cases : unit -> case list
+(** The kit's host-backend subset: every VLink obligation against the
+    loopback and SysIO fixtures on [Padico.Host] — real Unix sockets,
+    wall-clock timers. The schedule-policy argument is ignored (the OS
+    schedules); fault plans still apply, through real-socket resets. *)
+
 val adapters_covered : int
 (** Number of VLink adapter fixtures in the kit. *)

@@ -17,7 +17,7 @@ type rx_state = {
 
 let rx_pump ct st conn =
   let rec drain () =
-    match Tcp.read conn ~max:65_536 with
+    match Sysio.read conn ~max:65_536 with
     | Some data ->
       Streamq.push st.pending data;
       drain ()
@@ -49,7 +49,7 @@ let rx_pump ct st conn =
    Writable. *)
 type tx_state = {
   outq : Streamq.t;
-  mutable conn : Tcp.conn option;
+  mutable conn : Sysio.conn option;
   mutable established : bool;
 }
 
@@ -58,12 +58,12 @@ let tx_flush tx =
   | Some conn, true ->
     let continue = ref true in
     while !continue do
-      let space = Tcp.write_space conn in
+      let space = Sysio.write_space conn in
       if space <= 0 then continue := false
       else
         match Streamq.pop tx.outq ~max:space with
         | Some chunk ->
-          let n = Tcp.write conn chunk in
+          let n = Sysio.write conn chunk in
           (* [space] bounds the pop, so the write cannot be partial. *)
           assert (n = Bytebuf.length chunk);
           if Streamq.is_empty tx.outq then continue := false
@@ -111,7 +111,7 @@ let bind ct sio stack ~port ~ranks =
                    tx.established <- true;
                    let hello = Bytebuf.create 2 in
                    Bytebuf.set_u16 hello 0 (Ct.rank ct);
-                   ignore (Tcp.write conn hello);
+                   ignore (Sysio.write conn hello);
                    tx_flush tx
                  | Tcp.Writable -> tx_flush tx
                  | Tcp.Readable | Tcp.Peer_closed | Tcp.Reset -> ())

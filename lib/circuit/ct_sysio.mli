@@ -6,7 +6,7 @@
 val bind :
   Ct.t ->
   Netaccess.Sysio.t ->
-  Drivers.Tcp.stack ->
+  Netaccess.Sysio.stack ->
   port:int ->
   ranks:int list ->
   unit

@@ -14,8 +14,12 @@ let log = Logs.Src.create "padico"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
+type backend = Sim | Host
+
 type t = {
   pnet : Net.t;
+  pbackend : backend;
+  ploop : Hostio.Loop.t option; (* the reactor when [pbackend = Host] *)
   mutable pprefs : Prefs.t;
   mutable next_lchan : int; (* MadIO logical channels for circuits *)
   mutable next_circuit_port : int;
@@ -47,13 +51,22 @@ let register_builtins () =
   e "fm" Registry.Personality "FastMessage 2.0 API over Circuit" `Parallel;
   e "madpers" Registry.Personality "virtual Madeleine over Circuit" `Parallel
 
-let create ?seed ?(prefs = Prefs.default) () =
+let create ?seed ?(prefs = Prefs.default) ?(backend = Sim) () =
   register_builtins ();
-  { pnet = Net.create ?seed (); pprefs = prefs; next_lchan = 1;
-    next_circuit_port = 7_000; relays = [] }
+  let ploop, clock =
+    match backend with
+    | Sim -> (None, None)
+    | Host ->
+      let l = Hostio.Loop.create () in
+      (Some l, Some (Hostio.Loop.clock l))
+  in
+  { pnet = Net.create ?seed ?clock (); pbackend = backend; ploop;
+    pprefs = prefs; next_lchan = 1; next_circuit_port = 7_000; relays = [] }
 
 let net t = t.pnet
 let sim t = Net.sim t.pnet
+let backend t = t.pbackend
+let loop t = t.ploop
 let prefs t = t.pprefs
 let set_prefs t p = t.pprefs <- p
 
@@ -93,25 +106,41 @@ let listen t node ~port accept =
   Vlink.Vl_loopback.listen node ~port accept;
   List.iter
     (fun seg ->
-       if is_san seg then Vlink.Vl_madio.listen (madio t node seg) ~port accept
-       else if is_ip seg then begin
+       (* On the host backend every non-loop segment carries real stream
+          sockets: SANs have no MadIO rendezvous and datagrams no UDP
+          driver, so both collapse onto SysIO. *)
+       if is_san seg && t.pbackend = Sim then
+         Vlink.Vl_madio.listen (madio t node seg) ~port accept
+       else if is_ip seg || (is_san seg && t.pbackend = Host) then begin
          let sio = sysio node in
          let stack = Sysio.stack_on sio seg in
          let accept_wrapped vl = accept (wrap_by_policy t seg vl) in
          Vlink.Vl_sysio.listen sio stack ~port accept_wrapped;
          Vlink.Vl_pstream.listen sio stack ~port:(port + pstream_port_offset)
            accept_wrapped;
-         let udp = Sysio.udp_on sio seg in
-         (try
-            Vlink.Vl_vrp.listen sio udp ~port:(port + vrp_port_offset)
-              ~tolerance:t.pprefs.Prefs.vrp_tolerance accept
-          with Invalid_argument _ -> ())
+         if t.pbackend = Sim then begin
+           let udp = Sysio.udp_on sio seg in
+           try
+             Vlink.Vl_vrp.listen sio udp ~port:(port + vrp_port_offset)
+               ~tolerance:t.pprefs.Prefs.vrp_tolerance accept
+           with Invalid_argument _ -> ()
+         end
        end)
     (node_segments t node)
 
 let connect_choice t ~src ~dst = Sel.choose ~prefs:t.pprefs t.pnet ~src ~dst
 
+(* The selector reasons over the modelled topology; on the host backend
+   the SAN driver (MadIO) and the datagram protocol (VRP) have no real
+   transport, so their choices are re-targeted to SysIO streams on the
+   same segment. Wrapping and striping decisions survive the remap. *)
+let remap_for_backend t choice =
+  match (t.pbackend, choice.Sel.driver) with
+  | Sim, _ | Host, ("loopback" | "sysio" | "pstream") -> choice
+  | Host, _ -> { choice with Sel.driver = "sysio" }
+
 let connect_direct t ~src ~dst ~port choice =
+  let choice = remap_for_backend t choice in
   Log.debug (fun m ->
       m "connect %s -> %s port %d: %a" (Node.name src) (Node.name dst) port
         Sel.pp_choice choice);
@@ -276,9 +305,13 @@ let circuit t ~name nodes =
           match common_san t node_i node_j with
           | Some seg ->
             let key = Segment.uid seg in
-            (match Hashtbl.find_opt madio_ranks key with
+            let ranks =
+              (* Host backend: the SAN pair rides SysIO streams too. *)
+              if t.pbackend = Sim then madio_ranks else sysio_ranks
+            in
+            (match Hashtbl.find_opt ranks key with
              | Some l -> l := j :: !l
-             | None -> Hashtbl.replace madio_ranks key (ref [ j ]))
+             | None -> Hashtbl.replace ranks key (ref [ j ]))
           | None ->
             let best = Net.best_link t.pnet node_i node_j in
             (match best with
@@ -336,8 +369,11 @@ let circuit t ~name nodes =
   done;
   cts
 
-let run ?until t = Net.run ?until t.pnet
+let run ?until t =
+  match t.ploop with
+  | None -> Net.run ?until t.pnet
+  | Some l -> Hostio.Loop.run ?until_ns:until l
 
-let now t = Engine.Sim.now (Net.sim t.pnet)
+let now t = Engine.Clock.now (Net.clock t.pnet)
 
 let spawn t node ?name f = Net.spawn t.pnet node ?name f

@@ -18,9 +18,25 @@ module Registry = Registry
 
 type t
 
-val create : ?seed:int -> ?prefs:Selector.Prefs.t -> unit -> t
+type backend =
+  | Sim  (** discrete-event simulation on the virtual clock (default) *)
+  | Host  (** real Unix sockets and wall-clock timers via {!Hostio} *)
+
+val create :
+  ?seed:int -> ?prefs:Selector.Prefs.t -> ?backend:backend -> unit -> t
+(** [backend] selects the execution backend for the whole grid: [Sim]
+    runs on the simulator's virtual clock; [Host] creates a
+    {!Hostio.Loop} reactor whose monotonic clock every node runs on, so
+    the same program does real socket I/O. *)
+
 val net : t -> Simnet.Net.t
 val sim : t -> Engine.Sim.t
+
+val backend : t -> backend
+
+val loop : t -> Hostio.Loop.t option
+(** The reactor behind a [Host] grid ([None] on [Sim]). *)
+
 val prefs : t -> Selector.Prefs.t
 val set_prefs : t -> Selector.Prefs.t -> unit
 
@@ -80,7 +96,13 @@ val circuit : t -> name:string -> Simnet.Node.t list -> Circuit.Ct.t array
 (** {1 Execution} *)
 
 val run : ?until:int -> t -> unit
+(** Drive the grid until quiescence. [until] bounds execution: virtual ns
+    on [Sim], wall-clock ns since reactor creation on [Host]. *)
+
 val now : t -> int
+(** Current time on the grid's clock: virtual ns ([Sim]) or monotonic
+    wall ns ([Host]). *)
+
 val spawn :
   t -> Simnet.Node.t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle
 

@@ -33,7 +33,7 @@ let finish h st =
   h.joiners <- [];
   List.iter (fun k -> k ()) joiners
 
-let spawn sim ?(name = "proc") f =
+let spawn_on clk ?(name = "proc") f =
   let h = { proc_name = name; status = None; joiners = [] } in
   let handler =
     { retc = (fun () -> finish h (Ok ()));
@@ -71,22 +71,31 @@ let spawn sim ?(name = "proc") f =
            | _ -> None);
     }
   in
-  Sim.after sim 0 (fun () -> match_with f () handler);
+  Clock.after clk 0 (fun () -> match_with f () handler);
   h
 
-let sleep sim dt = suspend (fun resume -> Sim.after sim dt (fun () -> resume ()))
+let spawn sim ?name f = spawn_on (Sim.clock sim) ?name f
+
+let sleep_on clk dt =
+  suspend (fun resume -> Clock.after clk dt (fun () -> resume ()))
+
+let sleep sim dt = sleep_on (Sim.clock sim) dt
+
+let yield_on clk = sleep_on clk 0
 
 let yield sim = sleep sim 0
 
-let join sim h =
+let join_on clk h =
   (match h.status with
    | Some _ -> ()
    | None ->
      suspend (fun resume ->
-         h.joiners <- (fun () -> Sim.after sim 0 resume) :: h.joiners));
+         h.joiners <- (fun () -> Clock.after clk 0 resume) :: h.joiners));
   match h.status with
   | Some (Ok ()) | None -> ()
   | Some (Error e) -> raise e
+
+let join sim h = join_on (Sim.clock sim) h
 
 module Ivar = struct
   type 'a t = {

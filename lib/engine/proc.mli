@@ -11,7 +11,13 @@ type handle
 
 val spawn : Sim.t -> ?name:string -> (unit -> unit) -> handle
 (** [spawn sim f] schedules a process running [f] at the current virtual
-    time. An exception escaping [f] is recorded in the handle and logged. *)
+    time. An exception escaping [f] is recorded in the handle and logged.
+    Equivalent to [spawn_on (Sim.clock sim)]. *)
+
+val spawn_on : Clock.t -> ?name:string -> (unit -> unit) -> handle
+(** Clock-capability variant of {!spawn}: the process is scheduled on
+    whatever event loop backs the clock — the simulator heap for a
+    virtual clock, the Hostio reactor for a monotonic one. *)
 
 val done_ : handle -> bool
 (** [done_ h] is [true] once the process body returned or raised. *)
@@ -32,13 +38,23 @@ val suspend : ((('a -> unit) -> unit)) -> 'a
 val sleep : Sim.t -> int -> unit
 (** [sleep sim dt] suspends the calling process for [dt] virtual ns. *)
 
+val sleep_on : Clock.t -> int -> unit
+(** Clock-capability variant of {!sleep}: [dt] nanoseconds of whatever
+    time the clock measures (virtual or wall). *)
+
 val yield : Sim.t -> unit
 (** Suspend and resume at the same virtual time, after already-queued
     events. *)
 
+val yield_on : Clock.t -> unit
+(** Clock-capability variant of {!yield}. *)
+
 val join : Sim.t -> handle -> unit
 (** [join sim h] blocks the calling process until [h] terminates. If [h]
     raised, the exception is re-raised in the joining process. *)
+
+val join_on : Clock.t -> handle -> unit
+(** Clock-capability variant of {!join}. *)
 
 (** Write-once synchronization cell. *)
 module Ivar : sig

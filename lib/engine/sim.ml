@@ -31,11 +31,12 @@ type t = {
   mutable stopped : bool;
   mutable policy : policy;
   mutable sched_rng : Rng.t; (* consulted only under [Random] *)
+  mutable cap : Clock.t option; (* cached capability view, built on demand *)
 }
 
 let create ?(seed = 42) () =
   { clock = 0; events = Heap.create (); root_rng = Rng.create seed;
-    stopped = false; policy = Fifo; sched_rng = Rng.create 0 }
+    stopped = false; policy = Fifo; sched_rng = Rng.create 0; cap = None }
 
 let now t = t.clock
 
@@ -105,3 +106,19 @@ let run ?until t =
   done
 
 let stop t = t.stopped <- true
+
+let clock t =
+  match t.cap with
+  | Some c -> c
+  | None ->
+    let c =
+      Clock.make ~kind:Clock.Virtual
+        ~now:(fun () -> t.clock)
+        ~schedule:(fun dt f -> after t dt f)
+        ~arm:(fun dt f ->
+          let dead = ref false in
+          after t dt (fun () -> if not !dead then f ());
+          fun () -> dead := true)
+    in
+    t.cap <- Some c;
+    c

@@ -66,3 +66,9 @@ val step : t -> bool
 
 val stop : t -> unit
 (** [stop t] makes the current [run] return after the ongoing event. *)
+
+val clock : t -> Clock.t
+(** The simulator's virtual {!Clock.t} capability — cached, so repeated
+    calls return the {e same} clock (same {!Clock.id}). Its [after] is
+    exactly {!after}: code scheduling through the capability behaves
+    byte-identically to code calling the simulator directly. *)

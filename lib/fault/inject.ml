@@ -60,7 +60,7 @@ let fire t anchor ~action ~target f =
 
 let schedule t at_ns anchor ~action ~target f =
   t.pending <- t.pending + 1;
-  Engine.Sim.at (Net.sim t.net) at_ns (fun () ->
+  Engine.Clock.at (Net.clock t.net) at_ns (fun () ->
       fire t anchor ~action ~target f)
 
 let cross_blocks net ~group_a ~group_b =

@@ -1,42 +1,54 @@
 type timer = {
   mutable cb : (unit -> unit) option; (* None once fired or cancelled *)
   wheel : t;
+  slot_idx : int;
+}
+
+and slot = {
+  mutable entries : timer list;
+  mutable alive : int; (* consulted on wall clocks only *)
+  mutable handle : Engine.Clock.timer option;
 }
 
 and t = {
-  sim : Engine.Sim.t;
+  clk : Engine.Clock.t;
   slot_ns : int;
-  slots : (int, timer list ref) Hashtbl.t;
+  slots : (int, slot) Hashtbl.t;
   mutable live : int;
 }
 
-let create ?(slot_ns = 65_536) sim =
+let create_on ?(slot_ns = 65_536) clk =
   if slot_ns <= 0 then invalid_arg "Timewheel: slot_ns must be positive";
-  { sim; slot_ns; slots = Hashtbl.create 64; live = 0 }
+  { clk; slot_ns; slots = Hashtbl.create 64; live = 0 }
 
-(* One shared wheel per simulator. Sim.t is mutable, so key by physical
-   identity; the list stays tiny (one entry per live simulation). *)
-let shared : (Engine.Sim.t * t) list ref = ref []
+let create ?slot_ns sim = create_on ?slot_ns (Engine.Sim.clock sim)
 
-let for_sim sim =
-  match List.find_opt (fun (s, _) -> s == sim) !shared with
+(* One shared wheel per clock, keyed by Clock.id; the list stays tiny (one
+   entry per live simulation or host loop). *)
+let shared : (int * t) list ref = ref []
+
+let for_clock clk =
+  let key = Engine.Clock.id clk in
+  match List.find_opt (fun (k, _) -> k = key) !shared with
   | Some (_, w) -> w
   | None ->
-    let w = create sim in
-    shared := (sim, w) :: !shared;
+    let w = create_on clk in
+    shared := (key, w) :: !shared;
     (* Keep the registry from growing across many short-lived simulations
-       (tests): drop entries whose sim is not the one being asked for once
+       (tests): drop entries whose clock is not the one being asked for once
        the list gets long. Correctness is unaffected — a dropped wheel is
-       simply recreated if its sim is ever used again. *)
+       simply recreated if its clock is ever used again. *)
     if List.length !shared > 64 then
       shared := List.filteri (fun i _ -> i < 32) !shared;
     w
 
-let fire_slot t slot =
-  match Hashtbl.find_opt t.slots slot with
+let for_sim sim = for_clock (Engine.Sim.clock sim)
+
+let fire_slot t idx =
+  match Hashtbl.find_opt t.slots idx with
   | None -> ()
-  | Some timers ->
-    Hashtbl.remove t.slots slot;
+  | Some s ->
+    Hashtbl.remove t.slots idx;
     List.iter
       (fun timer ->
          match timer.cb with
@@ -45,21 +57,27 @@ let fire_slot t slot =
            timer.cb <- None;
            t.live <- t.live - 1;
            f ())
-      (List.rev !timers)
+      (List.rev s.entries)
 
 let arm t ~after_ns f =
   let after_ns = max 0 after_ns in
-  let deadline = Engine.Sim.now t.sim + after_ns in
+  let now = Engine.Clock.now t.clk in
+  let deadline = now + after_ns in
   (* Round up to the next slot boundary: never fire early. *)
-  let slot = (deadline + t.slot_ns - 1) / t.slot_ns in
-  let timer = { cb = Some f; wheel = t } in
-  (match Hashtbl.find_opt t.slots slot with
-   | Some timers -> timers := timer :: !timers
+  let idx = (deadline + t.slot_ns - 1) / t.slot_ns in
+  let timer = { cb = Some f; wheel = t; slot_idx = idx } in
+  (match Hashtbl.find_opt t.slots idx with
+   | Some s ->
+     s.entries <- timer :: s.entries;
+     s.alive <- s.alive + 1
    | None ->
-     Hashtbl.replace t.slots slot (ref [ timer ]);
-     Engine.Sim.at t.sim
-       (max (Engine.Sim.now t.sim) (slot * t.slot_ns))
-       (fun () -> fire_slot t slot));
+     let s = { entries = [ timer ]; alive = 1; handle = None } in
+     Hashtbl.replace t.slots idx s;
+     s.handle <-
+       Some
+         (Engine.Clock.arm t.clk
+            (max 0 ((idx * t.slot_ns) - now))
+            (fun () -> fire_slot t idx)));
   t.live <- t.live + 1;
   timer
 
@@ -68,6 +86,23 @@ let cancel timer =
   | None -> ()
   | Some _ ->
     timer.cb <- None;
-    timer.wheel.live <- timer.wheel.live - 1
+    let t = timer.wheel in
+    t.live <- t.live - 1;
+    (* On a wall clock an armed-but-dead slot would keep the reactor alive
+       (e.g. 120 s conformance deadlines that always get cancelled), so
+       release the underlying OS timer once a slot holds no live entry.
+       The virtual heap has no such liveness notion — leave its (no-op)
+       slot event in place so heap contents stay byte-identical. *)
+    if not (Engine.Clock.is_virtual t.clk) then
+      match Hashtbl.find_opt t.slots timer.slot_idx with
+      | None -> ()
+      | Some s ->
+        s.alive <- s.alive - 1;
+        if s.alive <= 0 then begin
+          Hashtbl.remove t.slots timer.slot_idx;
+          match s.handle with
+          | None -> ()
+          | Some h -> Engine.Clock.cancel h
+        end
 
 let pending t = t.live

@@ -15,13 +15,23 @@ type t
 
 type timer
 
+val create_on : ?slot_ns:int -> Engine.Clock.t -> t
+(** A fresh wheel over any {!Engine.Clock.t}; [slot_ns] (default 65536 ns
+    ≈ 66 µs) is the firing granularity. Raises [Invalid_argument] when
+    non-positive. On a wall clock, cancelling every timer of a slot also
+    releases the slot's underlying OS timer so the reactor can quiesce;
+    on the virtual clock the (no-op) slot event is left in the heap so
+    simulated schedules stay byte-identical. *)
+
 val create : ?slot_ns:int -> Engine.Sim.t -> t
-(** A fresh wheel; [slot_ns] (default 65536 ns ≈ 66 µs) is the firing
-    granularity. Raises [Invalid_argument] when non-positive. *)
+(** [create_on] over the simulator's virtual clock. *)
+
+val for_clock : Engine.Clock.t -> t
+(** The per-clock shared wheel (created on first use with the default
+    granularity). VLink request deadlines all go through this one. *)
 
 val for_sim : Engine.Sim.t -> t
-(** The per-simulator shared wheel (created on first use with the default
-    granularity). VLink request deadlines all go through this one. *)
+(** [for_clock (Sim.clock sim)]. *)
 
 val arm : t -> after_ns:int -> (unit -> unit) -> timer
 (** Schedule a callback at least [after_ns] from now ([after_ns] clamps

@@ -1,0 +1,89 @@
+(** The Hostio reactor: a select-driven event loop over real Unix file
+    descriptors with wall-clock timers.
+
+    This is the monotonic counterpart of {!Engine.Sim}: where the simulator
+    pops virtual-time events off a heap, the loop blocks in [select] until
+    either a watched descriptor becomes ready or the earliest armed timer
+    expires. Green threads ({!Engine.Proc}), the {!Padico_fault.Timewheel}
+    and every layer above run unmodified on it through the loop's
+    {!Engine.Clock.t} capability.
+
+    Times are integer nanoseconds since the loop was created, so durations
+    written against the virtual clock ([Time.ms 5]) mean the same thing
+    here — in real elapsed time.
+
+    Like [Sim.run], {!run} returns when nothing can happen any more: no
+    live (non-cancelled) timer is armed and no {e active} descriptor is
+    watched. Listening sockets register as {e passive} so an idle server
+    with only listeners left quiesces instead of blocking forever. *)
+
+type t
+
+val create : unit -> t
+
+val clock : t -> Engine.Clock.t
+(** The loop's monotonic {!Engine.Clock.t} (cached; stable {!Engine.Clock.id}).
+    Timers armed through it land in the loop's timer heap. *)
+
+val of_clock : Engine.Clock.t -> t option
+(** Recover the loop that owns a clock previously returned by {!clock} —
+    how upper layers (SysIO) reach the reactor from a node's clock without
+    the engine depending on Hostio. [None] for virtual clocks. *)
+
+val now_ns : t -> int
+(** Monotonic wall-clock nanoseconds since [create] (never decreases). *)
+
+(** {2 Timers} *)
+
+type timer
+
+val arm : t -> after_ns:int -> (unit -> unit) -> timer
+(** Run a callback once, at least [after_ns] from now (clamped to 0). *)
+
+val cancel : timer -> unit
+(** Idempotent; a cancelled timer never fires and no longer keeps
+    {!run} alive. *)
+
+(** {2 File descriptors} *)
+
+val watch_fd : t -> Unix.file_descr -> passive:bool -> unit
+(** Register a descriptor. [passive:true] (listeners) does not keep
+    {!run} alive; [passive:false] (connections) does. No interest is
+    armed until {!set_read}/{!set_write}. *)
+
+val set_read : t -> Unix.file_descr -> (unit -> unit) option -> unit
+(** Arm ([Some cb]) or disarm ([None]) read-readiness interest. *)
+
+val set_write : t -> Unix.file_descr -> (unit -> unit) option -> unit
+(** Arm or disarm write-readiness interest. *)
+
+val unwatch_fd : t -> Unix.file_descr -> unit
+(** Forget a descriptor (does not close it). Safe from inside a readiness
+    callback. *)
+
+(** {2 Running} *)
+
+val run : ?until_ns:int -> t -> unit
+(** Dispatch timers and descriptor readiness until nothing live remains
+    (no live timer, no active descriptor), {!stop} is called, or the
+    clock passes [until_ns]. *)
+
+val stop : t -> unit
+
+(** {2 Stats (the [padico_cli hostio] report)} *)
+
+val iterations : t -> int
+(** Select round-trips completed. *)
+
+val timers_fired : t -> int
+
+val fd_events : t -> int
+(** Readiness callbacks delivered. *)
+
+val live_timers : t -> int
+(** Armed and not yet fired/cancelled. *)
+
+val watched_fds : t -> int
+
+val active_fds : t -> int
+(** Watched descriptors that keep {!run} alive (non-passive). *)

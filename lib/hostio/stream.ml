@@ -1,0 +1,366 @@
+module Bytebuf = Engine.Bytebuf
+
+let log = Logs.Src.create "hostio.stream" ~doc:"real-socket streams"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type event = Established | Readable | Writable | Peer_closed | Reset
+
+(* Bounded byte FIFO standing in for a kernel socket buffer: chunks in,
+   bounded no-copy slices out. *)
+module Bq = struct
+  type t = { q : Bytebuf.t Queue.t; mutable total : int }
+
+  let create () = { q = Queue.create (); total = 0 }
+  let length t = t.total
+  let is_empty t = t.total = 0
+
+  let push t b =
+    if Bytebuf.length b > 0 then begin
+      Queue.push b t.q;
+      t.total <- t.total + Bytebuf.length b
+    end
+
+  let push_front t b =
+    if Bytebuf.length b > 0 then begin
+      let others = Queue.create () in
+      Queue.transfer t.q others;
+      Queue.push b t.q;
+      Queue.transfer others t.q;
+      t.total <- t.total + Bytebuf.length b
+    end
+
+  (* Coalesces across chunks like [Drivers.Tcp.read]: when [max] bytes are
+     buffered, exactly [max] come out, even if they arrived fragmented —
+     fixed-size header parses rely on this. Single-chunk pops stay
+     no-copy. *)
+  let pop t ~max =
+    if t.total = 0 || max <= 0 then None
+    else begin
+      let parts = ref [] in
+      let taken = ref 0 in
+      while !taken < max && not (Queue.is_empty t.q) do
+        let chunk = Queue.pop t.q in
+        let len = Bytebuf.length chunk in
+        if !taken + len <= max then begin
+          parts := chunk :: !parts;
+          taken := !taken + len
+        end
+        else begin
+          let want = max - !taken in
+          let front, rest = Bytebuf.split chunk want in
+          let others = Queue.create () in
+          Queue.transfer t.q others;
+          Queue.push rest t.q;
+          Queue.transfer others t.q;
+          parts := front :: !parts;
+          taken := max
+        end
+      done;
+      t.total <- t.total - !taken;
+      match !parts with
+      | [ one ] -> Some one
+      | parts -> Some (Bytebuf.concat (List.rev parts))
+    end
+
+  (* One queued chunk, whole — the tx flush path writes chunk-by-chunk and
+     must not pay a concat copy per flush attempt. *)
+  let pop_chunk t =
+    if t.total = 0 then None
+    else begin
+      let head = Queue.pop t.q in
+      t.total <- t.total - Bytebuf.length head;
+      Some head
+    end
+
+  let clear t =
+    Queue.clear t.q;
+    t.total <- 0
+end
+
+type state = Connecting | Estab | Closed
+
+type t = {
+  loop : Loop.t;
+  fd : Unix.file_descr;
+  mutable st : state;
+  rx : Bq.t;
+  tx : Bq.t;
+  tx_cap : int;
+  rx_hwm : int;
+  mutable cb : (event -> unit) option;
+  mutable estab_notified : bool;
+  mutable rx_eof : bool; (* FIN read from the kernel *)
+  mutable peer_closed_fired : bool;
+  mutable closing : bool; (* app closed; flushing tx before closing fd *)
+  mutable reset : bool;
+  mutable want_writable : bool; (* a write came up short; announce space *)
+  mutable rx_paused : bool; (* read interest dropped at the high watermark *)
+}
+
+let default_buf = 262_144
+let read_chunk = 65_536
+
+let emit t ev = match t.cb with None -> () | Some f -> f ev
+
+let is_open t = t.st <> Closed
+let readable_bytes t = Bq.length t.rx
+let peer_closed t = t.peer_closed_fired || t.reset || (t.rx_eof && Bq.is_empty t.rx)
+
+let write_space t =
+  if t.st <> Estab || t.closing then 0 else t.tx_cap - Bq.length t.tx
+
+(* Fully close the descriptor and drop it from the loop. *)
+let teardown t =
+  if t.st <> Closed then begin
+    t.st <- Closed;
+    Loop.unwatch_fd t.loop t.fd;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end
+
+let do_reset t =
+  if t.st <> Closed && not t.reset then begin
+    t.reset <- true;
+    Bq.clear t.rx;
+    Bq.clear t.tx;
+    (* RST on the wire, not a graceful FIN. *)
+    (try Unix.setsockopt_optint t.fd Unix.SO_LINGER (Some 0)
+     with Unix.Unix_error _ -> ());
+    teardown t;
+    emit t Reset
+  end
+
+let reset t = do_reset t
+
+let fire_peer_closed t =
+  if not t.peer_closed_fired && not t.reset then begin
+    t.peer_closed_fired <- true;
+    (* Both directions done: the fd has nothing left to deliver. *)
+    if t.closing && Bq.is_empty t.tx then teardown t;
+    emit t Peer_closed
+  end
+
+(* ---------- tx ---------- *)
+
+let rec flush_tx t =
+  if t.st = Estab then begin
+    let before = Bq.length t.tx in
+    let blocked = ref false in
+    while (not !blocked) && not (Bq.is_empty t.tx) do
+      match Bq.pop_chunk t.tx with
+      | None -> blocked := true
+      | Some chunk ->
+        let { Bytebuf.data; off; len } = chunk in
+        (match Unix.single_write t.fd data off len with
+         | n when n = len -> ()
+         | n ->
+           (* Short write: requeue the unsent tail at the front. *)
+           Bq.push_front t.tx (Bytebuf.sub chunk n (len - n));
+           blocked := true
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+           ->
+           Bq.push_front t.tx chunk;
+           blocked := true
+         | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+           ->
+           do_reset t;
+           blocked := true)
+    done;
+    if t.st = Estab then begin
+      if not (Bq.is_empty t.tx) then
+        Loop.set_write t.loop t.fd (Some (fun () -> on_fd_writable t))
+      else begin
+        Loop.set_write t.loop t.fd None;
+        if t.closing then begin
+          (* FIN: nothing buffered, close for real. *)
+          teardown t
+        end
+      end;
+      let freed = before - Bq.length t.tx in
+      if freed > 0 && t.want_writable && write_space t > 0 then begin
+        t.want_writable <- false;
+        emit t Writable
+      end
+    end
+  end
+
+and on_fd_writable t =
+  match t.st with
+  | Connecting ->
+    (match Unix.getsockopt_error t.fd with
+     | None ->
+       t.st <- Estab;
+       Loop.set_write t.loop t.fd None;
+       Loop.set_read t.loop t.fd (Some (fun () -> on_fd_readable t));
+       t.estab_notified <- true;
+       emit t Established;
+       if not (Bq.is_empty t.tx) then flush_tx t
+     | Some _ -> do_reset t)
+  | Estab -> flush_tx t
+  | Closed -> ()
+
+(* ---------- rx ---------- *)
+
+and on_fd_readable t =
+  if t.st = Estab then begin
+    let buf = Bytes.create read_chunk in
+    match Unix.read t.fd buf 0 read_chunk with
+    | 0 ->
+      t.rx_eof <- true;
+      Loop.set_read t.loop t.fd None;
+      if Bq.is_empty t.rx then fire_peer_closed t
+    | n ->
+      Bq.push t.rx (Bytebuf.sub (Bytebuf.of_bytes buf) 0 n);
+      if Bq.length t.rx >= t.rx_hwm then begin
+        (* Backpressure: stop reading; the kernel window fills and pushes
+           back on the sender — the host analogue of the sim driver's
+           bounded receive buffer. *)
+        t.rx_paused <- true;
+        Loop.set_read t.loop t.fd None
+      end;
+      emit t Readable
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> do_reset t
+  end
+
+(* ---------- construction ---------- *)
+
+let mk loop fd ~established =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> () (* socketpairs are not TCP *));
+  let t =
+    { loop; fd; st = (if established then Estab else Connecting);
+      rx = Bq.create (); tx = Bq.create (); tx_cap = default_buf;
+      rx_hwm = default_buf; cb = None; estab_notified = false;
+      rx_eof = false; peer_closed_fired = false; closing = false;
+      reset = false; want_writable = false; rx_paused = false }
+  in
+  Loop.watch_fd loop fd ~passive:false;
+  if established then
+    Loop.set_read loop fd (Some (fun () -> on_fd_readable t));
+  t
+
+let set_event_cb t f =
+  t.cb <- Some f;
+  (* Catch-up: announce anything that happened before subscription, from a
+     later loop turn so the subscriber finishes wiring first. *)
+  let pending_estab = t.st = Estab && not t.estab_notified in
+  if pending_estab then t.estab_notified <- true;
+  let had_rx = not (Bq.is_empty t.rx) in
+  let pending_fin = t.rx_eof && Bq.is_empty t.rx && not t.peer_closed_fired in
+  let was_reset = t.reset in
+  if pending_estab || had_rx || pending_fin || was_reset then
+    ignore
+      (Loop.arm t.loop ~after_ns:0 (fun () ->
+           if was_reset then emit t Reset
+           else begin
+             if pending_estab then emit t Established;
+             if had_rx && not (Bq.is_empty t.rx) then emit t Readable;
+             if pending_fin then fire_peer_closed t
+           end))
+
+let connect loop ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t = mk loop fd ~established:false in
+  Loop.set_write loop fd (Some (fun () -> on_fd_writable t));
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with
+   | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ()
+   | Unix.Unix_error _ ->
+     ignore (Loop.arm loop ~after_ns:0 (fun () -> do_reset t)));
+  t
+
+type listener = {
+  lfd : Unix.file_descr;
+  lloop : Loop.t;
+  mutable lopen : bool;
+  lport : int;
+}
+
+let listen loop ?(port = 0) accept_cb =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  let lport =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Loop.watch_fd loop fd ~passive:true;
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | cfd, _ ->
+      accept_cb (mk loop cfd ~established:true);
+      accept_loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  Loop.set_read loop fd (Some accept_loop);
+  { lfd = fd; lloop = loop; lopen = true; lport }
+
+let listener_port l = l.lport
+
+let close_listener l =
+  if l.lopen then begin
+    l.lopen <- false;
+    Loop.unwatch_fd l.lloop l.lfd;
+    try Unix.close l.lfd with Unix.Unix_error _ -> ()
+  end
+
+let pair loop =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (mk loop a ~established:true, mk loop b ~established:true)
+
+(* ---------- app-side I/O ---------- *)
+
+let write t b =
+  if t.st <> Estab || t.closing || t.reset then 0
+  else begin
+    let space = write_space t in
+    let len = Bytebuf.length b in
+    let n = min space len in
+    if n < len then t.want_writable <- true;
+    if n > 0 then begin
+      (* Copy into the send buffer (the kernel-copy analogue): the caller
+         keeps ownership of [b], and accepted bytes survive its reuse. *)
+      Bq.push t.tx (Bytebuf.copy (Bytebuf.sub b 0 n));
+      flush_tx t
+    end;
+    n
+  end
+
+let read t ~max =
+  match Bq.pop t.rx ~max with
+  | None -> None
+  | Some chunk ->
+    if t.rx_paused && Bq.length t.rx <= t.rx_hwm / 2 && not t.rx_eof
+       && t.st = Estab
+    then begin
+      t.rx_paused <- false;
+      Loop.set_read t.loop t.fd (Some (fun () -> on_fd_readable t))
+    end;
+    if t.rx_eof && Bq.is_empty t.rx && not t.peer_closed_fired then
+      ignore (Loop.arm t.loop ~after_ns:0 (fun () -> fire_peer_closed t));
+    Some chunk
+
+let close t =
+  if t.st <> Closed && not t.closing then begin
+    t.closing <- true;
+    match t.st with
+    | Connecting -> teardown t
+    | Estab -> if Bq.is_empty t.tx then teardown t else flush_tx t
+    | Closed -> ()
+  end
+
+let abort t =
+  if t.st <> Closed then begin
+    (try Unix.setsockopt_optint t.fd Unix.SO_LINGER (Some 0)
+     with Unix.Unix_error _ -> ());
+    Bq.clear t.tx;
+    teardown t
+  end

@@ -1,4 +1,5 @@
 module Sim = Engine.Sim
+module Clock = Engine.Clock
 module Proc = Engine.Proc
 module Stats = Engine.Stats
 module Trace = Padico_obs.Trace
@@ -51,7 +52,7 @@ type queue_state = {
 
 type t = {
   dnode : Simnet.Node.t;
-  sim : Sim.t;
+  clk : Clock.t;
   mutable pol : policy;
   madio : queue_state;
   sysio : queue_state;
@@ -124,7 +125,7 @@ let run_item t q =
   | None -> false
   | Some { work; posted_at } ->
     Stats.Counter.incr q.count;
-    let queued_ns = Sim.now t.sim - posted_at in
+    let queued_ns = Clock.now t.clk - posted_at in
     Stats.Summary.add q.wait (float_of_int queued_ns);
     (* The span covers the queueing interval: posted -> dispatched. *)
     if Trace.on () then
@@ -245,7 +246,7 @@ let dispatcher_loop t () =
     readmit t t.madio;
     readmit t t.sysio;
     (* Yield so co-located processes make progress between rounds. *)
-    Proc.yield t.sim
+    Proc.yield_on t.clk
   done
 
 let make_queue node kname =
@@ -272,7 +273,7 @@ let get dnode =
   | None ->
     let scope = Metrics.Node (Simnet.Node.name dnode) in
     let t =
-      { dnode; sim = Simnet.Node.sim dnode; pol = default_policy;
+      { dnode; clk = Simnet.Node.clock dnode; pol = default_policy;
         madio = make_queue dnode "madio";
         sysio = make_queue dnode "sysio";
         waker = None;
@@ -303,7 +304,7 @@ let admit t q item =
 
 let post ?(prio = Normal) t kind work =
   let q = qstate t kind in
-  let item = { work; posted_at = Sim.now t.sim } in
+  let item = { work; posted_at = Clock.now t.clk } in
   match prio with
   | Low when Queue.length q.items >= q.qhigh ->
     (* Overloaded: park the item rather than let the backlog grow. It runs
@@ -323,7 +324,7 @@ let post_droppable t kind work =
     false
   end
   else begin
-    admit t q { work; posted_at = Sim.now t.sim };
+    admit t q { work; posted_at = Clock.now t.clk };
     true
   end
 

@@ -1,7 +1,9 @@
 module Tcp = Drivers.Tcp
 module Stats = Engine.Stats
+module Clock = Engine.Clock
 module Trace = Padico_obs.Trace
 module Metrics = Padico_obs.Metrics
+module Stream = Hostio.Stream
 
 type t = {
   sio_node : Simnet.Node.t;
@@ -28,9 +30,89 @@ let get n =
 
 let node t = t.sio_node
 
-let stack_on t seg = Tcp.attach seg t.sio_node
+(* ---------- backends ---------- *)
+
+type stack =
+  | Sim_stack of Tcp.stack
+  | Host_stack of host_stack
+
+and host_stack = {
+  hs_node : Simnet.Node.t;
+  hs_seg : Simnet.Segment.t;
+  hs_loop : Hostio.Loop.t;
+}
+
+type conn =
+  | Sim_conn of Tcp.conn
+  | Host_conn of host_conn
+
+and host_conn = {
+  (* [None] models a refused dial: a SYN answered by RST. *)
+  hc_stream : Stream.t option;
+  hc_node : Simnet.Node.t;
+  mutable hc_dead : bool; (* guards the segment link-state subscription *)
+}
+
+let host_stacks : (int * int, host_stack) Hashtbl.t = Hashtbl.create 16
+
+let stack_on t seg =
+  let clk = Simnet.Node.clock t.sio_node in
+  if Clock.is_virtual clk then Sim_stack (Tcp.attach seg t.sio_node)
+  else
+    let key = (Simnet.Node.uid t.sio_node, Simnet.Segment.uid seg) in
+    match Hashtbl.find_opt host_stacks key with
+    | Some hs -> Host_stack hs
+    | None ->
+      let loop =
+        match Hostio.Loop.of_clock clk with
+        | Some l -> l
+        | None ->
+          invalid_arg
+            "Sysio.stack_on: monotonic clock without a Hostio loop"
+      in
+      let hs = { hs_node = t.sio_node; hs_seg = seg; hs_loop = loop } in
+      Hashtbl.replace host_stacks key hs;
+      Host_stack hs
+
+let stack_node = function
+  | Sim_stack st -> Tcp.node st
+  | Host_stack hs -> hs.hs_node
+
+let stack_segment = function
+  | Sim_stack st -> Tcp.segment st
+  | Host_stack hs -> hs.hs_seg
+
+let tcp_stack = function Sim_stack st -> Some st | Host_stack _ -> None
 
 let udp_on t seg = Drivers.Udp.attach seg t.sio_node
+
+(* Logical (segment, listening node, logical port) -> the real listener,
+   whose ephemeral OS port peers actually dial. Segment uids are
+   process-unique, so concurrent grids never collide. *)
+let rendezvous : (int * int * int, Stream.listener) Hashtbl.t =
+  Hashtbl.create 16
+
+let map_event = function
+  | Stream.Established -> Tcp.Established
+  | Stream.Readable -> Tcp.Readable
+  | Stream.Writable -> Tcp.Writable
+  | Stream.Peer_closed -> Tcp.Peer_closed
+  | Stream.Reset -> Tcp.Reset
+
+(* Bridge simulated faults onto the real socket: carrier loss on the
+   segment resets the connection (RST out, [Reset] locally). The watcher
+   stack on a segment cannot be removed, so a generation flag keeps stale
+   subscriptions inert. *)
+let mk_host_conn hs stream =
+  let hc = { hc_stream = Some stream; hc_node = hs.hs_node; hc_dead = false } in
+  Simnet.Segment.on_link_state hs.hs_seg (fun up ->
+      if (not up) && not hc.hc_dead then begin
+        hc.hc_dead <- true;
+        Stream.reset stream
+      end);
+  hc
+
+(* ---------- dispatch through the arbitration core ---------- *)
 
 let event_name = function
   | Tcp.Established -> "established"
@@ -62,35 +144,128 @@ let trace_event t name =
   if Trace.on () then
     Trace.instant t.sio_node (Padico_obs.Event.Sysio_event { event = name })
 
+let wire_cb t cb ev =
+  dispatch ~prio:(event_prio ev) t (fun () ->
+      trace_event t (event_name ev);
+      cb ev)
+
 let watch t conn cb =
   (* Interest registration drives the adaptive scheduler's idle-scan
      model: each watched source is one more reason a real receipt loop
      would keep select()ing. [watch]/[unwatch] must pair. *)
   Na_core.add_sysio_interest t.core 1;
-  Tcp.set_event_cb conn (fun ev ->
-      dispatch ~prio:(event_prio ev) t (fun () ->
-          trace_event t (event_name ev);
-          cb ev))
+  match conn with
+  | Sim_conn c -> Tcp.set_event_cb c (fun ev -> wire_cb t cb ev)
+  | Host_conn { hc_stream = Some s; _ } ->
+    Stream.set_event_cb s (fun ev -> wire_cb t cb (map_event ev))
+  | Host_conn _ ->
+    (* Refused dial: the only event this connection will ever see. *)
+    wire_cb t cb Tcp.Reset
 
 let unwatch t conn =
   Na_core.add_sysio_interest t.core (-1);
-  Tcp.set_event_cb conn (fun _ -> ())
+  match conn with
+  | Sim_conn c -> Tcp.set_event_cb c (fun _ -> ())
+  | Host_conn { hc_stream = Some s; _ } -> Stream.set_event_cb s (fun _ -> ())
+  | Host_conn _ -> ()
 
 let listen t stack ~port cb =
   Na_core.add_sysio_interest t.core 1;
-  Tcp.listen stack ~port (fun conn ->
-      dispatch t (fun () ->
-          trace_event t "accept";
-          cb conn))
+  match stack with
+  | Sim_stack st ->
+    Tcp.listen st ~port (fun conn ->
+        dispatch t (fun () ->
+            trace_event t "accept";
+            cb (Sim_conn conn)))
+  | Host_stack hs ->
+    let key =
+      (Simnet.Segment.uid hs.hs_seg, Simnet.Node.id t.sio_node, port)
+    in
+    if Hashtbl.mem rendezvous key then
+      invalid_arg "Sysio.listen: port already bound";
+    let listener =
+      Stream.listen hs.hs_loop (fun stream ->
+          let conn = Host_conn (mk_host_conn hs stream) in
+          dispatch t (fun () ->
+              trace_event t "accept";
+              cb conn))
+    in
+    Hashtbl.replace rendezvous key listener
 
 let connect t stack ~dst ~port cb =
   Na_core.add_sysio_interest t.core 1;
-  let conn = Tcp.connect stack ~dst ~port in
-  Tcp.set_event_cb conn (fun ev ->
-      dispatch ~prio:(event_prio ev) t (fun () ->
-          trace_event t (event_name ev);
-          cb conn ev));
-  conn
+  match stack with
+  | Sim_stack st ->
+    let c = Tcp.connect st ~dst ~port in
+    let conn = Sim_conn c in
+    Tcp.set_event_cb c (fun ev -> wire_cb t (cb conn) ev);
+    conn
+  | Host_stack hs ->
+    let key = (Simnet.Segment.uid hs.hs_seg, dst, port) in
+    (match Hashtbl.find_opt rendezvous key with
+     | Some listener ->
+       let stream =
+         Stream.connect hs.hs_loop
+           ~port:(Stream.listener_port listener) ()
+       in
+       let conn = Host_conn (mk_host_conn hs stream) in
+       Stream.set_event_cb stream (fun ev -> wire_cb t (cb conn) (map_event ev));
+       conn
+     | None ->
+       (* Nobody listens on that logical port: SYN -> RST. *)
+       let conn =
+         Host_conn { hc_stream = None; hc_node = hs.hs_node; hc_dead = true }
+       in
+       Clock.after (Simnet.Node.clock t.sio_node) 0 (fun () ->
+           wire_cb t (cb conn) Tcp.Reset);
+       conn)
+
+(* ---------- connection operations ---------- *)
+
+let write conn b =
+  match conn with
+  | Sim_conn c -> Tcp.write c b
+  | Host_conn { hc_stream = Some s; _ } -> Stream.write s b
+  | Host_conn _ -> 0
+
+let write_space = function
+  | Sim_conn c -> Tcp.write_space c
+  | Host_conn { hc_stream = Some s; _ } -> Stream.write_space s
+  | Host_conn _ -> 0
+
+let read conn ~max =
+  match conn with
+  | Sim_conn c -> Tcp.read c ~max
+  | Host_conn { hc_stream = Some s; _ } -> Stream.read s ~max
+  | Host_conn _ -> None
+
+let readable_bytes = function
+  | Sim_conn c -> Tcp.readable_bytes c
+  | Host_conn { hc_stream = Some s; _ } -> Stream.readable_bytes s
+  | Host_conn _ -> 0
+
+let peer_closed = function
+  | Sim_conn c -> Tcp.peer_closed c
+  | Host_conn { hc_stream = Some s; _ } -> Stream.peer_closed s
+  | Host_conn _ -> true
+
+let conn_node = function
+  | Sim_conn c -> Tcp.conn_node c
+  | Host_conn hc -> hc.hc_node
+
+let close = function
+  | Sim_conn c -> Tcp.close c
+  | Host_conn ({ hc_stream = Some s; _ } as hc) ->
+    hc.hc_dead <- true;
+    Stream.close s
+  | Host_conn _ -> ()
+
+let abort = function
+  | Sim_conn c -> Tcp.abort c
+  | Host_conn ({ hc_stream = Some s; _ } as hc) ->
+    hc.hc_dead <- true;
+    Stream.abort s
+  | Host_conn _ -> ()
 
 let watch_udp t udp ~port cb =
   Na_core.add_sysio_interest t.core 1;

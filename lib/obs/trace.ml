@@ -47,7 +47,7 @@ let add ~ts ~dur ~node ev =
     st.written <- st.written + 1
   end
 
-let now node = Engine.Sim.now (Simnet.Node.sim node)
+let now node = Engine.Clock.now (Simnet.Node.clock node)
 
 let instant node ev =
   add ~ts:(now node) ~dur:(-1) ~node:(Simnet.Node.name node) ev

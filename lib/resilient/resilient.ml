@@ -144,9 +144,9 @@ and sess = {
 
 type conn = sess
 
-let sim_of s = Node.sim s.snode
+let clock_of s = Node.clock s.snode
 
-let now s = Engine.Sim.now (sim_of s)
+let now s = Engine.Clock.now (clock_of s)
 
 (* ---------- send buffer ---------- *)
 
@@ -272,7 +272,7 @@ and arm_watchdog s =
        && ((not s.established) || outstanding s || fin_owed s)
     then begin
       let snap_est = s.established and snap_una = s.una_off in
-      let wheel = Timewheel.for_sim (sim_of s) in
+      let wheel = Timewheel.for_clock (clock_of s) in
       s.wd <-
         Some
           (Timewheel.arm wheel ~after_ns:s.cfg.ack_timeout_ns (fun () ->
@@ -351,7 +351,7 @@ and schedule_redial s msg =
       s.total_retries <- s.total_retries + 1;
       let delay_ns = Backoff.next c.backoff in
       emit_retry s ~attempt:c.attempts ~delay_ns ~target:(Node.name c.cdst);
-      Engine.Sim.after (sim_of s) delay_ns (fun () ->
+      Engine.Clock.after (clock_of s) delay_ns (fun () ->
           if (not (sess_done s)) && not s.established then dial s)
     end
 

@@ -36,8 +36,8 @@ let myrinet_pair () =
   ignore (Padico.add_segment grid Simnet.Presets.myrinet2000 [ a; b ]);
   (grid, a, b)
 
-let pair model ?prefs () =
-  let grid = Padico.create ?prefs () in
+let pair model ?prefs ?backend () =
+  let grid = Padico.create ?prefs ?backend () in
   let a = Padico.add_node grid "a" in
   let b = Padico.add_node grid "b" in
   ignore (Padico.add_segment grid model [ a; b ]);
@@ -68,7 +68,10 @@ let vio_stream_bw grid ~src ~dst ~port ~total ~chunk =
                  if !received >= total then t1 := Padico.now grid else loop ()
                end
              in
-             loop ())));
+             loop ();
+             (* Release the descriptor: the host reactor only quiesces
+                once no active sockets remain. *)
+             Vio.close vl)));
   let h =
     Padico.spawn grid src ~name:"source" (fun () ->
         let vl = Padico.connect grid ~src ~dst ~port in
@@ -81,7 +84,8 @@ let vio_stream_bw grid ~src ~dst ~port ~total ~chunk =
           let n = min chunk (total - !sent) in
           ignore (Vio.write vl (Bb.sub payload 0 n));
           sent := !sent + n
-        done)
+        done;
+        Vio.close vl)
   in
   run grid;
   fail_on_error h;
@@ -99,7 +103,8 @@ let vio_latency grid ~src ~dst ~port ~size ~iters =
                  loop ()
                end
              in
-             loop ())));
+             loop ();
+             Vio.close vl)));
   let result = ref nan in
   let h =
     Padico.spawn grid src ~name:"pinger" (fun () ->
@@ -119,7 +124,8 @@ let vio_latency grid ~src ~dst ~port ~size ~iters =
           ignore (Vio.read_exact vl buf)
         done;
         let t1 = Padico.now grid in
-        result := float_of_int (t1 - t0) /. float_of_int iters /. 2.0 /. 1e3)
+        result := float_of_int (t1 - t0) /. float_of_int iters /. 2.0 /. 1e3;
+        Vio.close vl)
   in
   run grid;
   fail_on_error h;

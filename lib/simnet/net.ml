@@ -11,15 +11,20 @@ type t = {
      segment list) so pair queries never scan every segment in the grid. *)
   adjacency : (int, Segment.t list ref) Hashtbl.t;
   mutable next_id : int;
+  clock : Engine.Clock.t;
 }
 
-let create ?seed () =
+let create ?seed ?clock () =
   let sim = Engine.Sim.create ?seed () in
+  let clock =
+    match clock with Some c -> c | None -> Engine.Sim.clock sim
+  in
   { sim; nodes_rev = []; segments_rev = []; by_id = Hashtbl.create 64;
     loopbacks = Hashtbl.create 64; adjacency = Hashtbl.create 64;
-    next_id = 0 }
+    next_id = 0; clock }
 
 let sim t = t.sim
+let clock t = t.clock
 
 let adj t node =
   match Hashtbl.find_opt t.adjacency (Node.id node) with
@@ -30,7 +35,7 @@ let adj t node =
     l
 
 let add_node t name =
-  let node = Node.create t.sim ~id:t.next_id ~name in
+  let node = Node.create ~clock:t.clock t.sim ~id:t.next_id ~name in
   t.next_id <- t.next_id + 1;
   t.nodes_rev <- node :: t.nodes_rev;
   Hashtbl.replace t.by_id (Node.id node) node;

@@ -7,8 +7,14 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?clock:Engine.Clock.t -> unit -> t
+(** [?clock] is the execution backend every node of this grid runs on
+    (default: the grid's own simulator clock). *)
+
 val sim : t -> Engine.Sim.t
+
+val clock : t -> Engine.Clock.t
+(** The grid's clock capability (shared by all its nodes). *)
 
 val add_node : t -> string -> Node.t
 (** Create a node. Each node automatically gets a private loopback

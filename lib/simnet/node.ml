@@ -3,28 +3,40 @@ type t = {
   uid : int;
   name : string;
   sim : Engine.Sim.t;
+  clock : Engine.Clock.t;
   mutable busy_until : int;
   mutable up : bool;
 }
 
 let next_uid = ref 0
 
-let create sim ~id ~name =
+let create ?clock sim ~id ~name =
   incr next_uid;
-  { id; uid = !next_uid; name; sim; busy_until = 0; up = true }
+  let clock =
+    match clock with Some c -> c | None -> Engine.Sim.clock sim
+  in
+  { id; uid = !next_uid; name; sim; clock; busy_until = 0; up = true }
 
 let id t = t.id
 let uid t = t.uid
 let name t = t.name
 let sim t = t.sim
+let clock t = t.clock
 
 let cpu_async t cost k =
   assert (cost >= 0);
-  let now = Engine.Sim.now t.sim in
-  let start = if t.busy_until > now then t.busy_until else now in
-  let finish = start + cost in
-  t.busy_until <- finish;
-  Engine.Sim.at t.sim finish k
+  if Engine.Clock.is_virtual t.clock then begin
+    let now = Engine.Sim.now t.sim in
+    let start = if t.busy_until > now then t.busy_until else now in
+    let finish = start + cost in
+    t.busy_until <- finish;
+    Engine.Sim.at t.sim finish k
+  end
+  else
+    (* Wall clock: modelled CPU costs are not charged — real host time is
+       the measurement. Keep the deferral so callback ordering (queue, then
+       run) matches the simulated path. *)
+    Engine.Clock.after t.clock 0 k
 
 let cpu t cost =
   Engine.Proc.suspend (fun resume -> cpu_async t cost (fun () -> resume ()))
@@ -39,6 +51,6 @@ let spawn t ?name f =
   let name =
     match name with Some n -> t.name ^ "/" ^ n | None -> t.name ^ "/proc"
   in
-  Engine.Proc.spawn t.sim ~name f
+  Engine.Proc.spawn_on t.clock ~name f
 
 let pp fmt t = Format.fprintf fmt "%s#%d" t.name t.id

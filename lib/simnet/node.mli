@@ -7,7 +7,10 @@
 
 type t
 
-val create : Engine.Sim.t -> id:int -> name:string -> t
+val create : ?clock:Engine.Clock.t -> Engine.Sim.t -> id:int -> name:string -> t
+(** [?clock] selects the execution backend for everything the node runs
+    (processes, CPU charges, timers). Default: the simulator's virtual
+    clock — byte-identical to the pre-capability behaviour. *)
 
 val id : t -> int
 (** Address of the node inside its own grid (small, per-[Net]). *)
@@ -19,9 +22,15 @@ val uid : t -> int
 val name : t -> string
 val sim : t -> Engine.Sim.t
 
+val clock : t -> Engine.Clock.t
+(** The clock capability this node runs on — the single point layers above
+    (NetAccess, VLink, Resilient, Trace) consult to stay backend-agnostic. *)
+
 val cpu_async : t -> int -> (unit -> unit) -> unit
 (** [cpu_async node cost k] occupies the CPU for [cost] ns starting when it
-    becomes free, then runs [k]. *)
+    becomes free, then runs [k]. On a wall clock the modelled cost is not
+    charged (real host time is the measurement); [k] still runs from a
+    later loop iteration, preserving queue-then-run ordering. *)
 
 val cpu : t -> int -> unit
 (** Blocking variant for process context: suspends the calling process while

@@ -243,7 +243,7 @@ let arm_timeout t req timeout_ns =
   | None -> ()
   | Some after_ns ->
     if after_ns <= 0 then invalid_arg "Vlink: timeout_ns must be positive";
-    let wheel = Padico_fault.Timewheel.for_sim (Simnet.Node.sim t.vnode) in
+    let wheel = Padico_fault.Timewheel.for_clock (Simnet.Node.clock t.vnode) in
     req.timer <-
       Some
         (Padico_fault.Timewheel.arm wheel ~after_ns (fun () ->

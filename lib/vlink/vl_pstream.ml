@@ -24,7 +24,7 @@ let hello_len = 8
 let frame_hdr = 8
 
 type member = {
-  conn : Tcp.conn;
+  conn : Sysio.conn;
   pending : Streamq.t; (* unparsed inbound bytes *)
   mutable want : (int * int) option; (* parsed frame header: seq, len *)
 }
@@ -102,7 +102,7 @@ let drain_member l m =
   end
   else begin
     let rec drain () =
-      match Tcp.read m.conn ~max:65_536 with
+      match Sysio.read m.conn ~max:65_536 with
       | Some data ->
         Streamq.push m.pending data;
         drain ()
@@ -139,7 +139,7 @@ let make_link lnode members =
 
 let aggregate_write_space l =
   Array.fold_left
-    (fun acc m -> acc + max 0 (Tcp.write_space m.conn - frame_hdr))
+    (fun acc m -> acc + max 0 (Sysio.write_space m.conn - frame_hdr))
     0 l.members
 
 let ops l =
@@ -158,14 +158,14 @@ let ops l =
              let m = l.members.(l.rr) in
              l.rr <- (l.rr + 1) mod n;
              let block = min default_block (total - !sent) in
-             if Tcp.write_space m.conn >= block + frame_hdr then begin
+             if Sysio.write_space m.conn >= block + frame_hdr then begin
                stalled := 0;
                let hdr = Bytebuf.create frame_hdr in
                Bytebuf.set_u32 hdr 0 l.next_tx_seq;
                Bytebuf.set_u32 hdr 4 block;
                l.next_tx_seq <- l.next_tx_seq + 1;
-               ignore (Tcp.write m.conn hdr);
-               ignore (Tcp.write m.conn (Bytebuf.sub buf !sent block));
+               ignore (Sysio.write m.conn hdr);
+               ignore (Sysio.write m.conn (Bytebuf.sub buf !sent block));
                sent := !sent + block
              end
              else incr stalled
@@ -182,14 +182,14 @@ let ops l =
     o_close =
       (fun () ->
          l.closed <- true;
-         Array.iter (fun m -> Tcp.close m.conn) l.members);
+         Array.iter (fun m -> Sysio.close m.conn) l.members);
     o_driver = driver_name }
 
 let connect sio stack ~dst ~port ~streams =
   if streams < 1 then invalid_arg "Vl_pstream.connect: streams must be >= 1";
-  let vl = Vl.create (Tcp.node stack) in
+  let vl = Vl.create (Sysio.stack_node stack) in
   let session =
-    Hashtbl.hash (Simnet.Node.uid (Tcp.node stack), dst, port, streams)
+    Hashtbl.hash (Simnet.Node.uid (Sysio.stack_node stack), dst, port, streams)
   in
   let established = ref 0 in
   let members : member option array = Array.make streams None in
@@ -205,7 +205,7 @@ let connect sio stack ~dst ~port ~streams =
             Bytebuf.set_u32 hello 0 session;
             Bytebuf.set_u16 hello 4 i;
             Bytebuf.set_u16 hello 6 streams;
-            ignore (Tcp.write conn hello);
+            ignore (Sysio.write conn hello);
             incr established;
             if !established = streams then begin
               let ms =
@@ -213,7 +213,7 @@ let connect sio stack ~dst ~port ~streams =
                   (function Some m -> m | None -> assert false)
                   members
               in
-              let l = make_link (Tcp.node stack) ms in
+              let l = make_link (Sysio.stack_node stack) ms in
               l.vl <- Some vl;
               link := Some l;
               Vl.attach_ops vl (ops l);
@@ -231,7 +231,7 @@ let connect sio stack ~dst ~port ~streams =
   vl
 
 (* Server side: group incoming members by session id. *)
-type pending_session = { mutable got : (int * Tcp.conn) list; mutable expected : int }
+type pending_session = { mutable got : (int * Sysio.conn) list; mutable expected : int }
 
 let listen sio stack ~port accept =
   let sessions : (int, pending_session) Hashtbl.t = Hashtbl.create 8 in
@@ -239,8 +239,8 @@ let listen sio stack ~port accept =
       let hello = ref None in
       let handle ev =
           match (ev, !hello) with
-          | Tcp.Readable, None when Tcp.readable_bytes conn >= hello_len ->
-            (match Tcp.read conn ~max:hello_len with
+          | Tcp.Readable, None when Sysio.readable_bytes conn >= hello_len ->
+            (match Sysio.read conn ~max:hello_len with
              | Some h ->
                let session = Bytebuf.get_u32 h 0 in
                let index = Bytebuf.get_u16 h 4 in
@@ -268,8 +268,8 @@ let listen sio stack ~port accept =
                              want = None })
                         sorted)
                  in
-                 let l = make_link (Tcp.node stack) ms in
-                 let vl = Vl.create_connected (Tcp.node stack) (ops l) in
+                 let l = make_link (Sysio.stack_node stack) ms in
+                 let vl = Vl.create_connected (Sysio.stack_node stack) (ops l) in
                  l.vl <- Some vl;
                  Array.iter
                    (fun m -> Sysio.watch sio m.conn (member_event l m))
@@ -282,7 +282,7 @@ let listen sio stack ~port accept =
                     the bundle never reports peer death. *)
                  Array.iter
                    (fun m ->
-                      if Tcp.peer_closed m.conn then
+                      if Sysio.peer_closed m.conn then
                         member_event l m Tcp.Peer_closed)
                    ms;
                  accept vl
@@ -295,4 +295,4 @@ let listen sio stack ~port accept =
          so the HELLO's [Readable] edge may have fired before the watch
          was registered. Poll once: a bundle must form even if the peer
          sends nothing after its HELLOs. *)
-      if Tcp.readable_bytes conn >= hello_len then handle Tcp.Readable)
+      if Sysio.readable_bytes conn >= hello_len then handle Tcp.Readable)

@@ -9,14 +9,14 @@
 
 val connect :
   Netaccess.Sysio.t ->
-  Drivers.Tcp.stack ->
+  Netaccess.Sysio.stack ->
   dst:int ->
   port:int ->
   streams:int ->
   Vl.t
 
 val listen :
-  Netaccess.Sysio.t -> Drivers.Tcp.stack -> port:int -> (Vl.t -> unit) -> unit
+  Netaccess.Sysio.t -> Netaccess.Sysio.stack -> port:int -> (Vl.t -> unit) -> unit
 (** Accepts grouped connection bundles on [port]. *)
 
 val driver_name : string

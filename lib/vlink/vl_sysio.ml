@@ -1,13 +1,14 @@
 module Tcp = Drivers.Tcp
+module Sysio = Netaccess.Sysio
 
 let driver_name = "sysio"
 
 let ops_of_conn conn =
-  { Vl.o_write = Tcp.write conn;
-    o_read = (fun ~max -> Tcp.read conn ~max);
-    o_readable = (fun () -> Tcp.readable_bytes conn);
-    o_write_space = (fun () -> Tcp.write_space conn);
-    o_close = (fun () -> Tcp.close conn);
+  { Vl.o_write = Sysio.write conn;
+    o_read = (fun ~max -> Sysio.read conn ~max);
+    o_readable = (fun () -> Sysio.readable_bytes conn);
+    o_write_space = (fun () -> Sysio.write_space conn);
+    o_close = (fun () -> Sysio.close conn);
     o_driver = driver_name }
 
 let wire vl conn =
@@ -21,7 +22,7 @@ let wire vl conn =
   | Tcp.Reset -> Vl.notify vl (Vl.Failed "connection reset")
 
 let connect sio stack ~dst ~port =
-  let vl = Vl.create (Tcp.node stack) in
+  let vl = Vl.create (Sysio.stack_node stack) in
   let conn = Netaccess.Sysio.connect sio stack ~dst ~port (fun conn ev ->
       wire vl conn ev)
   in
@@ -31,7 +32,7 @@ let connect sio stack ~dst ~port =
 let listen sio stack ~port accept =
   Netaccess.Sysio.listen sio stack ~port (fun conn ->
       (* The connection is already established when handed over. *)
-      let vl = Vl.create (Tcp.node stack) in
+      let vl = Vl.create (Sysio.stack_node stack) in
       Netaccess.Sysio.watch sio conn (wire vl conn);
       Vl.attach_ops vl (ops_of_conn conn);
       accept vl;
@@ -40,4 +41,4 @@ let listen sio stack ~port accept =
          above went to the previous callback. A missed [Readable] heals
          itself (VLink's read pump polls the descriptor) but [Peer_closed]
          fires exactly once — catch up or a pending read hangs forever. *)
-      if Tcp.peer_closed conn then Vl.notify vl Vl.Peer_closed)
+      if Sysio.peer_closed conn then Vl.notify vl Vl.Peer_closed)

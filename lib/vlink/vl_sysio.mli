@@ -2,11 +2,11 @@
     adapter for the distributed paradigm on distributed hardware. *)
 
 val connect :
-  Netaccess.Sysio.t -> Drivers.Tcp.stack -> dst:int -> port:int -> Vl.t
+  Netaccess.Sysio.t -> Netaccess.Sysio.stack -> dst:int -> port:int -> Vl.t
 (** Returns immediately with a connecting descriptor. *)
 
 val listen :
-  Netaccess.Sysio.t -> Drivers.Tcp.stack -> port:int -> (Vl.t -> unit) ->
+  Netaccess.Sysio.t -> Netaccess.Sysio.stack -> port:int -> (Vl.t -> unit) ->
   unit
 
 val driver_name : string

@@ -1,0 +1,296 @@
+(* Hostio: the real-OS execution backend. Loop/timer semantics, stream
+   round-trips over socketpair and real TCP, graceful close vs RST, and the
+   conformance-kit subset on the host backend. Everything here runs in real
+   time, so durations are kept small and deadlines generous. *)
+
+module Loop = Hostio.Loop
+module Stream = Hostio.Stream
+module Bb = Engine.Bytebuf
+module Clock = Engine.Clock
+module Time = Engine.Time
+
+let check_int = Tutil.check_int
+let check_bool = Tutil.check_bool
+
+(* ---------- timers ---------- *)
+
+let test_timer_order () =
+  let loop = Loop.create () in
+  let fired = ref [] in
+  ignore (Loop.arm loop ~after_ns:(Time.ms 5) (fun () -> fired := 5 :: !fired));
+  ignore (Loop.arm loop ~after_ns:(Time.ms 1) (fun () -> fired := 1 :: !fired));
+  ignore (Loop.arm loop ~after_ns:(Time.ms 3) (fun () -> fired := 3 :: !fired));
+  Loop.run loop;
+  Alcotest.(check (list int)) "firing order" [ 1; 3; 5 ] (List.rev !fired);
+  check_int "all fired" 3 (Loop.timers_fired loop)
+
+let test_timer_monotonicity () =
+  let loop = Loop.create () in
+  let clk = Loop.clock loop in
+  check_bool "monotonic kind" true (Clock.kind clk = Clock.Monotonic);
+  check_bool "loop recoverable" true
+    (match Loop.of_clock clk with Some l -> l == loop | None -> false);
+  let t_armed = Clock.now clk in
+  let t_fired = ref (-1) in
+  Clock.after clk (Time.ms 10) (fun () -> t_fired := Clock.now clk);
+  Loop.run loop;
+  let elapsed = !t_fired - t_armed in
+  check_bool "fired" true (!t_fired >= 0);
+  check_bool
+    (Printf.sprintf "never early (elapsed %dns)" elapsed)
+    true
+    (elapsed >= Time.ms 10);
+  check_bool
+    (Printf.sprintf "within bounds (elapsed %dns)" elapsed)
+    true
+    (elapsed < Time.sec 5)
+
+let test_timer_cancel () =
+  let loop = Loop.create () in
+  let fired = ref false in
+  (* The long timer is cancelled: the loop must quiesce without waiting the
+     full 60 s — the wall-clock test harness is the proof. *)
+  let tm = Loop.arm loop ~after_ns:(Time.sec 60) (fun () -> fired := true) in
+  ignore (Loop.arm loop ~after_ns:(Time.ms 1) (fun () -> Loop.cancel tm));
+  Loop.cancel tm;
+  Loop.cancel tm (* idempotent *);
+  Loop.run loop;
+  check_bool "cancelled timer never fires" false !fired;
+  check_int "no live timers" 0 (Loop.live_timers loop)
+
+let test_proc_on_host_clock () =
+  let loop = Loop.create () in
+  let clk = Loop.clock loop in
+  let order = ref [] in
+  let h =
+    Engine.Proc.spawn_on clk ~name:"host-proc" (fun () ->
+        order := `A :: !order;
+        Engine.Proc.sleep_on clk (Time.ms 2);
+        order := `B :: !order)
+  in
+  ignore
+    (Loop.arm loop ~after_ns:(Time.ms 1) (fun () -> order := `T :: !order));
+  Loop.run loop;
+  Tutil.assert_done h;
+  check_bool "sleep interleaves with timers" true
+    (List.rev !order = [ `A; `T; `B ])
+
+(* ---------- streams ---------- *)
+
+let drain stream =
+  let acc = Buffer.create 256 in
+  let rec go () =
+    match Stream.read stream ~max:4096 with
+    | Some b ->
+      Buffer.add_string acc (Bb.to_string b);
+      go ()
+    | None -> ()
+  in
+  go ();
+  Buffer.contents acc
+
+let test_pair_echo () =
+  let loop = Loop.create () in
+  let a, b = Stream.pair loop in
+  let got = Buffer.create 64 in
+  (* b echoes everything back; a collects the echo and closes. *)
+  Stream.set_event_cb b (fun ev ->
+      match ev with
+      | Stream.Readable ->
+        let s = drain b in
+        ignore (Stream.write b (Bb.of_string s))
+      | Stream.Peer_closed -> Stream.close b
+      | _ -> ());
+  let msg = "hostio says hello over a socketpair" in
+  Stream.set_event_cb a (fun ev ->
+      match ev with
+      | Stream.Readable ->
+        Buffer.add_string got (drain a);
+        if Buffer.length got >= String.length msg then Stream.close a
+      | _ -> ());
+  ignore (Stream.write a (Bb.of_string msg));
+  Loop.run loop;
+  Alcotest.(check string) "echo round-trip" msg (Buffer.contents got);
+  check_bool "a closed" false (Stream.is_open a);
+  check_bool "b closed" false (Stream.is_open b)
+
+let test_tcp_echo () =
+  let loop = Loop.create () in
+  let server_got = Buffer.create 64 in
+  let listener =
+    Stream.listen loop (fun conn ->
+        Stream.set_event_cb conn (fun ev ->
+            match ev with
+            | Stream.Readable ->
+              let s = drain conn in
+              Buffer.add_string server_got s;
+              ignore (Stream.write conn (Bb.of_string s))
+            | Stream.Peer_closed -> Stream.close conn
+            | _ -> ()))
+  in
+  let port = Stream.listener_port listener in
+  check_bool "real ephemeral port" true (port > 0);
+  let c = Stream.connect loop ~port () in
+  let echo = Buffer.create 64 in
+  let msg = String.concat "," (List.init 200 string_of_int) in
+  Stream.set_event_cb c (fun ev ->
+      match ev with
+      | Stream.Established -> ignore (Stream.write c (Bb.of_string msg))
+      | Stream.Readable ->
+        Buffer.add_string echo (drain c);
+        if Buffer.length echo >= String.length msg then Stream.close c
+      | _ -> ());
+  Loop.run loop;
+  Stream.close_listener listener;
+  Alcotest.(check string) "server saw the bytes" msg (Buffer.contents server_got);
+  Alcotest.(check string) "client got the echo" msg (Buffer.contents echo)
+
+let test_graceful_close () =
+  let loop = Loop.create () in
+  let a, b = Stream.pair loop in
+  let events = ref [] in
+  Stream.set_event_cb b (fun ev ->
+      match ev with
+      | Stream.Readable -> events := `Data (drain b) :: !events
+      | Stream.Peer_closed ->
+        events := `Fin :: !events;
+        Stream.close b
+      | Stream.Reset -> events := `Reset :: !events
+      | _ -> ());
+  ignore (Stream.write a (Bb.of_string "last words"));
+  Stream.close a;
+  Loop.run loop;
+  (* Graceful: data first, then FIN — never a reset. *)
+  check_bool "data then fin" true
+    (List.rev !events = [ `Data "last words"; `Fin ]);
+  check_bool "peer_closed observable" true (Stream.peer_closed b)
+
+let test_abort_rst () =
+  let loop = Loop.create () in
+  let server_events = ref [] in
+  let listener =
+    Stream.listen loop (fun conn ->
+        Stream.set_event_cb conn (fun ev ->
+            match ev with
+            | Stream.Readable -> ignore (drain conn)
+            | Stream.Peer_closed ->
+              server_events := `Fin :: !server_events;
+              Stream.close conn
+            | Stream.Reset -> server_events := `Reset :: !server_events
+            | _ -> ()))
+  in
+  let c = Stream.connect loop ~port:(Stream.listener_port listener) () in
+  Stream.set_event_cb c (fun ev ->
+      match ev with
+      | Stream.Established ->
+        ignore (Stream.write c (Bb.of_string "doomed"));
+        Stream.abort c
+      | _ -> ());
+  Loop.run loop;
+  Stream.close_listener listener;
+  check_bool "abort closed locally" false (Stream.is_open c);
+  (* The peer must observe a hard termination (RST), not a graceful FIN.
+     Depending on delivery timing the kernel may or may not hand the
+     in-flight bytes over first; the termination kind is the contract. *)
+  check_bool
+    (Printf.sprintf "peer saw reset (events: %d)" (List.length !server_events))
+    true
+    (List.mem `Reset !server_events && not (List.mem `Fin !server_events))
+
+(* ---------- host backend: end-to-end through Padico ---------- *)
+
+(* A VLink request/response over the full stack — selector, SysIO,
+   NetAccess arbitration — on real sockets. *)
+let test_host_backend_roundtrip () =
+  let grid = Padico.create ~backend:Padico.Host () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  ignore (Padico.add_segment grid Simnet.Presets.ethernet100 [ a; b ]);
+  let got = ref "" in
+  Padico.listen grid b ~port:4000 (fun vl ->
+      ignore
+        (Padico.spawn grid b ~name:"server" (fun () ->
+             let buf = Bb.create 64 in
+             match Vlink.Vl.await (Vlink.Vl.post_read vl buf) with
+             | Vlink.Vl.Done n ->
+               got := Bb.to_string (Bb.sub buf 0 n);
+               ignore
+                 (Vlink.Vl.await
+                    (Vlink.Vl.post_write vl (Bb.of_string "pong")));
+               Vlink.Vl.close vl
+             | _ -> Vlink.Vl.close vl)));
+  let reply = ref "" in
+  let vl = Padico.connect grid ~src:a ~dst:b ~port:4000 in
+  ignore
+    (Padico.spawn grid a ~name:"client" (fun () ->
+         (match Vlink.Vl.await_connected vl with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "connect failed: %s" m);
+         ignore (Vlink.Vl.await (Vlink.Vl.post_write vl (Bb.of_string "ping")));
+         let buf = Bb.create 64 in
+         (match Vlink.Vl.await (Vlink.Vl.post_read vl buf) with
+          | Vlink.Vl.Done n -> reply := Bb.to_string (Bb.sub buf 0 n)
+          | _ -> ());
+         Vlink.Vl.close vl));
+  Padico.run grid ~until:(Time.sec 30);
+  Tutil.check_string "server got" "ping" !got;
+  Tutil.check_string "client reply" "pong" !reply
+
+(* A fault-plan "link down" must kill the real sockets riding that
+   segment: the host conns subscribe to segment link state and reset. *)
+let test_host_link_down () =
+  let grid = Padico.create ~backend:Padico.Host () in
+  let a = Padico.add_node grid "a" in
+  let b = Padico.add_node grid "b" in
+  ignore
+    (Padico.add_segment grid Simnet.Presets.ethernet100 ~name:"lan" [ a; b ]);
+  ignore
+    (Padico_fault.Inject.apply (Padico.net grid)
+       [ { Padico_fault.Plan.at_ns = Time.ms 50;
+           action = Padico_fault.Plan.Link_down "lan" } ]);
+  let server_failed = ref false and client_failed = ref false in
+  Padico.listen grid b ~port:4100 (fun vl ->
+      Vlink.Vl.on_event vl (function
+        | Vlink.Vl.Failed _ -> server_failed := true
+        | _ -> ()));
+  let vl = Padico.connect grid ~src:a ~dst:b ~port:4100 in
+  Vlink.Vl.on_event vl (function
+    | Vlink.Vl.Failed _ -> client_failed := true
+    | _ -> ());
+  Padico.run grid ~until:(Time.sec 5);
+  check_bool "client saw link death" true !client_failed;
+  check_bool "server saw link death" true !server_failed
+
+(* The conformance kit's host subset: the same obligations the simulated
+   adapters satisfy, green over real Unix sockets. *)
+let test_host_conformance_kit () =
+  List.iter
+    (fun c ->
+       try c.Padico_check.Conform.run ~plan:None Engine.Sim.Fifo
+       with Padico_check.Conform.Failed m ->
+         Alcotest.failf "%s: %s" c.Padico_check.Conform.case_name m)
+    (Padico_check.Conform.host_cases ())
+
+let () =
+  Alcotest.run "hostio"
+    [ ( "loop",
+        [ Alcotest.test_case "timer firing order" `Quick test_timer_order;
+          Alcotest.test_case "timer monotonicity bounds" `Quick
+            test_timer_monotonicity;
+          Alcotest.test_case "timer cancel + quiesce" `Quick test_timer_cancel;
+          Alcotest.test_case "green threads on the host clock" `Quick
+            test_proc_on_host_clock ] );
+      ( "stream",
+        [ Alcotest.test_case "socketpair echo round-trip" `Quick
+            test_pair_echo;
+          Alcotest.test_case "real TCP echo round-trip" `Quick test_tcp_echo;
+          Alcotest.test_case "graceful close delivers FIN" `Quick
+            test_graceful_close;
+          Alcotest.test_case "abort delivers RST" `Quick test_abort_rst ] );
+      ( "backend",
+        [ Alcotest.test_case "Padico round-trip on host" `Quick
+            test_host_backend_roundtrip;
+          Alcotest.test_case "link-down resets host sockets" `Quick
+            test_host_link_down;
+          Alcotest.test_case "conformance kit host subset" `Slow
+            test_host_conformance_kit ] ) ]

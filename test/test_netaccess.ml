@@ -166,7 +166,7 @@ let test_sysio_connect_listen () =
   Sysio.listen sb stack_b ~port:80 (fun conn ->
       Sysio.watch sb conn (fun ev ->
           if ev = Tcp.Readable then
-            match Tcp.read conn ~max:100 with
+            match Sysio.read conn ~max:100 with
             | Some buf -> server_got := !server_got ^ Bb.to_string buf
             | None -> ()));
   let established = ref false in
@@ -174,7 +174,7 @@ let test_sysio_connect_listen () =
     Sysio.connect sa stack_a ~dst:(Simnet.Node.id b) ~port:80 (fun conn ev ->
         if ev = Tcp.Established then begin
           established := true;
-          ignore (Tcp.write conn (Bb.of_string "hello"))
+          ignore (Sysio.write conn (Bb.of_string "hello"))
         end)
   in
   ignore conn;

@@ -202,8 +202,11 @@ let test_node_by_id () =
   let net = Simnet.Net.create () in
   let a = Simnet.Net.add_node net "a" in
   Tutil.check_bool "found" true
-    (Simnet.Net.node_by_id net (Simnet.Node.id a) = Some a);
-  Tutil.check_bool "missing" true (Simnet.Net.node_by_id net 999 = None)
+    (match Simnet.Net.node_by_id net (Simnet.Node.id a) with
+     | Some n -> n == a
+     | None -> false);
+  Tutil.check_bool "missing" true
+    (Simnet.Net.node_by_id net 999 = None)
 
 (* ---------- Presets sanity ---------- *)
 
