@@ -19,11 +19,13 @@ let experiments =
      Sched_bench.run);
     ("collect", "E13: topology-aware collectives at grid scale",
      Coll_bench.run);
+    ("detect", "E14: self-healing collectives under member crash",
+     Detect_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 (* Experiments meaningful on real sockets (the rest model SAN hardware,
    loss or virtual-time schedules the OS does not expose). *)
-let host_capable = [ "flow"; "micro" ]
+let host_capable = [ "flow"; "detect"; "micro" ]
 
 let usage () =
   print_endline "usage: bench/main.exe [--backend sim|host] [experiment]";

@@ -390,6 +390,15 @@ let check_cmd =
            ~doc:"Greedily minimise each failure's fault plan and policy \
                  before reporting.")
   in
+  let chaos_arg =
+    Arg.(value & opt int 0
+         & info [ "chaos" ] ~docv:"N"
+           ~doc:"Chaos sweep: run the $(b,coll-chaos/) cases once per \
+                 generated fault plan (seeds 0..N-1; crashes, outages, \
+                 loss bursts, partitions), each under every schedule \
+                 policy. Failures dump a replayable \
+                 $(b,chaos-seed-K.plan) next to the token.")
+  in
   let out_arg =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE"
@@ -406,8 +415,45 @@ let check_cmd =
           prerr_endline ("fault plan: " ^ msg);
           exit 2)
   in
-  let run seeds replay plan_file names demo shrink out backend =
+  let run seeds replay plan_file names demo shrink out chaos backend =
     let plan = load_plan plan_file in
+    if chaos > 0 && backend = Padico.Sim then begin
+      let policies = Padico_check.Explore.default_policies ~seeds in
+      let names = if names = [] then None else Some names in
+      let s =
+        Padico_check.Explore.chaos ?names ~seeds:chaos ~policies ()
+      in
+      Printf.printf
+        "chaos: %d generated plans (%d interleavings run)\n"
+        s.Padico_check.Explore.plans_run
+        s.Padico_check.Explore.chaos_interleavings;
+      match s.Padico_check.Explore.chaos_failures with
+      | [] ->
+        print_endline "all chaos obligations hold under every schedule";
+        exit 0
+      | failures ->
+        List.iter
+          (fun cf ->
+             let f = cf.Padico_check.Explore.failure in
+             let plan_file =
+               Printf.sprintf "chaos-seed-%d.plan"
+                 cf.Padico_check.Explore.seed
+             in
+             let oc = open_out plan_file in
+             let fmt = Format.formatter_of_out_channel oc in
+             Padico_fault.Plan.pp fmt cf.Padico_check.Explore.plan;
+             Format.pp_print_flush fmt ();
+             close_out oc;
+             Printf.printf
+               "FAIL %s [%s] (chaos seed %d)\n  %s\n  replay: padico_cli \
+                check --replay '%s' --plan %s\n"
+               f.Padico_check.Explore.case
+               (pp_policy f.Padico_check.Explore.policy)
+               cf.Padico_check.Explore.seed f.Padico_check.Explore.message
+               f.Padico_check.Explore.token plan_file)
+          failures;
+        exit 1
+    end;
     if backend = Padico.Host then begin
       (* Real sockets: the OS supplies the schedule, so exploration's
          policies and replay tokens do not apply — run the host subset
@@ -532,7 +578,7 @@ let check_cmd =
              fifo/lifo/starve plus N seeded random same-timestamp \
              permutations. Failures print a replay token.")
     Term.(const run $ seeds_arg $ replay_arg $ plan_arg $ case_arg
-          $ demo_arg $ shrink_arg $ out_arg $ backend_arg)
+          $ demo_arg $ shrink_arg $ out_arg $ chaos_arg $ backend_arg)
 
 (* ---------- flow ---------- *)
 
@@ -1005,6 +1051,142 @@ let collect_cmd =
     Term.(const run $ clusters_arg $ nodes_arg $ size_arg $ op_arg
           $ strategy_arg $ seed_arg)
 
+(* ---------- detect ---------- *)
+
+let detect_cmd =
+  let clusters_arg =
+    Arg.(value & opt int 2
+         & info [ "clusters" ] ~docv:"N" ~doc:"SAN islands in the grid.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 4
+         & info [ "nodes" ] ~docv:"N" ~doc:"Nodes per island.")
+  in
+  let victim_arg =
+    Arg.(value & opt int 3
+         & info [ "victim" ] ~docv:"RANK"
+           ~doc:"Rank whose node crashes (must not be 0: rank 0 roots the \
+                 probe collectives).")
+  in
+  let crash_arg =
+    Arg.(value & opt int 20
+         & info [ "crash-at" ] ~docv:"MS"
+           ~doc:"Crash time on the virtual clock, in milliseconds.")
+  in
+  let interval_arg =
+    Arg.(value & opt int 1
+         & info [ "interval" ] ~docv:"MS" ~doc:"Heartbeat interval.")
+  in
+  let run clusters nodes victim crash_ms interval_ms =
+    let module Group = Collectives.Group in
+    let module Gridgen = Scenario.Gridgen in
+    let module Bb = Engine.Bytebuf in
+    let module Time = Engine.Time in
+    let module Proc = Engine.Proc in
+    let module Node = Simnet.Node in
+    let module Plan = Padico_fault.Plan in
+    let n = clusters * nodes in
+    if victim <= 0 || victim >= n then begin
+      Printf.eprintf "victim rank must be in 1..%d\n" (n - 1);
+      exit 2
+    end;
+    let g = Gridgen.generate ~clusters ~nodes_per_cluster:nodes () in
+    let members = Array.of_list g.Gridgen.nodes in
+    let heal =
+      { Detect.default_config with
+        Detect.interval_ns = Time.ms interval_ms }
+    in
+    let groups =
+      Group.create ~deadline_ns:(Time.ms 400) ~heal g.Gridgen.grid
+        ~name:"cli-detect" g.Gridgen.nodes
+    in
+    let crash_at = Time.ms crash_ms in
+    let ops_at = crash_at + Time.ms 1 in
+    Padico_obs.Trace.enable ~capacity:262_144 ();
+    ignore
+      (Padico_fault.Inject.apply
+         (Padico.net g.Gridgen.grid)
+         [ { Plan.at_ns = crash_at;
+             action = Plan.Node_crash (Node.name members.(victim)) } ]);
+    let payload = 1024 in
+    let pat seed =
+      let b = Bb.create payload in
+      Bb.fill_pattern b ~seed;
+      b
+    in
+    Array.iteri
+      (fun r node ->
+         ignore
+           (Padico.spawn g.Gridgen.grid node
+              ~name:(Printf.sprintf "detect-%d" r)
+              (fun () ->
+                 let gm = groups.(r) in
+                 (try ignore (Group.allreduce gm ~op:Group.Bxor (pat (r + 1)))
+                  with Group.Failed _ -> ());
+                 if r <> victim then begin
+                   let now = Padico.now g.Gridgen.grid in
+                   if now < ops_at then
+                     Proc.sleep_on (Node.clock node) (ops_at - now);
+                   (* In flight across the eviction, then one epoch-1
+                      steady-state round. *)
+                   ignore (Group.allreduce gm ~op:Group.Bxor (pat (r + 1)));
+                   ignore (Group.allreduce gm ~op:Group.Bxor (pat (r + 1)))
+                 end)))
+      members;
+    Padico.run g.Gridgen.grid ~until:(crash_at + Time.ms 400);
+    Array.iter Group.retire groups;
+    Padico_obs.Trace.disable ();
+    Printf.printf
+      "detector timeline (%d ranks, victim %d crashes at %d ms):\n" n victim
+      crash_ms;
+    List.iter
+      (fun r ->
+         match r.Padico_obs.Trace.ev with
+         | Padico_obs.Event.Detect { action; peer; phi_milli } ->
+           Printf.printf "  %10.3f ms  %-10s %-14s peer %-4d phi %.2f\n"
+             (float_of_int r.Padico_obs.Trace.ts /. 1e6)
+             r.Padico_obs.Trace.node ("detect." ^ action) peer
+             (float_of_int phi_milli /. 1e3)
+         | Padico_obs.Event.Member { group = _; action; rank; epoch } ->
+           Printf.printf "  %10.3f ms  %-10s %-14s rank %-4d epoch %d\n"
+             (float_of_int r.Padico_obs.Trace.ts /. 1e6)
+             r.Padico_obs.Trace.node ("member." ^ action) rank epoch
+         | _ -> ())
+      (Padico_obs.Trace.records ());
+    let gm0 = groups.(0) in
+    Printf.printf
+      "\nrank 0 membership: epoch %d, %d/%d live, dead [%s], %d op \
+       restart(s)\n"
+      (Group.epoch gm0) (Group.live_count gm0) n
+      (String.concat ";" (List.map string_of_int (Group.dead_ranks gm0)))
+      (Group.restarts gm0);
+    (match Group.detector gm0 with
+     | Some det ->
+       let s = Detect.stats det in
+       Printf.printf
+         "rank 0 detector:   %d hb sent, %d suspect(s), %d refute(s), %d \
+          confirm(s), %d peer(s) monitored\n"
+         s.Detect.hb_sent s.Detect.suspects s.Detect.refutes
+         s.Detect.confirms s.Detect.monitored
+     | None -> ());
+    Array.iteri
+      (fun r gm ->
+         if r <> victim && Group.poisoned gm <> None then begin
+           Printf.eprintf "rank %d poisoned: %s\n" r
+             (Option.value (Group.poisoned gm) ~default:"");
+           exit 1
+         end)
+      groups
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Crash a member of a self-healing group and watch the failure \
+             detector work: the suspicion/confirmation timeline \
+             (detect.* / member.* trace events), the eviction epoch, and \
+             the detector's counters.")
+    Term.(const run $ clusters_arg $ nodes_arg $ victim_arg $ crash_arg
+          $ interval_arg)
+
 (* ---------- hostio ---------- *)
 
 let hostio_cmd =
@@ -1101,4 +1283,4 @@ let () =
        (Cmd.group (Cmd.info "padico_cli" ~doc)
           [ registry_cmd; selector_cmd; ping_cmd; bandwidth_cmd; trace_cmd;
             fault_cmd; flow_cmd; check_cmd; sched_cmd; collect_cmd;
-            hostio_cmd ]))
+            detect_cmd; hostio_cmd ]))

@@ -573,7 +573,7 @@ let coll_single model strategy () =
 (* Two 2-rank Myrinet islands joined only by a VTHD backbone: the smallest
    topology where Netdb yields more than one cluster, so the multilevel
    strategy actually routes through proxies. *)
-let coll_mixed ?deadline_ns strategy () =
+let coll_mixed ?deadline_ns ?heal strategy () =
   let grid = Padico.create ~prefs:bare_prefs () in
   let mk c i = Padico.add_node grid (Printf.sprintf "c%d-%d" c i) in
   let c0 = [ mk 0 0; mk 0 1 ] in
@@ -583,7 +583,7 @@ let coll_mixed ?deadline_ns strategy () =
   ignore (Padico.add_segment grid Presets.vthd ~name:"wan" (c0 @ c1));
   { ggrid = grid; gnodes = Array.of_list (c0 @ c1);
     groups =
-      Group.create ~strategy ?deadline_ns grid ~name:"kit" (c0 @ c1) }
+      Group.create ~strategy ?deadline_ns ?heal grid ~name:"kit" (c0 @ c1) }
 
 let coll_fixtures =
   [ { gname = "coll-lan-flat";
@@ -828,6 +828,277 @@ let coll_wan_down ~plan policy =
   if !remote > 0 && not !remote_failed then
     failf "WAN down, yet every remote rank claims delivery"
 
+(* ---------- self-healing membership obligations ---------- *)
+
+(* Reference reduction over the live ranks only: the healing group folds
+   the contributions of the members that survive the eviction. *)
+let coll_live_combine op ~seed0 ~victim n len =
+  let f =
+    match op with
+    | Group.Sum -> fun a b -> (a + b) land 0xff
+    | Group.Max -> max
+    | Group.Bxor -> ( lxor )
+  in
+  let bufs =
+    List.filter_map
+      (fun r ->
+         if r = victim then None
+         else Some (Bb.to_string (pattern ~seed:(seed0 + r) len)))
+      (List.init n (fun r -> r))
+  in
+  String.init len (fun i ->
+      Char.chr (List.fold_left (fun a s -> f a (Char.code s.[i])) 0 bufs))
+
+let coll_heal_ops =
+  [ "barrier"; "bcast"; "reduce"; "allreduce"; "gather"; "scatter" ]
+
+(* Fault story for the healing tentpole: [victim] crashes while [opname]
+   is in flight. The survivors' detectors must confirm the death, agree on
+   the eviction, re-partition the topology and retry the operation over
+   the shrunken group — every survivor gets the correct post-eviction
+   result and nobody hangs. Victim 2 is the remote island's proxy (the
+   eviction re-elects rank 3); victim 3 a remote leaf. Rank 0 roots the
+   rooted operations and always survives. *)
+let coll_heal ~strategy ~victim ~opname ~plan policy =
+  let len = 64 in
+  let env =
+    coll_mixed ~deadline_ns:(Time.ms 400) ~heal:Detect.default_config
+      strategy ()
+  in
+  let sim = Padico.sim env.ggrid in
+  Sim.set_policy sim policy;
+  (match plan with
+   | None -> ()
+   | Some p -> ignore (Padico_fault.Inject.apply (Padico.net env.ggrid) p));
+  let n = Array.length env.groups in
+  ignore
+    (Padico_fault.Inject.apply (Padico.net env.ggrid)
+       [ { Padico_fault.Plan.at_ns = Time.ms 20;
+           action =
+             Padico_fault.Plan.Node_crash (Node.name env.gnodes.(victim)) }
+       ]);
+  let run_op r gm =
+    match opname with
+    | "barrier" -> Group.barrier gm
+    | "bcast" ->
+      let want = Bb.to_string (pattern ~seed:7 len) in
+      let b =
+        Group.bcast gm ~root:0
+          (if r = 0 then pattern ~seed:7 len else Bb.create 0)
+      in
+      if Bb.to_string b <> want then failf "rank %d: bcast corrupted" r
+    | "reduce" -> (
+      let want = coll_live_combine Group.Sum ~seed0:11 ~victim n len in
+      match Group.reduce gm ~root:0 ~op:Group.Sum (pattern ~seed:(11 + r) len) with
+      | Some res when r = 0 ->
+        if Bb.to_string res <> want then failf "root: reduce bytes wrong"
+      | Some _ -> failf "rank %d: non-root got a reduce result" r
+      | None -> if r = 0 then failf "root: reduce returned nothing")
+    | "allreduce" ->
+      let want = coll_live_combine Group.Bxor ~seed0:23 ~victim n len in
+      let res = Group.allreduce gm ~op:Group.Bxor (pattern ~seed:(23 + r) len) in
+      if Bb.to_string res <> want then failf "rank %d: allreduce bytes wrong" r
+    | "gather" -> (
+      match Group.gather gm ~root:0 (pattern ~seed:(31 + r) len) with
+      | Some parts when r = 0 ->
+        Array.iteri
+          (fun j p ->
+             if j = victim then begin
+               if Bb.length p <> 0 then
+                 failf "root: dead rank %d's gather slot is not empty" j
+             end
+             else if not (Bb.equal p (pattern ~seed:(31 + j) len)) then
+               failf "root: contribution of rank %d corrupted" j)
+          parts
+      | Some _ -> failf "rank %d: non-root received gathered parts" r
+      | None -> if r = 0 then failf "root: gather returned no parts")
+    | "scatter" ->
+      let parts =
+        if r = 0 then Array.init n (fun i -> pattern ~seed:(41 + i) len)
+        else [||]
+      in
+      let got = Group.scatter gm ~root:0 parts in
+      if not (Bb.equal got (pattern ~seed:(41 + r) len)) then
+        failf "rank %d: scattered chunk corrupted" r
+    | op -> failf "unknown healing obligation %S" op
+  in
+  let hs =
+    Array.mapi
+      (fun r node ->
+         Padico.spawn env.ggrid node ~name:(Printf.sprintf "heal-%d" r)
+           (fun () ->
+              let gm = env.groups.(r) in
+              (* Warm-up: the detectors need inter-arrival samples, and
+                 every member must exist before anyone begins. *)
+              Group.barrier gm;
+              if r <> victim then begin
+                (* Start the operation just after the crash (20 ms): the
+                   death is confirmed mid-operation, forcing the
+                   eviction-and-retry path rather than a clean pre-op
+                   membership change. *)
+                let dt = Time.ms 21 - Sim.now sim in
+                if dt > 0 then Proc.sleep_on (Node.clock node) dt;
+                run_op r gm
+              end))
+      env.gnodes
+  in
+  Padico.run env.ggrid ~until:(Time.ms 350);
+  Array.iter Group.retire env.groups;
+  Array.iteri
+    (fun r h ->
+       if r <> victim then
+         match Proc.result h with
+         | Some (Ok ()) -> ()
+         | Some (Error (Failed _ as e)) -> raise e
+         | Some (Error e) -> failf "rank %d raised %s" r (Printexc.to_string e)
+         | None -> failf "rank %d never finished (hung healing op?)" r)
+    hs;
+  let g0 = env.groups.(0) in
+  if Group.epoch g0 <> 1 then
+    failf "rank 0 saw epoch %d after one crash, want 1" (Group.epoch g0);
+  if Group.dead_ranks g0 <> [ victim ] then
+    failf "rank 0's dead set is not [%d]" victim;
+  Array.iteri
+    (fun r gm ->
+       if r <> victim && Group.poisoned gm <> None then
+         failf "survivor %d poisoned: %s" r
+           (Option.value (Group.poisoned gm) ~default:""))
+    env.groups
+
+(* Chaos obligation: an arbitrary storm of crashes, outages, loss bursts
+   and partitions (see [Explore.chaos_plan]) against a healing group
+   running the full operation sequence. Exact results are not asserted —
+   under arbitrary plans, membership and reachability are whatever the
+   plan leaves standing — but every rank whose node survives must reach a
+   definite outcome per operation (a value or a clean [Group.Failed]) and
+   a delivered broadcast payload must be the root's bytes. A hang is the
+   violation this case exists to catch. *)
+let coll_chaos ~plan policy =
+  let len = 128 in
+  let env =
+    coll_mixed ~deadline_ns:(Time.ms 150) ~heal:Detect.default_config
+      Group.Multilevel ()
+  in
+  Sim.set_policy (Padico.sim env.ggrid) policy;
+  (match plan with
+   | None -> ()
+   | Some p -> ignore (Padico_fault.Inject.apply (Padico.net env.ggrid) p));
+  let n = Array.length env.groups in
+  let want = Bb.to_string (pattern ~seed:53 len) in
+  let hs =
+    Array.mapi
+      (fun r node ->
+         Padico.spawn env.ggrid node ~name:(Printf.sprintf "chaos-%d" r)
+           (fun () ->
+              let gm = env.groups.(r) in
+              let attempt f = try f () with Group.Failed _ -> () in
+              attempt (fun () -> Group.barrier gm);
+              attempt (fun () ->
+                  let b =
+                    Group.bcast gm ~root:0
+                      (if r = 0 then pattern ~seed:53 len else Bb.create 0)
+                  in
+                  if Bb.to_string b <> want then
+                    failf "rank %d: delivered bcast payload corrupted" r);
+              attempt (fun () ->
+                  ignore
+                    (Group.reduce gm ~root:0 ~op:Group.Sum
+                       (pattern ~seed:(61 + r) len)));
+              attempt (fun () ->
+                  ignore
+                    (Group.allreduce gm ~op:Group.Bxor
+                       (pattern ~seed:(67 + r) len)));
+              attempt (fun () ->
+                  ignore (Group.gather gm ~root:0 (pattern ~seed:(71 + r) len)));
+              attempt (fun () ->
+                  let parts =
+                    if r = 0 then
+                      Array.init n (fun i -> pattern ~seed:(79 + i) len)
+                    else [||]
+                  in
+                  ignore (Group.scatter gm ~root:0 parts))))
+      env.gnodes
+  in
+  Padico.run env.ggrid ~until:(Time.sec 2);
+  Array.iter Group.retire env.groups;
+  Array.iteri
+    (fun r h ->
+       if Node.is_up env.gnodes.(r) then
+         match Proc.result h with
+         | Some (Ok ()) -> ()
+         | Some (Error (Failed _ as e)) -> raise e
+         | Some (Error e) -> failf "rank %d raised %s" r (Printexc.to_string e)
+         | None -> failf "rank %d (node still up) hung under chaos" r)
+    hs
+
+(* ---------- resilient retry exhaustion ---------- *)
+
+(* Fault story: every physical path dies and stays dead — a permanent
+   partition. The failover machinery must not spin forever: after
+   [max_retries] failed dials the session gives up, and every request the
+   application still has outstanding — a parked read, writes beyond the
+   rewind window — must complete with a clean [Error], never hang. *)
+let resilient_exhausted ~plan policy =
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let c = Padico.add_node grid "c" in
+  let s = Padico.add_node grid "s" in
+  ignore (Padico.add_segment grid Presets.myrinet2000 ~name:"san" [ c; s ]);
+  ignore (Padico.add_segment grid Presets.ethernet100 ~name:"lan" [ c; s ]);
+  Sim.set_policy (Padico.sim grid) policy;
+  (match plan with
+   | None -> ()
+   | Some p -> ignore (Padico_fault.Inject.apply (Padico.net grid) p));
+  let config =
+    { Resilient.default_config with
+      Resilient.retry_base_ns = Time.ms 1; retry_max_ns = Time.ms 4;
+      retry_jitter = 0.0; max_retries = 4; ack_timeout_ns = Time.ms 10;
+      tx_window = 65_536 }
+  in
+  Resilient.listen ~config grid s ~port:9300 (fun _vl -> ());
+  let conn = Resilient.connect ~config grid ~src:c ~dst:s ~port:9300 in
+  let cvl = Resilient.vl conn in
+  let h =
+    Padico.spawn grid c ~name:"client" (fun () ->
+        (match Vl.await_connected cvl with
+         | Ok () -> ()
+         | Error m -> failf "connect failed before the partition: %s" m);
+        (* Permanent partition, anchored at establishment. *)
+        ignore
+          (Padico_fault.Inject.apply ~base_ns:(Padico.now grid)
+             (Padico.net grid)
+             [ { Padico_fault.Plan.at_ns = Time.ms 1;
+                 action = Padico_fault.Plan.Link_down "san" };
+               { Padico_fault.Plan.at_ns = Time.ms 1;
+                 action = Padico_fault.Plan.Link_down "lan" } ]);
+        Proc.sleep_on (Node.clock c) (Time.ms 2);
+        (* A reader parked for bytes that will never come, and enough
+           writes to overrun the rewind window with nobody acking. *)
+        let rd = Vl.post_read cvl (Bb.create 256) in
+        let wrs =
+          List.init 8 (fun _ -> Vl.post_write cvl (Bb.create 32_768))
+        in
+        (match Vl.await rd with
+         | Vl.Error _ -> ()
+         | o -> failf "parked read: want a clean error, got %s" (comp_name o));
+        (* Writes accepted before the outage may complete [Done]; the rest
+           must resolve to a clean [Error] — never hang. *)
+        List.iteri
+          (fun i w ->
+             match Vl.await w with
+             | Vl.Done _ | Vl.Error _ -> ()
+             | o -> failf "write %d completed %s" i (comp_name o))
+          wrs)
+  in
+  Padico.run grid ~until:(Time.sec 600);
+  (match Proc.result h with
+   | Some (Ok ()) -> ()
+   | Some (Error (Failed _ as e)) -> raise e
+   | Some (Error e) -> failf "client raised %s" (Printexc.to_string e)
+   | None -> failf "client hung after retry exhaustion");
+  let st = Resilient.stats conn in
+  if st.Resilient.established then
+    failf "session claims establishment across a permanent partition"
+
 (* ---------- demo ordering bug (guarded) ---------- *)
 
 (* A deliberate register-after-dispatch bug in miniature, compiled in but
@@ -914,13 +1185,38 @@ let cases ?(demo = false) () =
     [ { case_name = "coll-fault/wan-down";
         run = (fun ~plan policy -> coll_wan_down ~plan policy) } ]
   in
+  let coll_heal_cases =
+    List.concat_map
+      (fun (sname, strategy) ->
+         List.concat_map
+           (fun (vname, victim) ->
+              List.map
+                (fun opname ->
+                   { case_name =
+                       Printf.sprintf "coll-heal/%s-%s-%s" sname opname vname;
+                     run =
+                       (fun ~plan policy ->
+                          coll_heal ~strategy ~victim ~opname ~plan policy) })
+                coll_heal_ops)
+           [ ("leaf", 3); ("proxy", 2) ])
+      [ ("ml", Group.Multilevel); ("flat", Group.Flat) ]
+  in
+  let chaos_cases =
+    [ { case_name = "coll-chaos/storm";
+        run = (fun ~plan policy -> coll_chaos ~plan policy) } ]
+  in
+  let resilient_fault =
+    [ { case_name = "resilient-fault/exhaustion";
+        run = (fun ~plan policy -> resilient_exhausted ~plan policy) } ]
+  in
   let demo_cases =
     if demo then
       [ { case_name = "demo/ordering";
           run = (fun ~plan:_ policy -> demo_ordering policy) } ]
     else []
   in
-  vlink @ circuit @ coll @ coll_fault @ demo_cases
+  vlink @ circuit @ coll @ coll_fault @ coll_heal_cases @ chaos_cases
+  @ resilient_fault @ demo_cases
 
 (* The host-backend subset: the same obligations, real sockets. Only the
    fixtures whose transports exist on the host qualify (loopback's

@@ -38,6 +38,33 @@ val explore :
     ["fixture/"] prefix) under every policy. Per case, policies run in
     order and stop at the first failure. *)
 
+val chaos_plan : seed:int -> Padico_fault.Plan.t
+(** Deterministic randomized fault plan against the mixed collective
+    fixture: member crashes (never the root's node), transient link
+    outages (always restored), loss bursts, latency spikes and healed
+    bipartitions, all inside the chaos cases' run window. Equal seeds
+    give equal plans. *)
+
+type chaos_failure = {
+  seed : int;  (** regenerate the plan with [chaos_plan ~seed] *)
+  plan : Padico_fault.Plan.t;  (** the generated plan, for artifact dumps *)
+  failure : failure;
+}
+
+type chaos_summary = {
+  plans_run : int;
+  chaos_interleavings : int;
+  chaos_failures : chaos_failure list;
+}
+
+val chaos :
+  ?names:string list -> seeds:int -> policies:Engine.Sim.policy list ->
+  unit -> chaos_summary
+(** Run the chaos cases (default [["coll-chaos/"]]) once per generated
+    plan (seeds [0 .. seeds-1]), each under every policy. A failure
+    carries its generating seed and the full plan so the caller can dump
+    a replayable plan file next to the token. *)
+
 val replay :
   ?plan:Padico_fault.Plan.t -> string -> (failure option, string) result
 (** Re-run the case a token denotes under its exact policy.

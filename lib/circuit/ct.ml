@@ -20,6 +20,11 @@ type t = {
      member installed its receiver wait here and flush on [set_recv]. *)
   pending_rx : (int * Bytebuf.t) Queue.t;
   mutable recv : (incoming -> unit) option;
+  (* Transport death notifications (a peer's connection reset under us).
+     Unset by default: binding layers call [peer_down] unconditionally and
+     the default is a no-op, so circuits without a failure detector behave
+     exactly as before. *)
+  mutable on_peer_down : (int -> unit) option;
   sent : Stats.Counter.t;
   received : Stats.Counter.t;
 }
@@ -37,7 +42,7 @@ let create ~group ~rank ~name =
   let scope = Metrics.Node (Simnet.Node.name group.(rank)) in
   { cname = name; crank = rank; group;
     links = Array.make (Array.length group) None; unbound = Hashtbl.create 4;
-    pending_rx = Queue.create (); recv = None;
+    pending_rx = Queue.create (); recv = None; on_peer_down = None;
     sent = Metrics.fresh_counter scope ("ct." ^ name ^ ".sent");
     received = Metrics.fresh_counter scope ("ct." ^ name ^ ".received") }
 
@@ -151,6 +156,12 @@ let deliver t ~src payload =
       match t.recv with
       | Some f -> f { payload; src; pos = 0 }
       | None -> Queue.push (src, payload) t.pending_rx)
+
+let set_on_peer_down t f = t.on_peer_down <- Some f
+
+let peer_down t ~rank =
+  if rank >= 0 && rank < Array.length t.group then
+    match t.on_peer_down with Some f -> f rank | None -> ()
 
 let messages_sent t = Stats.Counter.value t.sent
 

@@ -74,5 +74,18 @@ val set_recv : t -> (incoming -> unit) -> unit
 val deliver : t -> src:int -> Engine.Bytebuf.t -> unit
 (** Adapter-side: hand a complete received message to the circuit. *)
 
+(** {1 Transport death} *)
+
+val set_on_peer_down : t -> (int -> unit) -> unit
+(** Install the (single) transport-death handler: called with the remote
+    rank when a binding layer reports that rank's connection irrecoverably
+    gone (TCP reset / peer close on a real socket). Failure detectors use
+    this to confirm a death without waiting for suspicion to accrue. *)
+
+val peer_down : t -> rank:int -> unit
+(** Binding-layer side: report the link towards [rank] dead. No-op unless a
+    handler is installed (default), so circuits without a detector are
+    unaffected. Out-of-range ranks (unknown peer) are ignored. *)
+
 val messages_sent : t -> int
 val messages_received : t -> int

@@ -80,8 +80,14 @@ let bind ct sio stack ~port ~ranks =
          in
          Sysio.watch sio conn (function
            | Tcp.Readable -> rx_pump ct st conn
-           | Tcp.Established | Tcp.Writable | Tcp.Peer_closed | Tcp.Reset ->
-             ());
+           | Tcp.Peer_closed | Tcp.Reset ->
+             (* Transport lost after the peer identified itself: report it
+                so a failure detector can confirm the death immediately.
+                No-op on circuits without a peer-down handler. *)
+             (match st.src_rank with
+              | Some src -> Ct.peer_down ct ~rank:src
+              | None -> ())
+           | Tcp.Established | Tcp.Writable -> ());
          (* The accept callback is dispatched through the NetAccess queue,
             so under a connection storm data segments can arrive — and fire
             their Readable events into the not-yet-installed watcher —
@@ -114,7 +120,10 @@ let bind ct sio stack ~port ~ranks =
                    ignore (Sysio.write conn hello);
                    tx_flush tx
                  | Tcp.Writable -> tx_flush tx
-                 | Tcp.Readable | Tcp.Peer_closed | Tcp.Reset -> ())
+                 | Tcp.Peer_closed | Tcp.Reset ->
+                   tx.established <- false;
+                   Ct.peer_down ct ~rank:dst
+                 | Tcp.Readable -> ())
            in
            tx.conn <- Some conn;
            tx

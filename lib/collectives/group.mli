@@ -34,7 +34,39 @@
 
     Reductions are byte-wise (every rank contributes an equal-length
     buffer), with associative-commutative operators so tree shape cannot
-    change the result. *)
+    change the result.
+
+    {2 Self-healing membership}
+
+    A group created with [?heal] is {e self-healing}: each member runs a
+    {!Detect} phi-accrual failure detector (heartbeats piggybacked on the
+    group's own frames; monitors are the member's cluster-ring neighbours
+    plus, for cluster proxies, the other proxies) and the group survives
+    member crashes. When a monitor confirms a member dead it floods an
+    eviction to every live rank; each member marks the rank dead, bumps
+    its membership {e epoch} (frames are tagged with the epoch and a
+    digest of the dead set, so pre-eviction frames are discarded and
+    divergent views re-converge by exchanging dead sets), re-partitions
+    the {!Selector.Netdb} topology ([Netdb.evict] re-elects a cluster
+    proxy if the dead rank was one), and transparently rewinds and
+    retries the in-flight collective over the shrunken tree — each member
+    keeps a pristine copy of its contribution until the operation
+    commits, so a retried reduction refolds the correct value minus the
+    dead rank. Members that had already committed the operation re-serve
+    their committed record when a retrying neighbour pulls them.
+
+    Rootless operations (barrier, allreduce) survive even the root's
+    death (re-rooting to the lowest live rank); rooted operations whose
+    root dies fail with a clean [Error] {e without} poisoning the group —
+    the next operation proceeds over the survivors. A member that learns
+    it was itself evicted (a false positive under extreme delay) poisons
+    itself.
+
+    Healing mode runs every operation in two phases (up-first ops gain an
+    explicit commit broadcast, down-first ops an ack wave), costing one
+    extra tree traversal of empty frames; without [?heal] nothing
+    changes — the wire format, message counts and virtual-clock timings
+    are byte-identical to a non-healing build. *)
 
 exception Failed of string
 (** Raised by the blocking forms when the operation fails (deadline
@@ -51,15 +83,18 @@ type t
 (** One member's view of the group (bound to its rank). *)
 
 val create :
-  ?strategy:strategy -> ?deadline_ns:int -> Padico.t -> name:string ->
-  Simnet.Node.t list -> t array
+  ?strategy:strategy -> ?deadline_ns:int -> ?heal:Detect.config ->
+  Padico.t -> name:string -> Simnet.Node.t list -> t array
 (** Build a group over the nodes (rank = list position): one circuit via
     {!Padico.circuit}, one {!Selector.Netdb} partition, one member
     endpoint per rank. [strategy] defaults to [Multilevel]. [deadline_ns],
     when given, bounds every operation: a member whose operation has not
     completed after that much virtual time fails it with an [Error] (and
     poisons the group) instead of hanging — the fault-injection story for
-    collectives. *)
+    collectives. [heal], when given, makes the group self-healing (see
+    above) with the detector tuned by the config; healing groups keep
+    their detectors sweeping between operations, so call {!retire} when
+    done with a group or a virtual-clock run will never quiesce. *)
 
 val name : t -> string
 val rank : t -> int
@@ -132,3 +167,34 @@ val scatter : t -> root:int -> Engine.Bytebuf.t array -> Engine.Bytebuf.t
 
 val wan_messages : t -> int
 val wan_bytes : t -> int
+
+(** {1 Self-healing membership} *)
+
+val healing : t -> bool
+(** Whether the group was created with [?heal]. *)
+
+val epoch : t -> int
+(** Current membership epoch — the number of evicted ranks. 0 on a
+    non-healing group. *)
+
+val live_count : t -> int
+(** Ranks not (yet) evicted. [size] on a non-healing group. *)
+
+val dead_ranks : t -> int list
+(** Evicted ranks, ascending. *)
+
+val detector : t -> Detect.t option
+(** This member's failure detector, for stats and phi inspection. *)
+
+val restarts : t -> int
+(** How many times this member rewound and retried an in-flight
+    operation after an eviction. *)
+
+val evictions : t -> int
+(** How many member deaths this member has recorded. *)
+
+val retire : t -> unit
+(** Stop this member's failure detector and cancel any armed operation
+    deadline. A healing group's detectors re-arm their sweep forever;
+    a simulation (or a Hostio reactor) only quiesces once every member
+    is retired. No-op on non-healing groups. *)

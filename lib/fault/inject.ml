@@ -126,8 +126,12 @@ let arm t ({ Plan.at_ns; action } : Plan.event) =
       (fun () ->
          List.iter Segment.clear_blocked (Net.segments t.net))
 
-let apply net plan =
+let apply ?(base_ns = 0) net plan =
   let t = { net; fired = 0; pending = 0 } in
+  let plan =
+    if base_ns = 0 then plan
+    else List.map (fun ev -> { ev with Plan.at_ns = ev.Plan.at_ns + base_ns }) plan
+  in
   List.iter (arm t)
     (List.stable_sort
        (fun a b -> compare a.Plan.at_ns b.Plan.at_ns)

@@ -19,9 +19,13 @@
 
 type t
 
-val apply : Simnet.Net.t -> Plan.t -> t
+val apply : ?base_ns:int -> Simnet.Net.t -> Plan.t -> t
 (** Raises [Invalid_argument] when a plan references an unknown link or
-    node name. Segment names must be unambiguous within the plan's targets. *)
+    node name. Segment names must be unambiguous within the plan's targets.
+    [base_ns] (default 0) shifts every event: plans are authored relative
+    to a reference point — e.g. session establishment, which on the host
+    backend happens at an unpredictable wall-clock offset — and armed
+    against the absolute clock. *)
 
 val fired : t -> int
 (** Number of plan events executed so far (restore events of windowed

@@ -504,23 +504,32 @@ let sendv lc ~dst iov =
      | Some _ -> flush_pending t ~dst ~lchan:lc.id ~reason:"large"
      | None -> ());
     let credit = take_grant t ~dst ~lchan:lc.id in
-    if t.combining then
-      (* Header combining: the multiplexing header rides in the first
-         packet of the payload message (one Madeleine message, one DMA
-         post). *)
-      emit_combined t ~lchan:lc.id ~dst ~len ~credit ~count:0 iov
-    else begin
-      (* Ablation: header as its own message — a full extra message
-         through the whole driver stack. *)
-      let hdr = Mad.begin_packing t.hw_chan ~dst in
-      Mad.pack hdr
-        (encode_header ~lchan:lc.id ~len ~combined:false ~credit ~count:0 ());
-      Mad.end_packing hdr;
-      let out = Mad.begin_packing t.hw_chan ~dst in
-      List.iter (Mad.pack out) iov;
-      Simnet.Node.cpu_async t.mio_node Calib.madio_separate_ns (fun () -> ());
-      Mad.end_packing out
-    end
+    try
+      if t.combining then
+        (* Header combining: the multiplexing header rides in the first
+           packet of the payload message (one Madeleine message, one DMA
+           post). *)
+        emit_combined t ~lchan:lc.id ~dst ~len ~credit ~count:0 iov
+      else begin
+        (* Ablation: header as its own message — a full extra message
+           through the whole driver stack. *)
+        let hdr = Mad.begin_packing t.hw_chan ~dst in
+        Mad.pack hdr
+          (encode_header ~lchan:lc.id ~len ~combined:false ~credit ~count:0
+             ());
+        Mad.end_packing hdr;
+        let out = Mad.begin_packing t.hw_chan ~dst in
+        List.iter (Mad.pack out) iov;
+        Simnet.Node.cpu_async t.mio_node Calib.madio_separate_ns
+          (fun () -> ());
+        Mad.end_packing out
+      end
+    with Mad.Link_down _ ->
+      (* Same fail-fast drop as [flush_batch]: the message vanishes with
+         the carrier and the link watcher tears down the users above.
+         Without this the exception escapes a scheduler callback and
+         aborts the whole run instead of failing one flow. *)
+      ()
 
 let send lc ~dst buf = sendv lc ~dst [ buf ]
 

@@ -105,11 +105,22 @@ let map_event = function
    subscriptions inert. *)
 let mk_host_conn hs stream =
   let hc = { hc_stream = Some stream; hc_node = hs.hs_node; hc_dead = false } in
-  Simnet.Segment.on_link_state hs.hs_seg (fun up ->
-      if (not up) && not hc.hc_dead then begin
-        hc.hc_dead <- true;
-        Stream.reset stream
-      end);
+  let kill up =
+    if (not up) && not hc.hc_dead then begin
+      hc.hc_dead <- true;
+      Stream.reset stream
+    end
+  in
+  Simnet.Segment.on_link_state hs.hs_seg kill;
+  (* A node crash kills that node's real sockets the same way: the peer
+     sees an RST, which is exactly what a failure detector listening for
+     transport death needs. *)
+  Simnet.Node.on_state hs.hs_node kill;
+  (* The watcher only covers crashes after this point; a socket opened on
+     an already-crashed node must be stillborn, or the zombie keeps
+     talking — on simnet a down node cannot emit a single frame, and the
+     failure-detection stack depends on the host backend matching that. *)
+  if not (Simnet.Node.is_up hs.hs_node) then kill false;
   hc
 
 (* ---------- dispatch through the arbitration core ---------- *)

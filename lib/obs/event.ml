@@ -45,6 +45,8 @@ type t =
       bytes : int;
     }
   | Coll_wan of { group : string; op : string; dst : int; bytes : int }
+  | Detect of { action : string; peer : int; phi_milli : int }
+  | Member of { group : string; action : string; rank : int; epoch : int }
 
 let layer = function
   | Dispatch _ | Poll _ | Header _ | Madio_recv _ | Sysio_event _ ->
@@ -54,7 +56,8 @@ let layer = function
     Abstraction
   | Flow _ | Sched _ | Agg _ -> Arbitration
   | Choice _ -> Selection
-  | Fault _ | Vl_timeout _ | Retry _ | Failover _ -> Resilience
+  | Fault _ | Vl_timeout _ | Retry _ | Failover _ | Detect _ | Member _ ->
+    Resilience
 
 let layer_name = function
   | Arbitration -> "arbitration"
@@ -88,6 +91,8 @@ let name = function
   | Agg { action; _ } -> "agg." ^ action
   | Coll_stage _ -> "coll.stage"
   | Coll_wan _ -> "coll.wan"
+  | Detect { action; _ } -> "detect." ^ action
+  | Member { action; _ } -> "member." ^ action
 
 type arg = I of int | S of string | B of bool
 
@@ -133,6 +138,10 @@ let args = function
       ("level", S level); ("bytes", I bytes) ]
   | Coll_wan { group; op; dst; bytes } ->
     [ ("group", S group); ("op", S op); ("dst", I dst); ("bytes", I bytes) ]
+  | Detect { action = _; peer; phi_milli } ->
+    [ ("peer", I peer); ("phi_milli", I phi_milli) ]
+  | Member { group; action = _; rank; epoch } ->
+    [ ("group", S group); ("rank", I rank); ("epoch", I epoch) ]
 
 let pp fmt t =
   Format.fprintf fmt "%s[%s" (name t) (layer_name (layer t));

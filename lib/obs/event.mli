@@ -105,6 +105,20 @@ type t =
   | Coll_wan of { group : string; op : string; dst : int; bytes : int }
       (** A collective message crossed a WAN boundary (source and
           destination ranks live in different Netdb clusters). *)
+  | Detect of { action : string; peer : int; phi_milli : int }
+      (** Failure-detector transition about [peer]: [action] is "suspect"
+          (phi crossed the suspicion threshold), "refute" (a suspected peer
+          was heard from again), "confirm" (phi crossed the confirmation
+          threshold — the peer is declared dead) or "link-dead" (the
+          transport reported the peer's connection reset, confirming it
+          immediately). [phi_milli] is the accrued suspicion level x1000 at
+          the transition (-1 when confirmed by transport death). *)
+  | Member of { group : string; action : string; rank : int; epoch : int }
+      (** Self-healing group-membership transition on [group]: [action] is
+          "evict" (rank confirmed dead and removed from the membership),
+          "epoch" (the member moved to membership epoch [epoch]) or
+          "restart" (the in-flight collective was rewound and retried over
+          the shrunken membership). *)
 
 val layer : t -> layer
 

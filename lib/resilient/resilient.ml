@@ -140,6 +140,7 @@ and sess = {
   mutable cur_driver : string;
   mutable ops_attached : bool;
   mutable wd : Timewheel.timer option;
+  mutable estd_cbs : (unit -> unit) list;  (* fired on each establishment *)
 }
 
 type conn = sess
@@ -147,6 +148,10 @@ type conn = sess
 let clock_of s = Node.clock s.snode
 
 let now s = Engine.Clock.now (clock_of s)
+
+(* Establishment watchers run after the session bookkeeping settles, in
+   registration order. *)
+let fire_established s = List.iter (fun f -> f ()) (List.rev s.estd_cbs)
 
 (* ---------- send buffer ---------- *)
 
@@ -533,7 +538,8 @@ and handle_hello l ~session ~ack =
         s.ops_attached <- true;
         s.cur_driver <- l.ldriver;
         Vl.attach_ops s.outer (outer_ops s);
-        ln.laccept s.outer
+        ln.laccept s.outer;
+        fire_established s
       end
       else begin
         match Hashtbl.find_opt ln.sessions session with
@@ -554,7 +560,8 @@ and handle_hello l ~session ~ack =
           s.established <- true;
           s.cur_driver <- l.ldriver;
           write_frame l (hello_frame ~session ~ack:s.rcv_nxt);
-          transmit s
+          transmit s;
+          fire_established s
       end)
 
 and session_established s l ~session ~ack =
@@ -592,7 +599,8 @@ and session_established s l ~session ~ack =
     c.exclude <- [];
     Backoff.reset c.backoff;
     transmit s;
-    arm_watchdog s
+    arm_watchdog s;
+    fire_established s
 
 and handle_ack l ack =
   match l.lsess with
@@ -673,7 +681,7 @@ and make_sess cfg node role =
     tx_peak = 0;
     una_off = 0; snd_nxt = 0; buf_end = 0; rx = Streamq.create ();
     rcv_nxt = 0; switches = 0; total_retries = 0; total_downtime = 0;
-    cur_driver = "(none)"; ops_attached = false; wd = None }
+    cur_driver = "(none)"; ops_attached = false; wd = None; estd_cbs = [] }
   in
   let scope = Metrics.Node (Node.name node) in
   Metrics.gauge scope "resilient.txbuf_bytes" (fun () ->
@@ -790,6 +798,10 @@ let connect ?(config = default_config) pad ~src ~dst ~port =
   s
 
 let vl s = s.outer
+
+let on_established s f =
+  s.estd_cbs <- f :: s.estd_cbs;
+  if s.established then f ()
 
 type stats = {
   switches : int;

@@ -82,6 +82,14 @@ val vl : conn -> Vlink.Vl.t
     failovers; reads and writes posted during an outage are buffered and
     resume on the next link. *)
 
+val on_established : conn -> (unit -> unit) -> unit
+(** [on_established c f] runs [f] every time the session completes an
+    establishment handshake — the first dial and each successful failover.
+    If the session is already established, [f] also runs immediately.
+    Benchmarks use this to anchor fault plans at the moment the session is
+    actually up, which on the host backend happens at an unpredictable
+    wall-clock offset. *)
+
 type stats = {
   switches : int;  (** adapter changes (e.g. madio -> sysio) *)
   retries : int;  (** reconnect attempts over the session lifetime *)

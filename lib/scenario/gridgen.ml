@@ -12,12 +12,12 @@ type t = {
   wan : Simnet.Segment.t;
 }
 
-let generate ?seed ?prefs ?(san = Simnet.Presets.myrinet2000)
+let generate ?seed ?prefs ?backend ?(san = Simnet.Presets.myrinet2000)
     ?(wan = Simnet.Presets.vthd) ~clusters ~nodes_per_cluster () =
   if clusters < 1 then invalid_arg "Gridgen.generate: clusters < 1";
   if nodes_per_cluster < 1 then
     invalid_arg "Gridgen.generate: nodes_per_cluster < 1";
-  let grid = Padico.create ?seed ?prefs () in
+  let grid = Padico.create ?seed ?prefs ?backend () in
   let islands =
     List.init clusters (fun c ->
         List.init nodes_per_cluster (fun i ->

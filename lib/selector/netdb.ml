@@ -100,6 +100,44 @@ let build net group =
   in
   { size = n; cluster_of; members; position; levels }
 
+(* Remove a rank from the partition: filter it out of its cluster, drop the
+   cluster if that empties it, renumber clusters by (new) smallest member so
+   the numbering invariant survives, and re-derive positions. The evicted
+   rank maps to cluster -1 / position -1; querying it afterwards is a caller
+   bug. O(ranks). *)
+let evict t r =
+  if r < 0 || r >= t.size || t.cluster_of.(r) < 0 then t
+  else begin
+    let keep =
+      Array.to_list t.members
+      |> List.mapi (fun c m -> (t.levels.(c), Array.to_list m))
+      |> List.filter_map (fun (lvl, m) ->
+          match List.filter (fun x -> x <> r) m with
+          | [] -> None
+          | m' -> Some (lvl, m'))
+    in
+    (* Ascending smallest member = ascending head (members are sorted). *)
+    let keep =
+      List.sort (fun (_, a) (_, b) -> compare (List.hd a) (List.hd b)) keep
+    in
+    let count = List.length keep in
+    let cluster_of = Array.make t.size (-1) in
+    let position = Array.make t.size (-1) in
+    let members = Array.make count [||] in
+    let levels = Array.make count San in
+    List.iteri
+      (fun c (lvl, m) ->
+         members.(c) <- Array.of_list m;
+         levels.(c) <- lvl;
+         Array.iteri
+           (fun i x ->
+              cluster_of.(x) <- c;
+              position.(x) <- i)
+           members.(c))
+      keep;
+    { size = t.size; cluster_of; members; position; levels }
+  end
+
 let size t = t.size
 let cluster_count t = Array.length t.members
 let cluster_of t r = t.cluster_of.(r)

@@ -27,8 +27,20 @@ val build : Simnet.Net.t -> Simnet.Node.t array -> t
 (** Partition [group]'s ranks. Deterministic: clusters are numbered by
     their smallest member rank, ascending. O(ranks + segment ports). *)
 
+val evict : t -> int -> t
+(** [evict db rank] is the partition without [rank]: the rank disappears
+    from its cluster's member list (the cluster itself disappears if that
+    was its last member), clusters are renumbered by their new smallest
+    member, and positions are recomputed — so if the evicted rank was a
+    cluster's leader/proxy, {!leader} automatically designates the next
+    smallest survivor. [size] is unchanged: ranks keep their original
+    numbers. The evicted rank maps to cluster [-1]; querying it afterwards
+    is a caller error. Self-healing groups call this on each confirmed
+    member death. O(ranks). *)
+
 val size : t -> int
-(** Number of ranks in the group. *)
+(** Number of ranks in the group (including any evicted ranks — the
+    original numbering space). *)
 
 val cluster_count : t -> int
 

@@ -6,6 +6,7 @@ type t = {
   clock : Engine.Clock.t;
   mutable busy_until : int;
   mutable up : bool;
+  mutable state_watchers : (bool -> unit) list;
 }
 
 let next_uid = ref 0
@@ -15,7 +16,8 @@ let create ?clock sim ~id ~name =
   let clock =
     match clock with Some c -> c | None -> Engine.Sim.clock sim
   in
-  { id; uid = !next_uid; name; sim; clock; busy_until = 0; up = true }
+  { id; uid = !next_uid; name; sim; clock; busy_until = 0; up = true;
+    state_watchers = [] }
 
 let id t = t.id
 let uid t = t.uid
@@ -45,7 +47,13 @@ let cpu_busy_until t = t.busy_until
 
 let is_up t = t.up
 
-let set_up t up = t.up <- up
+let set_up t up =
+  if t.up <> up then begin
+    t.up <- up;
+    List.iter (fun f -> f up) t.state_watchers
+  end
+
+let on_state t f = t.state_watchers <- f :: t.state_watchers
 
 let spawn t ?name f =
   let name =

@@ -46,7 +46,13 @@ val is_up : t -> bool
 
 val set_up : t -> bool -> unit
 (** Crash ([false]) or restart ([true]) the node. Used by the fault
-    injector; idempotent. *)
+    injector; idempotent (watchers only fire on actual transitions). *)
+
+val on_state : t -> (bool -> unit) -> unit
+(** Subscribe to up/down transitions — the crash-visibility hook. The
+    Hostio backend bridges a crash to real-socket resets through this
+    (mirroring {!Segment.on_link_state} for carrier loss); watchers cannot
+    be removed, so subscribers must keep stale closures inert themselves. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle
 (** Spawn a process "running on" this node (naming/logging convenience). *)

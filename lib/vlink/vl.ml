@@ -172,13 +172,20 @@ let pump_writes t =
     done;
     t.pumping_writes <- false
 
+(* Completing a request can resume its waiter synchronously, and the waiter
+   may re-enter the VLink (post, poll, close). Empty both queues before
+   completing anything so reentrant observers never see a half-failed
+   queue or double-complete a request. *)
 let fail_all t msg =
-  let fail_queue q =
-    Queue.iter (fun req -> complete req (Error msg)) q;
-    Queue.clear q
+  let drain q =
+    let l = Queue.fold (fun acc r -> r :: acc) [] q in
+    Queue.clear q;
+    List.rev l
   in
-  fail_queue t.reads;
-  fail_queue t.writes
+  let rs = drain t.reads in
+  let ws = drain t.writes in
+  List.iter (fun req -> complete req (Error msg)) rs;
+  List.iter (fun req -> complete req (Error msg)) ws
 
 (* One-shot writable waiters fire after the queued writes have had first
    claim on the space — and unconditionally on terminal events, so a waiter
@@ -362,8 +369,18 @@ let await_connected t =
   | Failed_st m -> Error m
   | Closed -> Error "closed"
   | Connecting ->
+    (* The handler stays registered for the VLink's lifetime, but the
+       continuation must fire exactly once: a session that connects and
+       later fails would otherwise resume it a second time. *)
     Proc.suspend (fun resume ->
+        let fired = ref false in
+        let once r =
+          if not !fired then begin
+            fired := true;
+            resume r
+          end
+        in
         on_event t (function
-          | Connected -> resume (Ok ())
-          | Failed m -> resume (Error m)
+          | Connected -> once (Ok ())
+          | Failed m -> once (Error m)
           | Readable | Writable | Peer_closed -> ()))
