@@ -21,11 +21,12 @@ let experiments =
      Coll_bench.run);
     ("detect", "E14: self-healing collectives under member crash",
      Detect_bench.run);
+    ("edge", "E15: edge gateway at 100k connections", Edge_bench.run);
     ("micro", "wall-clock microbenchmarks", Micro_bench.run) ]
 
 (* Experiments meaningful on real sockets (the rest model SAN hardware,
    loss or virtual-time schedules the OS does not expose). *)
-let host_capable = [ "flow"; "detect"; "micro" ]
+let host_capable = [ "flow"; "detect"; "edge"; "micro" ]
 
 let usage () =
   print_endline "usage: bench/main.exe [--backend sim|host] [experiment]";
@@ -57,9 +58,13 @@ let () =
       List.filter (fun (n, _, _) -> List.mem n host_capable) experiments
     else experiments
   in
+  (* Each experiment builds fresh grids; dropping the uid-keyed module
+     registries between experiments keeps earlier grids (e.g. E13/E14's
+     1024-rank trees) from skewing later wall-clock measurements. *)
+  let run_isolated run = run (); Padico.reset () in
   match args with
   | [] | [ "all" ] ->
-    List.iter (fun (_, _, run) -> run ()) experiments;
+    List.iter (fun (_, _, run) -> run_isolated run) experiments;
     Bhelp.write_results ()
   | names ->
     (* Several experiment names run in one invocation so the accumulated
@@ -74,6 +79,6 @@ let () =
     in
     if List.exists Option.is_none runs then usage ()
     else begin
-      List.iter (function Some run -> run () | None -> ()) runs;
+      List.iter (function Some run -> run_isolated run | None -> ()) runs;
       Bhelp.write_results ()
     end

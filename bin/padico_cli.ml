@@ -602,7 +602,15 @@ let flow_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
   in
-  let run mbytes chunk mismatch window rx_high seed =
+  let budget_arg =
+    Arg.(value & flag
+         & info [ "budget" ]
+           ~doc:"Print the per-connection byte-budget report after the run: \
+                 live connections, resident buffer bytes and reaped \
+                 connections per node (the conn.count and \
+                 conn.bytes_resident gauges).")
+  in
+  let run mbytes chunk mismatch window rx_high seed budget =
     Padico_obs.Metrics.reset ();
     Padico_obs.Trace.enable ();
     let grid = Padico.create ~seed () in
@@ -715,6 +723,25 @@ let flow_cmd =
         (fun ((node, place, action), n) ->
            Printf.printf "  %-4s %-16s %-14s %6d\n" node place action n)
         rows
+    end;
+    if budget then begin
+      print_endline "per-connection byte budget:";
+      Printf.printf "  idle-connection floor: %d bytes (conn overhead)\n"
+        Drivers.Tcp.conn_overhead_bytes;
+      List.iter
+        (fun (node, name) ->
+           let sio = Netaccess.Sysio.get node in
+           let conns = Netaccess.Sysio.conn_count sio in
+           let resident = Netaccess.Sysio.bytes_resident sio in
+           let per_conn =
+             if conns = 0 then 0.0
+             else float_of_int resident /. float_of_int conns
+           in
+           Printf.printf
+             "  %-4s conns %4d  resident %8d B  (%.0f B/conn)  reaped %d\n"
+             name conns resident per_conn
+             (Netaccess.Sysio.conns_reaped sio))
+        [ (a, "a"); (b, "b") ]
     end
   in
   Cmd.v
@@ -723,7 +750,7 @@ let flow_cmd =
              with credit flow control and watermarks; print per-link \
              backpressure statistics (queue peaks, credits, flow events).")
     Term.(const run $ mbytes_arg $ chunk_arg $ mismatch_arg $ window_arg
-          $ rx_high_arg $ seed_arg)
+          $ rx_high_arg $ seed_arg $ budget_arg)
 
 (* ---------- sched ---------- *)
 

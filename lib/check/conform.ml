@@ -1099,6 +1099,165 @@ let resilient_exhausted ~plan policy =
   if st.Resilient.established then
     failf "session claims establishment across a permanent partition"
 
+(* ---------- edge churn ---------- *)
+
+(* Edge-gateway capacity mode under churn: an accept storm (every client
+   dials at t=0), mid-handshake disconnects (abort fired before the
+   SYN-ACK can arrive) and clients that reconnect reusing the same
+   logical port. The server echoes every byte. Under every schedule
+   policy: every surviving request must see its full echo, every
+   mid-handshake abort must leave no server-side connection behind, and
+   once the run quiesces the stacks must be empty — zero live
+   connections, zero resident bytes, and readiness queues fully drained
+   (no lost wakeups, no stuck sources). *)
+
+module Sysio = Netaccess.Sysio
+module Na = Netaccess.Na_core
+module Tcp = Drivers.Tcp
+
+let edge_churn ~plan policy =
+  let n_storm = 24 and n_rejoin = 4 and n_abort = 6 in
+  let port = 9400 and bufsize = 2048 in
+  let grid = Padico.create ~prefs:bare_prefs () in
+  let s = Padico.add_node grid "s" in
+  let c = Padico.add_node grid "c" in
+  let seg = Padico.add_segment grid Presets.ethernet100 ~name:"lan" [ s; c ] in
+  Sim.set_policy (Padico.sim grid) policy;
+  (match plan with
+   | None -> ()
+   | Some p -> ignore (Padico_fault.Inject.apply (Padico.net grid) p));
+  let sio_s = Sysio.get s and sio_c = Sysio.get c in
+  Sysio.set_edge sio_s;
+  Sysio.set_edge sio_c;
+  let st_s = Sysio.stack_on sio_s seg in
+  let st_c = Sysio.stack_on sio_c seg in
+  (* Echo server: read everything available, write it back, and keep the
+     unwritten tail in a backlog flushed on [Writable]. *)
+  let accepted = ref 0 in
+  Sysio.listen ~sndbuf:bufsize ~rcvbuf:bufsize sio_s st_s ~port
+    (fun conn ->
+       incr accepted;
+       let backlog = ref [] in
+       let rec flush () =
+         match !backlog with
+         | [] -> ()
+         | b :: rest ->
+           let w = Sysio.write conn b in
+           if w = Bb.length b then begin
+             backlog := rest;
+             flush ()
+           end
+           else if w > 0 then
+             backlog := Bb.sub b w (Bb.length b - w) :: rest
+       in
+       let rec pump () =
+         match Sysio.read conn ~max:bufsize with
+         | None -> ()
+         | Some b ->
+           backlog := !backlog @ [ b ];
+           pump ()
+       in
+       let teardown () =
+         Sysio.unwatch sio_s conn;
+         Sysio.close conn
+       in
+       Sysio.watch sio_s conn (function
+         | Tcp.Readable -> pump (); flush ()
+         | Tcp.Writable -> flush ()
+         | Tcp.Peer_closed -> pump (); flush (); teardown ()
+         | Tcp.Reset -> Sysio.unwatch sio_s conn
+         | Tcp.Established -> ());
+       (* Edge-triggered catch-up: events that fired between [Established]
+          and this accept callback landed before the watch. *)
+       if Sysio.readable_bytes conn > 0 then begin
+         pump ();
+         flush ()
+       end;
+       if Sysio.peer_closed conn then teardown ());
+  let established = ref 0 and served = ref 0 and aborted = ref 0 in
+  let rec dial ~size ~rejoin =
+    let sent = ref 0 and got = ref 0 in
+    let payload = Bb.create bufsize in
+    let push cn =
+      let continue = ref true in
+      while !sent < size && !continue do
+        let n = min (size - !sent) (Bb.length payload) in
+        let w = Sysio.write cn (Bb.sub payload 0 n) in
+        if w = 0 then continue := false else sent := !sent + w
+      done
+    in
+    ignore
+      (Sysio.connect ~sndbuf:bufsize ~rcvbuf:bufsize sio_c st_c
+         ~dst:(Node.id s) ~port (fun cn ev ->
+             match ev with
+             | Tcp.Established ->
+               incr established;
+               push cn
+             | Tcp.Writable -> push cn
+             | Tcp.Readable ->
+               let rec drain () =
+                 match Sysio.read cn ~max:bufsize with
+                 | None -> ()
+                 | Some b ->
+                   got := !got + Bb.length b;
+                   drain ()
+               in
+               drain ();
+               if !got >= size then begin
+                 incr served;
+                 Sysio.unwatch sio_c cn;
+                 Sysio.close cn;
+                 if rejoin then dial ~size ~rejoin:false
+               end
+             | Tcp.Peer_closed ->
+               Sysio.unwatch sio_c cn;
+               Sysio.close cn
+             | Tcp.Reset -> Sysio.unwatch sio_c cn))
+  in
+  for i = 0 to n_storm - 1 do
+    dial ~size:(256 + (160 * i)) ~rejoin:(i < n_rejoin)
+  done;
+  for _ = 1 to n_abort do
+    let cn =
+      Sysio.connect ~sndbuf:bufsize ~rcvbuf:bufsize sio_c st_c
+        ~dst:(Node.id s) ~port (fun _ _ -> ())
+    in
+    (* 1 us is far below the LAN round-trip: the RST overtakes the
+       handshake, a genuine mid-dial disconnect. *)
+    Clock.after (Node.clock c) (Time.us 1) (fun () ->
+        Sysio.abort cn;
+        Sysio.unwatch sio_c cn;
+        incr aborted)
+  done;
+  Padico.run grid ~until:(Time.sec 60);
+  let want = n_storm + n_rejoin in
+  if !established <> want then
+    failf "established %d of %d connections" !established want;
+  if !served <> want then failf "served %d of %d echo requests" !served want;
+  if !aborted <> n_abort then
+    failf "fired %d of %d mid-handshake aborts" !aborted n_abort;
+  List.iter
+    (fun (sio, who) ->
+       let live = Sysio.conn_count sio in
+       if live <> 0 then
+         failf "%s still holds %d live connections after full churn" who live;
+       let resident = Sysio.bytes_resident sio in
+       if resident <> 0 then
+         failf "%s still holds %d resident bytes after full churn" who
+           resident)
+    [ (sio_s, "server"); (sio_c, "client") ];
+  if Sysio.conns_reaped sio_s < n_storm then
+    failf "server reaped only %d connections (want >= %d)"
+      (Sysio.conns_reaped sio_s) n_storm;
+  List.iter
+    (fun (n, who) ->
+       let core = Na.get n in
+       let depth = Na.ready_depth core in
+       if depth <> 0 then
+         failf "%s readiness queue not drained: depth %d of %d sources" who
+           depth (Na.source_count core))
+    [ (s, "server"); (c, "client") ]
+
 (* ---------- demo ordering bug (guarded) ---------- *)
 
 (* A deliberate register-after-dispatch bug in miniature, compiled in but
@@ -1209,6 +1368,10 @@ let cases ?(demo = false) () =
     [ { case_name = "resilient-fault/exhaustion";
         run = (fun ~plan policy -> resilient_exhausted ~plan policy) } ]
   in
+  let edge_cases =
+    [ { case_name = "edge-churn/storm";
+        run = (fun ~plan policy -> edge_churn ~plan policy) } ]
+  in
   let demo_cases =
     if demo then
       [ { case_name = "demo/ordering";
@@ -1216,7 +1379,7 @@ let cases ?(demo = false) () =
     else []
   in
   vlink @ circuit @ coll @ coll_fault @ coll_heal_cases @ chaos_cases
-  @ resilient_fault @ demo_cases
+  @ resilient_fault @ edge_cases @ demo_cases
 
 (* The host-backend subset: the same obligations, real sockets. Only the
    fixtures whose transports exist on the host qualify (loopback's

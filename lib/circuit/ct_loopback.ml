@@ -5,6 +5,7 @@ let adapter_name = "loopback"
 (* Local registry so two circuit instances co-located on one node (distinct
    ranks, same node) can reach each other. *)
 let local_instances : (int * string * int, Ct.t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset local_instances)
 
 let register ct =
   Hashtbl.replace local_instances

@@ -376,4 +376,6 @@ let run ?until t =
 
 let now t = Engine.Clock.now (Net.clock t.pnet)
 
+let reset () = Engine.Lifecycle.reset_registries ()
+
 let spawn t node ?name f = Net.spawn t.pnet node ?name f

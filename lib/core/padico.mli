@@ -103,6 +103,15 @@ val now : t -> int
 (** Current time on the grid's clock: virtual ns ([Sim]) or monotonic
     wall ns ([Host]). *)
 
+val reset : unit -> unit
+(** Drop every module-level registry (TCP stacks, NetAccess dispatchers,
+    adapter instances, metrics, ...) left behind by previous grids.
+    Grids are never reused across scenarios, but the uid-keyed registry
+    tables keep each one reachable; a process that runs many scenarios
+    back to back (bench runner, conformance kit, capacity sweeps) calls
+    this between them so dead grids stop occupying the heap. Must not
+    be called while any grid is still in use. *)
+
 val spawn :
   t -> Simnet.Node.t -> ?name:string -> (unit -> unit) -> Engine.Proc.handle
 

@@ -10,6 +10,7 @@ type config = {
   suspect_phi : float;
   confirm_phi : float;
   wan_floor : int;
+  wheel_timers : bool;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     suspect_phi = 1.0;
     confirm_phi = 2.0;
     wan_floor = 4;
+    wheel_timers = false;
   }
 
 type verdict = Alive | Suspect | Confirmed
@@ -51,7 +53,7 @@ type t = {
   mutable order : int array;  (* sorted ranks: the sweep is deterministic *)
   mutable run : bool;
   mutable cbs : cbs option;
-  mutable tick_timer : Clock.timer option;
+  mutable tick_timer : (unit -> unit) option; (* cancel thunk *)
   mutable hb_sent : int;
   mutable suspects : int;
   mutable refutes : int;
@@ -260,14 +262,32 @@ let rec tick (t : t) =
                  match t.cbs with Some c -> c.send_hb r | None -> ()
                end)
         order;
-      if t.run then
-        t.tick_timer <- Some (Clock.arm t.clock t.cfg.interval_ns (fun () -> tick t))
+      if t.run then t.tick_timer <- Some (arm_tick t)
     end
+  end
+
+(* With [wheel_timers], thousands of detectors share one engine event per
+   occupied wheel slot instead of one heap entry each; ticks land at slot
+   granularity. The default keeps the exact heap timer the deterministic
+   detection schedules pin. *)
+and arm_tick t =
+  if t.cfg.wheel_timers then begin
+    let tm =
+      Padico_fault.Timewheel.arm
+        (Padico_fault.Timewheel.for_clock t.clock)
+        ~after_ns:t.cfg.interval_ns
+        (fun () -> tick t)
+    in
+    fun () -> Padico_fault.Timewheel.cancel tm
+  end
+  else begin
+    let tm = Clock.arm t.clock t.cfg.interval_ns (fun () -> tick t) in
+    fun () -> Clock.cancel tm
   end
 
 let stop t =
   t.run <- false;
-  (match t.tick_timer with Some tm -> Clock.cancel tm | None -> ());
+  (match t.tick_timer with Some cancel -> cancel () | None -> ());
   t.tick_timer <- None
 
 let start t ~send_hb ?(on_suspect = fun _ -> ()) ?(on_refute = fun _ -> ())
@@ -275,7 +295,7 @@ let start t ~send_hb ?(on_suspect = fun _ -> ()) ?(on_refute = fun _ -> ())
   stop t;
   t.cbs <- Some { send_hb; on_suspect; on_refute; on_confirm };
   t.run <- true;
-  t.tick_timer <- Some (Clock.arm t.clock t.cfg.interval_ns (fun () -> tick t))
+  t.tick_timer <- Some (arm_tick t)
 
 let create ?(config = default_config) ~name node =
   let t =

@@ -37,6 +37,7 @@ and t = {
 exception No_channel_left
 
 let ports : (int * int, t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset ports)
 
 let node t = t.node
 let segment t = t.seg

@@ -65,7 +65,10 @@ type conn = {
   rport : int;
   mutable st : state;
   (* --- send side --- *)
-  sndring : ring;
+  (* Allocated on the first [write]: an accepted-but-quiet connection (the
+     common state at edge-gateway scale) carries no ring at all. *)
+  mutable sndring : ring option;
+  sndbuf_cap : int;
   mutable snd_una : int; (* oldest unacknowledged sequence *)
   mutable snd_nxt : int; (* next sequence to transmit *)
   mutable wseq : int; (* next sequence the application will write *)
@@ -85,6 +88,7 @@ type conn = {
   mutable timer_gen : int;
   mutable timer_armed : bool;
   mutable syn_attempts : int;
+  mutable strikes : int; (* consecutive RTO firings without ACK progress *)
   mutable persist_armed : bool;
   (* --- receive side --- *)
   mutable rcv_nxt : int;
@@ -106,15 +110,25 @@ type conn = {
   mutable rx_bytes : int;
 }
 
+and listener = { l_accept : conn -> unit; l_sndbuf : int; l_rcvbuf : int }
+
 and stack = {
   seg : Simnet.Segment.t;
   snode : Simnet.Node.t;
   conns : (int * int * int, conn) Hashtbl.t; (* (lport, rnode, rport) *)
-  listeners : (int, conn -> unit) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
   mutable next_ephemeral : int;
+  (* Capacity-mode capabilities, all off by default so the classic paths
+     stay byte-identical (exact virtual-time pins in test_sched). *)
+  mutable timer_svc : (after_ns:int -> (unit -> unit) -> unit) option;
+      (* RTO/persist timers go here instead of the engine heap when set *)
+  mutable reap : bool; (* remove fully-closed conns from [conns] *)
+  mutable pooled_rings : bool; (* send rings from Bytebuf.Pool size classes *)
+  mutable reaped : int;
 }
 
 let stacks : (int * int, stack) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset stacks)
 
 let node s = s.snode
 let segment s = s.seg
@@ -133,6 +147,37 @@ let retransmit_breakdown c = (c.rto_events, c.fast_events, c.partial_events)
 let bytes_sent c = c.tx_bytes
 let bytes_received c = c.rx_bytes
 let sim c = Simnet.Segment.sim c.stack.seg
+
+(* Per-connection timers (RTO, persist probes) go through the stack's
+   injected timer service when one is set — at edge-gateway scale that is a
+   slotted timewheel, so 100k retransmit timers cost one engine event per
+   occupied slot instead of one each. Default: the engine heap, verbatim. *)
+let tcp_after c ns f =
+  match c.stack.timer_svc with
+  | Some svc -> svc ~after_ns:ns f
+  | None -> Sim.after (sim c) ns f
+
+(* The send ring is allocated on first write (never for accepted-but-quiet
+   connections) and, when the stack pools rings, recycled through the
+   size-classed slab pool across the connect/disconnect churn. *)
+let get_ring c =
+  match c.sndring with
+  | Some r -> r
+  | None ->
+    let r =
+      if c.stack.pooled_rings then
+        { rdata = Bytebuf.Pool.alloc_bytes c.sndbuf_cap; rcap = c.sndbuf_cap }
+      else ring_create c.sndbuf_cap
+    in
+    c.sndring <- Some r;
+    r
+
+let release_ring c =
+  match c.sndring with
+  | None -> ()
+  | Some r ->
+    c.sndring <- None;
+    if c.stack.pooled_rings then Bytebuf.Pool.release_bytes r.rdata
 
 (* Advertised window counts only undelivered in-order data (as in BSD: the
    reassembly queue is not charged against the socket buffer until
@@ -179,12 +224,28 @@ let cancel_timer c =
   c.timer_gen <- c.timer_gen + 1;
   c.timer_armed <- false
 
+(* Fully-closed connections leave the stack's table when reaping is on
+   (edge/capacity mode): the classic default keeps them forever, exactly as
+   before — a late segment for a reaped connection is answered with RST,
+   which the default path must never emit (it would perturb loss RNG). *)
+let reap_conn c =
+  if c.stack.reap && c.st = Closed_st then begin
+    cancel_timer c;
+    release_ring c;
+    let key = (c.lport, c.rnode, c.rport) in
+    match Hashtbl.find_opt c.stack.conns key with
+    | Some c' when c' == c ->
+      Hashtbl.remove c.stack.conns key;
+      c.stack.reaped <- c.stack.reaped + 1
+    | Some _ | None -> ()
+  end
+
 let rec arm_timer c =
   if (not c.timer_armed) && c.st <> Closed_st && outstanding c then begin
     c.timer_armed <- true;
     c.timer_gen <- c.timer_gen + 1;
     let gen = c.timer_gen in
-    Sim.after (sim c) c.rto (fun () ->
+    tcp_after c c.rto (fun () ->
         if gen = c.timer_gen && c.st <> Closed_st then begin
           c.timer_armed <- false;
           if outstanding c then on_timeout c
@@ -214,17 +275,43 @@ and on_timeout c =
        (* Give up like ETIMEDOUT: the peer has no reachable TCP service. *)
        c.st <- Closed_st;
        cancel_timer c;
-       c.cb Reset
+       c.cb Reset;
+       reap_conn c
      end
      else
        send_seg c ~flags:{ syn = true; ack = false; fin = false; rst = false }
          ~seq:c.snd_una (Bytebuf.create 0)
    | Syn_received ->
-     send_seg c ~flags:{ syn = true; ack = true; fin = false; rst = false }
-       ~seq:c.snd_una (Bytebuf.create 0)
+     c.syn_attempts <- c.syn_attempts + 1;
+     if c.stack.reap && c.syn_attempts >= 5 then begin
+       (* Capacity mode: give up on a half-open passive connection whose
+          dialer vanished mid-handshake (its RST was lost) — otherwise the
+          SYN-ACK retransmits forever and the gateway leaks the slot. The
+          connection was never accepted, so there is no callback to fire.
+          Classic mode keeps the historical endless retransmission. *)
+       c.st <- Closed_st;
+       cancel_timer c;
+       reap_conn c
+     end
+     else
+       send_seg c ~flags:{ syn = true; ack = true; fin = false; rst = false }
+         ~seq:c.snd_una (Bytebuf.create 0)
    | Established_st | Fin_wait | Close_wait ->
-     c.snd_nxt <- c.snd_una;
-     try_output c
+     c.strikes <- c.strikes + 1;
+     if c.stack.reap && c.strikes >= 10 then begin
+       (* Capacity mode: ETIMEDOUT after 10 consecutive unanswered
+          retransmissions — the peer is gone (reset lost, host vanished).
+          Surface it as a reset so the watcher tears the connection
+          down. *)
+       c.st <- Closed_st;
+       cancel_timer c;
+       c.cb Reset;
+       reap_conn c
+     end
+     else begin
+       c.snd_nxt <- c.snd_una;
+       try_output c
+     end
    | Closed_st -> ());
   arm_timer c
 
@@ -241,7 +328,7 @@ and try_output c =
       let pending = c.wseq - c.snd_nxt in
       if pending > 0 && usable > 0 then begin
         let len = min (min m pending) usable in
-        let payload = ring_read c.sndring ~seq:c.snd_nxt ~len in
+        let payload = ring_read (get_ring c) ~seq:c.snd_nxt ~len in
         (* One RTT sample in flight at a time (Karn: only new data). *)
         if c.rtt_seq = None then begin
           c.rtt_seq <- Some (c.snd_nxt + len);
@@ -256,10 +343,10 @@ and try_output c =
       then begin
         (* Zero-window probe. *)
         c.persist_armed <- true;
-        Sim.after (sim c) c.rto (fun () ->
+        tcp_after c c.rto (fun () ->
             c.persist_armed <- false;
             if c.st <> Closed_st && c.rwnd = 0 && c.wseq > c.snd_nxt then begin
-              let payload = ring_read c.sndring ~seq:c.snd_nxt ~len:1 in
+              let payload = ring_read (get_ring c) ~seq:c.snd_nxt ~len:1 in
               send_seg c ~seq:c.snd_nxt payload;
               c.snd_nxt <- c.snd_nxt + 1;
               arm_timer c
@@ -282,14 +369,14 @@ let make_conn stack ~lport ~rnode ~rport ~st ~sndbuf ~rcvbuf =
   let handshake = st = Syn_sent || st = Syn_received in
   let c =
     { stack; lport; rnode; rport; st;
-      sndring = ring_create sndbuf;
+      sndring = None; sndbuf_cap = sndbuf;
       snd_una = (if handshake then 0 else 1);
       snd_nxt = 1; wseq = 1; fin_pending = false; fin_seq = -1;
       cwnd = 2 * mss stack; ssthresh = 1 lsl 30;
       rwnd = default_bufsize; dupacks = 0; in_recovery = false; recover = 0;
       srtt = 0.0; rttvar = 0.0; rto = initial_rto; rtt_seq = None;
       rtt_time = 0; timer_gen = 0; timer_armed = false; syn_attempts = 0;
-      persist_armed = false;
+      strikes = 0; persist_armed = false;
       rcv_nxt = 1; ooo = Hashtbl.create 8; rcvq = Queue.create ();
       rcvq_len = 0; ooo_len = 0; rcvbuf_cap = rcvbuf; last_wnd_sent = rcvbuf;
       peer_fin = None; peer_closed_delivered = false;
@@ -354,7 +441,9 @@ let drain_ooo c =
 let enter_close_states c =
   let our_fin_acked = c.fin_seq >= 0 && c.snd_una > c.fin_seq in
   match (c.peer_fin, our_fin_acked) with
-  | Some fin_seq, true when c.rcv_nxt > fin_seq -> c.st <- Closed_st
+  | Some fin_seq, true when c.rcv_nxt > fin_seq ->
+    c.st <- Closed_st;
+    reap_conn c
   | Some _, _ -> if c.st = Established_st then c.st <- Close_wait
   | None, _ -> if c.fin_pending && c.st = Established_st then c.st <- Fin_wait
 
@@ -364,6 +453,7 @@ let handle_ack c ~ackno ~wnd ~paylen =
   if ackno > c.snd_una then begin
     let acked = ackno - c.snd_una in
     c.snd_una <- ackno;
+    c.strikes <- 0;
     update_rtt c;
     let m = mss c.stack in
     if c.in_recovery && ackno >= c.recover then begin
@@ -375,7 +465,7 @@ let handle_ack c ~ackno ~wnd ~paylen =
       (* NewReno partial ack: retransmit the next hole, deflate. *)
       let len = min m (c.wseq - c.snd_una) in
       if len > 0 then begin
-        let payload = ring_read c.sndring ~seq:c.snd_una ~len in
+        let payload = ring_read (get_ring c) ~seq:c.snd_una ~len in
         send_seg c ~seq:c.snd_una payload;
         c.retransmits <- c.retransmits + 1;
         c.partial_events <- c.partial_events + 1;
@@ -394,7 +484,7 @@ let handle_ack c ~ackno ~wnd ~paylen =
     arm_timer c;
     try_output c;
     enter_close_states c;
-    if c.wseq - c.snd_una < c.sndring.rcap then c.cb Writable
+    if c.wseq - c.snd_una < c.sndbuf_cap then c.cb Writable
   end
   else if ackno = c.snd_una && outstanding c && paylen = 0 && wnd = old_rwnd
   then begin
@@ -415,7 +505,7 @@ let handle_ack c ~ackno ~wnd ~paylen =
       c.rtt_seq <- None;
       let len = min m (c.wseq - c.snd_una) in
       if len > 0 then begin
-        let payload = ring_read c.sndring ~seq:c.snd_una ~len in
+        let payload = ring_read (get_ring c) ~seq:c.snd_una ~len in
         send_seg c ~seq:c.snd_una payload
       end
       else if c.fin_seq = c.snd_una then
@@ -443,7 +533,8 @@ let rec handle_conn_segment c (seg : wire_seg) =
     if c.st <> Closed_st then begin
       c.st <- Closed_st;
       cancel_timer c;
-      c.cb Reset
+      c.cb Reset;
+      reap_conn c
     end
   end
   else
@@ -516,16 +607,16 @@ let handle_segment stack (pkt : Simnet.Packet.t) (seg : wire_seg) =
     if seg.flags.rst then ()
     else if seg.flags.syn && not seg.flags.ack then begin
       match Hashtbl.find_opt stack.listeners seg.dport with
-      | Some accept_cb ->
+      | Some l ->
         let c =
           make_conn stack ~lport:seg.dport ~rnode:pkt.Simnet.Packet.src
-            ~rport:seg.sport ~st:Syn_received ~sndbuf:default_bufsize
-            ~rcvbuf:default_bufsize
+            ~rport:seg.sport ~st:Syn_received ~sndbuf:l.l_sndbuf
+            ~rcvbuf:l.l_rcvbuf
         in
         c.rcv_nxt <- seg.seq + 1;
         c.rwnd <- seg.wnd;
         (* Remember the acceptor; fired when reaching Established. *)
-        c.cb <- (fun ev -> if ev = Established then accept_cb c);
+        c.cb <- (fun ev -> if ev = Established then l.l_accept c);
         send_seg c ~flags:{ syn = true; ack = true; fin = false; rst = false }
           ~seq:0 (Bytebuf.create 0);
         arm_timer c
@@ -556,17 +647,20 @@ let attach seg node =
   | None ->
     let s =
       { seg; snode = node; conns = Hashtbl.create 16;
-        listeners = Hashtbl.create 8; next_ephemeral = 32_768 }
+        listeners = Hashtbl.create 8; next_ephemeral = 32_768;
+        timer_svc = None; reap = false; pooled_rings = false; reaped = 0 }
     in
     Simnet.Segment.set_handler seg node ~proto:Simnet.Packet.Proto.tcp
       (handle_packet s);
     Hashtbl.replace stacks key s;
     s
 
-let listen stack ~port cb =
+let listen ?(sndbuf = default_bufsize) ?(rcvbuf = default_bufsize) stack ~port
+    cb =
   if Hashtbl.mem stack.listeners port then
     invalid_arg (Printf.sprintf "Tcp.listen: port %d already bound" port);
-  Hashtbl.replace stack.listeners port cb
+  Hashtbl.replace stack.listeners port
+    { l_accept = cb; l_sndbuf = sndbuf; l_rcvbuf = rcvbuf }
 
 let unlisten stack ~port = Hashtbl.remove stack.listeners port
 
@@ -587,16 +681,16 @@ let write c (buf : Bytebuf.t) =
   | Closed_st -> invalid_arg "Tcp.write: connection closed"
   | Syn_sent | Syn_received | Established_st | Fin_wait | Close_wait ->
     if c.fin_pending then invalid_arg "Tcp.write: already shut down";
-    let space = c.sndring.rcap - (c.wseq - c.snd_una) in
+    let space = c.sndbuf_cap - (c.wseq - c.snd_una) in
     let n = min space (Bytebuf.length buf) in
     if n > 0 then begin
-      ring_write c.sndring ~seq:c.wseq buf ~src_off:0 ~len:n;
+      ring_write (get_ring c) ~seq:c.wseq buf ~src_off:0 ~len:n;
       c.wseq <- c.wseq + n;
       try_output c
     end;
     n
 
-let write_space c = c.sndring.rcap - (c.wseq - c.snd_una)
+let write_space c = c.sndbuf_cap - (c.wseq - c.snd_una)
 
 let readable_bytes c = c.rcvq_len
 
@@ -645,6 +739,7 @@ let close c =
   | Syn_sent ->
     c.st <- Closed_st;
     cancel_timer c;
+    release_ring c;
     Hashtbl.remove c.stack.conns (c.lport, c.rnode, c.rport)
   | Syn_received | Established_st | Fin_wait | Close_wait ->
     if not c.fin_pending then begin
@@ -659,5 +754,34 @@ let abort c =
       ~ackno:c.rcv_nxt;
     c.st <- Closed_st;
     cancel_timer c;
+    release_ring c;
     Hashtbl.remove c.stack.conns (c.lport, c.rnode, c.rport)
   end
+
+(* ---------- capacity-mode capabilities and accounting ---------- *)
+
+let set_timer_service stack svc = stack.timer_svc <- Some svc
+
+let set_reap stack v = stack.reap <- v
+
+let set_pooled_rings stack v = stack.pooled_rings <- v
+
+let reaped stack = stack.reaped
+
+let conn_count stack = Hashtbl.length stack.conns
+
+(* Fixed estimate of the connection record, its hashtable slot and the
+   empty receive structures (queue, 8-bucket ooo table) on a 64-bit
+   runtime: ~50 words of record + ~14 words of containers, rounded up.
+   The memory-budget regression test pins the reported per-connection
+   total against this constant, so accidental per-connection allocations
+   show up as a budget violation rather than only as RSS at 100k. *)
+let conn_overhead_bytes = 512
+
+let conn_resident_bytes c =
+  conn_overhead_bytes
+  + (match c.sndring with Some r -> r.rcap | None -> 0)
+  + c.rcvq_len + c.ooo_len
+
+let resident_bytes stack =
+  Hashtbl.fold (fun _ c acc -> acc + conn_resident_bytes c) stack.conns 0

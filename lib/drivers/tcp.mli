@@ -42,9 +42,13 @@ val node : stack -> Simnet.Node.t
 val segment : stack -> Simnet.Segment.t
 val mss : stack -> int
 
-val listen : stack -> port:int -> (conn -> unit) -> unit
+val listen :
+  ?sndbuf:int -> ?rcvbuf:int -> stack -> port:int -> (conn -> unit) -> unit
 (** Accept connections on [port]; the callback fires once per connection
-    when it reaches [Established]. Raises if the port is taken. *)
+    when it reaches [Established]. Raises if the port is taken. [sndbuf] /
+    [rcvbuf] size the buffers of {e accepted} connections (default
+    {!default_bufsize}) — edge gateways listen with small buffers so 100k
+    accepted connections fit a fixed byte budget. *)
 
 val unlisten : stack -> port:int -> unit
 
@@ -101,3 +105,47 @@ val retransmit_breakdown : conn -> int * int * int
 
 val bytes_sent : conn -> int
 val bytes_received : conn -> int
+
+(** {2 Capacity-mode capabilities}
+
+    All off by default; the classic stack behaves exactly as before (the
+    exact virtual-time pins in test_sched prove the default path is
+    untouched). SysIO's edge mode turns them on per stack. *)
+
+val set_timer_service :
+  stack -> (after_ns:int -> (unit -> unit) -> unit) -> unit
+(** Route per-connection timers (RTO, zero-window persist) through the
+    given arming function instead of the engine event heap — at scale, a
+    {!Padico_fault.Timewheel}, so 100k armed retransmit timers cost one
+    engine event per occupied slot. *)
+
+val set_reap : stack -> bool -> unit
+(** When on, fully-closed connections (FIN handshake complete, RST, or
+    SYN give-up) are removed from the stack's table and their pooled
+    buffers released. Off (default): closed connections are kept, and no
+    RST is ever emitted for a late segment to one — the historical
+    behaviour the deterministic replays pin. *)
+
+val set_pooled_rings : stack -> bool -> unit
+(** Allocate send rings from the {!Engine.Bytebuf.Pool} size-classed slab
+    pool (and return them on reap/close) instead of fresh [Bytes]. *)
+
+val reaped : stack -> int
+(** Connections removed by {!set_reap}. *)
+
+(** {2 Byte-budget accounting} *)
+
+val conn_overhead_bytes : int
+(** Documented fixed estimate of one connection's record + container
+    overhead; the basis of the per-connection byte budget. *)
+
+val conn_resident_bytes : conn -> int
+(** [conn_overhead_bytes] + allocated send ring + buffered receive bytes
+    (in-order and out-of-order). An idle accepted connection reports
+    exactly [conn_overhead_bytes]: its ring is lazy. *)
+
+val conn_count : stack -> int
+
+val resident_bytes : stack -> int
+(** Sum of {!conn_resident_bytes} over the stack's table (O(connections);
+    meant for gauges and the [flow --budget] report, not hot paths). *)

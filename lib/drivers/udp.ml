@@ -12,6 +12,7 @@ type t = {
 }
 
 let endpoints : (int * int, t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset endpoints)
 
 let header_bytes = 28
 

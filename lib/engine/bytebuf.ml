@@ -116,10 +116,51 @@ module Pool = struct
   let pool_misses () = !misses
   let pooled () = List.length !free
 
+  (* Size-classed slabs for long-lived per-connection buffers (TCP send
+     rings are the motivating user: one ring per connection, released and
+     reused across the connect/disconnect churn of an edge gateway). The
+     class key is the exact byte length: connection buffers come in a
+     handful of configured sizes, so the table stays tiny. *)
+  let sized : (int, bytes list) Hashtbl.t = Hashtbl.create 8
+
+  let sized_hits_c = ref 0
+  let sized_misses_c = ref 0
+  let sized_parked = ref 0 (* bytes sitting in the sized free lists *)
+
+  let alloc_bytes n =
+    if n <= 0 then invalid_arg "Bytebuf.Pool.alloc_bytes: non-positive length";
+    match Hashtbl.find_opt sized n with
+    | Some (b :: rest) ->
+      Hashtbl.replace sized n rest;
+      incr sized_hits_c;
+      sized_parked := !sized_parked - n;
+      b
+    | Some [] | None ->
+      incr sized_misses_c;
+      Bytes.create n
+
+  let release_bytes b =
+    let n = Bytes.length b in
+    if n > 0 then begin
+      let cur =
+        match Hashtbl.find_opt sized n with Some l -> l | None -> []
+      in
+      Hashtbl.replace sized n (b :: cur);
+      sized_parked := !sized_parked + n
+    end
+
+  let sized_hits () = !sized_hits_c
+  let sized_misses () = !sized_misses_c
+  let sized_parked_bytes () = !sized_parked
+
   let reset () =
     free := [];
     hits := 0;
-    misses := 0
+    misses := 0;
+    Hashtbl.reset sized;
+    sized_hits_c := 0;
+    sized_misses_c := 0;
+    sized_parked := 0
 end
 
 let get b i =

@@ -98,5 +98,27 @@ module Pool : sig
   val pooled : unit -> int
   (** Slabs currently sitting in the free list. *)
 
+  (** {3 Size-classed slabs}
+
+      A second free-list family for {e long-lived} fixed-size buffers —
+      per-connection TCP send rings under connect/disconnect churn. Each
+      distinct requested length is its own class; contents of a reused
+      slab are unspecified. *)
+
+  val alloc_bytes : int -> bytes
+  (** [alloc_bytes n] is an [n]-byte raw buffer, reusing a released one of
+      the same length when available. Raises [Invalid_argument] when
+      [n <= 0]. *)
+
+  val release_bytes : bytes -> unit
+  (** Park a buffer for the next same-length {!alloc_bytes}. The caller
+      asserts no live reference remains. *)
+
+  val sized_hits : unit -> int
+  val sized_misses : unit -> int
+
+  val sized_parked_bytes : unit -> int
+  (** Total bytes currently parked in the sized free lists. *)
+
   val reset : unit -> unit
 end

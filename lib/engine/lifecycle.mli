@@ -1,0 +1,15 @@
+(** Process-lifecycle hooks for module-level registries.
+
+    Layers that keep module-level uid-keyed tables of per-grid state
+    register a drop hook with {!on_reset}; {!reset_registries} (exposed
+    to applications as [Padico.reset]) clears them all between
+    independent scenarios so dead grids stop occupying the heap. Never
+    call it while a grid is still in use — live nodes lazily re-create
+    empty registry entries and would lose their state. *)
+
+val on_reset : (unit -> unit) -> unit
+(** [on_reset f] schedules [f] to run on every {!reset_registries}.
+    Intended to be called once from a module initialiser. *)
+
+val reset_registries : unit -> unit
+(** Run every registered hook, dropping all per-grid registry state. *)

@@ -2,6 +2,8 @@ type timer = {
   mutable cb : (unit -> unit) option; (* None once fired or cancelled *)
   wheel : t;
   slot_idx : int;
+  deadline : int; (* requested (unrounded) firing instant *)
+  seq : int; (* arm order, the tie-break within a deadline *)
 }
 
 and slot = {
@@ -15,17 +17,19 @@ and t = {
   slot_ns : int;
   slots : (int, slot) Hashtbl.t;
   mutable live : int;
+  mutable next_seq : int;
 }
 
 let create_on ?(slot_ns = 65_536) clk =
   if slot_ns <= 0 then invalid_arg "Timewheel: slot_ns must be positive";
-  { clk; slot_ns; slots = Hashtbl.create 64; live = 0 }
+  { clk; slot_ns; slots = Hashtbl.create 64; live = 0; next_seq = 0 }
 
 let create ?slot_ns sim = create_on ?slot_ns (Engine.Sim.clock sim)
 
 (* One shared wheel per clock, keyed by Clock.id; the list stays tiny (one
    entry per live simulation or host loop). *)
 let shared : (int * t) list ref = ref []
+let () = Engine.Lifecycle.on_reset (fun () -> shared := [])
 
 let for_clock clk =
   let key = Engine.Clock.id clk in
@@ -49,6 +53,17 @@ let fire_slot t idx =
   | None -> ()
   | Some s ->
     Hashtbl.remove t.slots idx;
+    (* Fire in (requested deadline, arm order): the wheel then observes the
+       same relative firing order a per-timer heap would, even when timers
+       with different deadlines share a slot. For equal deadlines this is
+       exactly the historical arm order. *)
+    let ordered =
+      List.sort
+        (fun a b ->
+           if a.deadline <> b.deadline then compare a.deadline b.deadline
+           else compare a.seq b.seq)
+        s.entries
+    in
     List.iter
       (fun timer ->
          match timer.cb with
@@ -57,7 +72,7 @@ let fire_slot t idx =
            timer.cb <- None;
            t.live <- t.live - 1;
            f ())
-      (List.rev s.entries)
+      ordered
 
 let arm t ~after_ns f =
   let after_ns = max 0 after_ns in
@@ -65,7 +80,9 @@ let arm t ~after_ns f =
   let deadline = now + after_ns in
   (* Round up to the next slot boundary: never fire early. *)
   let idx = (deadline + t.slot_ns - 1) / t.slot_ns in
-  let timer = { cb = Some f; wheel = t; slot_idx = idx } in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let timer = { cb = Some f; wheel = t; slot_idx = idx; deadline; seq } in
   (match Hashtbl.find_opt t.slots idx with
    | Some s ->
      s.entries <- timer :: s.entries;

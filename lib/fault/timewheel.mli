@@ -9,7 +9,9 @@
 
     Deadlines round {e up} to the slot boundary: a timeout fires at or
     slightly after the requested instant, never before — the right bias for
-    "give up after at least this long". *)
+    "give up after at least this long". Within a slot, timers fire in
+    (requested deadline, arm order), so the wheel preserves the relative
+    firing order a per-timer heap would produce. *)
 
 type t
 

@@ -22,6 +22,11 @@ and t = {
   timers : timer Heap.t;
   mutable live_timers : int;
   fds : (Unix.file_descr, fd_state) Hashtbl.t;
+  (* Interest sets: exactly the fds with a read/write callback, so a
+     select round is O(interested), not O(watched) — an idle watched
+     connection costs nothing per iteration. *)
+  read_set : (Unix.file_descr, unit) Hashtbl.t;
+  write_set : (Unix.file_descr, unit) Hashtbl.t;
   mutable active_fds : int;
   mutable stopped : bool;
   mutable cap : Clock.t option;
@@ -53,6 +58,7 @@ let cancel tm =
 (* Recover the loop behind a Clock.t capability: keyed by Clock.id so the
    engine stays free of any Hostio dependency. *)
 let by_clock : (int, t) Hashtbl.t = Hashtbl.create 8
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset by_clock)
 
 let clock t =
   match t.cap with
@@ -74,14 +80,29 @@ let of_clock c = Hashtbl.find_opt by_clock (Clock.id c)
 
 let create () =
   { t0 = Unix.gettimeofday (); last_now = 0; timers = Heap.create ();
-    live_timers = 0; fds = Hashtbl.create 64; active_fds = 0;
+    live_timers = 0; fds = Hashtbl.create 64; read_set = Hashtbl.create 64;
+    write_set = Hashtbl.create 64; active_fds = 0;
     stopped = false; cap = None; iterations = 0; timers_fired = 0;
     fd_events = 0 }
 
 (* ---------- file descriptors ---------- *)
 
+(* Unix.select uses FD_SET on a fixed-size bitmap: a descriptor numbered
+   >= FD_SETSIZE silently corrupts adjacent memory instead of failing.
+   OCaml's Unix.file_descr is the raw int on Unix, so read it and refuse
+   loudly. *)
+let fd_limit = 1024
+
 let watch_fd t fd ~passive =
   if Hashtbl.mem t.fds fd then invalid_arg "Hostio.Loop: fd already watched";
+  let fdno : int = Obj.magic fd in
+  if fdno >= fd_limit then
+    invalid_arg
+      (Printf.sprintf
+         "Hostio.Loop: fd %d is beyond the select() FD_SETSIZE limit (%d); \
+          the host backend cannot watch it — run large edge sweeps on the \
+          sim backend, or cap host clients below the fd ceiling"
+         fdno fd_limit);
   Hashtbl.replace t.fds fd { on_read = None; on_write = None; passive };
   if not passive then t.active_fds <- t.active_fds + 1
 
@@ -90,14 +111,25 @@ let fd_state t fd =
   | Some s -> s
   | None -> invalid_arg "Hostio.Loop: fd not watched"
 
-let set_read t fd cb = (fd_state t fd).on_read <- cb
-let set_write t fd cb = (fd_state t fd).on_write <- cb
+let set_interest set fd = function
+  | Some _ -> Hashtbl.replace set fd ()
+  | None -> Hashtbl.remove set fd
+
+let set_read t fd cb =
+  (fd_state t fd).on_read <- cb;
+  set_interest t.read_set fd cb
+
+let set_write t fd cb =
+  (fd_state t fd).on_write <- cb;
+  set_interest t.write_set fd cb
 
 let unwatch_fd t fd =
   match Hashtbl.find_opt t.fds fd with
   | None -> ()
   | Some s ->
     Hashtbl.remove t.fds fd;
+    Hashtbl.remove t.read_set fd;
+    Hashtbl.remove t.write_set fd;
     if not s.passive then t.active_fds <- t.active_fds - 1
 
 (* ---------- running ---------- *)
@@ -128,11 +160,8 @@ let fire_due t =
 
 let select_once t ~timeout =
   let rl = ref [] and wl = ref [] in
-  Hashtbl.iter
-    (fun fd s ->
-       if s.on_read <> None then rl := fd :: !rl;
-       if s.on_write <> None then wl := fd :: !wl)
-    t.fds;
+  Hashtbl.iter (fun fd () -> rl := fd :: !rl) t.read_set;
+  Hashtbl.iter (fun fd () -> wl := fd :: !wl) t.write_set;
   let r, w, _ =
     try Unix.select !rl !wl [] timeout
     with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])

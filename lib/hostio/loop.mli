@@ -46,10 +46,17 @@ val cancel : timer -> unit
 
 (** {2 File descriptors} *)
 
+val fd_limit : int
+(** [select]'s FD_SETSIZE (1024). A descriptor numbered at or beyond it
+    would {e silently corrupt} the fd bitmaps, so {!watch_fd} refuses it
+    with a descriptive [Invalid_argument] instead — run large edge sweeps
+    on the sim backend, or cap host clients below this ceiling. *)
+
 val watch_fd : t -> Unix.file_descr -> passive:bool -> unit
 (** Register a descriptor. [passive:true] (listeners) does not keep
     {!run} alive; [passive:false] (connections) does. No interest is
-    armed until {!set_read}/{!set_write}. *)
+    armed until {!set_read}/{!set_write}. Raises [Invalid_argument] if
+    the descriptor is already watched or numbered >= {!fd_limit}. *)
 
 val set_read : t -> Unix.file_descr -> (unit -> unit) option -> unit
 (** Arm ([Some cb]) or disarm ([None]) read-readiness interest. *)

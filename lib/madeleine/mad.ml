@@ -32,6 +32,7 @@ type incoming = {
 }
 
 let instances : (int * int, t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset instances)
 
 let init seg node =
   let key = (Simnet.Segment.uid seg, Simnet.Node.id node) in

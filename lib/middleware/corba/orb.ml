@@ -28,6 +28,7 @@ type proxy = {
 }
 
 let instances : (int * string, t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset instances)
 
 let init ?(profile = Cdr.omniorb4) grid node =
   let key = (Simnet.Node.uid node, profile.Cdr.pname) in

@@ -26,6 +26,8 @@ type adaptive = {
 
 type policy = Static of quanta | Adaptive of adaptive
 
+type io_model = Scan | Ready_queue
+
 let default_quanta = { madio_quantum = 4; sysio_quantum = 4 }
 
 let default_policy = Static default_quanta
@@ -35,6 +37,18 @@ let default_adaptive =
     idle_backoff = true; max_scan_gap = 64; latency_boost = true }
 
 type item = { work : unit -> unit; posted_at : int }
+
+(* An explicit readiness source (one per watched edge connection): events
+   accumulate at the source, and the source enqueues itself on the ready
+   list at most once ([s_queued]) until drained. Idle sources are simply
+   absent from the list, so a dispatch round costs nothing per idle
+   connection — the O(watched)-scan replacement. *)
+type source = {
+  src_id : int;
+  mutable s_queued : bool; (* on the ready list right now *)
+  mutable s_live : bool; (* false once unregistered *)
+  s_drain : unit -> unit; (* deliver every pending event; non-blocking *)
+}
 
 type queue_state = {
   kname : string;
@@ -66,9 +80,18 @@ type t = {
   polls_busy : Stats.Counter.t; (* scans with readiness events pending *)
   polls_idle : Stats.Counter.t; (* charged scans that found nothing *)
   polls_saved : Stats.Counter.t; (* idle scans elided by the backoff *)
+  (* Ready-queue io-model state. Empty when the model is [Scan] (the
+     default): the dispatcher round then never touches it. *)
+  mutable iomodel : io_model;
+  ready : source Queue.t;
+  mutable next_src : int;
+  mutable nsources : int;
+  ready_drains : Stats.Counter.t; (* sources drained *)
+  ready_polls : Stats.Counter.t; (* rounds that paid the ready-list poll *)
 }
 
 let dispatchers : (int, t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset dispatchers)
 
 let node t = t.dnode
 
@@ -214,13 +237,55 @@ let adaptive_round t a =
     else Stats.Counter.incr t.polls_saved
   end
 
+(* Drain the ready list: one charged poll pass per round with readiness
+   pending (the epoll_wait), then up to the SysIO quantum of sources. A
+   source is popped and its queued flag cleared {e before} its drain runs,
+   so events arriving mid-drain re-enqueue it — no lost wakeups; the flag
+   guarantees at most one list entry per source — no duplicate dispatch.
+   Idle sources are not on the list and cost nothing here. *)
+let drain_ready t =
+  if not (Queue.is_empty t.ready) then begin
+    Stats.Counter.incr t.ready_polls;
+    if Trace.on () then
+      Trace.instant t.dnode (Padico_obs.Event.Poll { kind = "sysio" });
+    Simnet.Node.cpu t.dnode Calib.sysio_poll_ns;
+    let budget =
+      match t.pol with
+      | Static q -> q.sysio_quantum
+      | Adaptive a -> max a.min_quantum (quantum_of a t.sysio.ewma)
+    in
+    let rec go k =
+      if k < budget then
+        match Queue.take_opt t.ready with
+        | None -> ()
+        | Some s ->
+          s.s_queued <- false;
+          if s.s_live then begin
+            Stats.Counter.incr t.ready_drains;
+            (try s.s_drain ()
+             with e ->
+               Log.err (fun m ->
+                   m "%s: ready-source drain raised %s"
+                     (Simnet.Node.name t.dnode)
+                     (Printexc.to_string e)));
+            go (k + 1)
+          end
+          else go k (* dead source: free slot, no charge *)
+    in
+    go 0
+  end
+
 (* The unique receipt loop: alternate between the two subsystems according
    to the policy, then sleep until new work is posted. *)
 let dispatcher_loop t () =
   let rec wait_for_work () =
     readmit t t.madio;
     readmit t t.sysio;
-    if Queue.is_empty t.madio.items && Queue.is_empty t.sysio.items then begin
+    if
+      Queue.is_empty t.madio.items
+      && Queue.is_empty t.sysio.items
+      && Queue.is_empty t.ready
+    then begin
       Proc.suspend (fun resume -> t.waker <- Some resume);
       wait_for_work ()
     end
@@ -243,6 +308,7 @@ let dispatcher_loop t () =
          drain t.sysio pol.sysio_quantum
        end
      | Adaptive a -> adaptive_round t a);
+    drain_ready t;
     readmit t t.madio;
     readmit t t.sysio;
     (* Yield so co-located processes make progress between rounds. *)
@@ -280,8 +346,15 @@ let get dnode =
         sysio_interest = 0; scan_gap = 1; rounds_since_scan = 0;
         polls_busy = Metrics.fresh_counter scope "na.sysio.polls_busy";
         polls_idle = Metrics.fresh_counter scope "na.sysio.polls_idle";
-        polls_saved = Metrics.fresh_counter scope "na.sysio.polls_saved" }
+        polls_saved = Metrics.fresh_counter scope "na.sysio.polls_saved";
+        iomodel = Scan; ready = Queue.create (); next_src = 0; nsources = 0;
+        ready_drains = Metrics.fresh_counter scope "na.ready.drains";
+        ready_polls = Metrics.fresh_counter scope "na.ready.polls" }
     in
+    Metrics.gauge scope "na.ready.depth" (fun () ->
+        float_of_int (Queue.length t.ready));
+    Metrics.gauge scope "na.ready.sources" (fun () ->
+        float_of_int t.nsources);
     Metrics.gauge scope "na.sched.scan_gap" (fun () ->
         float_of_int t.scan_gap);
     Metrics.gauge scope "na.madio.work_ewma" (fun () -> t.madio.ewma);
@@ -363,6 +436,45 @@ let polls_saved t = Stats.Counter.value t.polls_saved
 let scan_gap t = t.scan_gap
 
 let work_ewma t kind = (qstate t kind).ewma
+
+(* -- readiness-queue io model ------------------------------------------- *)
+
+let set_io_model t m = t.iomodel <- m
+
+let io_model t = t.iomodel
+
+let register_source t ~drain =
+  let s =
+    { src_id = t.next_src; s_queued = false; s_live = true; s_drain = drain }
+  in
+  t.next_src <- t.next_src + 1;
+  t.nsources <- t.nsources + 1;
+  s
+
+let unregister_source t s =
+  if s.s_live then begin
+    s.s_live <- false;
+    t.nsources <- t.nsources - 1
+    (* A queued entry stays on the list and is skipped (uncharged) at the
+       next drain — O(1) unregister, like an epoll interest removal. *)
+  end
+
+let mark_ready t s =
+  if s.s_live && not s.s_queued then begin
+    s.s_queued <- true;
+    Queue.push s t.ready;
+    wake t
+  end
+
+let source_live s = s.s_live
+
+let ready_depth t = Queue.length t.ready
+
+let source_count t = t.nsources
+
+let ready_drains t = Stats.Counter.value t.ready_drains
+
+let ready_polls t = Stats.Counter.value t.ready_polls
 
 let current_quantum t kind =
   match t.pol with

@@ -147,3 +147,55 @@ val work_ewma : t -> kind -> float
 val current_quantum : t -> kind -> int
 (** The quantum the next round would grant [kind] (static: the policy
     constant; adaptive: the EWMA-driven value before any boost). *)
+
+(** {2 Readiness-queue io model (edge-gateway capacity)}
+
+    With [Scan] (the default) every SysIO event is an individually posted
+    work item — fine at tens of connections, O(events) queue traffic at
+    100k. [Ready_queue] replaces per-event posts with explicit readiness
+    {e sources}: events accumulate at the source (one per watched
+    connection) and the source sits on a ready list at most once until
+    drained. A dispatch round charges one [Calib.sysio_poll_ns] poll when
+    the list is non-empty and drains up to the SysIO quantum of sources;
+    {e idle connections are not on the list and cost zero}. With no
+    sources registered the machinery is inert and the dispatcher is
+    byte-identical to the classic path — the PR-4/PR-5 capability
+    precedent. *)
+
+type io_model = Scan | Ready_queue
+
+type source
+
+val set_io_model : t -> io_model -> unit
+(** Record the node's io model. This is advisory state consulted by
+    [Sysio] when wiring connections; registered sources drain under
+    either value. *)
+
+val io_model : t -> io_model
+
+val register_source : t -> drain:(unit -> unit) -> source
+(** A new readiness source. [drain] must deliver {e every} pending event
+    of the source and be non-blocking; it runs from the dispatcher. *)
+
+val unregister_source : t -> source -> unit
+(** O(1); a queued entry of a dead source is skipped uncharged. *)
+
+val mark_ready : t -> source -> unit
+(** Enqueue the source on the ready list (no-op if already queued or
+    unregistered) and wake the dispatcher. The queued flag is cleared
+    {e before} the drain runs, so a mark arriving mid-drain re-enqueues —
+    no lost wakeups, no duplicate dispatch. *)
+
+val source_live : source -> bool
+
+val ready_depth : t -> int
+(** Sources currently on the ready list. *)
+
+val source_count : t -> int
+(** Live registered sources. *)
+
+val ready_drains : t -> int
+(** Total source drains executed. *)
+
+val ready_polls : t -> int
+(** Dispatcher rounds that paid the ready-list poll charge. *)

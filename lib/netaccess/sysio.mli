@@ -54,16 +54,20 @@ val watch : t -> conn -> (Drivers.Tcp.event -> unit) -> unit
 val unwatch : t -> conn -> unit
 (** Stop dispatching events for this connection. *)
 
-val listen : t -> stack -> port:int -> (conn -> unit) -> unit
+val listen :
+  ?sndbuf:int -> ?rcvbuf:int -> t -> stack -> port:int -> (conn -> unit) ->
+  unit
 (** Arbitrated accept loop: new connections are handed to the callback from
     the dispatcher. The callback typically calls {!watch} on the new
     connection. On the host backend the real ephemeral port is registered
     in a process-wide rendezvous table keyed by (segment, node, logical
-    port), so peers keep dialing logical ports. *)
+    port), so peers keep dialing logical ports. [sndbuf]/[rcvbuf] size the
+    buffers of accepted sim connections (edge gateways listen small so
+    100k connections fit a fixed byte budget); ignored on host stacks. *)
 
 val connect :
-  t -> stack -> dst:int -> port:int -> (conn -> Drivers.Tcp.event -> unit) ->
-  conn
+  ?sndbuf:int -> ?rcvbuf:int -> t -> stack -> dst:int -> port:int ->
+  (conn -> Drivers.Tcp.event -> unit) -> conn
 (** Active open with the event stream (including [Established]) routed
     through the dispatcher. [dst]/[port] are the logical node id and port
     on both backends; a host-backend dial to a port nobody listens on
@@ -101,3 +105,43 @@ val watch_udp :
   unit
 
 val events_dispatched : t -> int
+
+(** {2 Edge (capacity) mode}
+
+    Off by default; the classic post-per-event path is byte-identical to
+    every prior release. [set_edge] flips the node to the 100k-connection
+    regime:
+
+    - the dispatcher's {!Na_core.io_model} becomes [Ready_queue]: each
+      watched sim connection gets a coalescing readiness {e source}
+      (pending [Readable]/[Writable] edges absorb duplicates) that sits on
+      the ready list at most once — idle connections cost zero per round;
+    - per-connection TCP timers (RTO, persist) are re-routed onto the
+      node's {!Padico_fault.Timewheel}, one engine event per occupied slot
+      instead of one per timer;
+    - send rings come from the {!Engine.Bytebuf.Pool} size-classed slabs
+      and fully-closed connections are reaped from the stack table.
+
+    Host-backend connections keep the classic path (the reactor already
+    delivers only ready fds, and the host E15 subset stays under the
+    select fd ceiling). *)
+
+val set_edge : t -> unit
+(** Enable edge mode on this node (idempotent; applies to current and
+    future sim stacks). *)
+
+val edge : t -> bool
+
+(** {2 Byte-budget accounting (sim stacks)} *)
+
+val conn_count : t -> int
+(** Live connections across this node's sim stacks (also exported as the
+    [conn.count] gauge). *)
+
+val bytes_resident : t -> int
+(** Total resident connection bytes (see
+    {!Drivers.Tcp.conn_resident_bytes}); the [conn.bytes_resident]
+    gauge. *)
+
+val conns_reaped : t -> int
+(** Connections removed by edge-mode reaping. *)

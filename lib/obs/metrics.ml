@@ -14,6 +14,7 @@ let scope_name = function
   | Link l -> "link:" ^ l
 
 let tbl : (string * string, value) Hashtbl.t = Hashtbl.create 64
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset tbl)
 
 let key scope name = (scope_name scope, name)
 

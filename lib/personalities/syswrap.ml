@@ -20,6 +20,7 @@ type t = {
 }
 
 let instances : (int, t) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset instances)
 
 let attach grid node =
   let key = Simnet.Node.uid node in

@@ -33,3 +33,288 @@ let generate ?seed ?prefs ?backend ?(san = Simnet.Presets.myrinet2000)
   { grid; nodes; clusters = islands; wan = wan_seg }
 
 let size t = List.length t.nodes
+
+(* ---------- edge-gateway scenario (experiment E15) ---------- *)
+
+module Sysio = Netaccess.Sysio
+module Bytebuf = Engine.Bytebuf
+module Rng = Engine.Rng
+module Clock = Engine.Clock
+
+(* An edge gateway: [shards] frontend nodes accepting WAN clients, the
+   client population hosted on [client_nodes] nodes (the sim TCP stack
+   keys connections by (local port, peer, peer port), so one node carries
+   thousands of client connections on distinct ephemeral ports). *)
+type edge = {
+  e_grid : Padico.t;
+  e_shards : Simnet.Node.t list;
+  e_clients : Simnet.Node.t list;
+  e_wan : Simnet.Segment.t;
+  e_port : int;  (* every shard listens on this logical port *)
+  e_nclients : int;
+  e_churn : float;
+  e_tail : float;
+  e_seed : int;
+  e_bufsize : int;  (* per-connection snd/rcv buffer budget *)
+}
+
+type edge_stats = {
+  es_established : int;
+  es_requests : int;  (* requests fully acked *)
+  es_reconnects : int;  (* churn: closed then re-dialed the same port *)
+  es_aborted : int;  (* mid-handshake aborts *)
+  es_resets : int;
+  es_served : int;  (* requests parsed and acked by the shards *)
+}
+
+let edge_port = 7100
+
+let edge ?(seed = 42) ?prefs ?backend ?(wan = Simnet.Presets.vthd)
+    ?(shards = 4) ?(client_nodes = 16) ?(bufsize = 4096) ?(capacity = true)
+    ~clients ~churn ~tail () =
+  if clients < 1 then invalid_arg "Gridgen.edge: clients < 1";
+  if shards < 1 then invalid_arg "Gridgen.edge: shards < 1";
+  if client_nodes < 1 then invalid_arg "Gridgen.edge: client_nodes < 1";
+  if churn < 0.0 || churn > 1.0 then
+    invalid_arg "Gridgen.edge: churn not in [0, 1]";
+  if tail <= 1.0 then invalid_arg "Gridgen.edge: tail must exceed 1.0";
+  let grid = Padico.create ~seed ?prefs ?backend () in
+  let sh =
+    List.init shards (fun i -> Padico.add_node grid (Printf.sprintf "edge-s%d" i))
+  in
+  let cl =
+    List.init client_nodes (fun i ->
+        Padico.add_node grid (Printf.sprintf "edge-c%d" i))
+  in
+  let wan_seg = Padico.add_segment grid wan ~name:"edge-wan" (sh @ cl) in
+  if capacity then
+    List.iter (fun n -> Sysio.set_edge (Sysio.get n)) (sh @ cl);
+  { e_grid = grid; e_shards = sh; e_clients = cl; e_wan = wan_seg;
+    e_port = edge_port; e_nclients = clients; e_churn = churn; e_tail = tail;
+    e_seed = seed; e_bufsize = bufsize }
+
+(* Heavy-tailed request sizes: Pareto(xm = 64, alpha = tail) clamped to
+   [64 B, 64 KB] — most requests tiny, the tail real. *)
+let pareto_size rng ~tail =
+  let u = 1.0 -. Rng.float rng 1.0 in
+  let s = 64.0 *. (u ** (-1.0 /. tail)) in
+  max 64 (min 65_536 (int_of_float s))
+
+(* The wire protocol: 4-byte big-endian payload length, payload, and a
+   4-byte ack back. Chunks are composed on the fly (a zero payload byte is
+   as expensive to simulate as a real one), so 100k in-flight requests
+   never materialise whole messages. *)
+let header_len = 4
+
+let chunk ~total ~off n =
+  let b = Bytebuf.create n in
+  Bytebuf.fill_zero b;
+  for k = 0 to n - 1 do
+    let pos = off + k in
+    if pos < header_len then
+      Bytebuf.set_u8 b k ((total lsr (8 * (header_len - 1 - pos))) land 0xff)
+  done;
+  b
+
+(* Per-shard server: incremental length-prefix parser per accepted
+   connection, acks owed flushed under backpressure. *)
+let serve_shard e stats node =
+  let sio = Sysio.get node in
+  let stack = Sysio.stack_on sio e.e_wan in
+  Sysio.listen ~sndbuf:e.e_bufsize ~rcvbuf:e.e_bufsize sio stack
+    ~port:e.e_port (fun conn ->
+        let hgot = ref 0 and need = ref 0 and body = ref 0 in
+        let ack_owed = ref 0 in
+        let flush_acks () =
+          let continue = ref true in
+          while !continue && !ack_owed > 0 do
+            let b = Bytebuf.create (min !ack_owed 4) in
+            Bytebuf.fill_zero b;
+            let w = Sysio.write conn b in
+            if w = 0 then continue := false else ack_owed := !ack_owed - w
+          done
+        in
+        let consume b =
+          let len = Bytebuf.length b in
+          let pos = ref 0 in
+          while !pos < len do
+            if !body > 0 then begin
+              let take = min !body (len - !pos) in
+              body := !body - take;
+              pos := !pos + take;
+              if !body = 0 then begin
+                stats := { !stats with es_served = !stats.es_served + 1 };
+                ack_owed := !ack_owed + 4;
+                flush_acks ()
+              end
+            end
+            else begin
+              need := (!need lsl 8) lor Bytebuf.get_u8 b !pos;
+              incr pos;
+              incr hgot;
+              if !hgot = header_len then begin
+                body := !need;
+                hgot := 0;
+                need := 0;
+                if !body = 0 then begin
+                  stats := { !stats with es_served = !stats.es_served + 1 };
+                  ack_owed := !ack_owed + 4;
+                  flush_acks ()
+                end
+              end
+            end
+          done
+        in
+        let on_readable () =
+          let continue = ref true in
+          while !continue do
+            match Sysio.read conn ~max:65_536 with
+            | None -> continue := false
+            | Some b -> consume b
+          done
+        in
+        Sysio.watch sio conn (fun ev ->
+            match ev with
+            | Drivers.Tcp.Readable -> on_readable ()
+            | Drivers.Tcp.Writable -> flush_acks ()
+            | Drivers.Tcp.Peer_closed ->
+              Sysio.unwatch sio conn;
+              Sysio.close conn
+            | Drivers.Tcp.Reset -> Sysio.unwatch sio conn
+            | Drivers.Tcp.Established -> ());
+        (* The accept callback runs a dispatch round after [Established]:
+           request bytes (or a FIN) may already be in — the edge-triggered
+           events fired into the pre-watch no-op callback. Catch up by
+           polling, the documented idiom. *)
+        if Sysio.readable_bytes conn > 0 then on_readable ();
+        if Sysio.peer_closed conn then begin
+          Sysio.unwatch sio conn;
+          Sysio.close conn
+        end)
+
+let run_edge ?(ramp_ns = 5_000) ?active ?until e =
+  let stats =
+    ref
+      { es_established = 0; es_requests = 0; es_reconnects = 0;
+        es_aborted = 0; es_resets = 0; es_served = 0 }
+  in
+  List.iter (serve_shard e stats) e.e_shards;
+  let rng = Rng.create (e.e_seed lxor 0x5eed) in
+  let shards = Array.of_list e.e_shards in
+  let cnodes = Array.of_list e.e_clients in
+  let nshards = Array.length shards in
+  let active = match active with Some a -> min a e.e_nclients | None -> e.e_nclients in
+  let starts = Array.make (max 1 e.e_nclients) (fun () -> ()) in
+  for i = 0 to e.e_nclients - 1 do
+    let cnode = cnodes.(i mod Array.length cnodes) in
+    let shard = shards.(i mod nshards) in
+    let sio = Sysio.get cnode in
+    let stack = Sysio.stack_on sio e.e_wan in
+    let clk = Simnet.Node.clock cnode in
+    let sends_request = i < active in
+    let abort_handshake = e.e_churn > 0.0 && Rng.bool rng (e.e_churn /. 4.0) in
+    let churns = e.e_churn > 0.0 && Rng.bool rng e.e_churn in
+    let size1 = pareto_size rng ~tail:e.e_tail in
+    let size2 = pareto_size rng ~tail:e.e_tail in
+    let start () =
+      (* [rounds] requests left on the current connection (0 on the idle
+         population); churners close after the first ack and re-dial the
+         same logical port. *)
+      let rec dial ~rounds ~reconnect =
+        let total = ref (header_len + if rounds = 2 then size1 else size2) in
+        let sent = ref 0 and ack = ref 0 in
+        let conn = ref None in
+        let push () =
+          match !conn with
+          | None -> ()
+          | Some c ->
+            let continue = ref true in
+            while !continue && !sent < !total do
+              let space = Sysio.write_space c in
+              if space = 0 then continue := false
+              else begin
+                let n = min space (min (!total - !sent) 4096) in
+                let w = Sysio.write c (chunk ~total:(!total - header_len) ~off:!sent n) in
+                sent := !sent + w;
+                if w = 0 then continue := false
+              end
+            done
+        in
+        let c =
+          Sysio.connect ~sndbuf:e.e_bufsize ~rcvbuf:e.e_bufsize sio stack
+            ~dst:(Simnet.Node.id shard) ~port:e.e_port
+            (fun c ev ->
+               match ev with
+               | Drivers.Tcp.Established ->
+                 stats :=
+                   { !stats with
+                     es_established = !stats.es_established + 1;
+                     es_reconnects =
+                       (!stats.es_reconnects + if reconnect then 1 else 0) };
+                 if rounds > 0 then push ()
+               | Drivers.Tcp.Writable -> push ()
+               | Drivers.Tcp.Readable ->
+                 let continue = ref true in
+                 while !continue do
+                   match Sysio.read c ~max:4096 with
+                   | None -> continue := false
+                   | Some b -> ack := !ack + Bytebuf.length b
+                 done;
+                 if !ack >= 4 && !sent >= !total then begin
+                   stats := { !stats with es_requests = !stats.es_requests + 1 };
+                   if rounds >= 2 then begin
+                     (* Churn: tear the connection down and come back to
+                        the same logical port on a fresh ephemeral one. *)
+                     Sysio.unwatch sio c;
+                     Sysio.close c;
+                     dial ~rounds:1 ~reconnect:true
+                   end
+                 end
+               | Drivers.Tcp.Peer_closed ->
+                 Sysio.unwatch sio c;
+                 Sysio.close c
+               | Drivers.Tcp.Reset ->
+                 stats := { !stats with es_resets = !stats.es_resets + 1 };
+                 Sysio.unwatch sio c)
+        in
+        conn := Some c
+      in
+      if abort_handshake then begin
+        (* A client that gives up mid-handshake (SYN sent, then gone) and
+           re-dials: the accept path must survive half-open churn. *)
+        let c =
+          Sysio.connect ~sndbuf:e.e_bufsize ~rcvbuf:e.e_bufsize sio stack
+            ~dst:(Simnet.Node.id shard) ~port:e.e_port (fun _ _ -> ())
+        in
+        Clock.after clk 1_000 (fun () ->
+            Sysio.abort c;
+            Sysio.unwatch sio c;
+            stats := { !stats with es_aborted = !stats.es_aborted + 1 };
+            dial ~rounds:(if sends_request then if churns then 2 else 1 else 0)
+              ~reconnect:true)
+      end
+      else
+        dial ~rounds:(if sends_request then if churns then 2 else 1 else 0)
+          ~reconnect:false
+    in
+    starts.(i) <- start
+  done;
+  (* Ramped arrivals: a flash crowd is modelled by a short ramp, steady
+     load by a long one. The ramp is a cascade — each start schedules the
+     next — so the engine heap holds one pending arrival at a time
+     instead of the whole population (100k up-front events would tax
+     every heap operation with the population's log factor). *)
+  if e.e_nclients > 0 then begin
+    let clk0 = Simnet.Node.clock (Array.get cnodes 0) in
+    let rec kick i =
+      if i < e.e_nclients then begin
+        starts.(i) ();
+        Clock.after clk0 ramp_ns (fun () -> kick (i + 1))
+      end
+    in
+    kick 0
+  end;
+  (match until with
+   | Some u -> Padico.run e.e_grid ~until:u
+   | None -> Padico.run e.e_grid);
+  !stats

@@ -9,6 +9,7 @@ type half = {
 }
 
 let listeners : (int * int, Vl.t -> unit) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset listeners)
 
 let ops node mine theirs =
   { Vl.o_write =

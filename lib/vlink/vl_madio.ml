@@ -38,6 +38,7 @@ type inst = {
 }
 
 let instances : (int * int, inst) Hashtbl.t = Hashtbl.create 16
+let () = Engine.Lifecycle.on_reset (fun () -> Hashtbl.reset instances)
 
 (* Every message on the control lchannel starts with this header; under
    credit flow control its cost is granted back the moment the dispatcher

@@ -15,6 +15,9 @@ let senders : (Vl.t * Vrp.sender) list ref = ref []
 
 let receivers : (Vl.t * Vrp.receiver) list ref = ref []
 
+let () =
+  Engine.Lifecycle.on_reset (fun () -> senders := []; receivers := [])
+
 let sender_of vl =
   List.find_opt (fun (v, _) -> v == vl) !senders |> Option.map snd
 
