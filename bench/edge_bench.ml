@@ -166,8 +166,43 @@ let run_host () =
   rec_ "served" (float_of_int stats.Gridgen.es_served);
   rec_ "wall_ms" wall_ms
 
+(* --domains N: the same gateway, every node its own shard, executed by
+   the conservative parallel engine. One bounded population (the CI
+   multicore smoke), virtual-time outcomes identical to a 1-domain run
+   of the same sharded grid by construction (asserted cheaply here, and
+   exhaustively in test/test_shard.ml). *)
+let run_sharded ~domains =
+  Padico.reset ();
+  let clients = 2_000 in
+  let run d =
+    Padico.reset ();
+    let e = Gridgen.edge ~sharded:true ~clients ~churn ~tail () in
+    let t0 = Unix.gettimeofday () in
+    let stats = Gridgen.run_edge ~domains:d e in
+    ((Unix.gettimeofday () -. t0) *. 1e3, stats)
+  in
+  let wall1, ref_stats = run 1 in
+  let wall_d, stats = run domains in
+  if stats <> ref_stats then begin
+    Printf.eprintf "e15 sharded: outcomes differ between 1 and %d domains\n"
+      domains;
+    exit 1
+  end;
+  Printf.printf
+    "  sharded %5d est  %5d req  %5d srv  (%d clients, %d domains: %.0f      ms vs %.0f ms on 1)\n%!"
+    stats.Gridgen.es_established stats.Gridgen.es_requests
+    stats.Gridgen.es_served clients domains wall_d wall1;
+  let rec_ k v = Bhelp.record ~experiment:"e15" ("sharded." ^ k) v in
+  rec_ "clients" (float_of_int clients);
+  rec_ "domains" (float_of_int domains);
+  rec_ "established" (float_of_int stats.Gridgen.es_established);
+  rec_ "served" (float_of_int stats.Gridgen.es_served);
+  rec_ "wall_ms_1" wall1;
+  rec_ "wall_ms_n" wall_d
+
 let run () =
   print_endline "E15: edge gateway at 100k connections";
-  match !Bhelp.backend with
-  | Padico.Sim -> run_sim ()
-  | Padico.Host -> run_host ()
+  match (!Bhelp.backend, !Bhelp.domains) with
+  | Padico.Sim, 1 -> run_sim ()
+  | Padico.Sim, d -> run_sharded ~domains:d
+  | Padico.Host, _ -> run_host ()

@@ -34,9 +34,26 @@ type t = {
   mutable cap : Clock.t option; (* cached capability view, built on demand *)
 }
 
+(* Every live simulator, so [Lifecycle.reset_registries] (= [Padico.reset])
+   can drop undelivered events along with the uid-keyed registries: a
+   bench process sweeping many scenarios would otherwise keep every dead
+   grid's event closures (and whatever grid state they capture) reachable
+   through abandoned heaps. The list itself is dropped on reset, so the
+   sims become collectable too. *)
+let live : t list ref = ref []
+
+let () =
+  Lifecycle.on_reset (fun () ->
+      List.iter (fun t -> Heap.clear t.events) !live;
+      live := [])
+
 let create ?(seed = 42) () =
-  { clock = 0; events = Heap.create (); root_rng = Rng.create seed;
-    stopped = false; policy = Fifo; sched_rng = Rng.create 0; cap = None }
+  let t =
+    { clock = 0; events = Heap.create (); root_rng = Rng.create seed;
+      stopped = false; policy = Fifo; sched_rng = Rng.create 0; cap = None }
+  in
+  live := t :: !live;
+  t
 
 let now t = t.clock
 
@@ -100,12 +117,37 @@ let run ?until t =
       | Some time ->
         (match until with
          | Some u when time > u ->
-           t.clock <- u;
+           (* Advance (never rewind) to the horizon. The guard matters when
+              a previous run was stopped beyond [u]: the old unconditional
+              assignment dragged the clock backward, so a later [at] could
+              legally schedule into what had already been the past. Both
+              exits now agree the clock is monotone: [stop] freezes it at
+              the last dispatched event, this branch clamps it forward. *)
+           if u > t.clock then t.clock <- u;
            continue := false
          | _ -> ignore (step t))
   done
 
 let stop t = t.stopped <- true
+
+let stopped t = t.stopped
+
+let clear_stopped t = t.stopped <- false
+
+(* ---------- sharded-runtime hooks (see Shard) ----------
+   A shard worker drives its simulator manually instead of through [run]:
+   it peeks the next local timestamp, merges it against staged cross-shard
+   frames, and either [step]s or force-advances the clock to a frame's
+   timestamp before running the frame's closure. *)
+
+let peek_next t = Heap.peek_prio t.events
+
+let advance_to t time =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.advance_to: time %d is in the past (now %d)" time
+         t.clock);
+  t.clock <- time
 
 let clock t =
   match t.cap with

@@ -58,14 +58,44 @@ val pending : t -> int
 
 val run : ?until:int -> t -> unit
 (** [run t] dispatches events in time order until the queue is empty or the
-    clock passes [until] (events strictly after [until] stay queued). *)
+    clock passes [until] (events strictly after [until] stay queued).
+
+    Exit clock discipline (all exits are monotone — the clock never moves
+    backward): on queue exhaustion the clock stays at the last dispatched
+    event; when the next event lies beyond [until] the clock advances to
+    [until] (but is never rewound below where a previous run left it); on
+    {!stop} the clock freezes at the event that called it. *)
 
 val step : t -> bool
 (** [step t] dispatches one event — chosen by the active policy among the
     earliest-timestamp bucket; [false] if the queue was empty. *)
 
 val stop : t -> unit
-(** [stop t] makes the current [run] return after the ongoing event. *)
+(** [stop t] makes the current [run] return after the ongoing event. The
+    clock stays at that event's timestamp. *)
+
+val stopped : t -> bool
+(** Whether {!stop} has been called since the last {!run} /
+    {!clear_stopped}. *)
+
+val clear_stopped : t -> unit
+(** Re-arm a stopped simulator. [run] does this implicitly on entry; the
+    sharded runtime (which drives {!step} directly) calls it explicitly. *)
+
+(** {1 Sharded-runtime hooks}
+
+    Used by {!Shard} workers, which drive a simulator manually instead of
+    through {!run}: peek the next local timestamp, merge against staged
+    cross-shard frames, and either {!step} or force-advance the clock to a
+    frame's timestamp before running its closure. *)
+
+val peek_next : t -> int option
+(** Timestamp of the earliest queued event, if any. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t time] sets the clock to [time]. Raises
+    [Invalid_argument] when [time] is in the past — the conservative
+    synchronization protocol guarantees a shard never needs to. *)
 
 val clock : t -> Clock.t
 (** The simulator's virtual {!Clock.t} capability — cached, so repeated

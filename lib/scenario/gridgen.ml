@@ -12,16 +12,26 @@ type t = {
   wan : Simnet.Segment.t;
 }
 
-let generate ?seed ?prefs ?backend ?(san = Simnet.Presets.myrinet2000)
+(* [sharded] places every SAN island on its own shard of the conservative
+   parallel engine — the natural cut: intra-island traffic (the SAN, the
+   loopbacks) stays shard-local and only WAN frames cross, with the WAN
+   latency as lookahead. Run with [Padico.run ~domains]. *)
+let generate ?seed ?prefs ?backend ?(sharded = false)
+    ?(san = Simnet.Presets.myrinet2000)
     ?(wan = Simnet.Presets.vthd) ~clusters ~nodes_per_cluster () =
   if clusters < 1 then invalid_arg "Gridgen.generate: clusters < 1";
   if nodes_per_cluster < 1 then
     invalid_arg "Gridgen.generate: nodes_per_cluster < 1";
-  let grid = Padico.create ?seed ?prefs ?backend () in
+  let grid =
+    Padico.create ?seed ?prefs ?backend
+      ?shards:(if sharded then Some clusters else None) ()
+  in
   let islands =
     List.init clusters (fun c ->
         List.init nodes_per_cluster (fun i ->
-            Padico.add_node grid (Printf.sprintf "c%d-n%d" c i)))
+            Padico.add_node
+              ?shard:(if sharded then Some c else None)
+              grid (Printf.sprintf "c%d-n%d" c i)))
   in
   List.iteri
     (fun c island ->
@@ -56,6 +66,7 @@ type edge = {
   e_tail : float;
   e_seed : int;
   e_bufsize : int;  (* per-connection snd/rcv buffer budget *)
+  e_sharded : bool;
 }
 
 type edge_stats = {
@@ -69,7 +80,12 @@ type edge_stats = {
 
 let edge_port = 7100
 
-let edge ?(seed = 42) ?prefs ?backend ?(wan = Simnet.Presets.vthd)
+(* [sharded] gives every node — frontend and client host alike — its own
+   shard: the topology is one flat WAN, so there is no island structure to
+   exploit and per-node shards expose the maximum parallelism the
+   conservative engine can find in it. *)
+let edge ?(seed = 42) ?prefs ?backend ?(sharded = false)
+    ?(wan = Simnet.Presets.vthd)
     ?(shards = 4) ?(client_nodes = 16) ?(bufsize = 4096) ?(capacity = true)
     ~clients ~churn ~tail () =
   if clients < 1 then invalid_arg "Gridgen.edge: clients < 1";
@@ -78,20 +94,26 @@ let edge ?(seed = 42) ?prefs ?backend ?(wan = Simnet.Presets.vthd)
   if churn < 0.0 || churn > 1.0 then
     invalid_arg "Gridgen.edge: churn not in [0, 1]";
   if tail <= 1.0 then invalid_arg "Gridgen.edge: tail must exceed 1.0";
-  let grid = Padico.create ~seed ?prefs ?backend () in
+  let grid =
+    Padico.create ~seed ?prefs ?backend
+      ?shards:(if sharded then Some (shards + client_nodes) else None) ()
+  in
+  let place i = if sharded then Some i else None in
   let sh =
-    List.init shards (fun i -> Padico.add_node grid (Printf.sprintf "edge-s%d" i))
+    List.init shards (fun i ->
+        Padico.add_node ?shard:(place i) grid (Printf.sprintf "edge-s%d" i))
   in
   let cl =
     List.init client_nodes (fun i ->
-        Padico.add_node grid (Printf.sprintf "edge-c%d" i))
+        Padico.add_node ?shard:(place (shards + i)) grid
+          (Printf.sprintf "edge-c%d" i))
   in
   let wan_seg = Padico.add_segment grid wan ~name:"edge-wan" (sh @ cl) in
   if capacity then
     List.iter (fun n -> Sysio.set_edge (Sysio.get n)) (sh @ cl);
   { e_grid = grid; e_shards = sh; e_clients = cl; e_wan = wan_seg;
     e_port = edge_port; e_nclients = clients; e_churn = churn; e_tail = tail;
-    e_seed = seed; e_bufsize = bufsize }
+    e_seed = seed; e_bufsize = bufsize; e_sharded = sharded }
 
 (* Heavy-tailed request sizes: Pareto(xm = 64, alpha = tail) clamped to
    [64 B, 64 KB] — most requests tiny, the tail real. *)
@@ -118,7 +140,7 @@ let chunk ~total ~off n =
 
 (* Per-shard server: incremental length-prefix parser per accepted
    connection, acks owed flushed under backpressure. *)
-let serve_shard e stats node =
+let serve_shard e served node =
   let sio = Sysio.get node in
   let stack = Sysio.stack_on sio e.e_wan in
   Sysio.listen ~sndbuf:e.e_bufsize ~rcvbuf:e.e_bufsize sio stack
@@ -143,7 +165,7 @@ let serve_shard e stats node =
               body := !body - take;
               pos := !pos + take;
               if !body = 0 then begin
-                stats := { !stats with es_served = !stats.es_served + 1 };
+                Atomic.incr served;
                 ack_owed := !ack_owed + 4;
                 flush_acks ()
               end
@@ -157,7 +179,7 @@ let serve_shard e stats node =
                 hgot := 0;
                 need := 0;
                 if !body = 0 then begin
-                  stats := { !stats with es_served = !stats.es_served + 1 };
+                  Atomic.incr served;
                   ack_owed := !ack_owed + 4;
                   flush_acks ()
                 end
@@ -192,13 +214,15 @@ let serve_shard e stats node =
           Sysio.close conn
         end)
 
-let run_edge ?(ramp_ns = 5_000) ?active ?until e =
-  let stats =
-    ref
-      { es_established = 0; es_requests = 0; es_reconnects = 0;
-        es_aborted = 0; es_resets = 0; es_served = 0 }
-  in
-  List.iter (serve_shard e stats) e.e_shards;
+let run_edge ?(ramp_ns = 5_000) ?active ?until ?domains e =
+  (* Atomic tallies: in a sharded run the server-side [served] bumps on
+     frontend shards race the client-side counters; the snapshot into
+     [edge_stats] happens after the run returns. Single-domain cost is
+     negligible next to the TCP machinery per request. *)
+  let established = Atomic.make 0 and requests = Atomic.make 0 in
+  let reconnects = Atomic.make 0 and aborted = Atomic.make 0 in
+  let resets = Atomic.make 0 and served = Atomic.make 0 in
+  List.iter (serve_shard e served) e.e_shards;
   let rng = Rng.create (e.e_seed lxor 0x5eed) in
   let shards = Array.of_list e.e_shards in
   let cnodes = Array.of_list e.e_clients in
@@ -246,11 +270,8 @@ let run_edge ?(ramp_ns = 5_000) ?active ?until e =
             (fun c ev ->
                match ev with
                | Drivers.Tcp.Established ->
-                 stats :=
-                   { !stats with
-                     es_established = !stats.es_established + 1;
-                     es_reconnects =
-                       (!stats.es_reconnects + if reconnect then 1 else 0) };
+                 Atomic.incr established;
+                 if reconnect then Atomic.incr reconnects;
                  if rounds > 0 then push ()
                | Drivers.Tcp.Writable -> push ()
                | Drivers.Tcp.Readable ->
@@ -261,7 +282,7 @@ let run_edge ?(ramp_ns = 5_000) ?active ?until e =
                    | Some b -> ack := !ack + Bytebuf.length b
                  done;
                  if !ack >= 4 && !sent >= !total then begin
-                   stats := { !stats with es_requests = !stats.es_requests + 1 };
+                   Atomic.incr requests;
                    if rounds >= 2 then begin
                      (* Churn: tear the connection down and come back to
                         the same logical port on a fresh ephemeral one. *)
@@ -274,7 +295,7 @@ let run_edge ?(ramp_ns = 5_000) ?active ?until e =
                  Sysio.unwatch sio c;
                  Sysio.close c
                | Drivers.Tcp.Reset ->
-                 stats := { !stats with es_resets = !stats.es_resets + 1 };
+                 Atomic.incr resets;
                  Sysio.unwatch sio c)
         in
         conn := Some c
@@ -289,7 +310,7 @@ let run_edge ?(ramp_ns = 5_000) ?active ?until e =
         Clock.after clk 1_000 (fun () ->
             Sysio.abort c;
             Sysio.unwatch sio c;
-            stats := { !stats with es_aborted = !stats.es_aborted + 1 };
+            Atomic.incr aborted;
             dial ~rounds:(if sends_request then if churns then 2 else 1 else 0)
               ~reconnect:true)
       end
@@ -305,16 +326,33 @@ let run_edge ?(ramp_ns = 5_000) ?active ?until e =
      instead of the whole population (100k up-front events would tax
      every heap operation with the population's log factor). *)
   if e.e_nclients > 0 then begin
-    let clk0 = Simnet.Node.clock (Array.get cnodes 0) in
-    let rec kick i =
-      if i < e.e_nclients then begin
-        starts.(i) ();
-        Clock.after clk0 ramp_ns (fun () -> kick (i + 1))
-      end
-    in
-    kick 0
+    if e.e_sharded then
+      (* The cascade below hops nodes — client [i]'s start would run on
+         client 0's shard and dial through a foreign TCP stack. Sharded
+         runs pre-schedule every arrival on its own node's clock instead;
+         setup is single-threaded, so seeding every shard's heap here is
+         safe, and the arrival times are identical to the cascade's. *)
+      for i = 0 to e.e_nclients - 1 do
+        let clk = Simnet.Node.clock cnodes.(i mod Array.length cnodes) in
+        Clock.after clk (i * ramp_ns) starts.(i)
+      done
+    else begin
+      let clk0 = Simnet.Node.clock (Array.get cnodes 0) in
+      let rec kick i =
+        if i < e.e_nclients then begin
+          starts.(i) ();
+          Clock.after clk0 ramp_ns (fun () -> kick (i + 1))
+        end
+      in
+      kick 0
+    end
   end;
   (match until with
-   | Some u -> Padico.run e.e_grid ~until:u
-   | None -> Padico.run e.e_grid);
-  !stats
+   | Some u -> Padico.run e.e_grid ~until:u ?domains
+   | None -> Padico.run e.e_grid ?domains);
+  { es_established = Atomic.get established;
+    es_requests = Atomic.get requests;
+    es_reconnects = Atomic.get reconnects;
+    es_aborted = Atomic.get aborted;
+    es_resets = Atomic.get resets;
+    es_served = Atomic.get served }

@@ -123,6 +123,35 @@ let test_sim_nested_scheduling () =
   Sim.run sim;
   Tutil.check_int "nested fired" 1 !hits
 
+(* Exit-clock discipline (see Sim.run's doc): every exit is monotone.
+   The old until-branch assigned the clock unconditionally, so resuming a
+   stopped simulator with a smaller [until] rewound virtual time. *)
+let test_sim_exit_clock_monotone () =
+  let sim = Sim.create () in
+  Sim.at sim 100 (fun () -> Sim.stop sim);
+  Sim.at sim 300 (fun () -> ());
+  Sim.run sim;
+  Tutil.check_int "stop freezes at the stopping event" 100 (Sim.now sim);
+  Sim.run sim ~until:50;
+  Tutil.check_int "until below the clock does not rewind" 100 (Sim.now sim);
+  Sim.run sim ~until:200;
+  Tutil.check_int "until ahead advances the idle clock" 200 (Sim.now sim);
+  Sim.run sim ~until:150;
+  Tutil.check_int "still no rewind" 200 (Sim.now sim);
+  Sim.run sim;
+  Tutil.check_int "drained at the last event" 300 (Sim.now sim)
+
+(* Padico.reset (Lifecycle) must drop undelivered events: a stopped
+   scenario's stale timers would otherwise fire into the next scenario's
+   registries through any shared clock. *)
+let test_reset_clears_pending_events () =
+  let sim = Sim.create () in
+  Sim.after sim 10 (fun () -> ());
+  Sim.after sim 20 (fun () -> ());
+  Tutil.check_int "events queued" 2 (Sim.pending sim);
+  Engine.Lifecycle.reset_registries ();
+  Tutil.check_int "reset dropped undelivered events" 0 (Sim.pending sim)
+
 let test_sim_stop () =
   let sim = Sim.create () in
   let count = ref 0 in
@@ -408,7 +437,11 @@ let () =
          Alcotest.test_case "until" `Quick test_sim_until;
          Alcotest.test_case "past raises" `Quick test_sim_past_raises;
          Alcotest.test_case "nested" `Quick test_sim_nested_scheduling;
-         Alcotest.test_case "stop/resume" `Quick test_sim_stop ]);
+         Alcotest.test_case "stop/resume" `Quick test_sim_stop;
+         Alcotest.test_case "exit clock monotone" `Quick
+           test_sim_exit_clock_monotone;
+         Alcotest.test_case "reset clears events" `Quick
+           test_reset_clears_pending_events ]);
       ("proc",
        [ Alcotest.test_case "sleep" `Quick test_proc_sleep;
          Alcotest.test_case "ivar" `Quick test_proc_ivar;
